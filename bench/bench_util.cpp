@@ -1,0 +1,60 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace aw::bench {
+
+void
+banner(const std::string &experiment, const std::string &description)
+{
+    std::printf("\n=================================================="
+                "==========================\n");
+    std::printf("%s\n%s\n", experiment.c_str(), description.c_str());
+    std::printf("===================================================="
+                "========================\n\n");
+}
+
+void
+printSummary(const std::string &label, const ErrorSummary &s)
+{
+    std::printf("%-28s n=%-3zu MAPE=%6.2f%% +- %.2f%%  Pearson r=%.3f  "
+                "max err=%.1f%%\n",
+                label.c_str(), s.count, s.mapePct, s.ci95Pct, s.pearsonR,
+                s.maxErrPct);
+}
+
+void
+split(const std::vector<ValidationRow> &rows, std::vector<double> &measured,
+      std::vector<double> &modeled)
+{
+    measured.clear();
+    modeled.clear();
+    for (const auto &r : rows) {
+        measured.push_back(r.measuredW);
+        modeled.push_back(r.modeledW);
+    }
+}
+
+void
+printCorrelation(const std::vector<ValidationRow> &rows)
+{
+    std::vector<double> measured, modeled;
+    split(rows, measured, modeled);
+    std::printf("%s", asciiScatter({measured}, {modeled}, {'o'}, 56, 18,
+                                   /*square=*/true)
+                          .c_str());
+    std::printf("  x: measured power (W)   y: modeled power (W)   "
+                ". : identity\n");
+}
+
+void
+writeResultsCsv(const std::string &name, const Table &table)
+{
+    std::filesystem::create_directories("results");
+    std::string path = "results/" + name + ".csv";
+    writeFile(path, table.renderCsv());
+    std::printf("[csv] %s\n", path.c_str());
+}
+
+} // namespace aw::bench

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Shared helpers for the figure/table bench binaries: headers, error
+ * summaries, correlation plots, and CSV output under ./results/.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "workloads/validation.hpp"
+
+namespace aw::bench {
+
+/** Print the figure banner. */
+void banner(const std::string &experiment, const std::string &description);
+
+/** Print an ErrorSummary line in the paper's reporting style. */
+void printSummary(const std::string &label, const ErrorSummary &s);
+
+/** Extract measured/modeled vectors from validation rows. */
+void split(const std::vector<ValidationRow> &rows,
+           std::vector<double> &measured, std::vector<double> &modeled);
+
+/** Print a modeled-vs-measured correlation scatter (square axes). */
+void printCorrelation(const std::vector<ValidationRow> &rows);
+
+/** Write CSV content to results/<name>.csv (directory auto-created). */
+void writeResultsCsv(const std::string &name, const Table &table);
+
+} // namespace aw::bench

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 1 — the AccelWattch power modeling flowchart, executed end to
+ * end with a running commentary: every numbered step of the paper's
+ * workflow produces its artifact here, from the DVFS constant-power fit
+ * through the QP-tuned final model and a validation spot check.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/calibration.hpp"
+#include "core/model_io.hpp"
+#include "ubench/microbench.hpp"
+
+using namespace aw;
+
+int
+main()
+{
+    bench::banner("Figure 1 - the AccelWattch modeling workflow",
+                  "each numbered step of the flowchart, executed in "
+                  "order");
+
+    const SiliconOracle &card = sharedVoltaCard();
+    AccelWattchCalibrator calibrator(card);
+
+    std::printf("(1) DVFS-aware constant power modeling\n");
+    const auto &constant = calibrator.constantPower();
+    std::printf("    %zu workloads x frequency sweep -> Eq. 3 fits -> "
+                "P_const = %.2f W\n\n",
+                constant.fits.size(), constant.constPowerW);
+
+    std::printf("(2) uBenchmarks for divergence-aware static power\n");
+    const auto &staticPower = calibrator.staticPower();
+    int halfwarp = 0;
+    for (const auto &d : staticPower.details)
+        halfwarp += d.chosen.halfWarp;
+    std::printf("    %zu mix categories calibrated: %d half-warp, %d "
+                "linear models\n",
+                staticPower.details.size(), halfwarp,
+                static_cast<int>(staticPower.details.size()) - halfwarp);
+
+    std::printf("(3) uBenchmarks for idle-SM static power\n");
+    std::printf("    %zu occupancy experiments -> geomean per-idle-SM "
+                "power %.4f W\n\n",
+                staticPower.idleExperiments.size(), staticPower.idleSmW);
+
+    std::printf("(4) uBenchmarks for dynamic power modeling\n");
+    std::printf("    %zu tuning microbenchmarks across %zu hardware "
+                "component categories (Table 2)\n",
+                calibrator.tuningSuite().size(), kNumUbenchCategories);
+
+    std::printf("(5) SASS/PTX -> power component map\n");
+    std::printf("    e.g. %s -> %s, %s -> %s\n",
+                sassOpName(SassOp::FADD).c_str(),
+                componentName(PowerComponent::FpAdd).c_str(),
+                ptxOpName(PtxOp::MUL_F64).c_str(),
+                componentName(PowerComponent::DpMul).c_str());
+
+    std::printf("(6) hardware power + performance measurements\n");
+    double minW = 1e9, maxW = 0;
+    for (double w : calibrator.tuningPowerW()) {
+        minW = std::min(minW, w);
+        maxW = std::max(maxW, w);
+    }
+    std::printf("    NVML measurements span %.1f - %.1f W across the "
+                "suite\n\n",
+                minW, maxW);
+
+    std::printf("(7) quadratic programming optimization (Eq. 14)\n");
+    const auto &tuned = calibrator.variant(Variant::SassSim);
+    std::printf("    Fermi start: %d rounds, %d Newton iterations, "
+                "training MAPE %.2f%%\n",
+                tuned.tuningFermi.rounds, tuned.tuningFermi.qpNewtonIters,
+                tuned.tuningFermi.trainingMapePct);
+    std::printf("    all-ones start: training MAPE %.2f%% -> Fermi "
+                "model adopted (Section 5.4)\n\n",
+                tuned.tuningOnes.trainingMapePct);
+
+    std::printf("(8) AccelWattch config file\n");
+    std::string cfg = serializeModel(tuned.model);
+    std::printf("    serialized model: %zu bytes, %zu dynamic "
+                "components, 9 divergence tables\n\n",
+                cfg.size(), kNumPowerComponents);
+
+    std::printf("(9) validation against hardware power\n");
+    auto rows = runValidation(calibrator, Variant::SassSim);
+    std::vector<double> meas, mod;
+    bench::split(rows, meas, mod);
+    auto s = summarizeErrors(meas, mod);
+    bench::printSummary("    Volta SASS SIM", s);
+    std::printf("\nworkflow complete: the model in step (8) is what the "
+                "figure benches and examples consume.\n");
+    return 0;
+}

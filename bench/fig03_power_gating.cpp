@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 3 / Section 4.3 — Inferring the power consumption of activating
+ * power-gated chip-wide and SM-wide components: hardware-measured power
+ * of an integer microbenchmark at {inactive chip, 1 lane x 1 SM,
+ * 1 lane x 80 SMs, 8/16/24/32 lanes x 80 SMs}.
+ *
+ * Shape targets (paper): the first activated SM consumes tens of times
+ * the power of each subsequent SM (47x in the paper); 1L x 80SM draws
+ * ~70% more than 1L x 1SM despite using 79x more SMs; the first lane of
+ * an SM costs far more than later lanes (31x); 8L x 80SM is only ~10%
+ * over 1L x 80SM.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/calibration.hpp"
+#include "ubench/microbench.hpp"
+
+using namespace aw;
+
+int
+main()
+{
+    bench::banner("Figure 3 - power gating of chip-wide and SM-wide "
+                  "components",
+                  "integer ops on varying lanes/SMs; power measured on "
+                  "the card at 65C, default clock");
+
+    const SiliconOracle &card = sharedVoltaCard();
+    NvmlEmu nvml(card);
+    const int allSms = card.config().numSms;
+
+    // Inactive chip: only constant power (fans, peripherals).
+    double inactiveW = card.truth().constPowerW;
+    std::printf("inactive chip: %.2f W (constant power only)\n\n",
+                inactiveW);
+
+    struct Point
+    {
+        const char *label;
+        int lanes, sms;
+    };
+    const Point points[] = {
+        {"1 Lane  x 1 SM", 1, 1},    {"1 Lane  x 80 SMs", 1, allSms},
+        {"8 Lanes x 80 SMs", 8, allSms},
+        {"16 Lanes x 80 SMs", 16, allSms},
+        {"24 Lanes x 80 SMs", 24, allSms},
+        {"32 Lanes x 80 SMs", 32, allSms},
+    };
+
+    Table t({"configuration", "total lanes", "measured power (W)",
+             "delta vs previous (W)"});
+    std::vector<double> powers;
+    t.addRow({"Inactive chip", "0", Table::num(inactiveW, 2), "-"});
+    double prev = inactiveW;
+    for (const auto &p : points) {
+        double w = nvml.measureAveragePowerW(gatingKernel(p.lanes, p.sms));
+        powers.push_back(w);
+        t.addRow({p.label, std::to_string(p.lanes * p.sms),
+                  Table::num(w, 2), Table::num(w - prev, 2)});
+        prev = w;
+    }
+    std::printf("%s\n", t.render().c_str());
+    bench::writeResultsCsv("fig03_power_gating", t);
+
+    // The inferred gating hierarchy.
+    double p1x1 = powers[0], p1x80 = powers[1], p8x80 = powers[2];
+    double firstSmW = p1x1 - inactiveW;
+    double addlSmW = (p1x80 - p1x1) / (allSms - 1);
+    double addlLaneW = (p8x80 - p1x80) / (7.0 * allSms);
+    double firstLaneW = addlSmW; // the SM's first lane carries SM-wide
+    std::printf("first SM activation:        %7.3f W (chip-global + "
+                "SM-wide structures)\n",
+                firstSmW);
+    std::printf("each subsequent SM:         %7.3f W  -> first SM is "
+                "%.0fx an additional SM (paper: 47x)\n",
+                addlSmW, firstSmW / addlSmW);
+    std::printf("each additional lane:       %7.4f W  -> first lane is "
+                "%.0fx an additional lane (paper: 31x)\n",
+                addlLaneW, firstLaneW / addlLaneW);
+    std::printf("1L x 80SM vs 1L x 1SM:      +%.0f%% for 79x more SMs "
+                "(paper: +70%%)\n",
+                100.0 * (p1x80 / p1x1 - 1.0));
+    std::printf("8L x 80SM vs 1L x 80SM:     +%.0f%% for 7x more lanes "
+                "(paper: +10%%)\n",
+                100.0 * (p8x80 / p1x80 - 1.0));
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 4 / Sections 4.4-4.5 — Hardware measurements and modeled power
+ * with varying active threads per warp, for three workload families:
+ *
+ *   (a) INT_MUL      — one functional unit: sawtooth, half-warp model
+ *   (b) INT_FP       — two units: partially smoothed
+ *   (c) INT_FP_SFU   — three units: near-linear
+ *
+ * For each family the calibrated AccelWattch divergence models (linear
+ * Eq. 4 and half-warp Eq. 5) are evaluated against measurements at
+ * every y, reproducing the paper's three panels.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/calibration.hpp"
+#include "core/static_power.hpp"
+#include "ubench/microbench.hpp"
+
+using namespace aw;
+
+namespace {
+
+void
+panel(AccelWattchCalibrator &cal, DivergenceFamily family,
+      const char *title, MixCategory category, bool expectHalfWarpWins)
+{
+    std::printf("--- Figure 4%s ---\n", title);
+    const AccelWattchModel &model =
+        cal.variant(Variant::SassSim).model;
+    NvmlEmu &nvml = cal.nvml();
+
+    // AccelWattch's total power with each divergence model plugged in:
+    // dynamic + const from the tuned model, static from Eq. 4 or Eq. 5.
+    const DivergenceModel &chosen =
+        model.divergence[static_cast<size_t>(category)];
+    DivergenceModel linear = chosen, halfwarp = chosen;
+    linear.halfWarp = false;
+    halfwarp.halfWarp = true;
+
+    Table t({"y (active threads)", "measured (W)", "linear model (W)",
+             "half-warp model (W)"});
+    ActivityProvider provider(Variant::SassSim, cal.simulator(),
+                              &cal.nsight());
+    std::vector<double> meas, linW, hwW;
+    for (int y : {1, 4, 8, 12, 16, 20, 24, 28, 32}) {
+        KernelDescriptor k = divergenceKernel(family, y);
+        double measured = nvml.measureAveragePowerW(k);
+
+        KernelActivity act = provider.collect(k);
+        AccelWattchModel m = model;
+        m.divergence[static_cast<size_t>(category)] = linear;
+        double lin = m.averagePowerW(act);
+        m.divergence[static_cast<size_t>(category)] = halfwarp;
+        double hw = m.averagePowerW(act);
+
+        meas.push_back(measured);
+        linW.push_back(lin);
+        hwW.push_back(hw);
+        t.addRow({std::to_string(y), Table::num(measured, 1),
+                  Table::num(lin, 1), Table::num(hw, 1)});
+    }
+    std::printf("%s", t.render().c_str());
+    double linErr = mape(meas, linW);
+    double hwErr = mape(meas, hwW);
+    std::printf("model error vs hardware: linear %.2f%%, half-warp "
+                "%.2f%% -> %s fits (expected: %s)\n",
+                linErr, hwErr,
+                hwErr < linErr ? "half-warp" : "linear",
+                expectHalfWarpWins ? "half-warp" : "linear");
+    std::printf("sawtooth check: P(y=24) vs P(y=16): %+.1f%% "
+                "(negative = sawtooth sag)\n\n",
+                100.0 * (meas[6] / meas[4] - 1.0));
+    bench::writeResultsCsv(std::string("fig04") + title, t);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 4 - divergence-aware static power and ILP "
+                  "smoothing",
+                  "measured vs linear (Eq. 4) vs half-warp (Eq. 5) "
+                  "models across active threads per warp");
+    auto &cal = sharedVoltaCalibrator();
+    panel(cal, DivergenceFamily::IntMul, "a_int_mul",
+          MixCategory::IntMulOnly, true);
+    panel(cal, DivergenceFamily::IntFp, "b_int_fp", MixCategory::IntFp,
+          false);
+    panel(cal, DivergenceFamily::IntFpSfu, "c_int_fp_sfu",
+          MixCategory::IntFpSfu, false);
+    return 0;
+}

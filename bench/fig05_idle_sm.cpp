@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 5 / Section 4.6 — Validation of the idle-SM static power model:
+ * total power of the INT_MUL occupancy microbenchmark as the number of
+ * idle SMs grows, measured on the card vs modeled by AccelWattch
+ * (Eqs. 6-8 calibration).
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/calibration.hpp"
+#include "ubench/microbench.hpp"
+
+using namespace aw;
+
+int
+main()
+{
+    bench::banner("Figure 5 - idle-SM static power model validation",
+                  "INT_MUL with varying active SMs; measured vs "
+                  "AccelWattch-modeled total power");
+
+    auto &cal = sharedVoltaCalibrator();
+    const AccelWattchModel &model = cal.variant(Variant::SassSim).model;
+    ActivityProvider provider(Variant::SassSim, cal.simulator(),
+                              &cal.nsight());
+    const int numSms = cal.gpu().numSms;
+
+    Table t({"#idle SMs", "#active SMs", "measured (W)", "modeled (W)",
+             "error"});
+    std::vector<double> meas, mod;
+    for (int active : {80, 72, 64, 56, 48, 40, 32, 24, 16, 8, 4, 1}) {
+        if (active > numSms)
+            continue;
+        KernelDescriptor k = occupancyKernel(active, 0);
+        double measured = cal.nvml().measureAveragePowerW(k);
+        double modeled = model.averagePowerW(provider.collect(k));
+        meas.push_back(measured);
+        mod.push_back(modeled);
+        t.addRow({std::to_string(numSms - active), std::to_string(active),
+                  Table::num(measured, 1), Table::num(modeled, 1),
+                  Table::pct(100.0 * (modeled - measured) / measured, 1)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    bench::writeResultsCsv("fig05_idle_sm", t);
+
+    auto s = summarizeErrors(meas, mod);
+    bench::printSummary("idle-SM sweep", s);
+    std::printf("calibrated per-idle-SM power: %.4f W\n", model.idleSmW);
+
+    bool monotone = true;
+    for (size_t i = 1; i < meas.size(); ++i)
+        monotone &= meas[i] < meas[i - 1];
+    std::printf("measured power decreases monotonically with idle SMs: "
+                "%s\n",
+                monotone ? "yes" : "NO");
+    return 0;
+}

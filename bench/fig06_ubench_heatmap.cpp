@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Figure 6 / Section 5.3 — Dynamic power heat-map of the GPU hardware
+ * component categories exercised by the tuning microbenchmarks, as
+ * estimated by AccelWattch SASS SIM: each cell is the fraction of a
+ * microbenchmark category's dynamic power spent on a component group.
+ * The diagonal must be hot: every category exercises its target.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/calibration.hpp"
+#include "ubench/microbench.hpp"
+
+using namespace aw;
+
+namespace {
+
+/** Figure 6's component-group columns. */
+enum Col : size_t
+{
+    ColInt, ColFpDp, ColSfu, ColTensor, ColTex, ColRf, ColDCache, ColDram,
+    ColOther, NumCols
+};
+
+const char *kColNames[] = {"INT", "FP/DP", "SFU", "Tensor", "TEX",
+                           "RegFile", "dCaches", "DRAM", "Other"};
+
+std::array<double, NumCols>
+groupDynamic(const PowerBreakdown &b)
+{
+    std::array<double, NumCols> g{};
+    using PC = PowerComponent;
+    g[ColInt] = b.sumOf({PC::IntAdd, PC::IntMul});
+    g[ColFpDp] = b.sumOf({PC::FpAdd, PC::FpMul, PC::DpAdd, PC::DpMul});
+    g[ColSfu] = b.sumOf({PC::Sqrt, PC::Log, PC::SinCos, PC::Exp});
+    g[ColTensor] = b.sumOf({PC::TensorCore});
+    g[ColTex] = b.sumOf({PC::TextureUnit});
+    g[ColRf] = b.sumOf({PC::RegFile});
+    g[ColDCache] = b.sumOf({PC::L1DCache, PC::SharedMem, PC::ConstCache,
+                            PC::L2Noc});
+    g[ColDram] = b.sumOf({PC::DramMc});
+    g[ColOther] = b.sumOf({PC::InstBuffer, PC::InstCache, PC::Scheduler,
+                           PC::SmPipeline});
+    return g;
+}
+
+char
+shade(double frac)
+{
+    if (frac >= 0.40)
+        return '#';
+    if (frac >= 0.20)
+        return '@';
+    if (frac >= 0.10)
+        return '+';
+    if (frac >= 0.05)
+        return '.';
+    return ' ';
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 6 - dynamic power heat-map of the "
+                  "microbenchmark suite",
+                  "fraction of dynamic power per component group, "
+                  "AccelWattch SASS SIM ( #>=40%  @>=20%  +>=10%  .>=5% )");
+
+    auto &cal = sharedVoltaCalibrator();
+    const AccelWattchModel &model = cal.variant(Variant::SassSim).model;
+    ActivityProvider provider(Variant::SassSim, cal.simulator(),
+                              &cal.nsight());
+
+    // Average the per-component dynamic fractions within each category.
+    std::array<std::array<double, NumCols>, kNumUbenchCategories> sums{};
+    std::array<int, kNumUbenchCategories> counts{};
+    for (const auto &ub : cal.tuningSuite()) {
+        PowerBreakdown b = model.evaluateKernel(provider.collect(ub.kernel));
+        double dyn = b.dynamicTotalW();
+        if (dyn <= 0)
+            continue;
+        auto g = groupDynamic(b);
+        auto c = static_cast<size_t>(ub.category);
+        for (size_t j = 0; j < NumCols; ++j)
+            sums[c][j] += g[j] / dyn;
+        ++counts[c];
+    }
+
+    std::printf("%-26s", "ubench category \\ component");
+    for (const char *n : kColNames)
+        std::printf("%8s", n);
+    std::printf("\n");
+
+    Table csv([] {
+        std::vector<std::string> h{"category"};
+        for (const char *n : kColNames)
+            h.push_back(n);
+        return h;
+    }());
+    for (size_t c = 0; c < kNumUbenchCategories; ++c) {
+        if (!counts[c])
+            continue;
+        auto cat = static_cast<UbenchCategory>(c);
+        std::printf("%-26s", ubenchCategoryName(cat).c_str());
+        std::vector<std::string> row{ubenchCategoryName(cat)};
+        for (size_t j = 0; j < NumCols; ++j) {
+            double frac = sums[c][j] / counts[c];
+            std::printf("   %c%4.0f%%", shade(frac), 100 * frac);
+            row.push_back(Table::num(100 * frac, 1));
+        }
+        std::printf("\n");
+        csv.addRow(std::move(row));
+    }
+    bench::writeResultsCsv("fig06_heatmap", csv);
+
+    std::printf("\nTable 1 inventory — the %zu dynamic power components "
+                "tracked:\n  ",
+                kNumPowerComponents);
+    for (auto c : allComponents())
+        std::printf("%s%s ", componentName(c).c_str(),
+                    hasHardwareCounter(c) ? "" : "(*)");
+    std::printf("\n  (*) no hardware performance counter on Volta "
+                "(Table 1 shaded rows)\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 7 / Section 6.2 — AccelWattch validation on Volta: correlation
+ * of modeled vs measured power over the 26-kernel validation suite for
+ * all four variants. Paper results: SASS SIM 9.2%, PTX SIM 13.7%,
+ * HW 7.5%, HYBRID 8.2% MAPE with Pearson r 0.83-0.91; two thirds of
+ * kernels under 10% error.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace aw;
+
+int
+main()
+{
+    bench::banner("Figure 7 - AccelWattch Volta validation (4 variants)",
+                  "modeled vs measured power over the Table 4 validation "
+                  "suite");
+    auto &cal = sharedVoltaCalibrator();
+
+    const struct
+    {
+        Variant v;
+        double paperMape;
+    } panels[] = {
+        {Variant::SassSim, 9.2},
+        {Variant::PtxSim, 13.7},
+        {Variant::Hw, 7.5},
+        {Variant::Hybrid, 8.2},
+    };
+
+    Table csv({"variant", "kernel", "measured_w", "modeled_w", "err_pct"});
+    for (const auto &panel : panels) {
+        auto rows = runValidation(cal, panel.v);
+        std::printf("--- Volta %s ---\n", variantName(panel.v).c_str());
+        bench::printCorrelation(rows);
+        std::vector<double> meas, mod;
+        bench::split(rows, meas, mod);
+        auto s = summarizeErrors(meas, mod);
+        bench::printSummary("Volta " + variantName(panel.v), s);
+        std::printf("  paper MAPE for this variant: %.1f%%\n", panel.paperMape);
+
+        int under10 = 0, over20 = 0;
+        for (const auto &r : rows) {
+            double e = 100.0 * std::abs(r.modeledW - r.measuredW) /
+                       r.measuredW;
+            under10 += e < 10.0;
+            over20 += e > 20.0;
+            csv.addRow({variantName(panel.v), r.name,
+                        Table::num(r.measuredW, 2),
+                        Table::num(r.modeledW, 2),
+                        Table::num(100.0 * (r.modeledW - r.measuredW) /
+                                       r.measuredW,
+                                   2)});
+        }
+        std::printf("  kernels with <10%% error: %d/%zu  (paper: 17/26); "
+                    ">20%% error: %d/%zu (paper: 4/26)\n\n",
+                    under10, rows.size(), over20, rows.size());
+    }
+    bench::writeResultsCsv("fig07_validation", csv);
+    return 0;
+}

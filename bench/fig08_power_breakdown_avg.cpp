@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Figure 8 — Normalized per-component power breakdown averaged over the
+ * validation suite: Volta under SASS SIM / HW / HYBRID, plus Pascal and
+ * Turing under SASS SIM (Volta-tuned model).
+ *
+ * Shape targets (paper): register file + static + constant power are
+ * the dominant contributors (~55% on Volta, ~68-71% on Pascal/Turing);
+ * the HW and HYBRID variants lump RF and L1i power into Others
+ * (no hardware counters for them), growing that category; HYBRID's
+ * breakdown stays close to HW's.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "workloads/case_study.hpp"
+
+using namespace aw;
+
+namespace {
+
+std::array<double, kNumBreakdownGroups>
+averageBreakdown(const std::vector<ValidationRow> &rows)
+{
+    std::array<double, kNumBreakdownGroups> avg{};
+    for (const auto &r : rows) {
+        auto g = groupBreakdown(r.breakdown);
+        double total = r.breakdown.totalW();
+        for (size_t i = 0; i < kNumBreakdownGroups; ++i)
+            avg[i] += g[i] / total;
+    }
+    for (auto &v : avg)
+        v /= static_cast<double>(rows.size());
+    return avg;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 8 - normalized average per-component power "
+                  "breakdown",
+                  "validation-suite average share per component group");
+
+    auto &cal = sharedVoltaCalibrator();
+
+    struct Column
+    {
+        std::string label;
+        std::vector<ValidationRow> rows;
+    };
+    std::vector<Column> cols;
+    cols.push_back({"Volta SASS", runValidation(cal, Variant::SassSim)});
+    cols.push_back({"Volta HW", runValidation(cal, Variant::Hw)});
+    cols.push_back({"Volta HYBRID", runValidation(cal, Variant::Hybrid)});
+    cols.push_back({"Pascal SASS",
+                    runCaseStudy(cal, CaseStudyGpu::Pascal,
+                                 Variant::SassSim)});
+    cols.push_back({"Turing SASS",
+                    runCaseStudy(cal, CaseStudyGpu::Turing,
+                                 Variant::SassSim)});
+
+    std::vector<std::string> headers{"component group"};
+    for (const auto &c : cols)
+        headers.push_back(c.label);
+    Table t(headers);
+
+    std::vector<std::array<double, kNumBreakdownGroups>> avgs;
+    for (const auto &c : cols)
+        avgs.push_back(averageBreakdown(c.rows));
+
+    for (size_t g = 0; g < kNumBreakdownGroups; ++g) {
+        std::vector<std::string> row{
+            breakdownGroupName(static_cast<BreakdownGroup>(g))};
+        for (const auto &avg : avgs)
+            row.push_back(Table::pct(100 * avg[g], 1));
+        t.addRow(std::move(row));
+    }
+    std::printf("%s\n", t.render().c_str());
+    bench::writeResultsCsv("fig08_breakdown_avg", t);
+
+    auto top3 = [](const std::array<double, kNumBreakdownGroups> &avg) {
+        double rf = avg[static_cast<size_t>(BreakdownGroup::RegFile)];
+        double st = avg[static_cast<size_t>(BreakdownGroup::Static)];
+        double cn = avg[static_cast<size_t>(BreakdownGroup::Const)];
+        return 100 * (rf + st + cn);
+    };
+    std::printf("RegFile+Static+Const share: Volta SASS %.1f%% (paper "
+                "~55%%), Pascal %.1f%% (paper 67.7%%), Turing %.1f%% "
+                "(paper 70.7%%)\n",
+                top3(avgs[0]), top3(avgs[3]), top3(avgs[4]));
+
+    double othersSass =
+        avgs[0][static_cast<size_t>(BreakdownGroup::Others)] +
+        avgs[0][static_cast<size_t>(BreakdownGroup::RegFile)];
+    double othersHw =
+        avgs[1][static_cast<size_t>(BreakdownGroup::Others)] +
+        avgs[1][static_cast<size_t>(BreakdownGroup::RegFile)];
+    std::printf("HW lumps counterless RF/L1i into Others: Others(SASS)="
+                "%.1f%% vs Others(HW)=%.1f%% while RF(HW)=%.1f%% "
+                "(RF+Others total: %.1f%% vs %.1f%%)\n",
+                100 * avgs[0][static_cast<size_t>(BreakdownGroup::Others)],
+                100 * avgs[1][static_cast<size_t>(BreakdownGroup::Others)],
+                100 * avgs[1][static_cast<size_t>(BreakdownGroup::RegFile)],
+                100 * othersSass, 100 * othersHw);
+    return 0;
+}

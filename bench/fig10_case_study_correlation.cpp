@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 10 / Section 7.1 — Design-space-exploration case studies: the
+ * Volta-tuned AccelWattch model applied, without retuning, to Pascal
+ * (TITAN X) and Turing (RTX 2060S) configurations, validated against
+ * each chip's hardware. Paper results: Pascal SASS 11% / PTX 10.8%,
+ * Turing SASS 13% / PTX 14% MAPE. Technology scaling to 16 nm improves
+ * Pascal MAPE by 1.85% (SASS) / 1.22% (PTX); Turing is already 12 nm.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "workloads/case_study.hpp"
+
+using namespace aw;
+
+int
+main()
+{
+    bench::banner("Figure 10 - Pascal & Turing case studies "
+                  "(Volta-tuned model, no retuning)",
+                  "Table 3 targets: TITAN X (Pascal, 16 nm, 1470 MHz, "
+                  "250 W), RTX 2060S (Turing, 12 nm, 1905 MHz, 175 W)");
+
+    auto &cal = sharedVoltaCalibrator();
+
+    const struct
+    {
+        CaseStudyGpu gpu;
+        Variant variant;
+        const char *label;
+        double paperMape;
+    } panels[] = {
+        {CaseStudyGpu::Pascal, Variant::SassSim, "Pascal SASS SIM", 11.0},
+        {CaseStudyGpu::Pascal, Variant::PtxSim, "Pascal PTX SIM", 10.8},
+        {CaseStudyGpu::Turing, Variant::SassSim, "Turing SASS SIM", 13.0},
+        {CaseStudyGpu::Turing, Variant::PtxSim, "Turing PTX SIM", 14.0},
+    };
+
+    Table csv({"panel", "kernel", "measured_w", "modeled_w", "err_pct"});
+    for (const auto &p : panels) {
+        auto rows = runCaseStudy(cal, p.gpu, p.variant);
+        std::printf("--- %s ---\n", p.label);
+        bench::printCorrelation(rows);
+        std::vector<double> meas, mod;
+        bench::split(rows, meas, mod);
+        auto s = summarizeErrors(meas, mod);
+        bench::printSummary(p.label, s);
+        std::printf("  paper MAPE: %.1f%%\n\n", p.paperMape);
+        for (const auto &r : rows)
+            csv.addRow({p.label, r.name, Table::num(r.measuredW, 2),
+                        Table::num(r.modeledW, 2),
+                        Table::num(100.0 * (r.modeledW - r.measuredW) /
+                                       r.measuredW,
+                                   2)});
+    }
+    bench::writeResultsCsv("fig10_case_studies", csv);
+
+    // Technology-scaling ablation for Pascal (Section 7.1).
+    for (Variant v : {Variant::SassSim, Variant::PtxSim}) {
+        auto scaled = runCaseStudy(cal, CaseStudyGpu::Pascal, v, true);
+        auto unscaled = runCaseStudy(cal, CaseStudyGpu::Pascal, v, false);
+        std::vector<double> meas, modS, modU;
+        bench::split(scaled, meas, modS);
+        std::vector<double> meas2;
+        bench::split(unscaled, meas2, modU);
+        std::printf("Pascal %s: MAPE with 16nm tech scaling %.2f%%, "
+                    "without %.2f%% -> scaling improves by %.2f%% "
+                    "(paper: %.2f%%)\n",
+                    variantName(v).c_str(), mape(meas, modS),
+                    mape(meas2, modU), mape(meas2, modU) - mape(meas, modS),
+                    v == Variant::SassSim ? 1.85 : 1.22);
+    }
+    return 0;
+}

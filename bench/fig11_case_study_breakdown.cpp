@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 11 — Per-kernel power breakdowns for the Pascal and Turing
+ * case studies (AccelWattch SASS SIM, Volta-tuned), with measured totals
+ * alongside. Pascal panels have no tensor component (no tensor cores).
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "workloads/case_study.hpp"
+
+using namespace aw;
+
+namespace {
+
+void
+panel(AccelWattchCalibrator &cal, CaseStudyGpu gpu, const char *title,
+      const char *csvName)
+{
+    auto rows = runCaseStudy(cal, gpu, Variant::SassSim);
+    std::printf("--- %s ---\n", title);
+
+    std::vector<std::string> headers{"kernel", "measured"};
+    for (size_t g = 0; g < kNumBreakdownGroups; ++g)
+        headers.push_back(
+            breakdownGroupName(static_cast<BreakdownGroup>(g)));
+    headers.push_back("modeled total");
+    Table t(headers);
+    for (const auto &r : rows) {
+        auto g = groupBreakdown(r.breakdown);
+        std::vector<std::string> row{r.name, Table::num(r.measuredW, 1)};
+        for (double w : g)
+            row.push_back(Table::num(w, 1));
+        row.push_back(Table::num(r.breakdown.totalW(), 1));
+        t.addRow(std::move(row));
+    }
+    std::printf("%s\n", t.render().c_str());
+    aw::bench::writeResultsCsv(csvName, t);
+
+    if (gpu == CaseStudyGpu::Pascal) {
+        double tensorW = 0;
+        for (const auto &r : rows)
+            tensorW += r.breakdown.dynamicW[componentIndex(
+                PowerComponent::TensorCore)];
+        std::printf("total tensor-core power on Pascal: %.3f W "
+                    "(no tensor cores in Pascal)\n\n",
+                    tensorW);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    aw::bench::banner("Figure 11 - per-kernel breakdowns for the case "
+                      "studies",
+                      "AccelWattch SASS SIM (tuned for Volta) applied to "
+                      "Pascal and Turing");
+    auto &cal = sharedVoltaCalibrator();
+    panel(cal, CaseStudyGpu::Pascal, "(a) Case study: Pascal TITAN X",
+          "fig11a_pascal_breakdown");
+    panel(cal, CaseStudyGpu::Turing, "(b) Case study: Turing RTX 2060S",
+          "fig11b_turing_breakdown");
+    return 0;
+}

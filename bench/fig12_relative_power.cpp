@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 12 / Section 7.1 — Relative modeled and measured power across
+ * the three architectures (AccelWattch SASS SIM): per-kernel
+ * (P_A - P_B)/P_B for Pascal/Volta, Turing/Volta and Turing/Pascal.
+ *
+ * Shape targets (paper): the error of the *average* relative power is
+ * 1% / 3% / 1%; predictions point in the same direction as hardware for
+ * >= 85% of workloads (100% for Pascal/Volta), with Turing/Volta the
+ * hardest because its relative deltas cluster around zero.
+ */
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "workloads/case_study.hpp"
+
+using namespace aw;
+
+namespace {
+
+void
+panel(const std::vector<ValidationRow> &a,
+      const std::vector<ValidationRow> &b, const char *title,
+      double paperAvgErrPct, const char *csvName)
+{
+    auto rows = relativePower(a, b);
+    std::printf("--- %s ---\n", title);
+    Table t({"kernel", "modeled rel", "measured rel", "same direction"});
+    double modSum = 0, measSum = 0;
+    int sameDir = 0;
+    for (const auto &r : rows) {
+        bool same = (r.modeledRel >= 0) == (r.measuredRel >= 0);
+        sameDir += same;
+        modSum += r.modeledRel;
+        measSum += r.measuredRel;
+        t.addRow({r.name, Table::pct(100 * r.modeledRel, 1),
+                  Table::pct(100 * r.measuredRel, 1), same ? "yes" : "NO"});
+    }
+    double modAvg = modSum / rows.size();
+    double measAvg = measSum / rows.size();
+    t.addRow({"Avg.", Table::pct(100 * modAvg, 1),
+              Table::pct(100 * measAvg, 1), "-"});
+    std::printf("%s", t.render().c_str());
+    std::printf("error of estimated average relative power: %.1f%% "
+                "(paper: %.0f%%); same-direction predictions: %d/%zu "
+                "(%.0f%%)\n\n",
+                100 * std::abs(modAvg - measAvg), paperAvgErrPct, sameDir,
+                rows.size(), 100.0 * sameDir / rows.size());
+    aw::bench::writeResultsCsv(csvName, t);
+}
+
+} // namespace
+
+int
+main()
+{
+    aw::bench::banner("Figure 12 - relative power across architectures",
+                      "modeled vs measured relative power, AccelWattch "
+                      "SASS SIM");
+    auto &cal = sharedVoltaCalibrator();
+
+    auto volta = runValidation(cal, Variant::SassSim);
+    auto pascal = runCaseStudy(cal, CaseStudyGpu::Pascal,
+                               Variant::SassSim);
+    auto turing = runCaseStudy(cal, CaseStudyGpu::Turing,
+                               Variant::SassSim);
+
+    panel(pascal, volta, "(a) Pascal TITAN X relative to Volta GV100",
+          1.0, "fig12a_pascal_vs_volta");
+    panel(turing, volta, "(b) Turing RTX 2060S relative to Volta GV100",
+          3.0, "fig12b_turing_vs_volta");
+    panel(turing, pascal, "(c) Turing RTX 2060S relative to Pascal "
+                          "TITAN X",
+          1.0, "fig12c_turing_vs_pascal");
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * google-benchmark timing of the performance-model substrate: SASS/PTX
+ * trace generation, cache model, single-kernel simulation at several
+ * occupancies, the silicon oracle, and a full AccelWattch evaluation.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/calibration.hpp"
+#include "sim/cache.hpp"
+#include "ubench/microbench.hpp"
+
+using namespace aw;
+
+namespace {
+
+KernelDescriptor
+computeKernel()
+{
+    auto k = makeKernel("perf_compute",
+                        {{OpClass::FpFma, 0.5}, {OpClass::IntMad, 0.5}},
+                        160, 8);
+    k.iterations = 24;
+    return k;
+}
+
+KernelDescriptor
+memoryKernel()
+{
+    auto k = makeKernel("perf_memory",
+                        {{OpClass::LdGlobal, 0.4}, {OpClass::IntAdd, 0.6}},
+                        160, 8);
+    k.memFootprintKb = 4096;
+    k.iterations = 24;
+    return k;
+}
+
+void
+BM_TraceGenSass(benchmark::State &state)
+{
+    auto k = computeKernel();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(generateSassProgram(k));
+}
+BENCHMARK(BM_TraceGenSass);
+
+void
+BM_TraceGenPtx(benchmark::State &state)
+{
+    auto k = computeKernel();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(generatePtxProgram(k));
+}
+BENCHMARK(BM_TraceGenPtx);
+
+void
+BM_CacheModel(benchmark::State &state)
+{
+    CacheModel cache(voltaGV100().l1d);
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr, false));
+        addr += 128;
+    }
+}
+BENCHMARK(BM_CacheModel);
+
+void
+BM_SimulateComputeKernel(benchmark::State &state)
+{
+    GpuSimulator sim(voltaGV100());
+    auto k = computeKernel();
+    long cycles = 0;
+    for (auto _ : state) {
+        auto act = sim.runSass(k);
+        cycles += static_cast<long>(act.totalCycles);
+        benchmark::DoNotOptimize(act);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateComputeKernel);
+
+void
+BM_SimulateMemoryKernel(benchmark::State &state)
+{
+    GpuSimulator sim(voltaGV100());
+    auto k = memoryKernel();
+    long cycles = 0;
+    for (auto _ : state) {
+        auto act = sim.runSass(k);
+        cycles += static_cast<long>(act.totalCycles);
+        benchmark::DoNotOptimize(act);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateMemoryKernel);
+
+void
+BM_OracleExecute(benchmark::State &state)
+{
+    const SiliconOracle &card = sharedVoltaCard();
+    auto k = computeKernel();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(card.execute(k));
+}
+BENCHMARK(BM_OracleExecute);
+
+void
+BM_AccelWattchEvaluate(benchmark::State &state)
+{
+    auto &cal = sharedVoltaCalibrator();
+    const AccelWattchModel &model = cal.variant(Variant::SassSim).model;
+    auto act = cal.simulator().runSass(computeKernel());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.evaluateKernel(act));
+}
+BENCHMARK(BM_AccelWattchEvaluate);
+
+} // namespace
+
+BENCHMARK_MAIN();

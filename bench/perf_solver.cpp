@@ -1,0 +1,109 @@
+/**
+ * @file
+ * google-benchmark timing of the numerical substrate: least squares,
+ * Eq. 3 polynomial fits, the interior-point QP solver at the Eq. 14
+ * problem size, and a full dynamic-power tuning pass.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/calibration.hpp"
+#include "core/tuner.hpp"
+#include "solver/polyfit.hpp"
+#include "solver/qp.hpp"
+
+using namespace aw;
+
+namespace {
+
+void
+BM_LeastSquares(benchmark::State &state)
+{
+    const size_t m = 102, n = 22;
+    Rng rng(7);
+    Matrix a(m, n);
+    std::vector<double> b(m);
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < n; ++j)
+            a(i, j) = rng.uniform();
+        b[i] = rng.uniform();
+    }
+    for (auto _ : state) {
+        Matrix acopy = a;
+        std::vector<double> bcopy = b;
+        benchmark::DoNotOptimize(leastSquares(acopy, bcopy));
+    }
+}
+BENCHMARK(BM_LeastSquares);
+
+void
+BM_FitCubicNoQuad(benchmark::State &state)
+{
+    std::vector<double> f, p;
+    for (double x = 0.2; x <= 1.6; x += 0.2) {
+        f.push_back(x);
+        p.push_back(30 + 20 * x + 25 * x * x * x);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fitCubicNoQuad(f, p));
+}
+BENCHMARK(BM_FitCubicNoQuad);
+
+void
+BM_QpSolveEq14Size(benchmark::State &state)
+{
+    // The Eq. 14 problem shape: 22 vars, box + 11 ordering constraints.
+    const size_t n = 22;
+    Rng rng(13);
+    Matrix a(102, n);
+    std::vector<double> b(102);
+    for (size_t i = 0; i < a.rows(); ++i) {
+        for (size_t j = 0; j < n; ++j)
+            a(i, j) = rng.uniform();
+        b[i] = rng.uniform() * 5;
+    }
+    QpProblem qp;
+    qp.q = a.gram();
+    auto atb = a.mulTransposed(b);
+    qp.c.assign(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j)
+            qp.q(i, j) *= 2.0;
+        qp.c[i] = -2.0 * atb[i];
+    }
+    qp.g = Matrix(0, n);
+    qp.addBox(0.001, 1000.0);
+    for (size_t i = 0; i + 1 < 12; ++i) {
+        std::vector<double> row(n, 0.0);
+        row[i] = 1.0;
+        row[i + 1] = -1.0;
+        qp.addConstraint(row, 0.0);
+    }
+    std::vector<double> x0 =
+        makeFeasible(qp, std::vector<double>(n, 1.0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(solveQp(qp, x0));
+}
+BENCHMARK(BM_QpSolveEq14Size);
+
+void
+BM_FullDynamicTuning(benchmark::State &state)
+{
+    auto &cal = sharedVoltaCalibrator();
+    ActivityProvider provider(Variant::SassSim, cal.simulator(),
+                              &cal.nsight());
+    std::vector<KernelActivity> activities;
+    for (const auto &ub : cal.tuningSuite())
+        activities.push_back(provider.collect(ub.kernel));
+    AccelWattchModel partial = cal.partialModel();
+    auto initial = initialEnergyEstimates();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            tuneDynamicPower(cal.tuningSuite(), cal.tuningPowerW(),
+                             activities, partial, initial));
+}
+BENCHMARK(BM_FullDynamicTuning);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Section 7.3 — Comparison to GPUWattch: the Fermi GTX 480 model
+ * (augmented with AccelWattch's tensor-core estimate) applied to the
+ * Volta validation suite.
+ *
+ * Paper results: 219% MAPE (SASS) / 225% (PTX); average estimated power
+ * 530 W with all but three kernels above 300 W and a maximum of 926 W;
+ * constant+static reported as 10.45 W (2.4% of total, contradicting the
+ * >30 W floor measured on silicon); 14% of system power attributed to
+ * INT_MUL units (vs 1.4-1.8% in AccelWattch) and 27% to DRAM (vs
+ * 8.4-9%).
+ */
+#include <cstdio>
+#include <algorithm>
+
+#include "baseline/gpuwattch.hpp"
+#include "bench_util.hpp"
+
+using namespace aw;
+
+int
+main()
+{
+    bench::banner("Section 7.3 - GPUWattch (Fermi config) modeling Volta",
+                  "the legacy model's estimates vs hardware and vs "
+                  "AccelWattch");
+
+    auto &cal = sharedVoltaCalibrator();
+    GpuWattchModel legacy = gpuwattchOnVolta();
+    ActivityProvider provider(Variant::SassSim, cal.simulator(),
+                              &cal.nsight());
+    ActivityProvider ptxProvider(Variant::PtxSim, cal.simulator(),
+                                 &cal.nsight());
+
+    Table t({"kernel", "measured (W)", "GPUWattch (W)", "error"});
+    std::vector<double> meas, legacyW;
+    double imulShare = 0, dramShare = 0, rfShare = 0;
+    for (const auto &k : validationSuite()) {
+        double measured = cal.nvml().measureAveragePowerW(k.kernel);
+        KernelActivity act = provider.collect(k.kernel);
+        double modeled = legacy.averagePowerW(act);
+        meas.push_back(measured);
+        legacyW.push_back(modeled);
+        t.addRow({k.kernel.name, Table::num(measured, 1),
+                  Table::num(modeled, 1),
+                  Table::pct(100.0 * (modeled - measured) / measured, 0)});
+
+        auto dyn = legacy.dynamicW(act.aggregate());
+        imulShare +=
+            dyn[componentIndex(PowerComponent::IntMul)] / modeled;
+        dramShare +=
+            dyn[componentIndex(PowerComponent::DramMc)] / modeled;
+        rfShare += dyn[componentIndex(PowerComponent::RegFile)] / modeled;
+    }
+    std::printf("%s\n", t.render().c_str());
+    bench::writeResultsCsv("sec73_gpuwattch", t);
+
+    // GPUWattch's PTX-mode error (the paper reports 225%).
+    std::vector<double> measPtx, legacyPtxW;
+    for (const auto &k : validationSuite()) {
+        if (!k.ptxCompatible)
+            continue;
+        measPtx.push_back(cal.nvml().measureAveragePowerW(k.kernel));
+        legacyPtxW.push_back(
+            legacy.averagePowerW(ptxProvider.collect(k.kernel)));
+    }
+    std::printf("GPUWattch PTX-mode MAPE: %.0f%% over %zu kernels "
+                "(paper: 225%%)\n",
+                mape(measPtx, legacyPtxW), measPtx.size());
+
+    const double n = static_cast<double>(meas.size());
+    std::printf("GPUWattch on Volta: MAPE %.0f%% (paper: 219%%), average "
+                "estimated power %.0f W (paper: 530 W), max %.0f W "
+                "(paper: 926 W)\n",
+                mape(meas, legacyW), mean(legacyW),
+                *std::max_element(legacyW.begin(), legacyW.end()));
+    int above300 = 0;
+    for (double w : legacyW)
+        above300 += w > 300;
+    std::printf("kernels estimated above 300 W: %d/%zu (paper: all but "
+                "3)\n",
+                above300, legacyW.size());
+    std::printf("lumped const+static: %.2f W = %.1f%% of avg total "
+                "(paper: 2.4%%; hardware floor is >30 W)\n",
+                legacy.lumpedConstStaticW,
+                100.0 * legacy.lumpedConstStaticW / mean(legacyW));
+    std::printf("avg share attributed to INT_MUL: %.1f%% (paper: 14%%, "
+                "vs 1.4-1.8%% in AccelWattch), DRAM: %.1f%% (paper: "
+                "27%%, vs 8.4-9%%), register file: %.1f%% (paper: "
+                "9.1%%)\n",
+                100 * imulShare / n, 100 * dramShare / n,
+                100 * rfShare / n);
+
+    // AccelWattch's shares for the same quantities, for the contrast.
+    const AccelWattchModel &aw = cal.variant(Variant::SassSim).model;
+    double awImul = 0, awDram = 0;
+    for (const auto &k : validationSuite()) {
+        PowerBreakdown b = aw.evaluateKernel(provider.collect(k.kernel));
+        awImul += b.dynamicW[componentIndex(PowerComponent::IntMul)] /
+                  b.totalW();
+        awDram += b.dynamicW[componentIndex(PowerComponent::DramMc)] /
+                  b.totalW();
+    }
+    std::printf("AccelWattch SASS SIM shares: INT_MUL %.1f%%, DRAM+MC "
+                "%.1f%%\n",
+                100 * awImul / n, 100 * awDram / n);
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table 3 — Target GPUs for validation and case studies, and each
+ * card's idle/peak behaviour as measured through NVML on this
+ * repository's silicon substrate.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/calibration.hpp"
+#include "ubench/microbench.hpp"
+
+using namespace aw;
+
+int
+main()
+{
+    bench::banner("Table 3 - target GPUs for validation and case studies",
+                  "architecture parameters plus measured idle and "
+                  "loaded power of each card");
+
+    struct Target
+    {
+        const SiliconOracle *card;
+        const char *caseStudy;
+    };
+    const Target targets[] = {
+        {&sharedVoltaCard(), "N (validation target)"},
+        {&sharedPascalCard(), "Y"},
+        {&sharedTuringCard(), "Y"},
+    };
+
+    Table t({"GPU", "tech node", "clock (MHz)", "power limit", "SMs",
+             "tensor", "case study", "idle (W)", "INT_MUL@all-SMs (W)"});
+    for (const auto &target : targets) {
+        const GpuConfig &g = target.card->config();
+        NvmlEmu nvml(*target.card);
+        auto probe = occupancyKernel(g.numSms, 0);
+        double loaded = nvml.measureAveragePowerW(probe);
+        t.addRow({g.name, std::to_string(g.techNodeNm) + " nm",
+                  Table::num(g.defaultClockGhz * 1000, 0),
+                  Table::num(g.powerLimitW, 0) + " W",
+                  std::to_string(g.numSms),
+                  g.hasTensorCores ? "yes" : "no", target.caseStudy,
+                  Table::num(target.card->truth().constPowerW, 1),
+                  Table::num(loaded, 1)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    bench::writeResultsCsv("table3_target_gpus", t);
+
+    std::printf("paper Table 3: GV100 12 nm / 1417 MHz / 250 W; "
+                "TITAN X 16 nm / 1470 MHz / 250 W; "
+                "RTX 2060S 12 nm / 1905 MHz / 175 W\n");
+    return 0;
+}

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Command-line power estimator: describe a kernel with flags, get an
+ * AccelWattch power report. The "experiment customization" workflow of
+ * the artifact appendix (A.7) — estimate any workload compatible with
+ * the performance model — as a standalone tool.
+ *
+ * Usage:
+ *   accelwattch_cli [options]
+ *     --mix CLASS:WEIGHT[,CLASS:WEIGHT...]   instruction mix
+ *                (classes: iadd imul imad fadd fmul ffma dadd dmul dfma
+ *                 sqrt log sin exp tensor tex ldg stg lds sts ldc nanosleep)
+ *     --ctas N            grid size                      [320]
+ *     --warps N           warps per CTA                  [8]
+ *     --lanes N           active threads per warp (1-32) [32]
+ *     --ilp N             independent chains             [4]
+ *     --footprint-kb N    global-memory working set      [256]
+ *     --chase             pointer-chasing access pattern
+ *     --freq GHZ          locked core clock              [default clock]
+ *     --variant NAME      sass|ptx|hw|hybrid             [sass]
+ *     --model FILE        load an AccelWattch config file instead of
+ *                         calibrating in-process
+ *     --save-model FILE   write the calibrated model and exit
+ *     --trace             print the 500-cycle power trace
+ *
+ * Example:
+ *   accelwattch_cli --mix ffma:0.6,ldg:0.2,iadd:0.2 --footprint-kb 8192
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/log.hpp"
+#include "core/calibration.hpp"
+#include "core/model_io.hpp"
+#include "core/power_trace.hpp"
+#include "sim/stats_report.hpp"
+
+using namespace aw;
+
+namespace {
+
+OpClass
+opClassFromToken(const std::string &token)
+{
+    static const std::pair<const char *, OpClass> table[] = {
+        {"iadd", OpClass::IntAdd},   {"imul", OpClass::IntMul},
+        {"imad", OpClass::IntMad},   {"ilogic", OpClass::IntLogic},
+        {"fadd", OpClass::FpAdd},    {"fmul", OpClass::FpMul},
+        {"ffma", OpClass::FpFma},    {"dadd", OpClass::DpAdd},
+        {"dmul", OpClass::DpMul},    {"dfma", OpClass::DpFma},
+        {"sqrt", OpClass::Sqrt},     {"log", OpClass::Log},
+        {"sin", OpClass::Sin},       {"exp", OpClass::Exp},
+        {"tensor", OpClass::Tensor}, {"tex", OpClass::Tex},
+        {"ldg", OpClass::LdGlobal},  {"stg", OpClass::StGlobal},
+        {"lds", OpClass::LdShared},  {"sts", OpClass::StShared},
+        {"ldc", OpClass::LdConst},   {"nanosleep", OpClass::NanoSleep},
+    };
+    for (const auto &[name, op] : table)
+        if (token == name)
+            return op;
+    fatal("unknown op class '%s' (see --help)", token.c_str());
+}
+
+std::vector<MixEntry>
+parseMix(const std::string &spec)
+{
+    std::vector<MixEntry> mix;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        std::string item = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        size_t colon = item.find(':');
+        if (colon == std::string::npos)
+            fatal("mix entry '%s' must be CLASS:WEIGHT", item.c_str());
+        mix.push_back({opClassFromToken(item.substr(0, colon)),
+                       std::stod(item.substr(colon + 1))});
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (mix.empty())
+        fatal("--mix needs at least one CLASS:WEIGHT entry");
+    return mix;
+}
+
+Variant
+variantFromToken(const std::string &token)
+{
+    if (token == "sass")
+        return Variant::SassSim;
+    if (token == "ptx")
+        return Variant::PtxSim;
+    if (token == "hw")
+        return Variant::Hw;
+    if (token == "hybrid")
+        return Variant::Hybrid;
+    fatal("unknown variant '%s' (sass|ptx|hw|hybrid)", token.c_str());
+}
+
+void
+usage()
+{
+    std::printf("usage: accelwattch_cli --mix CLASS:W[,CLASS:W...] "
+                "[--ctas N] [--warps N] [--lanes N] [--ilp N]\n"
+                "       [--footprint-kb N] [--chase] [--freq GHZ] "
+                "[--variant sass|ptx|hw|hybrid]\n"
+                "       [--model FILE] [--save-model FILE] [--trace] [--stats]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    KernelDescriptor k = makeKernel("cli_kernel",
+                                    {{OpClass::FpFma, 0.6},
+                                     {OpClass::IntAdd, 0.4}},
+                                    320, 8);
+    k.memFootprintKb = 256;
+    Variant variant = Variant::SassSim;
+    std::string modelFile, saveModelFile;
+    double freqGhz = 0;
+    bool printTrace = false;
+    bool printStats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--mix")
+            k.mix = parseMix(next());
+        else if (arg == "--ctas")
+            k.ctas = std::stoi(next());
+        else if (arg == "--warps")
+            k.warpsPerCta = std::stoi(next());
+        else if (arg == "--lanes")
+            k.activeLanes = std::stoi(next());
+        else if (arg == "--ilp")
+            k.ilpDegree = std::stoi(next());
+        else if (arg == "--footprint-kb")
+            k.memFootprintKb = std::stod(next());
+        else if (arg == "--chase")
+            k.pointerChase = true;
+        else if (arg == "--freq")
+            freqGhz = std::stod(next());
+        else if (arg == "--variant")
+            variant = variantFromToken(next());
+        else if (arg == "--model")
+            modelFile = next();
+        else if (arg == "--save-model")
+            saveModelFile = next();
+        else if (arg == "--trace")
+            printTrace = true;
+        else if (arg == "--stats")
+            printStats = true;
+        else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown option %s", arg.c_str());
+        }
+    }
+
+    auto &cal = sharedVoltaCalibrator();
+    if (!saveModelFile.empty()) {
+        saveModel(cal.variant(variant).model, saveModelFile);
+        std::printf("calibrated %s model written to %s\n",
+                    variantName(variant).c_str(), saveModelFile.c_str());
+        return 0;
+    }
+    AccelWattchModel model = modelFile.empty()
+                                 ? cal.variant(variant).model
+                                 : loadModel(modelFile);
+
+    ActivityProvider provider(variant, cal.simulator(), &cal.nsight());
+    MeasurementConditions cond;
+    cond.freqGhz = freqGhz;
+    KernelActivity act = provider.collect(k, cond);
+    PowerBreakdown p = model.evaluateKernel(act);
+
+    std::printf("kernel: %d CTAs x %d warps, %d lanes/warp, mix of %zu "
+                "classes, %.0f KB footprint%s\n",
+                k.ctas, k.warpsPerCta, k.activeLanes, k.mix.size(),
+                k.memFootprintKb, k.pointerChase ? " (pointer-chase)" : "");
+    ActivitySample agg = act.aggregate();
+    std::printf("performance model (%s): %.0f cycles on %d SMs at %.3f "
+                "GHz -> %.1f us\n\n",
+                variantName(variant).c_str(), act.totalCycles,
+                static_cast<int>(agg.avgActiveSms), agg.freqGhz,
+                act.elapsedSec * 1e6);
+    std::printf("AccelWattch estimate: %.1f W\n", p.totalW());
+    std::printf("  %-10s %8.2f W\n", "const", p.constW);
+    std::printf("  %-10s %8.2f W\n", "static", p.staticW);
+    std::printf("  %-10s %8.2f W\n", "idle SMs", p.idleSmW);
+    for (auto c : allComponents())
+        if (p.dynamicW[componentIndex(c)] > 0.05)
+            std::printf("  %-10s %8.2f W\n", componentName(c).c_str(),
+                        p.dynamicW[componentIndex(c)]);
+    std::printf("energy per launch: %.3f mJ\n",
+                p.totalW() * act.elapsedSec * 1e3);
+
+    if (printStats) {
+        std::printf("\nperformance report:\n%s",
+                    buildPerfReport(model.gpu, act).render().c_str());
+    }
+    if (printTrace) {
+        std::printf("\npower trace (500-cycle intervals):\n");
+        for (const auto &pt : powerTrace(model, act))
+            std::printf("  cycle %8.0f  f=%.3f GHz  %7.2f W\n",
+                        pt.startCycle, pt.freqGhz, pt.power.totalW());
+    }
+    return 0;
+}

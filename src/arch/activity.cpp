@@ -1,0 +1,116 @@
+#include "arch/activity.hpp"
+
+#include "common/log.hpp"
+
+namespace aw {
+
+const std::string &
+mixCategoryName(MixCategory m)
+{
+    static const std::string names[] = {
+        "INT_ADD", "INT_MUL", "INT", "INT_FP", "INT_FP_DP", "INT_FP_SFU",
+        "INT_FP_TEX", "INT_FP_TENSOR", "LIGHT",
+    };
+    size_t i = static_cast<size_t>(m);
+    AW_ASSERT(i < kNumMixCategories);
+    return names[i];
+}
+
+MixCategory
+classifyMix(const std::array<double, kNumUnitKinds> &unitInsts,
+            double intAddFraction, double intMulFraction)
+{
+    auto count = [&](UnitKind k) {
+        return unitInsts[static_cast<size_t>(k)];
+    };
+    double total = 0;
+    for (double v : unitInsts)
+        total += v;
+    if (total <= 0)
+        return MixCategory::Light;
+
+    // A unit family is "significant" when it carries a meaningful share of
+    // the issued instructions; tiny shares (address math around a texture
+    // loop, etc.) should not flip categories.
+    const double threshold = 0.05 * total;
+    bool hasInt = count(UnitKind::Int) > threshold;
+    bool hasFp = count(UnitKind::Fp) > threshold;
+    bool hasDp = count(UnitKind::Dp) > threshold;
+    bool hasSfu = count(UnitKind::Sfu) > threshold;
+    bool hasTensor = count(UnitKind::Tensor) > threshold;
+    bool hasTex = count(UnitKind::Tex) > threshold;
+    bool hasLight = count(UnitKind::Light) > threshold;
+
+    if (!hasInt && !hasFp && !hasDp && !hasSfu && !hasTensor && !hasTex) {
+        // Only memory and/or light instructions. Pure-light kernels (e.g.
+        // NANOSLEEP) are the Light category; memory-dominant kernels
+        // behave like the integer category (address math on INT path).
+        if (hasLight || count(UnitKind::Mem) <= threshold)
+            return MixCategory::Light;
+        return MixCategory::IntOnly;
+    }
+
+    if (hasTensor)
+        return MixCategory::IntFpTensor;
+    if (hasTex)
+        return MixCategory::IntFpTex;
+    if (hasSfu)
+        return MixCategory::IntFpSfu;
+    if (hasDp)
+        return MixCategory::IntFpDp;
+    if (hasFp && hasInt)
+        return MixCategory::IntFp;
+    if (hasFp)
+        return MixCategory::IntFp; // FP-only kernels share the IntFp model.
+
+    // Integer-only: split homogeneous add / mul from general int mixes.
+    if (intAddFraction > 0.90)
+        return MixCategory::IntAddOnly;
+    if (intMulFraction > 0.90)
+        return MixCategory::IntMulOnly;
+    return MixCategory::IntOnly;
+}
+
+MixCategory
+ActivitySample::mixCategory() const
+{
+    double intTotal = unitInsts[static_cast<size_t>(UnitKind::Int)];
+    double addFrac = intTotal > 0 ? intAddInsts / intTotal : 0;
+    double mulFrac = intTotal > 0 ? intMulInsts / intTotal : 0;
+    return classifyMix(unitInsts, addFrac, mulFrac);
+}
+
+void
+ActivitySample::accumulate(const ActivitySample &other)
+{
+    double c0 = cycles, c1 = other.cycles;
+    double total = c0 + c1;
+    if (total <= 0)
+        return;
+    // Cycle-weighted averages for intensive quantities.
+    freqGhz = (freqGhz * c0 + other.freqGhz * c1) / total;
+    voltage = (voltage * c0 + other.voltage * c1) / total;
+    avgActiveSms = (avgActiveSms * c0 + other.avgActiveSms * c1) / total;
+    avgActiveLanesPerWarp =
+        (avgActiveLanesPerWarp * c0 + other.avgActiveLanesPerWarp * c1) /
+        total;
+    cycles = total;
+    // Sums for extensive quantities.
+    for (size_t i = 0; i < kNumPowerComponents; ++i)
+        accesses[i] += other.accesses[i];
+    for (size_t i = 0; i < kNumUnitKinds; ++i)
+        unitInsts[i] += other.unitInsts[i];
+    intAddInsts += other.intAddInsts;
+    intMulInsts += other.intMulInsts;
+}
+
+ActivitySample
+KernelActivity::aggregate() const
+{
+    ActivitySample out;
+    for (const auto &s : samples)
+        out.accumulate(s);
+    return out;
+}
+
+} // namespace aw

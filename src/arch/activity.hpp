@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Activity statistics exchanged between a performance model (simulator
+ * or hardware counters) and the AccelWattch power model: per-component
+ * access counts, active SM/lane occupancy, instruction mix, cycle count
+ * and V/f settings (Figure 1 step 8).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/isa.hpp"
+#include "arch/power_components.hpp"
+
+namespace aw {
+
+/**
+ * The 9 instruction-mix categories of Section 4.5. They select which
+ * divergence-aware static power model (half-warp or linear) applies.
+ */
+enum class MixCategory : uint8_t
+{
+    IntAddOnly,  ///< homogeneous integer adds
+    IntMulOnly,  ///< homogeneous integer multiplies
+    IntOnly,     ///< integer mix (adds + muls + mads)
+    IntFp,       ///< int + FP32
+    IntFpDp,     ///< int + FP32 + FP64
+    IntFpSfu,    ///< int + FP32 + SFU
+    IntFpTex,    ///< int + FP32 + texture
+    IntFpTensor, ///< int + FP32 + tensor
+    Light,       ///< only light instructions (e.g. nanosleep)
+
+    NumCategories
+};
+
+constexpr size_t kNumMixCategories =
+    static_cast<size_t>(MixCategory::NumCategories);
+
+/** Short name, e.g. "INT_FP_SFU". */
+const std::string &mixCategoryName(MixCategory m);
+
+/**
+ * Classify an instruction mix (warp-instruction counts per UnitKind) into
+ * one of the 9 categories. `intAddFraction`/`intMulFraction` split the
+ * homogeneous integer categories.
+ */
+MixCategory classifyMix(const std::array<double, kNumUnitKinds> &unitInsts,
+                        double intAddFraction, double intMulFraction);
+
+/**
+ * One power-model sampling interval (500 cycles in the paper, or a
+ * whole-kernel aggregate). All counts are totals over the interval.
+ */
+struct ActivitySample
+{
+    double cycles = 0;        ///< core-clock cycles in this interval
+    double freqGhz = 0;       ///< core clock during the interval
+    double voltage = 0;       ///< supply voltage during the interval
+
+    /** Access counts per Table 1 dynamic component. */
+    ComponentArray<double> accesses{};
+
+    double avgActiveSms = 0;          ///< k in Eq. 10
+    double avgActiveLanesPerWarp = 0; ///< y in Eq. 10 (1..32)
+
+    /** Warp-instruction counts per unit family (to classify the mix). */
+    std::array<double, kNumUnitKinds> unitInsts{};
+
+    double intAddInsts = 0; ///< integer adds (homogeneous-mix detection)
+    double intMulInsts = 0; ///< integer muls/mads
+
+    /** Mix category of this interval. */
+    MixCategory mixCategory() const;
+
+    /** Merge another sample into this one (weighted by cycles). */
+    void accumulate(const ActivitySample &other);
+};
+
+/** Full activity report for one kernel execution. */
+struct KernelActivity
+{
+    std::string kernelName;
+    double totalCycles = 0;
+    double elapsedSec = 0;  ///< T_elapsedTime in Eq. 11
+    std::vector<ActivitySample> samples;
+
+    /** Collapse all samples into a single whole-kernel sample. */
+    ActivitySample aggregate() const;
+};
+
+} // namespace aw

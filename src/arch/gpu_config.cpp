@@ -1,0 +1,195 @@
+#include "arch/gpu_config.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace aw {
+
+double
+VfCurve::voltageAt(double f_ghz) const
+{
+    double f = std::clamp(f_ghz, fMinGhz, fMaxGhz);
+    return v0 + slope * f;
+}
+
+double
+GpuConfig::opLatency(OpClass c) const
+{
+    switch (opClassUnit(c)) {
+      case ExecUnit::Int32:  return 4;
+      case ExecUnit::Fp32:   return 4;
+      case ExecUnit::Fp64:   return 8;
+      case ExecUnit::Sfu:    return 16;
+      case ExecUnit::Tensor: return 16;
+      case ExecUnit::Tex:    return 80;
+      case ExecUnit::LdSt:
+        // First-level hit latency; misses are added by the memory model.
+        switch (c) {
+          case OpClass::LdShared:
+          case OpClass::StShared: return 24;
+          case OpClass::LdConst:  return 8;
+          default:                return 28;
+        }
+      default:
+        return c == OpClass::NanoSleep ? 64 : 1;
+    }
+}
+
+double
+GpuConfig::opInitiationInterval(OpClass c) const
+{
+    auto perBlock = [&](int units) {
+        if (units <= 0)
+            return 1e9; // unit not present (e.g. tensor on Pascal)
+        return static_cast<double>(warpSize) / units;
+    };
+    switch (opClassUnit(c)) {
+      case ExecUnit::Int32:  return perBlock(int32PerSubcore);
+      case ExecUnit::Fp32:   return perBlock(fp32PerSubcore);
+      case ExecUnit::Fp64:   return perBlock(fp64PerSubcore);
+      case ExecUnit::Sfu:    return perBlock(sfuPerSubcore);
+      case ExecUnit::Tensor: return perBlock(tensorPerSubcore * 4);
+      case ExecUnit::Tex:    return 4;
+      case ExecUnit::LdSt:   return perBlock(ldstPerSubcore);
+      default:               return 1;
+    }
+}
+
+GpuConfig
+voltaGV100()
+{
+    GpuConfig g;
+    g.name = "Quadro GV100 (Volta)";
+    g.numSms = 80;
+    g.subcoresPerSm = 4;
+    g.lanesPerSm = 32;
+    g.maxWarpsPerSubcore = 16;
+    g.int32PerSubcore = 16;
+    g.fp32PerSubcore = 16;
+    g.fp64PerSubcore = 8;
+    g.sfuPerSubcore = 4; // SFU lane width: MUFU retires a warp in 8 cycles
+    g.tensorPerSubcore = 2;
+    g.ldstPerSubcore = 8;
+    g.hasTensorCores = true;
+    g.l0i = {12, 128, 4, 1};
+    g.l1i = {128, 128, 8, 12};
+    g.l1d = {128, 128, 4, 28};
+    g.constL1 = {2, 64, 4, 8};
+    g.l2 = {6144, 128, 16, 190};
+    g.sharedMemKbPerSm = 96;
+    g.regFileKbPerSubcore = 64;
+    g.l2BandwidthGBs = 2200;
+    g.dramBandwidthGBs = 870;
+    g.dramLatencyCycles = 350;
+    g.nocLatencyCycles = 60;
+    g.defaultClockGhz = 1.417;
+    g.vf = {0.08, 0.65, 0.1, 1.6};
+    g.powerLimitW = 250;
+    g.techNodeNm = 12;
+    return g;
+}
+
+GpuConfig
+pascalTitanX()
+{
+    GpuConfig g;
+    g.name = "TITAN X (Pascal)";
+    g.numSms = 28;
+    g.subcoresPerSm = 4;
+    g.lanesPerSm = 32;
+    g.maxWarpsPerSubcore = 16;
+    g.int32PerSubcore = 32; // Pascal's 128 CUDA cores/SM handle int + fp
+    g.fp32PerSubcore = 32;
+    g.fp64PerSubcore = 1;   // GP102 has 1/32 rate FP64
+    g.sfuPerSubcore = 8;
+    g.tensorPerSubcore = 0; // no tensor cores on Pascal
+    g.ldstPerSubcore = 8;
+    g.hasTensorCores = false;
+    g.l0i = {8, 128, 4, 1};
+    g.l1i = {48, 128, 8, 12};
+    g.l1d = {48, 128, 4, 82};
+    g.constL1 = {2, 64, 4, 8};
+    g.l2 = {3072, 128, 16, 216};
+    g.sharedMemKbPerSm = 96;
+    g.regFileKbPerSubcore = 64;
+    g.l2BandwidthGBs = 1300;
+    g.dramBandwidthGBs = 480;
+    g.dramLatencyCycles = 400;
+    g.nocLatencyCycles = 70;
+    g.defaultClockGhz = 1.470;
+    g.vf = {0.10, 0.62, 0.1, 1.9};
+    g.powerLimitW = 250;
+    g.techNodeNm = 16;
+    return g;
+}
+
+GpuConfig
+turingRTX2060S()
+{
+    GpuConfig g;
+    g.name = "RTX 2060 SUPER (Turing)";
+    g.numSms = 34;
+    g.subcoresPerSm = 4;
+    g.lanesPerSm = 32;
+    g.maxWarpsPerSubcore = 8;
+    g.int32PerSubcore = 16;
+    g.fp32PerSubcore = 16;
+    g.fp64PerSubcore = 1;   // 1/32 rate FP64 on consumer Turing
+    g.sfuPerSubcore = 4;
+    g.tensorPerSubcore = 2;
+    g.ldstPerSubcore = 4;
+    g.hasTensorCores = true;
+    g.l0i = {12, 128, 4, 1};
+    g.l1i = {96, 128, 8, 12};
+    g.l1d = {96, 128, 4, 32};
+    g.constL1 = {2, 64, 4, 8};
+    g.l2 = {4096, 128, 16, 188};
+    g.sharedMemKbPerSm = 64;
+    g.regFileKbPerSubcore = 64;
+    g.l2BandwidthGBs = 1200;
+    g.dramBandwidthGBs = 448;
+    g.dramLatencyCycles = 330;
+    g.nocLatencyCycles = 60;
+    g.defaultClockGhz = 1.905;
+    g.vf = {0.10, 0.50, 0.3, 2.1};
+    g.powerLimitW = 175;
+    g.techNodeNm = 12;
+    return g;
+}
+
+GpuConfig
+fermiGTX480()
+{
+    GpuConfig g;
+    g.name = "GTX 480 (Fermi)";
+    g.numSms = 15;
+    g.subcoresPerSm = 2;
+    g.lanesPerSm = 32;
+    g.maxWarpsPerSubcore = 24;
+    g.int32PerSubcore = 16;
+    g.fp32PerSubcore = 16;
+    g.fp64PerSubcore = 8;
+    g.sfuPerSubcore = 2;
+    g.tensorPerSubcore = 0;
+    g.ldstPerSubcore = 8;
+    g.hasTensorCores = false;
+    g.l0i = {2, 128, 4, 1};
+    g.l1i = {12, 128, 4, 12};
+    g.l1d = {48, 128, 4, 80};
+    g.constL1 = {8, 64, 4, 8};
+    g.l2 = {768, 128, 16, 240};
+    g.sharedMemKbPerSm = 48;
+    g.regFileKbPerSubcore = 64;
+    g.l2BandwidthGBs = 400;
+    g.dramBandwidthGBs = 177;
+    g.dramLatencyCycles = 450;
+    g.nocLatencyCycles = 80;
+    g.defaultClockGhz = 1.401; // shader clock
+    g.vf = {0.15, 0.60, 0.4, 1.5};
+    g.powerLimitW = 250;
+    g.techNodeNm = 40;
+    return g;
+}
+
+} // namespace aw

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Target GPU configurations (paper Table 3): NVIDIA Quadro GV100 (Volta,
+ * the architecture AccelWattch is tuned for), TITAN X (Pascal) and
+ * RTX 2060S (Turing) for the design-space-exploration case studies, and
+ * GTX 480 (Fermi) for the GPUWattch baseline / starting point.
+ */
+#pragma once
+
+#include <string>
+
+#include "arch/isa.hpp"
+
+namespace aw {
+
+/**
+ * Affine voltage-frequency operating curve: V(f) = v0 + slope * f.
+ * Published data for fully-realized processors shows a near-linear V-F
+ * relationship (Section 4.2); the paper's Eq. 3 approximates it as
+ * proportional (V ~= k f), which is why the cubic-minus-quadratic fit is
+ * an approximation rather than exact.
+ */
+struct VfCurve
+{
+    double v0 = 0.08;     ///< volts at f -> 0 (near-proportional curve)
+    double slope = 0.65;  ///< volts per GHz
+    double fMinGhz = 0.1; ///< lowest supported core clock
+    double fMaxGhz = 1.6; ///< highest supported core clock
+
+    /** Supply voltage at core frequency f (GHz), clamped to the range. */
+    double voltageAt(double f_ghz) const;
+};
+
+/** Geometry of one cache level. */
+struct CacheGeometry
+{
+    int sizeKb = 0;
+    int lineBytes = 128;
+    int ways = 4;
+    double latencyCycles = 20;
+};
+
+/** A modeled GPU. All per-SM unit counts are per processing block. */
+struct GpuConfig
+{
+    std::string name;
+
+    // --- chip topology -----------------------------------------------
+    int numSms = 80;
+    int subcoresPerSm = 4;  ///< processing blocks per SM
+    int lanesPerSm = 32;    ///< warp width; power-gating granularity
+    int maxWarpsPerSubcore = 16;
+    int warpSize = 32;
+
+    // --- per-processing-block execution resources --------------------
+    int int32PerSubcore = 16;
+    int fp32PerSubcore = 16;
+    int fp64PerSubcore = 8;
+    int sfuPerSubcore = 1;
+    int tensorPerSubcore = 2;
+    int ldstPerSubcore = 8;
+    bool hasTensorCores = true;
+
+    // --- memory hierarchy ---------------------------------------------
+    CacheGeometry l0i;      ///< 12KB per processing block
+    CacheGeometry l1i;      ///< 128KB per SM
+    CacheGeometry l1d;      ///< 128KB unified data/shared per SM
+    CacheGeometry constL1;  ///< 2KB per SM
+    CacheGeometry l2;       ///< 6144KB chip level
+    int sharedMemKbPerSm = 96;
+    int regFileKbPerSubcore = 64;
+    double l2BandwidthGBs = 2200;
+    double dramBandwidthGBs = 870;
+    double dramLatencyCycles = 350;
+    double nocLatencyCycles = 60;
+
+    // --- clocks, voltage, power envelope ------------------------------
+    double defaultClockGhz = 1.417; ///< application clock (Table 3)
+    VfCurve vf;
+    double powerLimitW = 250;
+    int techNodeNm = 12;
+
+    /** Total execution lanes on the chip (Figure 3's x axis). */
+    int totalLanes() const { return numSms * lanesPerSm; }
+
+    /** Supply voltage at the default application clock. */
+    double referenceVoltage() const
+    {
+        return vf.voltageAt(defaultClockGhz);
+    }
+
+    /**
+     * Pipeline latency (cycles until the result is ready) of an OpClass
+     * on this architecture.
+     */
+    double opLatency(OpClass c) const;
+
+    /**
+     * Issue initiation interval in cycles for a full 32-thread warp on
+     * one processing block, i.e. warpSize / units-available (a 16-wide
+     * INT32 block needs 2 cycles per warp instruction).
+     */
+    double opInitiationInterval(OpClass c) const;
+};
+
+/** NVIDIA Quadro GV100 — Volta, the tuning/validation target. */
+GpuConfig voltaGV100();
+
+/** NVIDIA TITAN X — Pascal, case-study target (Section 7.1). */
+GpuConfig pascalTitanX();
+
+/** NVIDIA RTX 2060 SUPER — Turing, case-study target (Section 7.1). */
+GpuConfig turingRTX2060S();
+
+/** NVIDIA GTX 480 — Fermi, the GPUWattch-era baseline (Section 7.3). */
+GpuConfig fermiGTX480();
+
+} // namespace aw

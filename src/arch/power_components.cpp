@@ -1,0 +1,53 @@
+#include "arch/power_components.hpp"
+
+#include "common/log.hpp"
+
+namespace aw {
+
+const std::string &
+componentName(PowerComponent c)
+{
+    static const std::array<std::string, kNumPowerComponents> names = {
+        "IB",      "L1I",    "CC",     "L1D",   "SHMEM",  "RF",
+        "INT_ADD", "INT_MUL", "FP_ADD", "FP_MUL", "DP_ADD", "DP_MUL",
+        "SQRT",    "LOG",    "SINCOS", "EXP",   "TENSOR", "TEX",
+        "SCHED",   "PIPE",   "L2+NOC", "DRAM+MC",
+    };
+    size_t i = componentIndex(c);
+    AW_ASSERT(i < kNumPowerComponents);
+    return names[i];
+}
+
+bool
+hasHardwareCounter(PowerComponent c)
+{
+    switch (c) {
+      case PowerComponent::RegFile:
+      case PowerComponent::InstCache:
+        return false; // Table 1 shaded rows: no RF / L1i counters on Volta.
+      default:
+        return true;
+    }
+}
+
+double
+counterBlindFraction(PowerComponent c)
+{
+    // DRAM read/write counters exist but there is no precharge counter
+    // (Section 5.1); precharge/activate traffic is roughly a fifth of DRAM
+    // energy events for typical access streams.
+    if (c == PowerComponent::DramMc)
+        return 0.20;
+    return hasHardwareCounter(c) ? 0.0 : 1.0;
+}
+
+std::array<PowerComponent, kNumPowerComponents>
+allComponents()
+{
+    std::array<PowerComponent, kNumPowerComponents> out{};
+    for (size_t i = 0; i < kNumPowerComponents; ++i)
+        out[i] = static_cast<PowerComponent>(i);
+    return out;
+}
+
+} // namespace aw

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The 22 dynamic power components AccelWattch tracks (paper Table 1),
+ * plus the three fixed model terms (static, idle-SM, constant) that
+ * complete the N+3-dimensional power vector of Eq. 12.
+ */
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace aw {
+
+/**
+ * Dynamic power components, one per row of Table 1.
+ *
+ * The shaded Table 1 components (register file, L1 instruction cache, and
+ * the DRAM precharge share of DramMc) have no hardware performance
+ * counters on Volta; hasHardwareCounter() captures that, and the
+ * AccelWattch HW variant must work around it (Section 5.1).
+ */
+enum class PowerComponent : uint8_t
+{
+    InstBuffer,    ///< instruction buffer (L0 inst. cache)
+    InstCache,     ///< L1i
+    ConstCache,    ///< constant cache
+    L1DCache,      ///< L1 data cache
+    SharedMem,     ///< shared memory
+    RegFile,       ///< register file
+    IntAdd,        ///< ALU: INT32 add/logic path
+    IntMul,        ///< INT32 mul/mad path
+    FpAdd,         ///< FPU: FP32 add path
+    FpMul,         ///< FP32 mul/fma path
+    DpAdd,         ///< DPU: FP64 add path
+    DpMul,         ///< FP64 mul/fma path
+    Sqrt,          ///< SFU sqrt/rsqrt
+    Log,           ///< SFU log2
+    SinCos,        ///< SFU sin/cos
+    Exp,           ///< SFU exp2
+    TensorCore,    ///< tensor core MMA
+    TextureUnit,   ///< texture sampling
+    Scheduler,     ///< warp scheduler + dispatch
+    SmPipeline,    ///< SM pipeline overhead per issued instruction
+    L2Noc,         ///< L2 cache + NoC (modeled together, Table 1)
+    DramMc,        ///< DRAM + memory controller (modeled together)
+
+    NumComponents
+};
+
+/** Number of dynamic power components (N in Eq. 12). */
+constexpr size_t kNumPowerComponents =
+    static_cast<size_t>(PowerComponent::NumComponents);
+
+/** Short identifier, e.g. "RF", "L2+NOC". */
+const std::string &componentName(PowerComponent c);
+
+/** Index helper. */
+constexpr size_t
+componentIndex(PowerComponent c)
+{
+    return static_cast<size_t>(c);
+}
+
+/**
+ * True iff real Volta silicon exposes a hardware performance counter for
+ * this component (Table 1: register file and L1i are shaded = no counter).
+ */
+bool hasHardwareCounter(PowerComponent c);
+
+/**
+ * Fraction of this component's activity invisible to hardware counters.
+ * Zero for most components; DramMc has read/write counters but no
+ * precharge counter, so a fraction of its true activity is unobservable
+ * by the HW variant (Section 5.1).
+ */
+double counterBlindFraction(PowerComponent c);
+
+/** Fixed-power terms appended to the dynamic vector (Eq. 12). */
+enum class FixedComponent : uint8_t
+{
+    StaticActiveSm, ///< static power per active SM (y-lane aware)
+    IdleSm,         ///< static power per idle SM
+    Constant,       ///< board fans + peripherals
+    NumFixed
+};
+
+constexpr size_t kNumFixedComponents =
+    static_cast<size_t>(FixedComponent::NumFixed);
+
+/** Array indexed by PowerComponent. */
+template <typename T>
+using ComponentArray = std::array<T, kNumPowerComponents>;
+
+/** Iterate all components. */
+std::array<PowerComponent, kNumPowerComponents> allComponents();
+
+} // namespace aw

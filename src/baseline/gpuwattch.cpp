@@ -1,0 +1,80 @@
+#include "baseline/gpuwattch.hpp"
+
+#include "common/log.hpp"
+
+namespace aw {
+
+ComponentArray<double>
+fermiEnergyEstimatesNj(bool withTensorEstimate)
+{
+    // GTX 480: 40 nm, ~1.0 V core at the shader clock, GDDR5. Per-access
+    // energies are several times those of a 12 nm part, with the
+    // multiplier path and DRAM particularly expensive — these are what
+    // produce GPUWattch's 14% INT_MUL and 27% DRAM shares when the model
+    // is applied to Volta (Section 7.3).
+    ComponentArray<double> e{};
+    auto set = [&](PowerComponent c, double nj) {
+        e[componentIndex(c)] = nj;
+    };
+    set(PowerComponent::InstBuffer, 0.082);
+    set(PowerComponent::InstCache, 0.328);
+    set(PowerComponent::ConstCache, 0.192);
+    set(PowerComponent::L1DCache, 3.842);
+    set(PowerComponent::SharedMem, 1.299);
+    set(PowerComponent::RegFile, 0.088);
+    set(PowerComponent::IntAdd, 0.407);
+    set(PowerComponent::IntMul, 1.864); // the notorious multiplier cost
+    set(PowerComponent::FpAdd, 0.531);
+    set(PowerComponent::FpMul, 0.678);
+    set(PowerComponent::DpAdd, 1.243);
+    set(PowerComponent::DpMul, 1.808);
+    set(PowerComponent::Sqrt, 1.412);
+    set(PowerComponent::Log, 1.288);
+    set(PowerComponent::SinCos, 1.356);
+    set(PowerComponent::Exp, 1.288);
+    set(PowerComponent::TensorCore,
+        withTensorEstimate ? 0.43 : 0.0); // grafted from AccelWattch
+    set(PowerComponent::TextureUnit, 1.525);
+    set(PowerComponent::Scheduler, 0.113);
+    set(PowerComponent::SmPipeline, 0.203);
+    set(PowerComponent::L2Noc, 6.215);
+    set(PowerComponent::DramMc, 41.810); // GDDR5-era pJ/bit
+    return e;
+}
+
+ComponentArray<double>
+GpuWattchModel::dynamicW(const ActivitySample &sample) const
+{
+    ComponentArray<double> out{};
+    if (sample.cycles <= 0 || sample.freqGhz <= 0)
+        return out;
+    double seconds = sample.cycles / (sample.freqGhz * 1e9);
+    for (size_t i = 0; i < kNumPowerComponents; ++i)
+        out[i] = sample.accesses[i] * energyNj[i] * 1e-9 / seconds;
+    return out;
+}
+
+double
+GpuWattchModel::averagePowerW(const KernelActivity &activity) const
+{
+    if (activity.samples.empty())
+        fatal("GPUWattch: kernel %s has no samples",
+              activity.kernelName.c_str());
+    ActivitySample agg = activity.aggregate();
+    double total = lumpedConstStaticW;
+    for (double w : dynamicW(agg))
+        total += w;
+    return total;
+}
+
+GpuWattchModel
+gpuwattchOnVolta()
+{
+    GpuWattchModel m;
+    m.gpu = voltaGV100();
+    m.energyNj = fermiEnergyEstimatesNj(true);
+    m.lumpedConstStaticW = 10.45;
+    return m;
+}
+
+} // namespace aw

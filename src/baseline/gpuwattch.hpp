@@ -1,0 +1,55 @@
+/**
+ * @file
+ * GPUWattch baseline (Leng et al., ISCA 2013): the McPAT-based,
+ * Fermi-era GPU power model AccelWattch compares against (Section 7.3)
+ * and borrows its better starting point from (Section 5.4).
+ *
+ * Reimplemented here with its two defining limitations:
+ *
+ *  - per-access energies calibrated for a 40 nm Fermi GTX 480, far too
+ *    high for a 12 nm part;
+ *  - constant + static power estimated by *linear* frequency
+ *    extrapolation (Eq. 2 with fixed voltage), which goes negative on
+ *    DVFS silicon, and a single lumped static constant with no power
+ *    gating, divergence, or idle-SM awareness.
+ */
+#pragma once
+
+#include "arch/activity.hpp"
+#include "arch/gpu_config.hpp"
+
+namespace aw {
+
+/** The GPUWattch power model. */
+struct GpuWattchModel
+{
+    GpuConfig gpu;                   ///< architecture being modeled
+    ComponentArray<double> energyNj; ///< Fermi-calibrated energies
+    /**
+     * Lumped constant + static power. GPUWattch reports 10.45 W for all
+     * Volta validation kernels (Section 7.3) because the linear
+     * extrapolation cannot see the real constant power.
+     */
+    double lumpedConstStaticW = 10.45;
+
+    /** Estimate total power for a kernel's activity. */
+    double averagePowerW(const KernelActivity &activity) const;
+
+    /** Dynamic power per component for one sample (W). */
+    ComponentArray<double> dynamicW(const ActivitySample &sample) const;
+};
+
+/**
+ * Per-access energies of the validated GTX 480 model (nJ). These are
+ * the "Fermi starting point" of Section 5.4 and the energies used when
+ * GPUWattch is applied, unmodified, to a Volta (Section 7.3).
+ * @param withTensorEstimate add AccelWattch's tensor-core estimate
+ *        (GPUWattch predates tensor cores; the paper grafts one in).
+ */
+ComponentArray<double> fermiEnergyEstimatesNj(bool withTensorEstimate);
+
+/** The GPUWattch model configured as in Section 7.3: Fermi energies on
+ *  a Volta-sized chip. */
+GpuWattchModel gpuwattchOnVolta();
+
+} // namespace aw

@@ -1,0 +1,100 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace aw {
+
+namespace {
+
+void (*g_observer)(LogLevel, const std::string &) = nullptr;
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    std::string out;
+    if (n > 0) {
+        std::vector<char> buf(static_cast<size_t>(n) + 1);
+        std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+        out.assign(buf.data(), static_cast<size_t>(n));
+    }
+    va_end(ap2);
+    return out;
+}
+
+void
+emit(LogLevel level, const std::string &msg)
+{
+    const char *tag = "";
+    switch (level) {
+      case LogLevel::Inform: tag = "info: "; break;
+      case LogLevel::Warn:   tag = "warn: "; break;
+      case LogLevel::Fatal:  tag = "fatal: "; break;
+      case LogLevel::Panic:  tag = "panic: "; break;
+    }
+    std::fprintf(stderr, "%s%s\n", tag, msg.c_str());
+    if (g_observer)
+        g_observer(level, msg);
+}
+
+} // namespace
+
+void
+setLogObserver(void (*observer)(LogLevel, const std::string &))
+{
+    g_observer = observer;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit(LogLevel::Inform, vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit(LogLevel::Warn, vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit(LogLevel::Fatal, vformat(fmt, ap));
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit(LogLevel::Panic, vformat(fmt, ap));
+    va_end(ap);
+    std::abort();
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string out = vformat(fmt, ap);
+    va_end(ap);
+    return out;
+}
+
+} // namespace aw

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 style.
+ *
+ * fatal()  — the run cannot continue due to a user-side problem
+ *            (bad configuration, invalid arguments). Exits with code 1.
+ * panic()  — an internal invariant was violated (a bug in this library).
+ *            Aborts so a core dump / debugger can catch it.
+ * warn()   — something is off but execution can continue.
+ * inform() — plain status output.
+ */
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace aw {
+
+/** Severity used by the message sink. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Install a callback that observes every log message (used by tests).
+ * Pass nullptr to restore the default stderr sink. The observer is called
+ * in addition to stderr output for Warn and above.
+ */
+void setLogObserver(void (*observer)(LogLevel, const std::string &));
+
+/** Print an informational status message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Warn about a recoverable problem. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user-side error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a violated internal invariant and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Format a printf-style string into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** panic() unless the condition holds. */
+#define AW_ASSERT(cond, ...)                                                 \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::aw::panic("assertion failed: %s (%s:%d) ", #cond, __FILE__,    \
+                        __LINE__);                                           \
+        }                                                                    \
+    } while (0)
+
+} // namespace aw

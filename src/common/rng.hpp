@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything in this repository that needs randomness (trace generation,
+ * measurement noise, workload synthesis) draws from an explicitly-seeded
+ * Rng so that every test and bench is bit-reproducible.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace aw {
+
+/** SplitMix64 step; used for seeding and for stateless hashing. */
+constexpr uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Stateless 64-bit hash of a string, for per-kernel deterministic noise. */
+inline uint64_t
+hash64(const char *s)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (; *s; ++s)
+        h = (h ^ static_cast<uint64_t>(*s)) * 0x100000001b3ULL;
+    return splitmix64(h);
+}
+
+/**
+ * xoshiro256** generator. Small, fast, and high quality; state is seeded
+ * through SplitMix64 as recommended by its authors.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eedULL) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed. */
+    void
+    reseed(uint64_t seed)
+    {
+        uint64_t x = seed;
+        for (auto &word : state_) {
+            x = splitmix64(x);
+            word = x;
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        auto rotl = [](uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n); n must be > 0. */
+    uint64_t
+    below(uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** Standard normal via Box-Muller (one value per call, no caching). */
+    double
+    gaussian()
+    {
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        // sqrt(-2 ln u1) cos(2 pi u2)
+        return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+               __builtin_cos(6.283185307179586 * u2);
+    }
+
+    /** Normal with the given mean and standard deviation. */
+    double
+    gaussian(double mean, double sigma)
+    {
+        return mean + sigma * gaussian();
+    }
+
+  private:
+    uint64_t state_[4];
+};
+
+} // namespace aw

@@ -1,0 +1,123 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace aw {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        fatal("mean() of empty vector");
+    double sum = 0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double ss = 0;
+    for (double x : xs)
+        ss += (x - m) * (x - m);
+    return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        fatal("geomean() of empty vector");
+    double logsum = 0;
+    for (double x : xs) {
+        if (x <= 0)
+            fatal("geomean() requires positive inputs, got %g", x);
+        logsum += std::log(x);
+    }
+    return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+std::vector<double>
+absolutePercentageErrors(const std::vector<double> &measured,
+                         const std::vector<double> &modeled)
+{
+    if (measured.size() != modeled.size())
+        fatal("APE: size mismatch (%zu vs %zu)", measured.size(),
+              modeled.size());
+    std::vector<double> apes;
+    apes.reserve(measured.size());
+    for (size_t i = 0; i < measured.size(); ++i) {
+        if (measured[i] == 0)
+            fatal("APE: measured value is zero at index %zu", i);
+        apes.push_back(100.0 * std::abs(modeled[i] - measured[i]) /
+                       std::abs(measured[i]));
+    }
+    return apes;
+}
+
+double
+mape(const std::vector<double> &measured, const std::vector<double> &modeled)
+{
+    return mean(absolutePercentageErrors(measured, modeled));
+}
+
+double
+confidenceInterval95(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    // 1.96 * s / sqrt(n): normal approximation, adequate for n >= ~20 as in
+    // the paper's 22-26 kernel suites.
+    return 1.96 * stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+}
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size() || xs.size() < 2)
+        fatal("pearson: need two equal-length vectors of size >= 2");
+    double mx = mean(xs), my = mean(ys);
+    double sxy = 0, sxx = 0, syy = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        double dx = xs[i] - mx, dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0 || syy == 0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+maxAbsPercentageError(const std::vector<double> &measured,
+                      const std::vector<double> &modeled)
+{
+    auto apes = absolutePercentageErrors(measured, modeled);
+    double mx = 0;
+    for (double a : apes)
+        mx = std::max(mx, a);
+    return mx;
+}
+
+ErrorSummary
+summarizeErrors(const std::vector<double> &measured,
+                const std::vector<double> &modeled)
+{
+    ErrorSummary s;
+    auto apes = absolutePercentageErrors(measured, modeled);
+    s.count = measured.size();
+    s.mapePct = mean(apes);
+    s.ci95Pct = confidenceInterval95(apes);
+    s.pearsonR = pearson(measured, modeled);
+    s.maxErrPct = maxAbsPercentageError(measured, modeled);
+    return s;
+}
+
+} // namespace aw

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Statistical helpers used throughout the validation harness: MAPE,
+ * Pearson correlation, geometric mean, confidence intervals.
+ *
+ * These mirror the metrics the paper reports: MAPE with a 95% confidence
+ * interval (Section 6.2) and the Pearson r coefficient of modeled vs.
+ * measured power.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace aw {
+
+/** Arithmetic mean; fatal on empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Sample standard deviation (n - 1 denominator); 0 for n < 2. */
+double stddev(const std::vector<double> &xs);
+
+/** Geometric mean; all inputs must be positive. */
+double geomean(const std::vector<double> &xs);
+
+/**
+ * Mean Absolute Percentage Error, in percent:
+ * 100/n * sum |modeled - measured| / |measured|.
+ */
+double mape(const std::vector<double> &measured,
+            const std::vector<double> &modeled);
+
+/** Per-element absolute percentage errors, in percent. */
+std::vector<double> absolutePercentageErrors(
+    const std::vector<double> &measured, const std::vector<double> &modeled);
+
+/** Half-width of the 95% confidence interval of the mean of xs. */
+double confidenceInterval95(const std::vector<double> &xs);
+
+/** Pearson correlation coefficient r. */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/** Maximum absolute percentage error, in percent. */
+double maxAbsPercentageError(const std::vector<double> &measured,
+                             const std::vector<double> &modeled);
+
+/**
+ * Summary of a modeled-vs-measured comparison, as reported for each
+ * AccelWattch variant in the paper.
+ */
+struct ErrorSummary
+{
+    size_t count = 0;       ///< number of (measured, modeled) pairs
+    double mapePct = 0;     ///< mean absolute percentage error (%)
+    double ci95Pct = 0;     ///< 95% CI half-width of the APE mean (%)
+    double pearsonR = 0;    ///< Pearson correlation of modeled vs measured
+    double maxErrPct = 0;   ///< maximum absolute percentage error (%)
+};
+
+/** Compute the full summary for a comparison. */
+ErrorSummary summarizeErrors(const std::vector<double> &measured,
+                             const std::vector<double> &modeled);
+
+} // namespace aw

@@ -1,0 +1,185 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace aw {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("Table: need at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        fatal("Table: row arity %zu != header arity %zu", cells.size(),
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            out << row[c];
+            if (c + 1 < row.size())
+                out << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        out << '\n';
+    };
+    emitRow(headers_);
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        out << std::string(widths[c], '-');
+        if (c + 1 < headers_.size())
+            out << "  ";
+    }
+    out << '\n';
+    for (const auto &row : rows_)
+        emitRow(row);
+    return out.str();
+}
+
+std::string
+Table::renderCsv() const
+{
+    std::ostringstream out;
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            // Quote cells containing separators.
+            if (row[c].find_first_of(",\"\n") != std::string::npos) {
+                out << '"';
+                for (char ch : row[c]) {
+                    if (ch == '"')
+                        out << '"';
+                    out << ch;
+                }
+                out << '"';
+            } else {
+                out << row[c];
+            }
+            if (c + 1 < row.size())
+                out << ',';
+        }
+        out << '\n';
+    };
+    emitRow(headers_);
+    for (const auto &row : rows_)
+        emitRow(row);
+    return out.str();
+}
+
+std::string
+Table::num(double v, int decimals)
+{
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(decimals);
+    out << v;
+    return out.str();
+}
+
+std::string
+Table::pct(double v, int decimals)
+{
+    return num(v, decimals) + "%";
+}
+
+std::string
+asciiScatter(const std::vector<std::vector<double>> &xs,
+             const std::vector<std::vector<double>> &ys,
+             const std::vector<char> &glyphs, int width, int height,
+             bool square)
+{
+    if (xs.size() != ys.size() || xs.size() != glyphs.size())
+        fatal("asciiScatter: series count mismatch");
+    double xmin = 1e300, xmax = -1e300, ymin = 1e300, ymax = -1e300;
+    for (size_t s = 0; s < xs.size(); ++s) {
+        for (double x : xs[s]) {
+            xmin = std::min(xmin, x);
+            xmax = std::max(xmax, x);
+        }
+        for (double y : ys[s]) {
+            ymin = std::min(ymin, y);
+            ymax = std::max(ymax, y);
+        }
+    }
+    if (xmin > xmax)
+        return "(no data)\n";
+    if (square) {
+        xmin = ymin = std::min(xmin, ymin);
+        xmax = ymax = std::max(xmax, ymax);
+    }
+    if (xmax == xmin)
+        xmax = xmin + 1;
+    if (ymax == ymin)
+        ymax = ymin + 1;
+
+    std::vector<std::string> grid(static_cast<size_t>(height),
+                                  std::string(static_cast<size_t>(width),
+                                              ' '));
+    // Optional identity line for square (correlation) plots.
+    if (square) {
+        for (int i = 0; i < std::min(width, height * 3); ++i) {
+            int col = i * width / std::max(width, 1);
+            int row = height - 1 - (i * height / std::max(width, 1));
+            if (col >= 0 && col < width && row >= 0 && row < height)
+                grid[static_cast<size_t>(row)][static_cast<size_t>(col)] =
+                    '.';
+        }
+    }
+    for (size_t s = 0; s < xs.size(); ++s) {
+        for (size_t i = 0; i < xs[s].size(); ++i) {
+            int col = static_cast<int>(
+                std::lround((xs[s][i] - xmin) / (xmax - xmin) * (width - 1)));
+            int row = height - 1 -
+                      static_cast<int>(std::lround((ys[s][i] - ymin) /
+                                                   (ymax - ymin) *
+                                                   (height - 1)));
+            col = std::clamp(col, 0, width - 1);
+            row = std::clamp(row, 0, height - 1);
+            grid[static_cast<size_t>(row)][static_cast<size_t>(col)] =
+                glyphs[s];
+        }
+    }
+
+    std::ostringstream out;
+    out << Table::num(ymax, 1) << " +" << std::string(width, '-') << "+\n";
+    for (const auto &line : grid)
+        out << std::string(Table::num(ymax, 1).size(), ' ') << " |" << line
+            << "|\n";
+    out << Table::num(ymin, 1) << " +" << std::string(width, '-') << "+\n";
+    out << std::string(Table::num(ymax, 1).size() + 2, ' ')
+        << Table::num(xmin, 1) << std::string(width > 16 ? width - 12 : 2,
+                                              ' ')
+        << Table::num(xmax, 1) << "\n";
+    return out.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open %s for writing", path.c_str());
+    out << content;
+    if (!out)
+        fatal("failed writing %s", path.c_str());
+}
+
+} // namespace aw

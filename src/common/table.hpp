@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ASCII table and CSV emitters used by the bench binaries to print the
+ * rows/series that correspond to the paper's tables and figures.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aw {
+
+/**
+ * A simple column-aligned ASCII table. Collect rows of strings, then
+ * render with a header rule, e.g.:
+ *
+ *   kernel       measured  modeled  error
+ *   -----------  --------  -------  -----
+ *   kmeans_K1      131.2    128.8   1.8%
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render the table as CSV (header + rows). */
+    std::string renderCsv() const;
+
+    /** Format a double with the given number of decimals. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Format a percentage with a trailing % sign. */
+    static std::string pct(double v, int decimals = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Render an ASCII scatter plot of (x, y) points, one glyph per series.
+ * Used by the correlation-plot benches (Figures 7, 10, 13).
+ */
+std::string asciiScatter(const std::vector<std::vector<double>> &xs,
+                         const std::vector<std::vector<double>> &ys,
+                         const std::vector<char> &glyphs, int width = 60,
+                         int height = 20, bool square = false);
+
+/** Write a string to a file; fatal() on failure. */
+void writeFile(const std::string &path, const std::string &content);
+
+} // namespace aw

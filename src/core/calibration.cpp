@@ -1,0 +1,135 @@
+#include "core/calibration.hpp"
+
+#include "common/log.hpp"
+#include "ubench/microbench.hpp"
+
+namespace aw {
+
+AccelWattchCalibrator::AccelWattchCalibrator(const SiliconOracle &oracle)
+    : oracle_(oracle), nvml_(oracle), nsight_(oracle),
+      modelSim_(oracle.config())
+{}
+
+const ConstantPowerResult &
+AccelWattchCalibrator::constantPower()
+{
+    if (!constant_)
+        constant_ = estimateConstantPower(nvml_, dvfsSuite());
+    return *constant_;
+}
+
+const StaticPowerResult &
+AccelWattchCalibrator::staticPower()
+{
+    if (!static_) {
+        double constW = constantPower().constPowerW;
+        static_ = calibrateStaticPower(nvml_, constW);
+    }
+    return *static_;
+}
+
+AccelWattchModel
+AccelWattchCalibrator::partialModel()
+{
+    AccelWattchModel m;
+    m.gpu = oracle_.config();
+    m.refVoltage = m.gpu.referenceVoltage();
+    m.constPowerW = constantPower().constPowerW;
+    m.divergence = staticPower().divergence;
+    m.idleSmW = staticPower().idleSmW;
+    m.calibrationSms = m.gpu.numSms;
+    m.energyNj = {};
+    return m;
+}
+
+const std::vector<Microbenchmark> &
+AccelWattchCalibrator::tuningSuite()
+{
+    if (suite_.empty())
+        suite_ = dynamicPowerSuite(oracle_.config());
+    return suite_;
+}
+
+const std::vector<double> &
+AccelWattchCalibrator::tuningPowerW()
+{
+    if (suitePowerW_.empty()) {
+        for (const auto &ub : tuningSuite())
+            suitePowerW_.push_back(nvml_.measureAveragePowerW(ub.kernel));
+    }
+    return suitePowerW_;
+}
+
+const CalibratedVariant &
+AccelWattchCalibrator::variant(Variant v)
+{
+    auto &slot = variants_[static_cast<size_t>(v)];
+    if (slot)
+        return *slot;
+
+    ActivityProvider provider(v, modelSim_, &nsight_);
+    std::vector<KernelActivity> activities;
+    activities.reserve(tuningSuite().size());
+    for (const auto &ub : tuningSuite())
+        activities.push_back(provider.collect(ub.kernel));
+
+    AccelWattchModel partial = partialModel();
+    auto initial = initialEnergyEstimates();
+
+    TuningOptions fermiOpts;
+    fermiOpts.start = StartingPoint::Fermi;
+    TuningOptions onesOpts;
+    onesOpts.start = StartingPoint::AllOnes;
+
+    CalibratedVariant cal;
+    cal.variant = v;
+    cal.tuningFermi = tuneDynamicPower(tuningSuite(), tuningPowerW(),
+                                       activities, partial, initial,
+                                       fermiOpts);
+    cal.tuningOnes = tuneDynamicPower(tuningSuite(), tuningPowerW(),
+                                      activities, partial, initial,
+                                      onesOpts);
+
+    cal.model = partial;
+    cal.model.energyNj = cal.tuningFermi.finalEnergyNj;
+    cal.modelOnes = partial;
+    cal.modelOnes.energyNj = cal.tuningOnes.finalEnergyNj;
+
+    inform("tuned AccelWattch %s for %s: training MAPE %.2f%% (Fermi "
+           "start) vs %.2f%% (all-ones start)",
+           variantName(v).c_str(), oracle_.config().name.c_str(),
+           cal.tuningFermi.trainingMapePct, cal.tuningOnes.trainingMapePct);
+
+    slot = std::move(cal);
+    return *slot;
+}
+
+const SiliconOracle &
+sharedVoltaCard()
+{
+    static SiliconOracle card(voltaGV100(), voltaSiliconTruth());
+    return card;
+}
+
+const SiliconOracle &
+sharedPascalCard()
+{
+    static SiliconOracle card(pascalTitanX(), pascalSiliconTruth());
+    return card;
+}
+
+const SiliconOracle &
+sharedTuringCard()
+{
+    static SiliconOracle card(turingRTX2060S(), turingSiliconTruth());
+    return card;
+}
+
+AccelWattchCalibrator &
+sharedVoltaCalibrator()
+{
+    static AccelWattchCalibrator calibrator(sharedVoltaCard());
+    return calibrator;
+}
+
+} // namespace aw

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The AccelWattch calibration flow (Figure 1): orchestrates constant-
+ * power estimation (step 1), static/divergence/idle calibration (steps
+ * 2-3), microbenchmark measurement and activity collection (steps 4-6),
+ * and quadratic-programming tuning from both starting points (step 7),
+ * producing the final AccelWattch model per variant (step 8).
+ *
+ * Everything is lazy and cached: constant and static calibration are
+ * shared by all variants; each variant adds only its own activity
+ * collection and QP solve. Shared per-process calibrators for the Volta
+ * card are provided so tests and benches do not repeat the (simulated)
+ * hardware campaign.
+ */
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/constant_power.hpp"
+#include "core/power_model.hpp"
+#include "core/static_power.hpp"
+#include "core/tuner.hpp"
+#include "core/variants.hpp"
+#include "hw/nsight.hpp"
+#include "hw/nvml.hpp"
+
+namespace aw {
+
+/** Fully tuned model for one variant, with both starting points. */
+struct CalibratedVariant
+{
+    Variant variant{};
+    AccelWattchModel model;      ///< adopted model (Fermi start, §5.4)
+    AccelWattchModel modelOnes;  ///< all-ones-start model, for comparison
+    TuningResult tuningFermi;
+    TuningResult tuningOnes;
+};
+
+/** Calibration campaign against one GPU card (oracle). */
+class AccelWattchCalibrator
+{
+  public:
+    explicit AccelWattchCalibrator(const SiliconOracle &oracle);
+
+    const SiliconOracle &oracle() const { return oracle_; }
+    const GpuConfig &gpu() const { return oracle_.config(); }
+
+    /** Section 4.2 result (cached after the first call). */
+    const ConstantPowerResult &constantPower();
+
+    /** Sections 4.3-4.6 result (cached). */
+    const StaticPowerResult &staticPower();
+
+    /** Const + static + idle model with untuned (zero) energies. */
+    AccelWattchModel partialModel();
+
+    /** The tuning suite for this GPU. */
+    const std::vector<Microbenchmark> &tuningSuite();
+
+    /** NVML power of each tuning microbenchmark (cached). */
+    const std::vector<double> &tuningPowerW();
+
+    /** Fully tuned model for one variant (cached). */
+    const CalibratedVariant &variant(Variant v);
+
+    /** Measurement session (exposed for the figure benches). */
+    NvmlEmu &nvml() { return nvml_; }
+
+    /** Counter session (exposed for the figure benches). */
+    const NsightEmu &nsight() const { return nsight_; }
+
+    /** Software performance model on the public config. */
+    const GpuSimulator &simulator() const { return modelSim_; }
+
+  private:
+    const SiliconOracle &oracle_;
+    NvmlEmu nvml_;
+    NsightEmu nsight_;
+    GpuSimulator modelSim_;
+
+    std::optional<ConstantPowerResult> constant_;
+    std::optional<StaticPowerResult> static_;
+    std::vector<Microbenchmark> suite_;
+    std::vector<double> suitePowerW_;
+    std::array<std::optional<CalibratedVariant>, kNumVariants> variants_;
+};
+
+/** Shared per-process cards (hidden truths from hw/silicon_model). */
+const SiliconOracle &sharedVoltaCard();
+const SiliconOracle &sharedPascalCard();
+const SiliconOracle &sharedTuringCard();
+
+/** Shared per-process calibrator against the Volta card. */
+AccelWattchCalibrator &sharedVoltaCalibrator();
+
+} // namespace aw

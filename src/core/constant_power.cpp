@@ -1,0 +1,49 @@
+#include "core/constant_power.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+
+namespace aw {
+
+ConstantPowerResult
+estimateConstantPower(NvmlEmu &nvml,
+                      const std::vector<KernelDescriptor> &workloads,
+                      std::vector<double> freqsGhz)
+{
+    const GpuConfig &gpu = nvml.oracle().config();
+    if (freqsGhz.empty()) {
+        for (double f = 0.2; f <= gpu.vf.fMaxGhz + 1e-9; f += 0.2)
+            if (f >= gpu.vf.fMinGhz)
+                freqsGhz.push_back(f);
+    }
+    if (freqsGhz.size() < 4)
+        fatal("constant-power estimation needs >= 4 sweep frequencies");
+    if (workloads.empty())
+        fatal("constant-power estimation needs >= 1 workload");
+
+    ConstantPowerResult result;
+    std::vector<double> intercepts;
+    std::vector<double> linearIntercepts;
+    for (const auto &kernel : workloads) {
+        DvfsWorkloadFit fit;
+        fit.name = kernel.name;
+        for (double f : freqsGhz) {
+            nvml.lockClocks(f);
+            fit.freqsGhz.push_back(f);
+            fit.powersW.push_back(nvml.measureAveragePowerW(kernel));
+        }
+        nvml.resetClocks();
+        fit.cubicFit = fitCubicNoQuad(fit.freqsGhz, fit.powersW);
+        fit.linearFit = fitLinear(fit.freqsGhz, fit.powersW);
+        intercepts.push_back(fit.cubicFit.constant);
+        linearIntercepts.push_back(fit.linearFit.intercept);
+        result.fits.push_back(std::move(fit));
+    }
+    result.constPowerW = mean(intercepts);
+    result.linearInterceptW = mean(linearIntercepts);
+    return result;
+}
+
+} // namespace aw

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * DVFS-aware constant power modeling (Section 4.2, Figure 2).
+ *
+ * Kernels are run at a sweep of locked core clocks while measuring power
+ * through NVML; each (frequency, power) series is fitted to Eq. 3
+ * (P = beta f^3 + tau f + P_const — a cubic missing its quadratic term,
+ * valid because DVFS makes V ~ k f). The y-intercepts estimate constant
+ * power. The legacy GPUWattch linear extrapolation is computed alongside
+ * to demonstrate why it breaks on DVFS parts (negative intercepts).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/nvml.hpp"
+#include "solver/polyfit.hpp"
+#include "trace/workload.hpp"
+
+namespace aw {
+
+/** Frequency sweep result for one workload. */
+struct DvfsWorkloadFit
+{
+    std::string name;
+    std::vector<double> freqsGhz;
+    std::vector<double> powersW;
+    CubicNoQuadFit cubicFit;  ///< Eq. 3 fit
+    LinearFit linearFit;      ///< GPUWattch-style fit, for comparison
+};
+
+/** Outcome of the constant-power estimation flow (Figure 1 step 1). */
+struct ConstantPowerResult
+{
+    double constPowerW = 0;        ///< mean of the Eq. 3 y-intercepts
+    double linearInterceptW = 0;   ///< mean of the linear y-intercepts
+    std::vector<DvfsWorkloadFit> fits;
+};
+
+/**
+ * Run the Section 4.2 methodology: sweep each workload over the given
+ * clocks (defaults to 0.2..1.6 GHz in 0.2 steps clamped to the GPU's
+ * V-F range), fit Eq. 3, and average the intercepts.
+ */
+ConstantPowerResult estimateConstantPower(
+    NvmlEmu &nvml, const std::vector<KernelDescriptor> &workloads,
+    std::vector<double> freqsGhz = {});
+
+} // namespace aw

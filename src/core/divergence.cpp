@@ -1,0 +1,61 @@
+#include "core/divergence.hpp"
+
+#include <algorithm>
+
+namespace aw {
+
+double
+DivergenceModel::linearAtLanes(double y) const
+{
+    y = std::clamp(y, 1.0, 32.0);
+    return firstLaneW + addLaneW * (y - 1.0);
+}
+
+double
+DivergenceModel::halfWarpAtLanes(double y) const
+{
+    y = std::clamp(y, 1.0, 32.0);
+    if (y <= 16.0)
+        return firstLaneW + addLaneW * (y - 1.0);
+    // Eq. 5: full half-warps alternate with partial ones, so each lane
+    // past the 17th contributes at half rate, on top of half of the full
+    // 15-lane ramp.
+    return firstLaneW + 0.5 * addLaneW * 15.0 +
+           0.5 * addLaneW * (y - 17.0);
+}
+
+double
+DivergenceModel::staticAtLanes(double y) const
+{
+    return halfWarp ? halfWarpAtLanes(y) : linearAtLanes(y);
+}
+
+DivergenceModel
+fitDivergenceEndpoints(double staticAt1, double staticAt32, bool halfWarp)
+{
+    DivergenceModel m;
+    m.halfWarp = halfWarp;
+    m.firstLaneW = staticAt1;
+    // Both models must reproduce the y = 1 and y = 32 measurements. The
+    // linear model spans 31 additional lanes; the half-warp model's
+    // alternating full/partial passes make its y = 32 value
+    // firstLane + 15 * addLane (Eq. 5), hence the divisor.
+    m.addLaneW = (staticAt32 - staticAt1) / (halfWarp ? 15.0 : 31.0);
+    return m;
+}
+
+bool
+expectedHalfWarp(MixCategory category)
+{
+    switch (category) {
+      case MixCategory::IntAddOnly:
+      case MixCategory::IntMulOnly:
+      case MixCategory::IntOnly:
+      case MixCategory::Light:
+        return true; // single functional unit: full sawtooth
+      default:
+        return false; // >= 2 units: ILP interleaving smooths to linear
+    }
+}
+
+} // namespace aw

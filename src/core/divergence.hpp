@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Divergence-aware static power models (Section 4.4):
+ *
+ *  - Linear model (Eq. 4): the first active lane carries the SM-wide
+ *    static power; each additional lane adds an equal share.
+ *  - Half-warp model (Eq. 5): warps execute as two 16-thread half-warps;
+ *    power peaks at y = 16 and y = 32 and sags in between (sawtooth).
+ *
+ * Which model applies depends on the kernel's instruction mix
+ * (Section 4.5): homogeneous single-unit kernels follow the half-warp
+ * model; ILP across multiple functional units interleaves full and
+ * partial half-warps and drives the behaviour toward linear.
+ */
+#pragma once
+
+#include "arch/activity.hpp"
+
+namespace aw {
+
+/** Calibrated divergence model for one instruction-mix category. */
+struct DivergenceModel
+{
+    /**
+     * Static power of the first active lane (all 80 SMs), W. Carries the
+     * SM-wide shared structures (Eq. 4's P_static,firstLane).
+     */
+    double firstLaneW = 0;
+    /** Static power each additional active lane adds, W. */
+    double addLaneW = 0;
+    /** True: use the half-warp model (Eq. 5); false: linear (Eq. 4). */
+    bool halfWarp = false;
+
+    /**
+     * P_static,yLanes for a warp with y active lanes (Eqs. 4 / 5),
+     * chip-wide at the calibration SM count.
+     */
+    double staticAtLanes(double y) const;
+
+    /** Eq. 4 evaluated regardless of the halfWarp flag. */
+    double linearAtLanes(double y) const;
+
+    /** Eq. 5 evaluated regardless of the halfWarp flag. */
+    double halfWarpAtLanes(double y) const;
+};
+
+/**
+ * Fit first-lane/additional-lane parameters from measured static power
+ * at y = 1 and y = 32 so that the requested model reproduces both
+ * endpoints (Eq. 4 construction, adapted per model: the half-warp
+ * model's y = 32 value is firstLane + 15 * addLane).
+ */
+DivergenceModel fitDivergenceEndpoints(double staticAt1, double staticAt32,
+                                       bool halfWarp);
+
+/**
+ * Expected model for each mix category per Section 4.5: homogeneous or
+ * light categories follow the half-warp model; mixes across >= 2 unit
+ * families drift toward linear. Calibration verifies this empirically
+ * (selectByFit) and the two should agree.
+ */
+bool expectedHalfWarp(MixCategory category);
+
+} // namespace aw

@@ -1,0 +1,93 @@
+#include "core/dvfs_governor.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace aw {
+
+namespace {
+
+/** Re-evaluate one interval's power at a different clock step. */
+PowerBreakdown
+evaluateAtClock(const AccelWattchModel &model, ActivitySample sample,
+                double freqGhz)
+{
+    // Same per-interval work (accesses, occupancy); the clock changes
+    // the wall time of the interval and the supply voltage (Eq. 2).
+    sample.freqGhz = freqGhz;
+    sample.voltage = model.gpu.vf.voltageAt(freqGhz);
+    return model.evaluate(sample);
+}
+
+} // namespace
+
+GovernorResult
+runPowerCappedKernel(const AccelWattchModel &model, const GpuSimulator &sim,
+                     const KernelDescriptor &kernel,
+                     const GovernorConfig &config)
+{
+    std::vector<double> steps = config.freqStepsGhz;
+    if (steps.empty()) {
+        for (double f = 0.6; f <= model.gpu.vf.fMaxGhz + 1e-9; f += 0.1)
+            steps.push_back(f);
+    }
+    std::sort(steps.begin(), steps.end());
+    if (steps.empty() || config.powerCapW <= 0)
+        fatal("governor needs clock steps and a positive power cap");
+
+    // Activity timeline at the top clock (work per interval is what the
+    // governor schedules; its wall time depends on the chosen step).
+    SimOptions opts;
+    opts.freqGhz = steps.back();
+    KernelActivity timeline = sim.runSass(kernel, opts);
+
+    GovernorResult result;
+    size_t level = steps.size() - 1; // boards start at boost clock
+    double freqTimeSum = 0;
+    for (const auto &sample : timeline.samples) {
+        if (sample.cycles <= 0)
+            continue;
+        // Step down until the prediction respects the cap.
+        while (level > 0 &&
+               evaluateAtClock(model, sample, steps[level]).totalW() >
+                   config.powerCapW)
+            --level;
+        // Step up (one notch per interval) when there is headroom.
+        if (level + 1 < steps.size() &&
+            evaluateAtClock(model, sample, steps[level + 1]).totalW() <
+                config.powerCapW * config.upThreshold)
+            ++level;
+
+        double f = steps[level];
+        PowerBreakdown p = evaluateAtClock(model, sample, f);
+
+        TracePoint pt;
+        pt.startCycle =
+            result.trace.empty()
+                ? 0
+                : result.trace.back().startCycle +
+                      result.trace.back().cycles;
+        pt.cycles = sample.cycles;
+        pt.freqGhz = f;
+        pt.power = p;
+        if (!result.trace.empty() &&
+            result.trace.back().freqGhz != f)
+            ++result.transitions;
+        double sec = sample.cycles / (f * 1e9);
+        result.elapsedSec += sec;
+        result.energyJ += p.totalW() * sec;
+        result.peakPowerW = std::max(result.peakPowerW, p.totalW());
+        if (p.totalW() > config.powerCapW * 1.0001)
+            ++result.capViolations;
+        freqTimeSum += f * sec;
+        result.trace.push_back(std::move(pt));
+    }
+    if (result.elapsedSec > 0) {
+        result.avgPowerW = result.energyJ / result.elapsedSec;
+        result.avgFreqGhz = freqTimeSum / result.elapsedSec;
+    }
+    return result;
+}
+
+} // namespace aw

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A power-capping DVFS governor built on the AccelWattch model: the
+ * kind of cycle-level DVFS research the paper's introduction argues
+ * analytic (average-power) models cannot support.
+ *
+ * The governor walks a kernel's 500-cycle activity samples and, before
+ * each interval, picks the highest clock whose *predicted* power stays
+ * under the board cap, using the model's Eq. 2 voltage-frequency
+ * scaling. This reproduces the reactive f-step governors real boards
+ * run, driven entirely by the power model.
+ */
+#pragma once
+
+#include <vector>
+
+#include "core/power_model.hpp"
+#include "core/power_trace.hpp"
+#include "sim/gpusim.hpp"
+
+namespace aw {
+
+/** Governor policy knobs. */
+struct GovernorConfig
+{
+    double powerCapW = 200;
+    /** Available clock steps (GHz), ascending. Empty = 0.6..max in
+     *  0.1 steps. */
+    std::vector<double> freqStepsGhz;
+    /** Headroom: step up only if predicted power < cap * upThreshold. */
+    double upThreshold = 0.96;
+};
+
+/** Outcome of one governed execution. */
+struct GovernorResult
+{
+    std::vector<TracePoint> trace; ///< per-interval f + power
+    double elapsedSec = 0;
+    double energyJ = 0;
+    double avgPowerW = 0;
+    double avgFreqGhz = 0;   ///< time-weighted
+    double peakPowerW = 0;
+    int transitions = 0;     ///< frequency changes
+    int capViolations = 0;   ///< intervals predicted above the cap
+};
+
+/**
+ * Run a kernel under the power-capping governor. The kernel is first
+ * simulated at the top clock to obtain its activity timeline; per
+ * interval, the governor re-evaluates the model at candidate clocks
+ * (same per-interval work, V/f rescaled) and picks the fastest
+ * cap-respecting step.
+ */
+GovernorResult runPowerCappedKernel(const AccelWattchModel &model,
+                                    const GpuSimulator &sim,
+                                    const KernelDescriptor &kernel,
+                                    const GovernorConfig &config = {});
+
+} // namespace aw

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * AccelWattch configuration files (Figure 1 step 8): a calibrated model
+ * is serialized to a human-readable key/value text format so it can be
+ * shipped with a simulator (the role of accelwattch_sass_sim.xml in the
+ * official artifact), inspected, hand-edited for what-if studies, and
+ * reloaded without re-running the tuning campaign.
+ *
+ * The format is line-oriented: `key = value`, with `#` comments and
+ * section headers in brackets. Unknown keys are rejected (fatal), so a
+ * stale file cannot silently half-configure a model.
+ */
+#pragma once
+
+#include <string>
+
+#include "core/power_model.hpp"
+
+namespace aw {
+
+/** Serialize a calibrated model to the config-file text format. */
+std::string serializeModel(const AccelWattchModel &model);
+
+/** Parse a config-file text back into a model. fatal() on malformed
+ *  input, unknown keys, or missing required fields. */
+AccelWattchModel parseModel(const std::string &text);
+
+/** Write a model to a file (serializeModel + writeFile). */
+void saveModel(const AccelWattchModel &model, const std::string &path);
+
+/** Load a model from a file. fatal() if unreadable or malformed. */
+AccelWattchModel loadModel(const std::string &path);
+
+} // namespace aw

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The AccelWattch power model (Eq. 10 / Eq. 12): given activity samples
+ * from a performance model (simulator, hardware counters, or a mix), it
+ * estimates constant, static, idle-SM, and per-component dynamic power.
+ *
+ *   P_total,yLanes,kSMs = P_dyn
+ *                       + P_static,yLanes,perActiveSM * k
+ *                       + P_perIdleSM * (numSms - k)
+ *                       + P_const
+ *
+ * with P_dyn = sum_i a_i E_i / T (Eq. 11), DVFS-scaled per Eq. 2.
+ */
+#pragma once
+
+#include <string>
+
+#include "arch/activity.hpp"
+#include "arch/gpu_config.hpp"
+#include "core/divergence.hpp"
+
+namespace aw {
+
+/** Power estimate decomposed the way Figures 8/9/11 report it. */
+struct PowerBreakdown
+{
+    double constW = 0;
+    double staticW = 0; ///< active-SM static (gating + divergence aware)
+    double idleSmW = 0;
+    ComponentArray<double> dynamicW{};
+
+    double dynamicTotalW() const;
+    double totalW() const;
+
+    /** Sum of a set of components (for figure groupings). */
+    double sumOf(std::initializer_list<PowerComponent> comps) const;
+};
+
+/** A fully calibrated AccelWattch model for one GPU. */
+class AccelWattchModel
+{
+  public:
+    AccelWattchModel() = default;
+
+    /** Architecture this model was calibrated for. */
+    GpuConfig gpu;
+
+    /** Constant power estimate (Section 4.2), W. */
+    double constPowerW = 0;
+
+    /** Per-mix-category divergence-aware static models (Section 4.5),
+     *  calibrated chip-wide with all SMs active. */
+    std::array<DivergenceModel, kNumMixCategories> divergence{};
+
+    /** Static power per idle SM (Section 4.6), W. */
+    double idleSmW = 0;
+
+    /**
+     * SM count of the chip the divergence models were calibrated on
+     * (Eq. 9's divisor). Stays fixed when the model is ported to an
+     * architecture with a different SM count (Section 7.1).
+     */
+    int calibrationSms = 80;
+
+    /** Final per-access energies E_i * x_i (Section 5), nJ. */
+    ComponentArray<double> energyNj{};
+
+    /** Voltage at which the model was calibrated. */
+    double refVoltage = 1.0;
+
+    /**
+     * P_static,yLanes,perActiveSM (Eq. 9): the chip-wide divergence
+     * model for this mix divided by the calibration SM count.
+     */
+    double staticPerActiveSmW(MixCategory mix, double yLanes) const;
+
+    /**
+     * Evaluate the model on one activity sample (Eq. 10). DVFS-aware:
+     * dynamic power scales with (V/Vref)^2 and the access rate already
+     * carries f; static scales with V/Vref.
+     */
+    PowerBreakdown evaluate(const ActivitySample &sample) const;
+
+    /**
+     * Evaluate a whole kernel: cycle-weighted average power over its
+     * samples (equals evaluate(aggregate) for fixed V/f).
+     */
+    PowerBreakdown evaluateKernel(const KernelActivity &activity) const;
+
+    /** Average power in W for a kernel (totalW of evaluateKernel). */
+    double averagePowerW(const KernelActivity &activity) const;
+};
+
+/** Figure 8/9 reporting groups. */
+enum class BreakdownGroup : uint8_t
+{
+    Const, Static, IdleSm, RegFile, Alu, FpuDpu, Sfu, Tensor, L1dShmem,
+    IcacheCcache, L2Noc, DramMc, Tex, Others,
+    NumGroups
+};
+
+constexpr size_t kNumBreakdownGroups =
+    static_cast<size_t>(BreakdownGroup::NumGroups);
+
+/** Group name for reports. */
+const std::string &breakdownGroupName(BreakdownGroup g);
+
+/** Collapse a breakdown into the reporting groups (watts per group). */
+std::array<double, kNumBreakdownGroups>
+groupBreakdown(const PowerBreakdown &b);
+
+} // namespace aw

@@ -1,0 +1,46 @@
+#include "core/power_trace.hpp"
+
+#include <algorithm>
+
+namespace aw {
+
+std::vector<TracePoint>
+powerTrace(const AccelWattchModel &model, const KernelActivity &activity)
+{
+    std::vector<TracePoint> trace;
+    trace.reserve(activity.samples.size());
+    double cycle = 0;
+    for (const auto &s : activity.samples) {
+        TracePoint pt;
+        pt.startCycle = cycle;
+        pt.cycles = s.cycles;
+        pt.freqGhz = s.freqGhz;
+        pt.power = model.evaluate(s);
+        trace.push_back(pt);
+        cycle += s.cycles;
+    }
+    return trace;
+}
+
+double
+traceEnergyJ(const std::vector<TracePoint> &trace)
+{
+    double joules = 0;
+    for (const auto &pt : trace) {
+        if (pt.freqGhz <= 0)
+            continue;
+        joules += pt.power.totalW() * (pt.cycles / (pt.freqGhz * 1e9));
+    }
+    return joules;
+}
+
+double
+tracePeakW(const std::vector<TracePoint> &trace)
+{
+    double peak = 0;
+    for (const auto &pt : trace)
+        peak = std::max(peak, pt.power.totalW());
+    return peak;
+}
+
+} // namespace aw

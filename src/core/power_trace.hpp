@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Cycle-level power traces (Section 5.2): AccelWattch evaluates power
+ * for each 500-cycle sampling interval the performance model reports.
+ * Because each sample carries its own V/f settings, a DVFS-capable
+ * performance model yields a power trace with all transitions captured
+ * — the capability analytic models cannot provide (Section 8).
+ */
+#pragma once
+
+#include <vector>
+
+#include "arch/activity.hpp"
+#include "core/power_model.hpp"
+
+namespace aw {
+
+/** One point of a power trace. */
+struct TracePoint
+{
+    double startCycle = 0;
+    double cycles = 0;
+    double freqGhz = 0;
+    PowerBreakdown power;
+};
+
+/** Evaluate the model per sampling interval. */
+std::vector<TracePoint> powerTrace(const AccelWattchModel &model,
+                                   const KernelActivity &activity);
+
+/** Energy (J) of a trace: sum of power * interval wall time. */
+double traceEnergyJ(const std::vector<TracePoint> &trace);
+
+/** Peak interval power (W). */
+double tracePeakW(const std::vector<TracePoint> &trace);
+
+} // namespace aw

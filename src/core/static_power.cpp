@@ -1,0 +1,116 @@
+#include "core/static_power.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+#include "solver/polyfit.hpp"
+#include "ubench/microbench.hpp"
+
+namespace aw {
+
+double
+measureStaticPowerW(NvmlEmu &nvml, const KernelDescriptor &kernel,
+                    const std::vector<double> &sweepFreqsGhz)
+{
+    AW_ASSERT(sweepFreqsGhz.size() >= 3);
+    std::vector<double> freqs, powers;
+    for (double f : sweepFreqsGhz) {
+        nvml.lockClocks(f);
+        freqs.push_back(f);
+        powers.push_back(nvml.measureAveragePowerW(kernel));
+    }
+    nvml.resetClocks();
+    auto fit = fitCubicNoQuad(freqs, powers);
+    // The tau*f term at the default application clock is the static
+    // power estimate (Section 4.4).
+    return fit.tau * nvml.oracle().config().defaultClockGhz;
+}
+
+StaticPowerResult
+calibrateStaticPower(NvmlEmu &nvml, double constPowerW,
+                     const StaticCalibrationOptions &opts)
+{
+    AW_ASSERT(opts.laneProbes.size() >= 3);
+    AW_ASSERT(opts.laneProbes.front() == 1 && opts.laneProbes.back() == 32);
+
+    StaticPowerResult result;
+
+    // --- divergence models per mix category (Sections 4.4-4.5) ----------
+    for (size_t c = 0; c < kNumMixCategories; ++c) {
+        auto category = static_cast<MixCategory>(c);
+        if (category == MixCategory::IntFpTensor &&
+            !nvml.oracle().config().hasTensorCores) {
+            // No tensor cores: the category cannot be probed; reuse the
+            // IntFp model (filled in below thanks to enum ordering).
+            result.divergence[c] =
+                result.divergence[static_cast<size_t>(MixCategory::IntFp)];
+            continue;
+        }
+        DivergenceCalibration cal;
+        cal.category = category;
+        for (int y : opts.laneProbes) {
+            KernelDescriptor probe = mixCategoryProbe(category, y);
+            // The probe's mix must actually classify as the category it
+            // calibrates, or the model table would be inconsistent.
+            cal.lanes.push_back(y);
+            cal.staticW.push_back(
+                measureStaticPowerW(nvml, probe, opts.sweepFreqsGhz));
+        }
+
+        double at1 = cal.staticW.front();
+        double at32 = cal.staticW.back();
+        DivergenceModel linear = fitDivergenceEndpoints(at1, at32, false);
+        DivergenceModel halfwarp = fitDivergenceEndpoints(at1, at32, true);
+
+        // Select by midpoint fit.
+        std::vector<double> measuredMid, linMid, hwMid;
+        for (size_t i = 1; i + 1 < cal.lanes.size(); ++i) {
+            measuredMid.push_back(cal.staticW[i]);
+            linMid.push_back(linear.staticAtLanes(cal.lanes[i]));
+            hwMid.push_back(halfwarp.staticAtLanes(cal.lanes[i]));
+        }
+        if (!measuredMid.empty()) {
+            cal.linearErrPct = mape(measuredMid, linMid);
+            cal.halfWarpErrPct = mape(measuredMid, hwMid);
+        }
+        cal.chosen =
+            cal.halfWarpErrPct < cal.linearErrPct ? halfwarp : linear;
+        result.divergence[c] = cal.chosen;
+        result.details.push_back(std::move(cal));
+    }
+
+    // --- idle-SM power (Section 4.6, Eqs. 6-8) ----------------------------
+    const int numSms = nvml.oracle().config().numSms;
+    std::vector<double> idleEstimates;
+    for (int flavor = 0; flavor < 2; ++flavor) {
+        double pFull =
+            nvml.measureAveragePowerW(occupancyKernel(numSms, flavor));
+        double perActive = (pFull - constPowerW) / numSms; // Eq. 6
+        for (int n : opts.idleOccupancies) {
+            if (n >= numSms)
+                continue;
+            IdleSmExperiment exp;
+            exp.activeSms = n;
+            exp.totalPowerW =
+                nvml.measureAveragePowerW(occupancyKernel(n, flavor));
+            double idleSmsW =
+                exp.totalPowerW - constPowerW - perActive * n; // Eq. 7
+            exp.perIdleSmW = idleSmsW / (numSms - n);
+            if (exp.perIdleSmW > 0)
+                idleEstimates.push_back(exp.perIdleSmW);
+            else
+                warn("idle-SM experiment at %d SMs gave non-positive "
+                     "estimate %.4f W; dropped from the geomean",
+                     n, exp.perIdleSmW);
+            result.idleExperiments.push_back(exp);
+        }
+    }
+    if (idleEstimates.empty())
+        fatal("idle-SM calibration produced no usable experiments");
+    result.idleSmW = geomean(idleEstimates); // Eq. 8
+    return result;
+}
+
+} // namespace aw

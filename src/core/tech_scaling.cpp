@@ -1,0 +1,71 @@
+#include "core/tech_scaling.hpp"
+
+#include "common/log.hpp"
+
+namespace aw {
+
+namespace {
+
+/** IRDS-style relative factors, normalized to 12 nm = 1.0. */
+struct NodeFactors
+{
+    int nm;
+    double dynamic;
+    double leakage;
+};
+
+const NodeFactors kNodes[] = {
+    {40, 3.10, 2.60},
+    {28, 2.05, 1.90},
+    {16, 1.22, 1.30},
+    {12, 1.00, 1.00},
+    {7, 0.62, 0.80},
+};
+
+const NodeFactors &
+lookup(int nm)
+{
+    for (const auto &n : kNodes)
+        if (n.nm == nm)
+            return n;
+    fatal("no technology scaling data for %d nm", nm);
+}
+
+} // namespace
+
+double
+dynamicEnergyFactor(int techNodeNm)
+{
+    return lookup(techNodeNm).dynamic;
+}
+
+double
+staticPowerFactor(int techNodeNm)
+{
+    return lookup(techNodeNm).leakage;
+}
+
+AccelWattchModel
+scaleToTechNode(const AccelWattchModel &model, int targetNodeNm)
+{
+    const int fromNm = model.gpu.techNodeNm;
+    if (fromNm == targetNodeNm)
+        return model;
+    const double dyn =
+        dynamicEnergyFactor(targetNodeNm) / dynamicEnergyFactor(fromNm);
+    const double stat =
+        staticPowerFactor(targetNodeNm) / staticPowerFactor(fromNm);
+
+    AccelWattchModel scaled = model;
+    scaled.gpu.techNodeNm = targetNodeNm;
+    for (auto &e : scaled.energyNj)
+        e *= dyn;
+    for (auto &d : scaled.divergence) {
+        d.firstLaneW *= stat;
+        d.addLaneW *= stat;
+    }
+    scaled.idleSmW *= stat;
+    return scaled;
+}
+
+} // namespace aw

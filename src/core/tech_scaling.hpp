@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Technology-node scaling (Section 7.1): when the Volta-tuned model
+ * (12 nm) is applied to an architecture at a different node (Pascal,
+ * 16 nm), per-access energies and leakage are scaled using published
+ * IRDS-style node parameters. In the paper this improves Pascal MAPE by
+ * 1.2% (PTX) / 1.85% (SASS); Turing is also 12 nm and needs no scaling.
+ */
+#pragma once
+
+#include "core/power_model.hpp"
+
+namespace aw {
+
+/** Relative switching-energy factor of a node vs. 12 nm (IRDS-style). */
+double dynamicEnergyFactor(int techNodeNm);
+
+/** Relative static-power factor of a node vs. 12 nm. */
+double staticPowerFactor(int techNodeNm);
+
+/**
+ * Scale a calibrated model from its node to `targetNodeNm`: dynamic
+ * energies by the switching-energy ratio, divergence/idle static terms
+ * by the leakage ratio. Constant power (fans, peripherals) is not a
+ * silicon term and is left unscaled.
+ */
+AccelWattchModel scaleToTechNode(const AccelWattchModel &model,
+                                 int targetNodeNm);
+
+} // namespace aw

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Temperature-dependent static power factor (Section 4.1).
+ *
+ * AccelWattch is calibrated at a controlled 65 C, which removes the
+ * exponential temperature dependence of leakage from every measurement.
+ * The paper notes that "one can model temperature variations by
+ * multiplying the modeled static power with an experimentally-derived
+ * temperature-dependent factor" — this module derives that factor:
+ * a static-dominated kernel is measured across chip temperatures, the
+ * dynamic+constant share is subtracted, and the residual leakage is fit
+ * to an exponential in temperature.
+ */
+#pragma once
+
+#include "hw/silicon_model.hpp"
+
+namespace aw {
+
+/** Exponential leakage-vs-temperature factor model. */
+struct TemperatureFactorModel
+{
+    double refTempC = 65.0;  ///< calibration temperature
+    double doublingC = 30.0; ///< degrees per leakage doubling
+
+    /** Multiplier for modeled static power at `tempC`. */
+    double factorAt(double tempC) const;
+};
+
+/** One point of the calibration sweep. */
+struct TemperaturePoint
+{
+    double tempC = 0;
+    double totalPowerW = 0;
+    double staticResidualW = 0;
+};
+
+/** Calibration outcome. */
+struct TemperatureCalibration
+{
+    TemperatureFactorModel model;
+    std::vector<TemperaturePoint> points;
+    double fitPearsonR = 0; ///< ln(residual) vs temperature linearity
+};
+
+/**
+ * Derive the factor experimentally from a card: run a static-dominated
+ * kernel at the given chip temperatures (thermal-chamber style), remove
+ * the temperature-independent share, and fit the exponential.
+ *
+ * @param card           the GPU ("silicon") under test
+ * @param constPlusDynW  the temperature-independent power estimate for
+ *                       the probe kernel (constant + dynamic), e.g.
+ *                       from the calibrated AccelWattch model at 65 C
+ */
+TemperatureCalibration calibrateTemperatureFactor(
+    const SiliconOracle &card, const KernelDescriptor &probe,
+    double constPlusDynW,
+    const std::vector<double> &tempsC = {50, 65, 80, 95});
+
+} // namespace aw

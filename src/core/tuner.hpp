@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Dynamic-power tuning via quadratic programming (Sections 5.1 / 5.4).
+ *
+ * Given the 102 microbenchmarks' hardware power measurements and their
+ * activity factors from a performance model, the tuner corrects the
+ * initial per-access energy estimates E_i with scaling factors x_i by
+ * minimizing the relative error between modeled and measured power
+ * (Eq. 14), under box bounds and the per-unit energy ordering
+ * constraints, with the constant/static/idle-SM terms pinned (x = 1).
+ *
+ * Two starting points are supported (Section 5.4): all-ones (trust the
+ * initial McPAT-style estimates) and the independently validated
+ * GPUWattch Fermi model. The regression iterates — re-anchoring the
+ * proximal term at the previous solution — until the training error no
+ * longer improves, and the final models differ by starting point just
+ * as in the paper.
+ */
+#pragma once
+
+#include <vector>
+
+#include "arch/activity.hpp"
+#include "core/power_model.hpp"
+#include "ubench/microbench.hpp"
+
+namespace aw {
+
+/** Starting point of the tuning regression (Section 5.4). */
+enum class StartingPoint : uint8_t { AllOnes, Fermi };
+
+/** Tuning controls. */
+struct TuningOptions
+{
+    StartingPoint start = StartingPoint::Fermi;
+    /**
+     * Proximal anchor weight (ties each regression round to its starting
+     * factors). This is what makes the two Section 5.4 starting points
+     * land on different final models, mirroring the paper's iterative
+     * re-tuning loop.
+     */
+    double proximalLambda = 3.0;
+    /** Maximum regression rounds. */
+    int maxRounds = 3;
+    /** Stop when training MAPE improves less than this (percent). */
+    double convergencePct = 0.02;
+    /** Eq. 14 bounds. */
+    double lowerBound = 0.001;
+    double upperBound = 1000.0;
+};
+
+/** Tuning outcome. */
+struct TuningResult
+{
+    std::vector<double> scalingFactors;   ///< final x (N entries)
+    ComponentArray<double> finalEnergyNj; ///< E_i * x_i
+    double trainingMapePct = 0;           ///< MAPE over the tuning suite
+    int rounds = 0;                       ///< regression rounds used
+    int qpNewtonIters = 0;                ///< total Newton iterations
+    StartingPoint start = StartingPoint::AllOnes;
+};
+
+/**
+ * The built-in initial per-access energy estimates (nJ): the analog of
+ * the unvalidated McPAT-derived component energies AccelWattch starts
+ * from before tuning.
+ */
+ComponentArray<double> initialEnergyEstimates();
+
+/**
+ * Scaling factors implied by the validated GPUWattch Fermi model after
+ * naive 40 nm -> 12 nm technology scaling, relative to the initial
+ * estimates: the Section 5.4 "Fermi starting point".
+ */
+std::vector<double> fermiStartFactors(
+    const ComponentArray<double> &initialEnergies);
+
+/**
+ * Run the Eq. 14 optimization.
+ *
+ * @param suite           the tuning microbenchmarks
+ * @param measuredPowerW  hardware (NVML) power per microbenchmark
+ * @param activities      activity per microbenchmark, from the variant's
+ *                        performance model
+ * @param partialModel    model with const/static/idle calibrated and
+ *                        energies ignored (they are what is being tuned)
+ * @param initialEnergies the E_i estimates to be corrected
+ */
+TuningResult tuneDynamicPower(const std::vector<Microbenchmark> &suite,
+                              const std::vector<double> &measuredPowerW,
+                              const std::vector<KernelActivity> &activities,
+                              const AccelWattchModel &partialModel,
+                              const ComponentArray<double> &initialEnergies,
+                              const TuningOptions &opts = {});
+
+} // namespace aw

@@ -1,0 +1,67 @@
+#include "core/variants.hpp"
+
+#include "common/log.hpp"
+
+namespace aw {
+
+const std::string &
+variantName(Variant v)
+{
+    static const std::string names[] = {"SASS SIM", "PTX SIM", "HW",
+                                        "HYBRID"};
+    size_t i = static_cast<size_t>(v);
+    AW_ASSERT(i < kNumVariants);
+    return names[i];
+}
+
+ActivityProvider::ActivityProvider(Variant variant, const GpuSimulator &sim,
+                                   const NsightEmu *nsight)
+    : variant_(variant), sim_(sim), nsight_(nsight)
+{
+    if ((variant == Variant::Hw || variant == Variant::Hybrid) && !nsight)
+        fatal("the %s variant needs a hardware counter session",
+              variantName(variant).c_str());
+}
+
+void
+ActivityProvider::setHybridComponents(
+    std::vector<PowerComponent> components)
+{
+    if (components.empty())
+        fatal("HYBRID needs at least one software-modeled component");
+    hybridComponents_ = std::move(components);
+}
+
+KernelActivity
+ActivityProvider::collect(const KernelDescriptor &desc,
+                          const MeasurementConditions &cond) const
+{
+    SimOptions opts;
+    opts.freqGhz = cond.freqGhz;
+
+    switch (variant_) {
+      case Variant::SassSim:
+        return sim_.runSass(desc, opts);
+      case Variant::PtxSim:
+        return sim_.runPtx(desc, opts);
+      case Variant::Hw:
+        return nsight_->collectCounters(desc, cond);
+      case Variant::Hybrid: {
+        // Hardware counters everywhere except the components the user
+        // models in software (Section 5.1; default: L2 + NoC from the
+        // SASS simulation, the paper's worked example).
+        KernelActivity hw = nsight_->collectCounters(desc, cond);
+        KernelActivity sw = sim_.runSass(desc, opts);
+        ActivitySample swAgg = sw.aggregate();
+        AW_ASSERT(hw.samples.size() == 1);
+        for (PowerComponent c : hybridComponents_)
+            hw.samples[0].accesses[componentIndex(c)] =
+                swAgg.accesses[componentIndex(c)];
+        return hw;
+      }
+      default:
+        panic("bad variant");
+    }
+}
+
+} // namespace aw

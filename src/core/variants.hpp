@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The four AccelWattch variants (Section 2 / 5.2), distinguished by
+ * where their activity factors come from:
+ *
+ *  - SASS SIM: trace-driven simulation of the native ISA (Accel-Sim).
+ *  - PTX SIM:  emulation-driven simulation of the virtual ISA
+ *              (GPGPU-Sim); PTX does not map 1:1 to SASS, which costs
+ *              accuracy.
+ *  - HW:       hardware performance counters from silicon (Nsight);
+ *              most accurate timing, but Volta lacks counters for the
+ *              register file and L1i, and DRAM precharge is invisible.
+ *  - HYBRID:   hardware counters with user-selected components replaced
+ *              by software models — here L2+NoC from the simulator, the
+ *              paper's worked example.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/activity.hpp"
+#include "hw/nsight.hpp"
+#include "sim/gpusim.hpp"
+
+namespace aw {
+
+/** Which performance model drives AccelWattch. */
+enum class Variant : uint8_t { SassSim, PtxSim, Hw, Hybrid, NumVariants };
+
+constexpr size_t kNumVariants = static_cast<size_t>(Variant::NumVariants);
+
+/** Display name, e.g. "SASS SIM". */
+const std::string &variantName(Variant v);
+
+/**
+ * Activity source for one variant: wraps the software simulator and the
+ * hardware-counter session and produces the KernelActivity stream that
+ * drives both tuning and evaluation.
+ */
+class ActivityProvider
+{
+  public:
+    /**
+     * @param variant which activity mix to produce
+     * @param sim     the software performance model (public GPU config)
+     * @param nsight  counter session against the target card; may be
+     *                null for the pure-software variants
+     */
+    ActivityProvider(Variant variant, const GpuSimulator &sim,
+                     const NsightEmu *nsight);
+
+    Variant variant() const { return variant_; }
+
+    /**
+     * For the HYBRID variant: choose which components' hardware
+     * counters are replaced by the software model (Section 5.1 — "the
+     * user decides"). Defaults to {L2+NoC}, the paper's worked example.
+     */
+    void setHybridComponents(std::vector<PowerComponent> components);
+
+    const std::vector<PowerComponent> &hybridComponents() const
+    {
+        return hybridComponents_;
+    }
+
+    /** Collect activity for a kernel at the given conditions. */
+    KernelActivity collect(const KernelDescriptor &desc,
+                           const MeasurementConditions &cond = {}) const;
+
+  private:
+    Variant variant_;
+    const GpuSimulator &sim_;
+    const NsightEmu *nsight_;
+    std::vector<PowerComponent> hybridComponents_{PowerComponent::L2Noc};
+};
+
+} // namespace aw

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Nsight Compute emulation: hardware performance counters collected from
+ * kernel runs on "silicon" (the oracle). Drives the AccelWattch HW and
+ * HYBRID variants (Section 5.2).
+ *
+ * Real Volta exposes no counters for the register file or the L1
+ * instruction cache, and DRAM counters cover reads/writes but not
+ * precharge (Table 1, shaded). The emulation reproduces those gaps:
+ * counterless components report zero activity, and DRAM activity is
+ * under-reported by its precharge share.
+ */
+#pragma once
+
+#include "hw/silicon_model.hpp"
+
+namespace aw {
+
+/** Counter-collection session against one oracle. */
+class NsightEmu
+{
+  public:
+    explicit NsightEmu(const SiliconOracle &oracle) : oracle_(oracle) {}
+
+    /**
+     * Profile a kernel: returns whole-kernel activity as visible through
+     * hardware counters (single aggregate sample; Nsight does not give
+     * 500-cycle resolution). Lane occupancy and instruction mix are
+     * available — the paper extracts them from silicon SASS traces.
+     */
+    KernelActivity collectCounters(const KernelDescriptor &desc,
+                                   const MeasurementConditions &cond = {})
+        const;
+
+  private:
+    const SiliconOracle &oracle_;
+};
+
+} // namespace aw

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * NVML / nvidia-smi emulation: the power-measurement interface through
+ * which the tuning pipeline observes the silicon oracle, reproducing the
+ * paper's hardware experimentation methodology (Section 4.1):
+ *
+ *  - 50-100 Hz power sampling with measurement noise;
+ *  - application-clock locking (nvidia-smi -lgc);
+ *  - chip brought to 65 C before measurements (temperature affects
+ *    leakage exponentially, so it is controlled);
+ *  - kernels launched repeatedly so each run covers the NVML sampling
+ *    period; kernels shorter than ~2 us per launch are rejected the way
+ *    the paper excludes them from its suites.
+ */
+#pragma once
+
+#include "hw/silicon_model.hpp"
+#include "hw/thermal.hpp"
+
+namespace aw {
+
+/** A single power reading with its timestamp. */
+struct PowerSample
+{
+    double timeSec = 0;
+    double powerW = 0;
+};
+
+/** Power-measurement session against one oracle ("GPU card"). */
+class NvmlEmu
+{
+  public:
+    explicit NvmlEmu(const SiliconOracle &oracle, uint64_t seed = 0xA11CE);
+
+    /** nvidia-smi -lgc: lock the core clock for subsequent runs. */
+    void lockClocks(double freqGhz) { lockedFreqGhz_ = freqGhz; }
+
+    /** Release the clock lock (back to the default application clock). */
+    void resetClocks() { lockedFreqGhz_ = 0; }
+
+    double lockedClockGhz() const { return lockedFreqGhz_; }
+
+    /** NVML power sampling frequency (Hz). */
+    double samplingHz() const { return 62.5; }
+
+    /**
+     * Follow the Section 4.1 methodology: heat the chip to 65 C, launch
+     * the kernel in a loop long enough to span several NVML samples,
+     * take `repetitions` measurement sets, cool down between sets, and
+     * return the mean measured power. fatal() for kernels too short to
+     * measure (< 2 us per launch), mirroring the paper's exclusions.
+     */
+    double measureAveragePowerW(const KernelDescriptor &desc,
+                                int repetitions = 5);
+
+    /** The individual readings of the last measurement, for variance
+     *  checks (the paper reports 0.0018-1.9% variance). */
+    const std::vector<PowerSample> &lastReadings() const
+    {
+        return lastReadings_;
+    }
+
+    /** Relative sample variance of the last measurement. */
+    double lastRelativeVariance() const;
+
+    const SiliconOracle &oracle() const { return oracle_; }
+
+  private:
+    const SiliconOracle &oracle_;
+    ThermalModel thermal_;
+    Rng rng_;
+    double lockedFreqGhz_ = 0;
+    std::vector<PowerSample> lastReadings_;
+};
+
+} // namespace aw

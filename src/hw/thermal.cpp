@@ -1,0 +1,55 @@
+#include "hw/thermal.hpp"
+
+#include <cmath>
+
+namespace aw {
+
+ThermalModel::ThermalModel(double ambientC, double cPerWatt,
+                           double timeConstSec)
+    : ambientC_(ambientC), cPerWatt_(cPerWatt),
+      timeConstSec_(timeConstSec), tempC_(ambientC)
+{}
+
+double
+ThermalModel::steadyStateC(double powerW) const
+{
+    return ambientC_ + cPerWatt_ * powerW;
+}
+
+void
+ThermalModel::advance(double powerW, double seconds)
+{
+    double target = steadyStateC(powerW);
+    double alpha = std::exp(-seconds / timeConstSec_);
+    tempC_ = target + (tempC_ - target) * alpha;
+}
+
+bool
+ThermalModel::settleTo(double targetC, double powerW, double maxSeconds)
+{
+    double steady = steadyStateC(powerW);
+    bool heating = targetC > tempC_;
+    if (heating && steady < targetC)
+        return false;
+    if (!heating && steady > targetC)
+        return false;
+    double elapsed = 0;
+    const double step = 0.25;
+    while (elapsed < maxSeconds) {
+        advance(powerW, step);
+        elapsed += step;
+        if (heating ? tempC_ >= targetC : tempC_ <= targetC) {
+            tempC_ = targetC;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThermalModel::coolToAmbient()
+{
+    tempC_ = ambientC_;
+}
+
+} // namespace aw

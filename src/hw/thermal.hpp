@@ -1,0 +1,52 @@
+/**
+ * @file
+ * First-order thermal model of a GPU board: exponential approach toward
+ * a power-dependent steady-state temperature. Used by NvmlEmu to
+ * reproduce the paper's 65 C temperature-controlled measurement
+ * methodology (Section 4.1), including the trick of pre-heating the chip
+ * with a power-hungry kernel when the target kernel alone cannot reach
+ * 65 C, then measuring as it cools through 65 C.
+ */
+#pragma once
+
+namespace aw {
+
+/** Lumped RC thermal model. */
+class ThermalModel
+{
+  public:
+    /**
+     * @param ambientC     idle-state temperature
+     * @param cPerWatt     steady-state degrees above ambient per watt
+     * @param timeConstSec thermal RC time constant
+     */
+    explicit ThermalModel(double ambientC = 38.0, double cPerWatt = 0.22,
+                          double timeConstSec = 18.0);
+
+    /** Current chip temperature. */
+    double temperatureC() const { return tempC_; }
+
+    /** Advance the model: dissipate `powerW` for `seconds`. */
+    void advance(double powerW, double seconds);
+
+    /** Steady-state temperature at the given power. */
+    double steadyStateC(double powerW) const;
+
+    /**
+     * Run at `powerW` until the chip reaches `targetC` (heating or
+     * cooling as needed). Returns false if `targetC` is unreachable at
+     * this power (steady state on the wrong side).
+     */
+    bool settleTo(double targetC, double powerW, double maxSeconds = 600);
+
+    /** Cool at idle back to ambient. */
+    void coolToAmbient();
+
+  private:
+    double ambientC_;
+    double cPerWatt_;
+    double timeConstSec_;
+    double tempC_;
+};
+
+} // namespace aw

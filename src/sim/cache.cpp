@@ -1,0 +1,72 @@
+#include "sim/cache.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace aw {
+
+namespace {
+
+size_t
+floorPow2(size_t v)
+{
+    size_t p = 1;
+    while (p * 2 <= v)
+        p *= 2;
+    return p;
+}
+
+} // namespace
+
+CacheModel::CacheModel(const CacheGeometry &geom, double capacityOverrideKb)
+    : lineBytes_(geom.lineBytes), ways_(static_cast<size_t>(geom.ways))
+{
+    double kb = capacityOverrideKb > 0 ? capacityOverrideKb : geom.sizeKb;
+    size_t totalLines = std::max<size_t>(
+        ways_, static_cast<size_t>(kb * 1024.0 / lineBytes_));
+    numSets_ = std::max<size_t>(1, floorPow2(totalLines / ways_));
+    lines_.assign(numSets_ * ways_, Line{});
+}
+
+CacheAccessResult
+CacheModel::access(uint64_t addr, bool isWrite)
+{
+    ++accesses_;
+    ++tick_;
+    uint64_t lineAddr = addr / static_cast<uint64_t>(lineBytes_);
+    size_t set = static_cast<size_t>(lineAddr) & (numSets_ - 1);
+    uint64_t tag = lineAddr / numSets_;
+
+    Line *base = &lines_[set * ways_];
+    Line *victim = base;
+    for (size_t w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = tick_;
+            line.dirty = line.dirty || isWrite;
+            return {true, false};
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+    ++misses_;
+    CacheAccessResult result{false, victim->valid && victim->dirty};
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = tick_;
+    victim->dirty = isWrite;
+    return result;
+}
+
+void
+CacheModel::reset()
+{
+    std::fill(lines_.begin(), lines_.end(), Line{});
+    tick_ = accesses_ = misses_ = 0;
+}
+
+} // namespace aw

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Set-associative cache timing/occupancy model with LRU replacement.
+ * Used for L1D, the constant cache, and the (per-SM slice of the) L2 in
+ * the performance simulator.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/gpu_config.hpp"
+
+namespace aw {
+
+/** Outcome of one cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    bool writeback = false; ///< a dirty line was evicted
+};
+
+/** LRU set-associative cache over 128-byte (configurable) lines. */
+class CacheModel
+{
+  public:
+    /**
+     * Build from a geometry; `capacityOverrideKb` (if > 0) replaces the
+     * geometry's size, which is how the simulator models one SM's share
+     * of the chip-wide L2.
+     */
+    explicit CacheModel(const CacheGeometry &geom,
+                        double capacityOverrideKb = 0);
+
+    /** Access a byte address; allocate on miss. */
+    CacheAccessResult access(uint64_t addr, bool isWrite);
+
+    /** Invalidate everything and clear statistics. */
+    void reset();
+
+    uint64_t accesses() const { return accesses_; }
+    uint64_t misses() const { return misses_; }
+    double missRate() const
+    {
+        return accesses_ ? static_cast<double>(misses_) / accesses_ : 0.0;
+    }
+    int lineBytes() const { return lineBytes_; }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = ~0ULL;
+        uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    int lineBytes_;
+    size_t numSets_;
+    size_t ways_;
+    std::vector<Line> lines_; ///< numSets * ways, set-major
+    uint64_t tick_ = 0;
+    uint64_t accesses_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace aw

@@ -1,0 +1,105 @@
+#include "sim/gpusim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace aw {
+
+LaunchShape
+GpuSimulator::launchShape(const KernelDescriptor &desc) const
+{
+    LaunchShape shape;
+    int smCap = desc.smLimit > 0 ? std::min(desc.smLimit, gpu_.numSms)
+                                 : gpu_.numSms;
+    shape.activeSms = std::clamp(desc.ctas, 1, smCap);
+
+    int residentCtas = std::max(
+        1, std::min(desc.ctasPerSm,
+                    (desc.ctas + shape.activeSms - 1) / shape.activeSms));
+    int maxWarps = gpu_.maxWarpsPerSubcore * gpu_.subcoresPerSm;
+    shape.residentWarps =
+        std::clamp(residentCtas * desc.warpsPerCta, 1, maxWarps);
+
+    int ctasPerWave =
+        std::max(1, shape.activeSms *
+                        std::max(1, shape.residentWarps /
+                                        std::max(1, desc.warpsPerCta)));
+    shape.waves = std::max(1, (desc.ctas + ctasPerWave - 1) / ctasPerWave);
+    return shape;
+}
+
+KernelActivity
+GpuSimulator::run(const KernelDescriptor &desc, const WarpProgram &program,
+                  const SimOptions &opts) const
+{
+    const double f = opts.freqGhz > 0 ? opts.freqGhz : gpu_.defaultClockGhz;
+    LaunchShape shape = launchShape(desc);
+
+    // The emulation (PTX) path carries the legacy idealized memory
+    // model; the trace-driven (SASS) path models bandwidth contention.
+    MemorySystem mem(gpu_, shape.activeSms, f,
+                     program.isa == IsaLevel::Ptx);
+    SmCore sm(gpu_, desc, program, shape.residentWarps, mem, f,
+              opts.scheduler == SchedulerPolicy::RoundRobin);
+
+    KernelActivity out;
+    out.kernelName = desc.name;
+
+    const double interval = opts.sampleIntervalCycles;
+    double now = 0;
+    double sampleStart = 0;
+    while (!sm.done() && now < static_cast<double>(opts.maxCycles)) {
+        double next = sm.step(now);
+        // Close any sample intervals the clock passes over.
+        while (next >= sampleStart + interval) {
+            ActivitySample s = sm.drainActivity();
+            s.cycles = interval;
+            out.samples.push_back(std::move(s));
+            sampleStart += interval;
+        }
+        now = next;
+    }
+    if (!sm.done())
+        warn("simulation of %s hit the cycle cap (%ld)", desc.name.c_str(),
+             opts.maxCycles);
+    if (now > sampleStart) {
+        ActivitySample s = sm.drainActivity();
+        s.cycles = now - sampleStart;
+        out.samples.push_back(std::move(s));
+    }
+
+    // Chip-wide scaling: the detailed SM is representative of all k
+    // active SMs (Section 4.6's equal-contribution assumption).
+    const double k = shape.activeSms;
+    for (auto &s : out.samples) {
+        for (auto &a : s.accesses)
+            a *= k;
+        for (auto &u : s.unitInsts)
+            u *= k;
+        s.intAddInsts *= k;
+        s.intMulInsts *= k;
+        s.avgActiveSms = k;
+    }
+
+    out.totalCycles = now * shape.waves;
+    out.elapsedSec = out.totalCycles / (f * 1e9);
+    return out;
+}
+
+KernelActivity
+GpuSimulator::runSass(const KernelDescriptor &desc,
+                      const SimOptions &opts) const
+{
+    return run(desc, generateSassProgram(desc), opts);
+}
+
+KernelActivity
+GpuSimulator::runPtx(const KernelDescriptor &desc,
+                     const SimOptions &opts) const
+{
+    return run(desc, generatePtxProgram(desc), opts);
+}
+
+} // namespace aw

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Top-level trace-driven GPU performance simulator (the repository's
+ * Accel-Sim substitute). It executes a kernel's warp program on a
+ * detailed model of one SM, shares the L2/DRAM according to the number
+ * of active SMs, and scales activities chip-wide — matching the paper's
+ * all-active-SMs-contribute-equally assumption (Eq. 6).
+ *
+ * Output is the KernelActivity stream AccelWattch consumes: 500-cycle
+ * activity samples with per-component access counts, occupancy, mix,
+ * and V/f settings.
+ */
+#pragma once
+
+#include "arch/activity.hpp"
+#include "arch/gpu_config.hpp"
+#include "sim/sm.hpp"
+#include "trace/tracegen.hpp"
+#include "trace/workload.hpp"
+
+namespace aw {
+
+/** Warp scheduling policy of the processing blocks. */
+enum class SchedulerPolicy : uint8_t
+{
+    Gto,       ///< greedy-then-oldest (Accel-Sim's default)
+    RoundRobin ///< loose round-robin across resident warps
+};
+
+/** Simulation controls. */
+struct SimOptions
+{
+    double freqGhz = 0;             ///< 0 = architecture default clock
+    int sampleIntervalCycles = 500; ///< paper's sampling period
+    long maxCycles = 20'000'000;    ///< runaway guard per wave
+    SchedulerPolicy scheduler = SchedulerPolicy::Gto;
+};
+
+/** How a launch maps onto the chip. */
+struct LaunchShape
+{
+    int activeSms = 0;     ///< k in Eq. 10
+    int residentWarps = 0; ///< warps resident on one SM
+    int waves = 1;         ///< launch waves until all CTAs retire
+};
+
+/** Trace-driven performance model for one GPU configuration. */
+class GpuSimulator
+{
+  public:
+    explicit GpuSimulator(GpuConfig gpu) : gpu_(std::move(gpu)) {}
+
+    const GpuConfig &gpu() const { return gpu_; }
+
+    /** Compute the launch mapping for a kernel on this GPU. */
+    LaunchShape launchShape(const KernelDescriptor &desc) const;
+
+    /**
+     * Simulate one kernel given its (SASS or PTX) warp program.
+     * The returned samples cover one launch wave; totalCycles and
+     * elapsedSec cover the whole kernel (waves are homogeneous).
+     */
+    KernelActivity run(const KernelDescriptor &desc,
+                       const WarpProgram &program,
+                       const SimOptions &opts = {}) const;
+
+    /** Convenience: generate the SASS program and simulate. */
+    KernelActivity runSass(const KernelDescriptor &desc,
+                           const SimOptions &opts = {}) const;
+
+    /** Convenience: generate the PTX program and simulate. */
+    KernelActivity runPtx(const KernelDescriptor &desc,
+                          const SimOptions &opts = {}) const;
+
+  private:
+    GpuConfig gpu_;
+};
+
+} // namespace aw

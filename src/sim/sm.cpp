@@ -1,0 +1,317 @@
+#include "sim/sm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace aw {
+
+SmCore::SmCore(const GpuConfig &gpu, const KernelDescriptor &desc,
+               const WarpProgram &program, int residentWarps,
+               MemorySystem &mem, double freqGhz, bool roundRobin)
+    : gpu_(gpu), desc_(desc), program_(program), mem_(mem),
+      freqGhz_(freqGhz), cycleScale_(freqGhz / gpu.defaultClockGhz),
+      roundRobin_(roundRobin), l1d_(gpu.l1d),
+      addrRng_(desc.seed ^ 0xabcdULL)
+{
+    AW_ASSERT(residentWarps >= 1);
+    AW_ASSERT(!program.body.empty());
+
+    warps_.resize(static_cast<size_t>(residentWarps));
+    subcoreWarps_.resize(static_cast<size_t>(gpu.subcoresPerSm));
+    lastIssued_.assign(static_cast<size_t>(gpu.subcoresPerSm), -1);
+    unitFreeAt_.assign(static_cast<size_t>(gpu.subcoresPerSm), {});
+    const int warpsPerCta = std::max(1, desc.warpsPerCta);
+    barriers_.resize(static_cast<size_t>(residentWarps + warpsPerCta - 1) /
+                     static_cast<size_t>(warpsPerCta));
+    for (size_t w = 0; w < warps_.size(); ++w) {
+        warps_[w].subcore = static_cast<int>(w % subcoreWarps_.size());
+        warps_[w].cta = static_cast<int>(w) / warpsPerCta;
+        ++barriers_[static_cast<size_t>(warps_[w].cta)].warps;
+        warps_[w].itersLeft = program.iterations;
+        // Spread warps across the footprint so they share cache lines the
+        // way neighbouring CTAs do.
+        warps_[w].memCursor = w * 8191;
+        subcoreWarps_[static_cast<size_t>(warps_[w].subcore)].push_back(w);
+    }
+
+    // Instruction-fetch locality: a loop body that fits in the L0
+    // instruction cache only touches L1i on its first traversal.
+    double bodyBytes = static_cast<double>(program.body.size()) * 16.0;
+    bool fitsL0 = bodyBytes <= gpu.l0i.sizeKb * 1024.0;
+    l1iPerIssue_ = fitsL0 ? 1.0 / std::max(1, program.iterations) : 1.0;
+
+    footprintLines_ = std::max<uint64_t>(
+        1, static_cast<uint64_t>(desc.memFootprintKb * 1024.0 /
+                                 gpu.l1d.lineBytes));
+
+    const double y = std::clamp(desc.activeLanes, 1, gpu.lanesPerSm);
+    for (size_t c = 0; c < kNumOpClasses; ++c) {
+        OpClass op = static_cast<OpClass>(c);
+        double ii = gpu.opInitiationInterval(op);
+        // Half-warp execution: a warp with y active lanes needs only
+        // ceil(II * y / warpSize) issue slots on the unit.
+        effII_[c] = std::max(1.0, std::ceil(ii * y / gpu.warpSize));
+        latency_[c] = gpu.opLatency(op);
+    }
+
+    activity_ = ActivitySample{};
+    activity_.freqGhz = freqGhz;
+    activity_.voltage = gpu.vf.voltageAt(freqGhz);
+    activity_.avgActiveLanesPerWarp = y;
+}
+
+bool
+SmCore::warpReady(const Warp &w, double now, double &wakeTime) const
+{
+    if (w.finished)
+        return false;
+    if (w.nextIssue > now) {
+        wakeTime = std::min(wakeTime, w.nextIssue);
+        return false;
+    }
+    const TraceInst &inst = program_.body[w.bodyIdx];
+    if (inst.depDist > 0 && w.issuedCount >= inst.depDist) {
+        long producer = w.issuedCount - inst.depDist;
+        double ready = w.readyCycle[static_cast<size_t>(producer) %
+                                    kScoreboard];
+        if (ready > now) {
+            wakeTime = std::min(wakeTime, ready);
+            return false;
+        }
+    }
+    ExecUnit unit = opClassUnit(inst.op);
+    if (unit != ExecUnit::None) {
+        double freeAt =
+            unitFreeAt_[static_cast<size_t>(w.subcore)]
+                       [static_cast<size_t>(unit)];
+        if (freeAt > now) {
+            wakeTime = std::min(wakeTime, freeAt);
+            return false;
+        }
+    }
+    return true;
+}
+
+double
+SmCore::memoryLatency(Warp &w, const TraceInst &inst, double now,
+                      double &occupancy)
+{
+    const int txns = std::max<int>(1, inst.transactions);
+    const double baseII = effII_[static_cast<size_t>(inst.op)];
+    double worst = 0;
+    switch (inst.op) {
+      case OpClass::LdShared:
+      case OpClass::StShared:
+        activity_.accesses[componentIndex(PowerComponent::SharedMem)] +=
+            txns;
+        // Bank conflicts serialize the access through the LSU.
+        occupancy = baseII * txns;
+        return latency_[static_cast<size_t>(inst.op)] +
+               2.0 * (txns - 1);
+      case OpClass::LdConst:
+        activity_.accesses[componentIndex(PowerComponent::ConstCache)] += 1;
+        occupancy = baseII;
+        return latency_[static_cast<size_t>(inst.op)];
+      case OpClass::LdGlobal:
+      case OpClass::StGlobal: {
+        const bool isWrite = inst.op == OpClass::StGlobal;
+        auto &l1dAccesses =
+            activity_.accesses[componentIndex(PowerComponent::L1DCache)];
+        auto &l2Accesses =
+            activity_.accesses[componentIndex(PowerComponent::L2Noc)];
+        auto &dramAccesses =
+            activity_.accesses[componentIndex(PowerComponent::DramMc)];
+        occupancy = baseII * txns; // uncoalesced accesses serialize
+        for (int t = 0; t < txns; ++t) {
+            uint64_t line;
+            if (desc_.pointerChase) {
+                line = addrRng_.below(footprintLines_);
+            } else {
+                line = w.memCursor % footprintLines_;
+                ++w.memCursor;
+            }
+            uint64_t addr =
+                line * static_cast<uint64_t>(gpu_.l1d.lineBytes);
+            l1dAccesses += 1;
+            double lat = latency_[static_cast<size_t>(inst.op)];
+            auto l1res = l1d_.access(addr, isWrite);
+            // Write-through L1: stores always propagate to the L2.
+            if (!l1res.hit || isWrite) {
+                auto out = mem_.globalAccess(addr, isWrite, now);
+                l2Accesses += out.l2Accesses;
+                dramAccesses += out.dramAccesses;
+                // The memory path's bandwidth share backpressures the
+                // LSU: without this, stores (which nothing waits on)
+                // would stream at issue rate regardless of L2/DRAM
+                // bandwidth.
+                occupancy += out.occupancyCycles;
+                if (!l1res.hit)
+                    lat += out.latencyCycles;
+            }
+            worst = std::max(worst, lat);
+        }
+        return worst;
+      }
+      default:
+        panic("memoryLatency on non-memory op");
+    }
+}
+
+void
+SmCore::arriveAtBarrier(Warp &w, double now)
+{
+    CtaBarrier &bar = barriers_[static_cast<size_t>(w.cta)];
+    if (++bar.arrived >= bar.warps) {
+        // Last arrival releases the whole CTA.
+        bar.arrived = 0;
+        for (auto &other : warps_) {
+            if (other.cta == w.cta && !other.finished)
+                other.nextIssue = std::min(other.nextIssue, now + 1.0);
+        }
+        return;
+    }
+    // Block until the rest of the CTA arrives.
+    w.nextIssue = 1e300;
+}
+
+void
+SmCore::issue(Warp &w, double now)
+{
+    const TraceInst &inst = program_.body[w.bodyIdx];
+    const double y = activity_.avgActiveLanesPerWarp;
+    const double laneFrac = y / gpu_.warpSize;
+
+    // --- timing ---------------------------------------------------------
+    double completion;
+    ExecUnit unit = opClassUnit(inst.op);
+    double unitBusy = effII_[static_cast<size_t>(inst.op)];
+    if (isMemoryOp(inst.op)) {
+        double occupancy = unitBusy;
+        completion = now + memoryLatency(w, inst, now, occupancy);
+        unitBusy = std::max(unitBusy, occupancy);
+    } else if (inst.op == OpClass::NanoSleep) {
+        completion = now + latency_[static_cast<size_t>(inst.op)];
+        w.nextIssue = completion; // nanosleep blocks the warp
+    } else if (inst.op == OpClass::Bar) {
+        completion = now + 1.0;
+        arriveAtBarrier(w, now);
+    } else {
+        completion = now + latency_[static_cast<size_t>(inst.op)];
+    }
+    if (unit != ExecUnit::None) {
+        unitFreeAt_[static_cast<size_t>(w.subcore)]
+                   [static_cast<size_t>(unit)] = now + unitBusy;
+    }
+    w.readyCycle[static_cast<size_t>(w.issuedCount) % kScoreboard] =
+        completion;
+    ++w.issuedCount;
+
+    // --- power activity (Table 1) ----------------------------------------
+    auto &acc = activity_.accesses;
+    acc[componentIndex(PowerComponent::InstBuffer)] += 1;
+    acc[componentIndex(PowerComponent::InstCache)] += l1iPerIssue_;
+    acc[componentIndex(PowerComponent::Scheduler)] += 1;
+    acc[componentIndex(PowerComponent::SmPipeline)] += 1;
+    acc[componentIndex(PowerComponent::RegFile)] +=
+        (inst.regReads + inst.regWrites) * laneFrac;
+    if (!isMemoryOp(inst.op)) {
+        PowerComponent pc = inst.powerComp;
+        if (pc != PowerComponent::SmPipeline)
+            acc[componentIndex(pc)] += laneFrac;
+    }
+
+    UnitKind kind = opClassUnitKind(inst.op);
+    activity_.unitInsts[static_cast<size_t>(kind)] += 1;
+    if (kind == UnitKind::Int) {
+        switch (inst.op) {
+          case OpClass::IntAdd:
+          case OpClass::IntLogic:
+          case OpClass::Mov:
+            activity_.intAddInsts += 1;
+            break;
+          case OpClass::IntMul:
+          case OpClass::IntMad:
+            activity_.intMulInsts += 1;
+            break;
+          default:
+            break;
+        }
+    }
+
+    // --- program counter --------------------------------------------------
+    ++w.bodyIdx;
+    if (w.bodyIdx == program_.body.size()) {
+        w.bodyIdx = 0;
+        if (--w.itersLeft <= 0) {
+            w.finished = true;
+            ++warpsDone_;
+        }
+    }
+}
+
+bool
+SmCore::tryIssueSubcore(int subcore, double now, double &nextEvent)
+{
+    auto &ids = subcoreWarps_[static_cast<size_t>(subcore)];
+    if (ids.empty())
+        return false;
+
+    const int last = lastIssued_[static_cast<size_t>(subcore)];
+    const int n = static_cast<int>(ids.size());
+    if (roundRobin_) {
+        // Round-robin: resume scanning after the last issued warp.
+        for (int off = 1; off <= n; ++off) {
+            int i = (last + off + n) % n;
+            Warp &w = warps_[ids[static_cast<size_t>(i)]];
+            if (warpReady(w, now, nextEvent)) {
+                issue(w, now);
+                lastIssued_[static_cast<size_t>(subcore)] = i;
+                return true;
+            }
+        }
+        return false;
+    }
+    // GTO: greedy on the last issued warp, then oldest-first.
+    for (int rank = (last >= 0 ? -1 : 0); rank < n; ++rank) {
+        int i = rank < 0 ? last : rank;
+        if (rank >= 0 && i == last)
+            continue; // already tried greedily
+        Warp &w = warps_[ids[static_cast<size_t>(i)]];
+        if (warpReady(w, now, nextEvent)) {
+            issue(w, now);
+            lastIssued_[static_cast<size_t>(subcore)] = i;
+            return true;
+        }
+    }
+    return false;
+}
+
+double
+SmCore::step(double now)
+{
+    double nextEvent = 1e300;
+    bool issuedAny = false;
+    for (int sc = 0; sc < gpu_.subcoresPerSm; ++sc)
+        issuedAny |= tryIssueSubcore(sc, now, nextEvent);
+    if (issuedAny || done())
+        return now + 1.0;
+    // Nothing could issue: the caller may fast-forward to the next event.
+    return std::max(now + 1.0, nextEvent);
+}
+
+ActivitySample
+SmCore::drainActivity()
+{
+    ActivitySample out = activity_;
+    // Reset the extensive quantities; keep the intensive settings.
+    activity_.accesses = {};
+    activity_.unitInsts = {};
+    activity_.intAddInsts = 0;
+    activity_.intMulInsts = 0;
+    activity_.cycles = 0;
+    return out;
+}
+
+} // namespace aw

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Cycle-level model of one Streaming Multiprocessor: four processing
+ * blocks, each with a greedy-then-oldest (GTO) warp scheduler issuing one
+ * instruction per cycle to half-warp-wide execution pipelines, backed by
+ * a scoreboard over the warp's recent results, an L1D/constant cache,
+ * shared memory, and the chip-level memory system.
+ *
+ * The SM records per-component activity (Table 1) with cycle stamps so
+ * the simulator can emit the 500-cycle ActivitySamples AccelWattch
+ * consumes (Section 5.2).
+ */
+#pragma once
+
+#include <vector>
+
+#include "arch/activity.hpp"
+#include "arch/gpu_config.hpp"
+#include "common/rng.hpp"
+#include "sim/cache.hpp"
+#include "sim/memsys.hpp"
+#include "trace/tracegen.hpp"
+
+namespace aw {
+
+/** One SM executing `residentWarps` copies of the warp program. */
+class SmCore
+{
+  public:
+    /**
+     * @param gpu           target architecture
+     * @param desc          kernel descriptor (divergence, memory shape)
+     * @param program       per-warp instruction program
+     * @param residentWarps warps resident on this SM (all subcores)
+     * @param mem           chip-level memory system (L2 slice + DRAM)
+     * @param freqGhz       core clock for this run
+     */
+    SmCore(const GpuConfig &gpu, const KernelDescriptor &desc,
+           const WarpProgram &program, int residentWarps, MemorySystem &mem,
+           double freqGhz, bool roundRobin = false);
+
+    /** True when every resident warp has retired its program. */
+    bool done() const { return warpsDone_ == warps_.size(); }
+
+    /**
+     * Advance the SM by one cycle at time `now`; returns the earliest
+     * future cycle at which new work can possibly issue (used by the
+     * simulator to fast-forward through stall periods).
+     */
+    double step(double now);
+
+    /**
+     * Activity accumulated since the last drain. `cycles` is set by the
+     * caller (the sampling loop) when closing the interval.
+     */
+    ActivitySample drainActivity();
+
+    const CacheModel &l1d() const { return l1d_; }
+
+  private:
+    struct Warp
+    {
+        int subcore = 0;
+        int cta = 0; ///< CTA this warp belongs to (barrier scope)
+        size_t bodyIdx = 0;
+        int itersLeft = 0;
+        long issuedCount = 0;
+        double nextIssue = 0;  ///< earliest cycle this warp may issue
+        bool finished = false;
+        uint64_t memCursor = 0;
+        /** Completion times of the last kScoreboard issued insts. */
+        std::array<double, 64> readyCycle{};
+    };
+
+    /** Barrier bookkeeping for one resident CTA. */
+    struct CtaBarrier
+    {
+        int warps = 0;   ///< resident warps participating
+        int arrived = 0; ///< warps currently waiting at the barrier
+    };
+
+    static constexpr size_t kScoreboard = 64;
+
+    /** Attempt to issue for one subcore; returns true if issued. */
+    bool tryIssueSubcore(int subcore, double now, double &nextEvent);
+
+    /** Can this warp issue its next instruction at `now`? */
+    bool warpReady(const Warp &w, double now, double &wakeTime) const;
+
+    /** Issue the warp's next instruction; updates all state. */
+    void issue(Warp &w, double now);
+
+    /** Handle a BAR.SYNC: block the warp or release its whole CTA. */
+    void arriveAtBarrier(Warp &w, double now);
+
+    /**
+     * Timing + traffic of a memory instruction's transactions.
+     * `occupancy` returns the cycles the LSU/memory path stays busy
+     * (serialized transactions, L2/DRAM bandwidth shares) so issue()
+     * can backpressure subsequent memory instructions.
+     */
+    double memoryLatency(Warp &w, const TraceInst &inst, double now,
+                         double &occupancy);
+
+    const GpuConfig &gpu_;
+    const KernelDescriptor &desc_;
+    const WarpProgram &program_;
+    MemorySystem &mem_;
+    double freqGhz_;
+    double cycleScale_; ///< f / f_default for wall-time-constant latencies
+
+    std::vector<Warp> warps_;
+    std::vector<CtaBarrier> barriers_;
+    size_t warpsDone_ = 0;
+    std::vector<std::vector<size_t>> subcoreWarps_; ///< warp ids per block
+    std::vector<int> lastIssued_; ///< GTO greedy pointer per subcore
+    bool roundRobin_ = false;     ///< RR instead of greedy-then-oldest
+    std::vector<std::array<double, kNumExecUnits>> unitFreeAt_;
+
+    CacheModel l1d_;
+    Rng addrRng_;
+    double l1iPerIssue_; ///< L1i accesses per issued instruction
+    uint64_t footprintLines_;
+
+    ActivitySample activity_;
+    /** Precomputed per-opclass effective initiation intervals. */
+    std::array<double, kNumOpClasses> effII_{};
+    std::array<double, kNumOpClasses> latency_{};
+};
+
+} // namespace aw

@@ -1,0 +1,109 @@
+#include "sim/stats_report.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace aw {
+
+namespace {
+
+/** Issue slots an average warp instruction of this family occupies. */
+double
+slotsPerInst(const GpuConfig &gpu, UnitKind kind, double activeLanes)
+{
+    OpClass representative;
+    switch (kind) {
+      case UnitKind::Int:    representative = OpClass::IntAdd; break;
+      case UnitKind::Fp:     representative = OpClass::FpFma; break;
+      case UnitKind::Dp:     representative = OpClass::DpFma; break;
+      case UnitKind::Sfu:    representative = OpClass::Sqrt; break;
+      case UnitKind::Tensor: representative = OpClass::Tensor; break;
+      case UnitKind::Tex:    representative = OpClass::Tex; break;
+      case UnitKind::Mem:    representative = OpClass::LdGlobal; break;
+      default:               return 1.0;
+    }
+    double ii = gpu.opInitiationInterval(representative);
+    return std::max(1.0, std::ceil(ii * activeLanes / gpu.warpSize));
+}
+
+} // namespace
+
+PerfReport
+buildPerfReport(const GpuConfig &gpu, const KernelActivity &activity)
+{
+    if (activity.samples.empty())
+        fatal("perf report: kernel %s has no activity samples",
+              activity.kernelName.c_str());
+    ActivitySample agg = activity.aggregate();
+    AW_ASSERT(agg.cycles > 0);
+
+    PerfReport r;
+    r.totalCycles = activity.totalCycles;
+    r.elapsedUs = activity.elapsedSec * 1e6;
+    r.activeSms = agg.avgActiveSms;
+    r.mix = agg.mixCategory();
+
+    double totalInsts = 0;
+    for (double v : agg.unitInsts)
+        totalInsts += v;
+    r.warpIpcChip = totalInsts / agg.cycles;
+    double sms = std::max(1.0, agg.avgActiveSms);
+    r.warpIpcPerSm = r.warpIpcChip / sms;
+    r.threadIpcPerSm = r.warpIpcPerSm * agg.avgActiveLanesPerWarp;
+    r.issueUtilization = r.warpIpcPerSm / gpu.subcoresPerSm;
+
+    for (size_t k = 0; k < kNumUnitKinds; ++k) {
+        double insts = agg.unitInsts[k] / sms; // per SM
+        double slots = slotsPerInst(gpu, static_cast<UnitKind>(k),
+                                    agg.avgActiveLanesPerWarp);
+        // Each processing block owns one pipe of the family.
+        r.unitUtilization[k] =
+            insts * slots / (gpu.subcoresPerSm * agg.cycles);
+    }
+
+    auto per = [&](PowerComponent c) {
+        return agg.accesses[componentIndex(c)] / sms / agg.cycles * 1e3;
+    };
+    r.l1dAccessesPerKcycle = per(PowerComponent::L1DCache);
+    r.l2AccessesPerKcycle = per(PowerComponent::L2Noc);
+    r.dramAccessesPerKcycle = per(PowerComponent::DramMc);
+    double ibAccesses =
+        agg.accesses[componentIndex(PowerComponent::InstBuffer)];
+    r.rfAccessesPerInst =
+        ibAccesses > 0
+            ? agg.accesses[componentIndex(PowerComponent::RegFile)] /
+                  ibAccesses
+            : 0;
+    return r;
+}
+
+std::string
+PerfReport::render() const
+{
+    static const char *kKindNames[] = {"INT", "FP", "DP", "SFU", "TENSOR",
+                                       "TEX", "LDST", "LIGHT"};
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(2);
+    out << "cycles: " << static_cast<long>(totalCycles)
+        << "  elapsed: " << elapsedUs << " us  active SMs: "
+        << static_cast<int>(activeSms) << "\n";
+    out << "warp IPC: " << warpIpcChip << " chip, " << warpIpcPerSm
+        << " per SM (issue util " << 100 * issueUtilization
+        << "%)  thread IPC/SM: " << threadIpcPerSm << "\n";
+    out << "unit utilization:";
+    for (size_t k = 0; k < kNumUnitKinds; ++k)
+        if (unitUtilization[k] > 0.005)
+            out << " " << kKindNames[k] << "=" << 100 * unitUtilization[k]
+                << "%";
+    out << "\n";
+    out << "memory per SM-kcycle: L1D " << l1dAccessesPerKcycle << ", L2 "
+        << l2AccessesPerKcycle << ", DRAM " << dramAccessesPerKcycle
+        << "  RF/inst: " << rfAccessesPerInst << "\n";
+    out << "instruction mix category: " << mixCategoryName(mix) << "\n";
+    return out.str();
+}
+
+} // namespace aw

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Performance-statistics report derived from a kernel's activity: the
+ * Accel-Sim-style summary (IPC, unit utilizations, memory behaviour)
+ * researchers read next to the AccelWattch power report. Everything is
+ * computed from the same ActivitySamples that drive the power model, so
+ * performance and power views are always consistent.
+ */
+#pragma once
+
+#include <string>
+
+#include "arch/activity.hpp"
+#include "arch/gpu_config.hpp"
+
+namespace aw {
+
+/** Summary statistics of one kernel execution. */
+struct PerfReport
+{
+    double totalCycles = 0;
+    double elapsedUs = 0;
+    double activeSms = 0;
+
+    /** Warp instructions per cycle, chip-wide and per active SM. */
+    double warpIpcChip = 0;
+    double warpIpcPerSm = 0;
+    /** Thread-level IPC per SM (warp IPC x active lanes). */
+    double threadIpcPerSm = 0;
+
+    /** Issue-slot utilization of one SM (4 slots per cycle). */
+    double issueUtilization = 0;
+
+    /** Utilization of each execution-unit family, 0..1 (fraction of
+     *  cycles the family's pipes are occupied on an average SM). */
+    std::array<double, kNumUnitKinds> unitUtilization{};
+
+    /** L1D accesses that missed to the L2 (approximate: L2 accesses
+     *  exclude write-through stores only imperfectly). */
+    double l1dAccessesPerKcycle = 0;
+    double l2AccessesPerKcycle = 0;
+    double dramAccessesPerKcycle = 0;
+
+    /** Register-file accesses per warp instruction. */
+    double rfAccessesPerInst = 0;
+
+    /** Dominant instruction-mix category (Section 4.5). */
+    MixCategory mix = MixCategory::Light;
+
+    /** Render as an aligned text block. */
+    std::string render() const;
+};
+
+/** Build the report from a kernel's activity on a given architecture. */
+PerfReport buildPerfReport(const GpuConfig &gpu,
+                           const KernelActivity &activity);
+
+} // namespace aw

@@ -1,0 +1,90 @@
+#include "solver/polyfit.hpp"
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+#include "solver/linalg.hpp"
+
+namespace aw {
+
+namespace {
+
+/** Pearson r of model predictions vs. the observed powers. */
+template <typename Fit>
+double
+fitCorrelation(const Fit &fit, const std::vector<double> &freqs,
+               const std::vector<double> &powers)
+{
+    std::vector<double> predicted;
+    predicted.reserve(freqs.size());
+    for (double f : freqs)
+        predicted.push_back(fit.eval(f));
+    return pearson(predicted, powers);
+}
+
+} // namespace
+
+CubicNoQuadFit
+fitCubicNoQuad(const std::vector<double> &freqs,
+               const std::vector<double> &powers)
+{
+    if (freqs.size() != powers.size() || freqs.size() < 3)
+        fatal("fitCubicNoQuad: need >= 3 matched samples");
+    Matrix a(freqs.size(), 3);
+    for (size_t i = 0; i < freqs.size(); ++i) {
+        double f = freqs[i];
+        a(i, 0) = f * f * f;
+        a(i, 1) = f;
+        a(i, 2) = 1.0;
+    }
+    auto x = leastSquares(a, powers);
+    CubicNoQuadFit fit;
+    fit.beta = x[0];
+    fit.tau = x[1];
+    fit.constant = x[2];
+    fit.pearsonR = fitCorrelation(fit, freqs, powers);
+    return fit;
+}
+
+LinearFit
+fitLinear(const std::vector<double> &freqs, const std::vector<double> &powers)
+{
+    if (freqs.size() != powers.size() || freqs.size() < 2)
+        fatal("fitLinear: need >= 2 matched samples");
+    Matrix a(freqs.size(), 2);
+    for (size_t i = 0; i < freqs.size(); ++i) {
+        a(i, 0) = freqs[i];
+        a(i, 1) = 1.0;
+    }
+    auto x = leastSquares(a, powers);
+    LinearFit fit;
+    fit.slope = x[0];
+    fit.intercept = x[1];
+    fit.pearsonR = fitCorrelation(fit, freqs, powers);
+    return fit;
+}
+
+FullCubicFit
+fitFullCubic(const std::vector<double> &freqs,
+             const std::vector<double> &powers)
+{
+    if (freqs.size() != powers.size() || freqs.size() < 4)
+        fatal("fitFullCubic: need >= 4 matched samples");
+    Matrix a(freqs.size(), 4);
+    for (size_t i = 0; i < freqs.size(); ++i) {
+        double f = freqs[i];
+        a(i, 0) = f * f * f;
+        a(i, 1) = f * f;
+        a(i, 2) = f;
+        a(i, 3) = 1.0;
+    }
+    auto x = leastSquares(a, powers);
+    FullCubicFit fit;
+    fit.a = x[0];
+    fit.b = x[1];
+    fit.c = x[2];
+    fit.d = x[3];
+    fit.pearsonR = fitCorrelation(fit, freqs, powers);
+    return fit;
+}
+
+} // namespace aw

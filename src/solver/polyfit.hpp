@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Curve fitting for the DVFS constant-power methodology (Section 4.2).
+ *
+ * The paper's insight is that total GPU power under voltage-frequency
+ * scaling is well modeled by a cubic polynomial *missing its quadratic
+ * term* (Eq. 3):   P(f) = beta f^3 + tau f + P_const.
+ * The y-intercept of the fitted curve estimates constant power; the tau*f
+ * term carries static power. GPUWattch's older methodology fits a line
+ * (Eq. 2 with fixed V), which goes wrong on DVFS parts — also provided
+ * here for the Section 7.3 comparison and the DVFS-model ablation.
+ */
+#pragma once
+
+#include <vector>
+
+namespace aw {
+
+/** Result of fitting P(f) = beta f^3 + tau f + c (Eq. 3). */
+struct CubicNoQuadFit
+{
+    double beta = 0;     ///< coefficient of f^3 (dynamic power)
+    double tau = 0;      ///< coefficient of f (static power)
+    double constant = 0; ///< y-intercept: the constant power estimate
+    double pearsonR = 0; ///< correlation of fit vs samples
+
+    /** Evaluate the fitted polynomial at frequency f. */
+    double eval(double f) const
+    {
+        return beta * f * f * f + tau * f + constant;
+    }
+};
+
+/** Result of fitting P(f) = slope * f + intercept (GPUWattch style). */
+struct LinearFit
+{
+    double slope = 0;
+    double intercept = 0; ///< static + constant power estimate at f = 0
+    double pearsonR = 0;
+
+    double eval(double f) const { return slope * f + intercept; }
+};
+
+/** Result of fitting a full cubic P(f) = a f^3 + b f^2 + c f + d. */
+struct FullCubicFit
+{
+    double a = 0, b = 0, c = 0, d = 0;
+    double pearsonR = 0;
+
+    double eval(double f) const
+    {
+        return ((a * f + b) * f + c) * f + d;
+    }
+};
+
+/** Fit Eq. 3 to (frequency, power) samples. Needs >= 3 samples. */
+CubicNoQuadFit fitCubicNoQuad(const std::vector<double> &freqs,
+                              const std::vector<double> &powers);
+
+/** Fit a straight line to (frequency, power) samples. Needs >= 2. */
+LinearFit fitLinear(const std::vector<double> &freqs,
+                    const std::vector<double> &powers);
+
+/** Fit a full cubic to (frequency, power) samples. Needs >= 4. */
+FullCubicFit fitFullCubic(const std::vector<double> &freqs,
+                          const std::vector<double> &powers);
+
+} // namespace aw

@@ -1,0 +1,222 @@
+#include "solver/qp.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace aw {
+
+double
+QpProblem::objective(const std::vector<double> &x) const
+{
+    auto qx = q.mul(x);
+    return 0.5 * dot(x, qx) + dot(c, x);
+}
+
+bool
+QpProblem::isStrictlyFeasible(const std::vector<double> &x,
+                              double margin) const
+{
+    if (g.rows() == 0)
+        return true;
+    auto gx = g.mul(x);
+    for (size_t i = 0; i < h.size(); ++i)
+        if (gx[i] > h[i] - margin)
+            return false;
+    return true;
+}
+
+void
+QpProblem::addConstraint(const std::vector<double> &coeffs, double bound)
+{
+    AW_ASSERT(coeffs.size() == numVars());
+    Matrix g2(g.rows() + 1, numVars());
+    for (size_t r = 0; r < g.rows(); ++r)
+        for (size_t cc = 0; cc < numVars(); ++cc)
+            g2(r, cc) = g(r, cc);
+    for (size_t cc = 0; cc < numVars(); ++cc)
+        g2(g.rows(), cc) = coeffs[cc];
+    g = std::move(g2);
+    h.push_back(bound);
+}
+
+void
+QpProblem::addBox(double lo, double hi)
+{
+    const size_t n = numVars();
+    for (size_t i = 0; i < n; ++i) {
+        std::vector<double> row(n, 0.0);
+        row[i] = 1.0;
+        addConstraint(row, hi);   //  x_i <= hi
+        row[i] = -1.0;
+        addConstraint(row, -lo);  // -x_i <= -lo
+    }
+}
+
+namespace {
+
+/**
+ * One centering step: minimize t * f(x) + phi(x) with Newton iterations.
+ * Returns the number of Newton iterations used.
+ */
+int
+center(const QpProblem &p, double t, std::vector<double> &x,
+       const QpOptions &opts)
+{
+    const size_t n = p.numVars();
+    const size_t m = p.numConstraints();
+    int iters = 0;
+
+    for (; iters < opts.maxNewtonIters; ++iters) {
+        // Slack d_i = 1 / (h_i - g_i x) for each constraint.
+        auto gx = m ? p.g.mul(x) : std::vector<double>{};
+        std::vector<double> d(m);
+        for (size_t i = 0; i < m; ++i) {
+            double slack = p.h[i] - gx[i];
+            AW_ASSERT(slack > 0);
+            d[i] = 1.0 / slack;
+        }
+
+        // Gradient: t (Q x + c) + G^T d.
+        auto grad = p.q.mul(x);
+        for (size_t i = 0; i < n; ++i)
+            grad[i] = t * (grad[i] + p.c[i]);
+        if (m) {
+            auto gtd = p.g.mulTransposed(d);
+            for (size_t i = 0; i < n; ++i)
+                grad[i] += gtd[i];
+        }
+
+        // Hessian: t Q + G^T diag(d^2) G.
+        Matrix hess(n, n);
+        for (size_t i = 0; i < n; ++i)
+            for (size_t j = 0; j < n; ++j)
+                hess(i, j) = t * p.q(i, j);
+        for (size_t k = 0; k < m; ++k) {
+            double w = d[k] * d[k];
+            for (size_t i = 0; i < n; ++i) {
+                double gki = p.g(k, i);
+                if (gki == 0)
+                    continue;
+                for (size_t j = 0; j < n; ++j)
+                    hess(i, j) += w * gki * p.g(k, j);
+            }
+        }
+
+        // Newton direction: solve H dx = -grad.
+        std::vector<double> negGrad(n);
+        for (size_t i = 0; i < n; ++i)
+            negGrad[i] = -grad[i];
+        auto dx = choleskySolve(hess, negGrad);
+
+        // Newton decrement for the stopping test.
+        double lambda2 = -dot(grad, dx);
+        if (lambda2 / 2.0 < 1e-12)
+            break;
+
+        // Backtracking line search keeping strict feasibility.
+        auto barrier = [&](const std::vector<double> &pt) {
+            double val = t * p.objective(pt);
+            if (m) {
+                auto gpt = p.g.mul(pt);
+                for (size_t i = 0; i < m; ++i) {
+                    double slack = p.h[i] - gpt[i];
+                    if (slack <= 0)
+                        return 1e300;
+                    val -= std::log(slack);
+                }
+            }
+            return val;
+        };
+        double f0 = barrier(x);
+        double step = 1.0;
+        const double alpha = 0.25, betaLs = 0.5;
+        bool moved = false;
+        for (int ls = 0; ls < 60; ++ls) {
+            auto cand = axpy(x, step, dx);
+            double f1 = barrier(cand);
+            if (f1 <= f0 - alpha * step * lambda2) {
+                x = std::move(cand);
+                moved = true;
+                break;
+            }
+            step *= betaLs;
+        }
+        if (!moved)
+            break;
+    }
+    return iters;
+}
+
+} // namespace
+
+QpResult
+solveQp(const QpProblem &problem, std::vector<double> x0,
+        const QpOptions &opts)
+{
+    AW_ASSERT(x0.size() == problem.numVars());
+    if (!problem.isStrictlyFeasible(x0))
+        fatal("solveQp: starting point is not strictly feasible");
+
+    QpResult result;
+    result.x = std::move(x0);
+
+    const double m = static_cast<double>(problem.numConstraints());
+    if (m == 0) {
+        // Unconstrained QP: a single Newton step is exact.
+        result.newtonIters = center(problem, 1.0, result.x, opts);
+        result.converged = true;
+        result.objective = problem.objective(result.x);
+        return result;
+    }
+
+    double t = opts.tInitial;
+    for (int outer = 0; outer < opts.maxOuterIters; ++outer) {
+        result.newtonIters += center(problem, t, result.x, opts);
+        if (m / t < opts.tolerance) {
+            result.converged = true;
+            break;
+        }
+        t *= opts.tMultiplier;
+    }
+    result.objective = problem.objective(result.x);
+    return result;
+}
+
+std::vector<double>
+makeFeasible(const QpProblem &problem, std::vector<double> hint)
+{
+    const size_t m = problem.numConstraints();
+    const size_t n = problem.numVars();
+    AW_ASSERT(hint.size() == n);
+    if (m == 0)
+        return hint;
+
+    // Cyclic projections with a margin: for each violated constraint move
+    // the point just inside. Converges quickly for the box + ordering
+    // constraint families used in this repository.
+    for (int pass = 0; pass < 2000; ++pass) {
+        bool anyViolation = false;
+        auto gx = problem.g.mul(hint);
+        for (size_t i = 0; i < m; ++i) {
+            double margin = 1e-6 * (1.0 + std::abs(problem.h[i]));
+            if (gx[i] <= problem.h[i] - margin)
+                continue;
+            anyViolation = true;
+            double rownorm2 = 0;
+            for (size_t j = 0; j < n; ++j)
+                rownorm2 += problem.g(i, j) * problem.g(i, j);
+            if (rownorm2 == 0)
+                fatal("makeFeasible: infeasible zero-row constraint %zu", i);
+            double excess = gx[i] - (problem.h[i] - 2.0 * margin);
+            for (size_t j = 0; j < n; ++j)
+                hint[j] -= problem.g(i, j) * excess / rownorm2;
+            gx = problem.g.mul(hint);
+        }
+        if (!anyViolation)
+            return hint;
+    }
+    fatal("makeFeasible: could not find a strictly feasible point");
+}
+
+} // namespace aw

@@ -1,0 +1,182 @@
+#include "trace/tracegen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace aw {
+
+namespace {
+
+/** Register reads per op class (register-file activity). */
+uint8_t
+regReadsFor(OpClass c)
+{
+    switch (c) {
+      case OpClass::IntMad:
+      case OpClass::FpFma:
+      case OpClass::DpFma:
+        return 3;
+      case OpClass::Tensor:
+        return 4;
+      case OpClass::StGlobal:
+      case OpClass::StShared:
+        return 2;
+      case OpClass::Nop:
+      case OpClass::NanoSleep:
+      case OpClass::Bar:
+      case OpClass::Exit:
+        return 0;
+      case OpClass::Branch:
+        return 1;
+      default:
+        return 2;
+    }
+}
+
+uint8_t
+regWritesFor(OpClass c)
+{
+    switch (c) {
+      case OpClass::StGlobal:
+      case OpClass::StShared:
+      case OpClass::Branch:
+      case OpClass::Bar:
+      case OpClass::Nop:
+      case OpClass::NanoSleep:
+      case OpClass::Exit:
+        return 0;
+      case OpClass::Tensor:
+        return 2;
+      default:
+        return 1;
+    }
+}
+
+TraceInst
+makeInst(OpClass c, uint16_t depDist, uint8_t transactions)
+{
+    TraceInst inst;
+    inst.op = c;
+    inst.powerComp = opClassPowerComponent(c);
+    inst.depDist = depDist;
+    inst.transactions = transactions;
+    inst.regReads = regReadsFor(c);
+    inst.regWrites = regWritesFor(c);
+    return inst;
+}
+
+/**
+ * Build the multiset of body ops from the mix (proportional allocation,
+ * largest-remainder rounding), then shuffle deterministically.
+ */
+std::vector<OpClass>
+sampleBodyOps(const KernelDescriptor &desc, Rng &rng)
+{
+    double total = desc.totalMixWeight();
+    const int n = desc.bodyInsts;
+    std::vector<OpClass> ops;
+    ops.reserve(static_cast<size_t>(n));
+
+    std::vector<std::pair<double, OpClass>> remainders;
+    int allocated = 0;
+    for (const auto &entry : desc.mix) {
+        double exact = entry.weight / total * n;
+        int whole = static_cast<int>(exact);
+        for (int i = 0; i < whole; ++i)
+            ops.push_back(entry.op);
+        allocated += whole;
+        remainders.push_back({exact - whole, entry.op});
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto &a, const auto &b) { return a.first > b.first; });
+    for (size_t i = 0; allocated < n && i < remainders.size();
+         ++i, ++allocated)
+        ops.push_back(remainders[i].second);
+    // If the mix has fewer distinct entries than leftover slots, pad with
+    // the heaviest entry.
+    while (allocated < n) {
+        ops.push_back(desc.mix.front().op);
+        ++allocated;
+    }
+
+    // Fisher-Yates with the kernel's deterministic rng.
+    for (size_t i = ops.size(); i > 1; --i)
+        std::swap(ops[i - 1], ops[rng.below(i)]);
+    return ops;
+}
+
+/** Shared generation skeleton; `ptx` selects the virtual-ISA lowering. */
+WarpProgram
+generateProgram(const KernelDescriptor &desc, bool ptx)
+{
+    Rng rng(desc.seed ^ (ptx ? 0x9137ULL : 0));
+    WarpProgram prog;
+    prog.isa = ptx ? IsaLevel::Ptx : IsaLevel::Sass;
+    prog.iterations = desc.iterations;
+
+    auto ops = sampleBodyOps(desc, rng);
+    const uint16_t dep =
+        static_cast<uint16_t>(std::max(1, desc.ilpDegree));
+    // The virtual ISA sees pre-optimization address streams and cannot
+    // prove the coalescing SASS register allocation enables: emulation
+    // mispredicts transaction counts for well-coalesced accesses
+    // (Gutierrez et al. [14], Section 6.2).
+    int txnCount = std::clamp(desc.transactionsPerMemAccess, 1, 32);
+    if (ptx && txnCount == 1)
+        txnCount = 2;
+    const uint8_t txn = static_cast<uint8_t>(txnCount);
+
+    for (OpClass c : ops) {
+        if (isMemoryOp(c)) {
+            // Address generation preceding the access.
+            if (ptx) {
+                // PTX: unfused mul + add address math.
+                prog.body.push_back(makeInst(OpClass::IntMul, 0, 0));
+                prog.body.push_back(makeInst(OpClass::IntAdd, 1, 0));
+            } else {
+                // SASS: one fused IMAD.
+                prog.body.push_back(makeInst(OpClass::IntMad, 0, 0));
+            }
+            prog.body.push_back(makeInst(c, 1, txn));
+            continue;
+        }
+        if (ptx && c == OpClass::IntMad) {
+            // The virtual ISA frequently leaves mul+add unfused where the
+            // native ISA emits IMAD.
+            prog.body.push_back(makeInst(OpClass::IntMul, dep, 0));
+            prog.body.push_back(makeInst(OpClass::IntAdd, 1, 0));
+            continue;
+        }
+        prog.body.push_back(makeInst(c, dep, 0));
+        if (ptx && rng.uniform() < 0.06) {
+            // Register moves SASS register allocation eliminates.
+            prog.body.push_back(makeInst(OpClass::Mov, 0, 0));
+        }
+    }
+
+    // Loop control appended to each body iteration.
+    prog.body.push_back(makeInst(OpClass::IntAdd, 0, 0)); // counter
+    prog.body.push_back(makeInst(OpClass::IntAdd, 1, 0)); // compare (SETP)
+    prog.body.push_back(makeInst(OpClass::Branch, 1, 0));
+
+    return prog;
+}
+
+} // namespace
+
+WarpProgram
+generateSassProgram(const KernelDescriptor &desc)
+{
+    return generateProgram(desc, false);
+}
+
+WarpProgram
+generatePtxProgram(const KernelDescriptor &desc)
+{
+    return generateProgram(desc, true);
+}
+
+} // namespace aw

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Trace generation: expands a KernelDescriptor into the per-warp
+ * instruction program the performance simulator executes.
+ *
+ * Two generators exist, mirroring the two ISA levels AccelWattch models:
+ *
+ *  - SASS (native ISA): the stream NVBit would capture on silicon. Memory
+ *    operations carry one fused IMAD of address math; loop control is
+ *    IADD3 + ISETP + BRA.
+ *  - PTX (virtual ISA): the stream GPGPU-Sim's emulator would execute.
+ *    PTX does not map 1:1 to SASS (Section 6.2 / [14]): address math is
+ *    an unfused mul+add pair, integer mul-add is unfused, and register
+ *    moves that SASS register allocation eliminates remain in the
+ *    stream. These systematic differences are what make the PTX SIM
+ *    variant less accurate than SASS SIM, as in the paper.
+ */
+#pragma once
+
+#include <vector>
+
+#include "arch/isa.hpp"
+#include "trace/workload.hpp"
+
+namespace aw {
+
+/** Which ISA a program was generated for. */
+enum class IsaLevel : uint8_t { Sass, Ptx };
+
+/** One decoded trace instruction, ready for timing simulation. */
+struct TraceInst
+{
+    OpClass op = OpClass::Nop;
+    PowerComponent powerComp = PowerComponent::SmPipeline;
+    /**
+     * Producer distance: this instruction reads the result of the
+     * instruction `depDist` slots earlier in program order (0 = no
+     * register dependency). Encodes the descriptor's ILP degree.
+     */
+    uint16_t depDist = 0;
+    /** For memory ops: transactions (cache lines) per warp access. */
+    uint8_t transactions = 0;
+    /** Register operands read (register-file accesses). */
+    uint8_t regReads = 2;
+    /** Register results written. */
+    uint8_t regWrites = 1;
+};
+
+/** The complete per-warp program: body executed `iterations` times. */
+struct WarpProgram
+{
+    IsaLevel isa = IsaLevel::Sass;
+    std::vector<TraceInst> body;
+    int iterations = 1;
+
+    /** Dynamic warp-instruction count. */
+    long dynamicInsts() const
+    {
+        return static_cast<long>(body.size()) * iterations;
+    }
+};
+
+/** Generate the SASS (native ISA) program for a kernel. */
+WarpProgram generateSassProgram(const KernelDescriptor &desc);
+
+/** Generate the PTX (virtual ISA) program for the same kernel. */
+WarpProgram generatePtxProgram(const KernelDescriptor &desc);
+
+} // namespace aw

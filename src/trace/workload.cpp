@@ -1,0 +1,49 @@
+#include "trace/workload.hpp"
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace aw {
+
+double
+KernelDescriptor::totalMixWeight() const
+{
+    if (mix.empty())
+        fatal("kernel %s has an empty instruction mix", name.c_str());
+    double total = 0;
+    for (const auto &e : mix) {
+        if (e.weight < 0)
+            fatal("kernel %s has a negative mix weight", name.c_str());
+        total += e.weight;
+    }
+    if (total <= 0)
+        fatal("kernel %s has zero total mix weight", name.c_str());
+    return total;
+}
+
+double
+KernelDescriptor::mixFraction(OpClass c) const
+{
+    double total = totalMixWeight();
+    double w = 0;
+    for (const auto &e : mix)
+        if (e.op == c)
+            w += e.weight;
+    return w / total;
+}
+
+KernelDescriptor
+makeKernel(const std::string &name, std::vector<MixEntry> mix, int ctas,
+           int warpsPerCta, int activeLanes)
+{
+    KernelDescriptor k;
+    k.name = name;
+    k.mix = std::move(mix);
+    k.ctas = ctas;
+    k.warpsPerCta = warpsPerCta;
+    k.activeLanes = activeLanes;
+    k.seed = hash64(name.c_str());
+    return k;
+}
+
+} // namespace aw

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Workload descriptors: the architecture-neutral description of a CUDA
+ * kernel that both the trace generator (-> performance simulator) and
+ * the silicon oracle (-> "hardware" measurements) consume.
+ *
+ * A descriptor captures what the paper's microbenchmarks control
+ * explicitly (instruction mix, ILP, thread divergence, SM occupancy,
+ * memory footprint/locality) and what its validation kernels exhibit
+ * implicitly.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/isa.hpp"
+
+namespace aw {
+
+/** One entry of an instruction mix: an op class and its relative weight. */
+struct MixEntry
+{
+    OpClass op;
+    double weight;
+};
+
+/** Descriptor of one kernel launch. */
+struct KernelDescriptor
+{
+    std::string name;
+
+    // --- launch geometry ----------------------------------------------
+    int ctas = 80;          ///< grid size in thread blocks
+    int warpsPerCta = 8;    ///< block size / warp size
+    int ctasPerSm = 2;      ///< resident CTAs per SM (occupancy)
+    /**
+     * Cap on the number of SMs the kernel occupies (0 = no cap). Used by
+     * the idle-SM microbenchmarks (Section 4.6) and DeepBench kernels
+     * which occupy only ~12 SMs each (Section 7.2).
+     */
+    int smLimit = 0;
+
+    // --- per-warp program ----------------------------------------------
+    std::vector<MixEntry> mix;  ///< instruction mix (weights, normalized)
+    int bodyInsts = 64;         ///< instructions per unrolled loop body
+    int iterations = 16;        ///< loop trip count (ROI repetitions)
+    int ilpDegree = 4;          ///< independent dependency chains
+    int activeLanes = 32;       ///< active threads per warp (divergence y)
+
+    // --- memory behaviour -----------------------------------------------
+    double memFootprintKb = 256;      ///< global-memory working set per SM
+    bool pointerChase = false;        ///< random (true) vs strided access
+    int transactionsPerMemAccess = 1; ///< coalescing: 1 (perfect) .. 32
+
+    uint64_t seed = 1; ///< per-kernel determinism for trace synthesis
+
+    /** Total dynamic warp instructions per warp (body x iterations). */
+    long instsPerWarp() const
+    {
+        return static_cast<long>(bodyInsts) * iterations;
+    }
+
+    /** Sum of mix weights; fatal if empty or non-positive. */
+    double totalMixWeight() const;
+
+    /** Normalized weight of the given op class in the mix. */
+    double mixFraction(OpClass c) const;
+};
+
+/**
+ * Convenience builder for the common "uniform body" kernels used by
+ * microbenchmarks: name + mix + divergence + occupancy.
+ */
+KernelDescriptor makeKernel(const std::string &name,
+                            std::vector<MixEntry> mix, int ctas = 160,
+                            int warpsPerCta = 8, int activeLanes = 32);
+
+} // namespace aw

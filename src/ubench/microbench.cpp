@@ -1,0 +1,569 @@
+#include "ubench/microbench.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace aw {
+
+const std::string &
+ubenchCategoryName(UbenchCategory c)
+{
+    static const std::string names[] = {
+        "Active/Idle SMs", "INT32 core", "FP32 core", "FP64 core", "SFU",
+        "Texture Unit", "Register File", "dCaches + Sh.Mem. + NoC",
+        "DRAM + MC", "Tensor core", "Mix",
+    };
+    size_t i = static_cast<size_t>(c);
+    AW_ASSERT(i < kNumUbenchCategories);
+    return names[i];
+}
+
+int
+ubenchCategoryCount(UbenchCategory c)
+{
+    switch (c) {
+      case UbenchCategory::ActiveIdleSm:   return 12;
+      case UbenchCategory::Int32Core:      return 9;
+      case UbenchCategory::Fp32Core:       return 8;
+      case UbenchCategory::Fp64Core:       return 8;
+      case UbenchCategory::Sfu:            return 9;
+      case UbenchCategory::TextureUnit:    return 7;
+      case UbenchCategory::RegisterFile:   return 1;
+      case UbenchCategory::DCacheShmemNoc: return 11;
+      case UbenchCategory::DramMc:         return 2;
+      case UbenchCategory::TensorCore:     return 6;
+      case UbenchCategory::Mix:            return 29;
+      default: panic("bad ubench category");
+    }
+}
+
+namespace {
+
+/** Default microbenchmark shape: full chip, moderate occupancy. */
+KernelDescriptor
+base(const std::string &name, std::vector<MixEntry> mix)
+{
+    KernelDescriptor k = makeKernel(name, std::move(mix));
+    k.ctas = 160;
+    k.warpsPerCta = 8;
+    k.ctasPerSm = 2;
+    k.bodyInsts = 64;
+    // Long enough that even low-occupancy variants exceed the ~2 us
+    // per-launch minimum NVML measurements need (Section 6.1).
+    k.iterations = 24;
+    k.ilpDegree = 4;
+    k.memFootprintKb = 16;
+    return k;
+}
+
+KernelDescriptor
+withIlp(KernelDescriptor k, int ilp)
+{
+    k.name += "_ilp" + std::to_string(ilp);
+    k.seed = hash64(k.name.c_str());
+    k.ilpDegree = ilp;
+    return k;
+}
+
+KernelDescriptor
+withLanes(KernelDescriptor k, int lanes)
+{
+    k.name += "_div" + std::to_string(lanes);
+    k.seed = hash64(k.name.c_str());
+    k.activeLanes = lanes;
+    return k;
+}
+
+KernelDescriptor
+withOccupancy(KernelDescriptor k, int warpsPerCta)
+{
+    k.name += "_occ" + std::to_string(warpsPerCta);
+    k.seed = hash64(k.name.c_str());
+    k.warpsPerCta = warpsPerCta;
+    return k;
+}
+
+KernelDescriptor
+memBench(const std::string &name, std::vector<MixEntry> mix,
+         double footprintKb, bool chase = false, int transactions = 1)
+{
+    KernelDescriptor k = base(name, std::move(mix));
+    k.memFootprintKb = footprintKb;
+    k.pointerChase = chase;
+    k.transactionsPerMemAccess = transactions;
+    return k;
+}
+
+void
+addCategory(std::vector<Microbenchmark> &out, UbenchCategory cat,
+            std::vector<KernelDescriptor> kernels)
+{
+    AW_ASSERT(static_cast<int>(kernels.size()) == ubenchCategoryCount(cat));
+    for (auto &k : kernels)
+        out.push_back({std::move(k), cat});
+}
+
+} // namespace
+
+std::vector<Microbenchmark>
+dynamicPowerSuite(const GpuConfig &gpu)
+{
+    std::vector<Microbenchmark> suite;
+    suite.reserve(102);
+
+    // --- Active/Idle SMs (12): Section 4.6 occupancy probes ------------
+    {
+        std::vector<KernelDescriptor> ks;
+        int maxSms = gpu.numSms;
+        const int points[] = {1, 8, 16, 24, 32, 40, 48, 56, 64, 72};
+        for (int p : points)
+            ks.push_back(occupancyKernel(std::min(p, maxSms), 0));
+        ks.push_back(occupancyKernel(maxSms, 0));
+        ks.push_back(occupancyKernel(maxSms, 1));
+        addCategory(suite, UbenchCategory::ActiveIdleSm, std::move(ks));
+    }
+
+    // --- INT32 core (9) --------------------------------------------------
+    {
+        auto intAdd = base("ub_int_add", {{OpClass::IntAdd, 1}});
+        auto intMul = base("ub_int_mul", {{OpClass::IntMul, 1}});
+        std::vector<KernelDescriptor> ks;
+        ks.push_back(intAdd);
+        ks.push_back(intMul);
+        ks.push_back(base("ub_int_mad", {{OpClass::IntMad, 1}}));
+        ks.push_back(base("ub_int_logic", {{OpClass::IntLogic, 1}}));
+        ks.push_back(withIlp(intAdd, 1));
+        ks.push_back(withIlp(intAdd, 8));
+        ks.push_back(withIlp(intMul, 8));
+        ks.push_back(withLanes(intAdd, 16));
+        ks.push_back(withOccupancy(
+            base("ub_int_mad2", {{OpClass::IntMad, 1}}), 2));
+        addCategory(suite, UbenchCategory::Int32Core, std::move(ks));
+    }
+
+    // --- FP32 core (8) ---------------------------------------------------
+    {
+        auto fpAdd = base("ub_fp_add", {{OpClass::FpAdd, 1}});
+        auto fpMul = base("ub_fp_mul", {{OpClass::FpMul, 1}});
+        auto fpFma = base("ub_fp_fma", {{OpClass::FpFma, 1}});
+        std::vector<KernelDescriptor> ks{fpAdd, fpMul, fpFma};
+        ks.push_back(withIlp(fpAdd, 1));
+        ks.push_back(withIlp(fpMul, 8));
+        ks.push_back(withIlp(fpFma, 8));
+        ks.push_back(withLanes(fpAdd, 16));
+        ks.push_back(withOccupancy(
+            base("ub_fp_fma2", {{OpClass::FpFma, 1}}), 2));
+        addCategory(suite, UbenchCategory::Fp32Core, std::move(ks));
+    }
+
+    // --- FP64 core (8) ---------------------------------------------------
+    {
+        auto dpAdd = base("ub_dp_add", {{OpClass::DpAdd, 1}});
+        auto dpMul = base("ub_dp_mul", {{OpClass::DpMul, 1}});
+        auto dpFma = base("ub_dp_fma", {{OpClass::DpFma, 1}});
+        std::vector<KernelDescriptor> ks{dpAdd, dpMul, dpFma};
+        ks.push_back(withIlp(dpAdd, 1));
+        ks.push_back(withIlp(dpMul, 8));
+        ks.push_back(withIlp(dpFma, 8));
+        ks.push_back(withLanes(dpAdd, 16));
+        ks.push_back(withOccupancy(
+            base("ub_dp_fma2", {{OpClass::DpFma, 1}}), 2));
+        addCategory(suite, UbenchCategory::Fp64Core, std::move(ks));
+    }
+
+    // --- SFU (9) -----------------------------------------------------------
+    {
+        auto sq = base("ub_sfu_sqrt", {{OpClass::Sqrt, 1}});
+        auto lg = base("ub_sfu_log", {{OpClass::Log, 1}});
+        auto sn = base("ub_sfu_sin", {{OpClass::Sin, 1}});
+        auto ex = base("ub_sfu_exp", {{OpClass::Exp, 1}});
+        std::vector<KernelDescriptor> ks{sq, lg, sn, ex};
+        ks.push_back(withIlp(sq, 8));
+        ks.push_back(withIlp(lg, 8));
+        ks.push_back(withIlp(sn, 1));
+        ks.push_back(withIlp(ex, 8));
+        ks.push_back(base("ub_sfu_all", {{OpClass::Sqrt, 1},
+                                         {OpClass::Log, 1},
+                                         {OpClass::Sin, 1},
+                                         {OpClass::Exp, 1}}));
+        addCategory(suite, UbenchCategory::Sfu, std::move(ks));
+    }
+
+    // --- Texture unit (7) ---------------------------------------------------
+    {
+        std::vector<MixEntry> texMix{{OpClass::Tex, 0.8},
+                                     {OpClass::IntAdd, 0.2}};
+        auto tex = base("ub_tex", texMix);
+        std::vector<KernelDescriptor> ks;
+        ks.push_back(tex);
+        ks.push_back(memBench("ub_tex_stream", texMix, 2048));
+        ks.push_back(withIlp(tex, 1));
+        ks.push_back(withIlp(tex, 8));
+        ks.push_back(withLanes(tex, 16));
+        ks.push_back(withOccupancy(base("ub_tex2", texMix), 2));
+        ks.push_back(base("ub_tex_heavy", {{OpClass::Tex, 1}}));
+        addCategory(suite, UbenchCategory::TextureUnit, std::move(ks));
+    }
+
+    // --- Register file (1) ---------------------------------------------------
+    {
+        auto rf = base("ub_rf_stress", {{OpClass::FpFma, 0.5},
+                                        {OpClass::IntMad, 0.5}});
+        rf.ilpDegree = 8;
+        rf.warpsPerCta = 16;
+        addCategory(suite, UbenchCategory::RegisterFile, {rf});
+    }
+
+    // --- dCaches + shared memory + NoC (11) ---------------------------------
+    {
+        std::vector<MixEntry> ld{{OpClass::LdGlobal, 0.6},
+                                 {OpClass::IntAdd, 0.4}};
+        std::vector<KernelDescriptor> ks;
+        ks.push_back(memBench("ub_l1_hit", ld, 16));
+        ks.push_back(memBench("ub_l1_stream", ld, 48));
+        ks.push_back(memBench("ub_l2_chase", ld, 56, true));
+        ks.push_back(memBench("ub_l2_stream", ld, 64));
+        ks.push_back(memBench("ub_shmem_ld", {{OpClass::LdShared, 0.7},
+                                              {OpClass::IntAdd, 0.3}},
+                              16));
+        ks.push_back(memBench("ub_shmem_st", {{OpClass::StShared, 0.6},
+                                              {OpClass::IntAdd, 0.4}},
+                              16));
+        ks.push_back(memBench("ub_shmem_conflict",
+                              {{OpClass::LdShared, 0.7},
+                               {OpClass::IntAdd, 0.3}},
+                              16, false, 8));
+        ks.push_back(memBench("ub_const_ld", {{OpClass::LdConst, 0.7},
+                                              {OpClass::IntAdd, 0.3}},
+                              2));
+        ks.push_back(memBench("ub_store_l2", {{OpClass::StGlobal, 0.5},
+                                              {OpClass::IntAdd, 0.5}},
+                              32));
+        ks.push_back(memBench("ub_ldst_mix", {{OpClass::LdGlobal, 0.3},
+                                              {OpClass::StGlobal, 0.2},
+                                              {OpClass::LdShared, 0.2},
+                                              {OpClass::IntAdd, 0.3}},
+                              32));
+        ks.push_back(memBench("ub_l1_uncoalesced", ld, 24, false, 8));
+        addCategory(suite, UbenchCategory::DCacheShmemNoc, std::move(ks));
+    }
+
+    // --- DRAM + MC (2) -------------------------------------------------------
+    {
+        std::vector<KernelDescriptor> ks;
+        ks.push_back(memBench("ub_dram_stream", {{OpClass::LdGlobal, 0.5},
+                                                 {OpClass::IntAdd, 0.5}},
+                              8192));
+        ks.push_back(memBench("ub_dram_chase", {{OpClass::LdGlobal, 0.4},
+                                                {OpClass::IntAdd, 0.6}},
+                              4096, true));
+        addCategory(suite, UbenchCategory::DramMc, std::move(ks));
+    }
+
+    // --- Tensor core (6), replaced by mixes when not present ----------------
+    {
+        std::vector<KernelDescriptor> ks;
+        if (gpu.hasTensorCores) {
+            std::vector<MixEntry> tens{{OpClass::Tensor, 0.7},
+                                       {OpClass::IntAdd, 0.3}};
+            auto t = base("ub_tensor", tens);
+            ks.push_back(t);
+            ks.push_back(withIlp(t, 1));
+            ks.push_back(withIlp(t, 8));
+            ks.push_back(base("ub_tensor_shmem",
+                              {{OpClass::Tensor, 0.5},
+                               {OpClass::LdShared, 0.3},
+                               {OpClass::IntAdd, 0.2}}));
+            ks.push_back(base("ub_tensor_dense", {{OpClass::Tensor, 1}}));
+            ks.push_back(withOccupancy(base("ub_tensor2", tens), 2));
+        } else {
+            // Table 2 substitution for tensorless parts: extra mixes.
+            ks.push_back(base("ub_notensor_a", {{OpClass::IntMad, 0.5},
+                                                {OpClass::FpFma, 0.5}}));
+            ks.push_back(base("ub_notensor_b", {{OpClass::FpFma, 0.7},
+                                                {OpClass::IntAdd, 0.3}}));
+            ks.push_back(base("ub_notensor_c", {{OpClass::FpMul, 0.5},
+                                                {OpClass::IntMul, 0.5}}));
+            ks.push_back(base("ub_notensor_d", {{OpClass::DpFma, 0.5},
+                                                {OpClass::FpFma, 0.5}}));
+            ks.push_back(base("ub_notensor_e", {{OpClass::FpAdd, 0.5},
+                                                {OpClass::FpMul, 0.5}}));
+            ks.push_back(base("ub_notensor_f", {{OpClass::IntMad, 1}}));
+        }
+        addCategory(suite, UbenchCategory::TensorCore, std::move(ks));
+    }
+
+    // --- Mix (29): Section 4.5 instruction-pattern combinations -------------
+    {
+        std::vector<KernelDescriptor> ks;
+        auto intFp = [&](const std::string &n, double fpShare) {
+            return base(n, {{OpClass::IntMad, 1.0 - fpShare},
+                            {OpClass::FpFma, fpShare}});
+        };
+        ks.push_back(intFp("ub_mix_int_fp50", 0.5));
+        ks.push_back(intFp("ub_mix_int_fp25", 0.25));
+        ks.push_back(intFp("ub_mix_int_fp75", 0.75));
+        ks.push_back(base("ub_mix_int_fp_dp", {{OpClass::IntMad, 0.4},
+                                               {OpClass::FpFma, 0.4},
+                                               {OpClass::DpFma, 0.2}}));
+        ks.push_back(base("ub_mix_int_fp_dp_heavy",
+                          {{OpClass::IntMad, 0.25},
+                           {OpClass::FpFma, 0.25},
+                           {OpClass::DpFma, 0.5}}));
+        ks.push_back(base("ub_mix_int_fp_sfu", {{OpClass::IntMad, 0.4},
+                                                {OpClass::FpFma, 0.4},
+                                                {OpClass::Sqrt, 0.1},
+                                                {OpClass::Log, 0.1}}));
+        ks.push_back(base("ub_mix_int_fp_sfu_heavy",
+                          {{OpClass::IntMad, 0.3},
+                           {OpClass::FpFma, 0.3},
+                           {OpClass::Sin, 0.2},
+                           {OpClass::Exp, 0.2}}));
+        ks.push_back(base("ub_mix_int_fp_tex", {{OpClass::IntMad, 0.4},
+                                                {OpClass::FpFma, 0.4},
+                                                {OpClass::Tex, 0.2}}));
+        if (gpu.hasTensorCores) {
+            ks.push_back(base("ub_mix_int_fp_tensor",
+                              {{OpClass::IntMad, 0.4},
+                               {OpClass::FpFma, 0.3},
+                               {OpClass::Tensor, 0.3}}));
+        } else {
+            ks.push_back(base("ub_mix_int_fp_fma",
+                              {{OpClass::IntAdd, 0.4},
+                               {OpClass::FpFma, 0.6}}));
+        }
+        ks.push_back(memBench("ub_mix_int_mem", {{OpClass::IntAdd, 0.5},
+                                                 {OpClass::LdGlobal, 0.25},
+                                                 {OpClass::StGlobal, 0.05},
+                                                 {OpClass::IntMad, 0.2}},
+                              8192));
+        ks.push_back(memBench("ub_mix_int_mem_l1",
+                              {{OpClass::IntAdd, 0.5},
+                               {OpClass::LdGlobal, 0.3},
+                               {OpClass::IntMad, 0.2}},
+                              16));
+        ks.push_back(memBench("ub_mix_fp_mem", {{OpClass::FpFma, 0.6},
+                                                {OpClass::LdGlobal, 0.4}},
+                              4096));
+        ks.push_back(memBench("ub_mix_dp_mem", {{OpClass::DpFma, 0.6},
+                                                {OpClass::LdGlobal, 0.4}},
+                              4096));
+        ks.push_back(memBench("ub_mix_sfu_mem", {{OpClass::Sqrt, 0.5},
+                                                 {OpClass::LdGlobal, 0.5}},
+                              2048));
+        ks.push_back(memBench("ub_mix_int_shmem",
+                              {{OpClass::IntMad, 0.6},
+                               {OpClass::LdShared, 0.4}},
+                              16));
+        ks.push_back(memBench("ub_mix_fp_shmem", {{OpClass::FpFma, 0.6},
+                                                  {OpClass::LdShared, 0.4}},
+                              16));
+        ks.push_back(memBench("ub_mix_int_fp_mem",
+                              {{OpClass::IntMad, 0.35},
+                               {OpClass::FpFma, 0.35},
+                               {OpClass::LdGlobal, 0.3}},
+                              2048));
+        ks.push_back(base("ub_mix_fp_dp", {{OpClass::FpFma, 0.5},
+                                           {OpClass::DpFma, 0.5}}));
+        ks.push_back(base("ub_mix_int_dp", {{OpClass::IntMad, 0.5},
+                                            {OpClass::DpFma, 0.5}}));
+        ks.push_back(base("ub_mix_int_sfu", {{OpClass::IntMad, 0.6},
+                                             {OpClass::Exp, 0.4}}));
+        ks.push_back(base("ub_mix_fp_sfu", {{OpClass::FpFma, 0.6},
+                                            {OpClass::Sin, 0.4}}));
+        ks.push_back(base("ub_mix_fp_tex", {{OpClass::FpFma, 0.6},
+                                            {OpClass::Tex, 0.4}}));
+        ks.push_back(withLanes(intFp("ub_mix_int_fp_d8", 0.5), 8));
+        ks.push_back(withLanes(intFp("ub_mix_int_fp_d24", 0.5), 24));
+        ks.push_back(memBench("ub_mix_all", {{OpClass::IntMad, 0.25},
+                                             {OpClass::FpFma, 0.25},
+                                             {OpClass::DpFma, 0.15},
+                                             {OpClass::Sqrt, 0.1},
+                                             {OpClass::LdGlobal, 0.25}},
+                              1024));
+        ks.push_back(base("ub_mix_compute", {{OpClass::IntMad, 0.34},
+                                             {OpClass::FpFma, 0.33},
+                                             {OpClass::DpFma, 0.33}}));
+        ks.push_back(base("ub_mix_imul_ffma", {{OpClass::IntMul, 0.5},
+                                               {OpClass::FpFma, 0.5}}));
+        {
+            auto light = base("ub_light_nanosleep",
+                              {{OpClass::NanoSleep, 1}});
+            light.warpsPerCta = 2;
+            light.ctas = 80;
+            light.ctasPerSm = 1;
+            ks.push_back(light);
+        }
+        {
+            auto lowOcc = base("ub_int_low_occ", {{OpClass::IntMad, 1}});
+            lowOcc.warpsPerCta = 1;
+            lowOcc.ctasPerSm = 1;
+            lowOcc.ctas = gpu.numSms;
+            ks.push_back(lowOcc);
+        }
+        addCategory(suite, UbenchCategory::Mix, std::move(ks));
+    }
+
+    AW_ASSERT(suite.size() == 102);
+    return suite;
+}
+
+std::vector<KernelDescriptor>
+dvfsSuite()
+{
+    std::vector<KernelDescriptor> ks;
+    ks.push_back(memBench("dvfs_int_mem", {{OpClass::IntAdd, 0.45},
+                                           {OpClass::IntMad, 0.2},
+                                           {OpClass::LdGlobal, 0.28},
+                                           {OpClass::StGlobal, 0.07}},
+                          8192));
+    ks.push_back(base("dvfs_int_add", {{OpClass::IntAdd, 1}}));
+    ks.push_back(base("dvfs_fp_add", {{OpClass::FpAdd, 1}}));
+    ks.push_back(base("dvfs_fp_mul", {{OpClass::FpMul, 1}}));
+    {
+        auto light = base("dvfs_nanosleep", {{OpClass::NanoSleep, 1}});
+        light.warpsPerCta = 2;
+        light.ctas = 80;
+        light.ctasPerSm = 1;
+        ks.push_back(light);
+    }
+    return ks;
+}
+
+KernelDescriptor
+gatingKernel(int lanes, int sms)
+{
+    AW_ASSERT(lanes >= 1 && lanes <= 32);
+    AW_ASSERT(sms >= 1);
+    auto k = makeKernel("gate_" + std::to_string(lanes) + "L_" +
+                            std::to_string(sms) + "SM",
+                        {{OpClass::IntAdd, 0.6}, {OpClass::IntMul, 0.4}});
+    k.ctas = sms;
+    k.smLimit = sms;
+    k.warpsPerCta = 1;
+    k.ctasPerSm = 1;
+    k.activeLanes = lanes;
+    k.bodyInsts = 64;
+    // One warp per SM is latency-bound: run long enough for NVML.
+    k.iterations = 48;
+    return k;
+}
+
+KernelDescriptor
+divergenceKernel(DivergenceFamily family, int activeLanes)
+{
+    std::vector<MixEntry> mix;
+    std::string name;
+    switch (family) {
+      case DivergenceFamily::IntMul:
+        name = "div_int_mul";
+        mix = {{OpClass::IntMul, 1}};
+        break;
+      case DivergenceFamily::IntFp:
+        name = "div_int_fp";
+        mix = {{OpClass::IntMad, 0.5}, {OpClass::FpFma, 0.5}};
+        break;
+      case DivergenceFamily::IntFpSfu:
+        name = "div_int_fp_sfu";
+        mix = {{OpClass::IntMad, 0.35},
+               {OpClass::FpFma, 0.35},
+               {OpClass::Sqrt, 0.1},
+               {OpClass::Log, 0.1},
+               {OpClass::Sin, 0.05},
+               {OpClass::Exp, 0.05}};
+        break;
+    }
+    auto k = makeKernel(name + "_y" + std::to_string(activeLanes),
+                        std::move(mix));
+    k.ctas = 160;
+    k.warpsPerCta = 8;
+    k.ctasPerSm = 2;
+    k.activeLanes = activeLanes;
+    return k;
+}
+
+KernelDescriptor
+mixCategoryProbe(MixCategory category, int activeLanes)
+{
+    std::vector<MixEntry> mix;
+    switch (category) {
+      case MixCategory::IntAddOnly:
+        mix = {{OpClass::IntAdd, 1}};
+        break;
+      case MixCategory::IntMulOnly:
+        mix = {{OpClass::IntMul, 1}};
+        break;
+      case MixCategory::IntOnly:
+        mix = {{OpClass::IntAdd, 0.4},
+               {OpClass::IntMul, 0.3},
+               {OpClass::IntMad, 0.3}};
+        break;
+      case MixCategory::IntFp:
+        mix = {{OpClass::IntMad, 0.5}, {OpClass::FpFma, 0.5}};
+        break;
+      case MixCategory::IntFpDp:
+        mix = {{OpClass::IntMad, 0.34},
+               {OpClass::FpFma, 0.33},
+               {OpClass::DpFma, 0.33}};
+        break;
+      case MixCategory::IntFpSfu:
+        mix = {{OpClass::IntMad, 0.35},
+               {OpClass::FpFma, 0.35},
+               {OpClass::Sqrt, 0.1},
+               {OpClass::Log, 0.1},
+               {OpClass::Sin, 0.05},
+               {OpClass::Exp, 0.05}};
+        break;
+      case MixCategory::IntFpTex:
+        mix = {{OpClass::IntMad, 0.4},
+               {OpClass::FpFma, 0.4},
+               {OpClass::Tex, 0.2}};
+        break;
+      case MixCategory::IntFpTensor:
+        mix = {{OpClass::IntMad, 0.35},
+               {OpClass::FpFma, 0.3},
+               {OpClass::Tensor, 0.35}};
+        break;
+      case MixCategory::Light:
+        mix = {{OpClass::NanoSleep, 1}};
+        break;
+      default:
+        panic("bad mix category");
+    }
+    auto k = makeKernel("probe_" + mixCategoryName(category) + "_y" +
+                            std::to_string(activeLanes),
+                        std::move(mix));
+    k.ctas = 160;
+    k.warpsPerCta = 8;
+    k.ctasPerSm = 2;
+    k.activeLanes = activeLanes;
+    if (category == MixCategory::Light) {
+        k.warpsPerCta = 2;
+        k.ctas = 80;
+        k.ctasPerSm = 1;
+    }
+    return k;
+}
+
+KernelDescriptor
+occupancyKernel(int activeSms, int flavor)
+{
+    std::vector<MixEntry> mix =
+        flavor == 0
+            ? std::vector<MixEntry>{{OpClass::IntMul, 1.0}}
+            : std::vector<MixEntry>{{OpClass::IntMad, 0.6},
+                                    {OpClass::FpFma, 0.4}};
+    auto k = makeKernel("occ_" + std::to_string(activeSms) + "sm_f" +
+                            std::to_string(flavor),
+                        std::move(mix));
+    k.ctas = activeSms * 2;
+    k.smLimit = activeSms;
+    k.ctasPerSm = 2;
+    k.warpsPerCta = 8;
+    k.activeLanes = 32; // full warps so divergence does not perturb
+    return k;
+}
+
+} // namespace aw

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The AccelWattch microbenchmark suites (Sections 4 and 5.3):
+ *
+ *  - the 102 dynamic-power tuning microbenchmarks of Table 2, each
+ *    stressing a target hardware component category;
+ *  - the DVFS suite of Figure 2 (INT_MEM, INT_ADD, FP_ADD, FP_MUL,
+ *    NANOSLEEP swept over core frequency);
+ *  - the power-gating lane/SM sweep of Figure 3;
+ *  - the thread-divergence sweeps of Figure 4;
+ *  - the idle-SM occupancy suite of Figure 5 / Section 4.6.
+ *
+ * All are synthesized as KernelDescriptors: the same role the paper's
+ * CUDA/PTX-inline-assembly microbenchmarks play, with compiler effects
+ * (unrolling, pointer chasing to defeat optimization) encoded directly.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/activity.hpp"
+#include "arch/gpu_config.hpp"
+#include "trace/workload.hpp"
+
+namespace aw {
+
+/** Hardware component categories targeted by the suite (Table 2). */
+enum class UbenchCategory : uint8_t
+{
+    ActiveIdleSm,   ///< 12 occupancy benchmarks
+    Int32Core,      ///< 9
+    Fp32Core,       ///< 8
+    Fp64Core,       ///< 8
+    Sfu,            ///< 9
+    TextureUnit,    ///< 7
+    RegisterFile,   ///< 1
+    DCacheShmemNoc, ///< 11
+    DramMc,         ///< 2
+    TensorCore,     ///< 6
+    Mix,            ///< 29
+
+    NumCategories
+};
+
+constexpr size_t kNumUbenchCategories =
+    static_cast<size_t>(UbenchCategory::NumCategories);
+
+/** Human-readable category name matching Table 2 rows. */
+const std::string &ubenchCategoryName(UbenchCategory c);
+
+/** Expected benchmark count per category (Table 2). */
+int ubenchCategoryCount(UbenchCategory c);
+
+/** One tuning microbenchmark. */
+struct Microbenchmark
+{
+    KernelDescriptor kernel;
+    UbenchCategory category;
+};
+
+/**
+ * The full 102-microbenchmark dynamic-power tuning suite for a GPU.
+ * Tensor benchmarks are replaced by extra mix benchmarks on
+ * architectures without tensor cores.
+ */
+std::vector<Microbenchmark> dynamicPowerSuite(const GpuConfig &gpu);
+
+/** The 5 frequency-sweep workloads of Figure 2. */
+std::vector<KernelDescriptor> dvfsSuite();
+
+/**
+ * Power-gating probe (Figure 3): integer ops on `lanes` active lanes per
+ * warp, one warp per SM, on `sms` SMs.
+ */
+KernelDescriptor gatingKernel(int lanes, int sms);
+
+/** Divergence-sweep workload families of Figure 4. */
+enum class DivergenceFamily : uint8_t { IntMul, IntFp, IntFpSfu };
+
+/** One divergence-sweep kernel: family with y active lanes per warp. */
+KernelDescriptor divergenceKernel(DivergenceFamily family, int activeLanes);
+
+/**
+ * Occupancy probe (Section 4.6 / Figure 5): full 32-lane warps limited
+ * to `activeSms` SMs. `flavor` varies the instruction mix across the 12
+ * Active/Idle-SM benchmarks.
+ */
+KernelDescriptor occupancyKernel(int activeSms, int flavor = 0);
+
+/**
+ * Divergence-calibration probe for one of the 9 instruction-mix
+ * categories (Section 4.5): a kernel whose mix classifies into
+ * `category`, with `activeLanes` threads per warp, occupying all SMs.
+ */
+KernelDescriptor mixCategoryProbe(MixCategory category, int activeLanes);
+
+} // namespace aw

@@ -1,0 +1,92 @@
+#include "workloads/case_study.hpp"
+
+#include "common/log.hpp"
+#include "core/tech_scaling.hpp"
+
+namespace aw {
+
+AccelWattchModel
+portModel(const AccelWattchModel &voltaModel, const GpuConfig &target,
+          double constMultiplier, bool applyTechScaling)
+{
+    AccelWattchModel ported = voltaModel;
+    if (applyTechScaling)
+        ported = scaleToTechNode(ported, target.techNodeNm);
+    ported.gpu = target;
+    // The tuned energies are assumed to apply at the target's own
+    // reference operating point; differences in hardware implementation
+    // intentionally remain and manifest as modeling error (Section 7.1).
+    ported.refVoltage = target.referenceVoltage();
+    ported.constPowerW *= constMultiplier;
+    return ported;
+}
+
+std::vector<ValidationKernel>
+caseStudySuite(CaseStudyGpu target)
+{
+    std::vector<ValidationKernel> suite;
+    for (const auto &k : validationSuite()) {
+        if (target == CaseStudyGpu::Pascal && k.usesTensor)
+            continue; // no tensor cores on Pascal (Section 7.1)
+        suite.push_back(k);
+    }
+    return suite;
+}
+
+std::vector<ValidationRow>
+runCaseStudy(AccelWattchCalibrator &voltaCalibrator, CaseStudyGpu target,
+             Variant variant, bool applyTechScaling)
+{
+    if (variant != Variant::SassSim && variant != Variant::PtxSim)
+        fatal("case studies are driven by the simulator variants");
+
+    const SiliconOracle &card = target == CaseStudyGpu::Pascal
+                                    ? sharedPascalCard()
+                                    : sharedTuringCard();
+    const double constMult = target == CaseStudyGpu::Turing ? 1.7 : 1.0;
+
+    AccelWattchModel model =
+        portModel(voltaCalibrator.variant(variant).model, card.config(),
+                  constMult, applyTechScaling);
+
+    // Traces are re-extracted for the target ISA: the performance model
+    // runs with the target architecture's configuration (Section 7.1).
+    GpuSimulator targetSim(card.config());
+    NvmlEmu nvml(card);
+
+    std::vector<ValidationRow> rows;
+    for (const auto &k : caseStudySuite(target)) {
+        ValidationRow row;
+        row.name = k.kernel.name;
+        row.measuredW = nvml.measureAveragePowerW(k.kernel);
+        KernelActivity act = variant == Variant::SassSim
+                                 ? targetSim.runSass(k.kernel)
+                                 : targetSim.runPtx(k.kernel);
+        row.breakdown = model.evaluateKernel(act);
+        row.modeledW = row.breakdown.totalW();
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::vector<RelativePowerRow>
+relativePower(const std::vector<ValidationRow> &archA,
+              const std::vector<ValidationRow> &archB)
+{
+    std::vector<RelativePowerRow> rows;
+    for (const auto &a : archA) {
+        for (const auto &b : archB) {
+            if (a.name != b.name)
+                continue;
+            RelativePowerRow r;
+            r.name = a.name;
+            r.modeledRel = (a.modeledW - b.modeledW) / b.modeledW;
+            r.measuredRel = (a.measuredW - b.measuredW) / b.measuredW;
+            rows.push_back(r);
+            break;
+        }
+    }
+    return rows;
+}
+
+} // namespace aw

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Design-space-exploration case studies (Section 7.1): the Volta-tuned
+ * AccelWattch model is applied — without retuning — to GPU
+ * configurations resembling Pascal (TITAN X) and Turing (RTX 2060S) and
+ * compared against "hardware" (each chip's silicon oracle).
+ *
+ * Per the paper's flow: workloads are recompiled / traces re-extracted
+ * for the target ISA (the simulator runs with the target architecture's
+ * configuration); IRDS technology scaling bridges Volta's 12 nm to
+ * Pascal's 16 nm; Turing's board gets a 1.7x constant-power adjustment;
+ * tensor workloads are excluded on Pascal.
+ */
+#pragma once
+
+#include "core/calibration.hpp"
+#include "workloads/validation.hpp"
+
+namespace aw {
+
+/**
+ * Port a calibrated model to another architecture: apply technology
+ * scaling (optional), swap in the target GPU configuration, and adjust
+ * constant power for the target board.
+ */
+AccelWattchModel portModel(const AccelWattchModel &voltaModel,
+                           const GpuConfig &target,
+                           double constMultiplier = 1.0,
+                           bool applyTechScaling = true);
+
+/** Case-study targets. */
+enum class CaseStudyGpu : uint8_t { Pascal, Turing };
+
+/** The validation suite filtered for a case-study target. */
+std::vector<ValidationKernel> caseStudySuite(CaseStudyGpu target);
+
+/**
+ * Run the Section 7.1 flow: measure each suite kernel on the target
+ * card and model it with the ported Volta model driven by the given
+ * variant's performance model on the target configuration.
+ */
+std::vector<ValidationRow> runCaseStudy(
+    AccelWattchCalibrator &voltaCalibrator, CaseStudyGpu target,
+    Variant variant, bool applyTechScaling = true);
+
+/**
+ * Per-kernel relative power of arch A vs arch B (Figure 12):
+ * (P_A - P_B) / P_B for both the modeled and the measured values, for
+ * kernels common to both suites.
+ */
+struct RelativePowerRow
+{
+    std::string name;
+    double modeledRel = 0;
+    double measuredRel = 0;
+};
+
+std::vector<RelativePowerRow> relativePower(
+    const std::vector<ValidationRow> &archA,
+    const std::vector<ValidationRow> &archB);
+
+} // namespace aw

@@ -1,0 +1,191 @@
+#include "workloads/deepbench.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace aw {
+
+namespace {
+
+/** Kind of cuDNN/cuBLAS kernel a DeepBench benchmark launches. */
+enum class DlKernelKind { Gemm, Conv, RnnGate };
+
+KernelDescriptor
+dlKernel(const std::string &bench, DlKernelKind kind, int index, Rng &rng)
+{
+    KernelDescriptor k;
+    k.name = bench + "_k" + std::to_string(index);
+    k.seed = hash64(k.name.c_str());
+    // DeepBench kernels occupy only ~12 SMs each (Section 7.2).
+    k.smLimit = 10 + static_cast<int>(rng.below(5)); // 10..14
+    k.ctas = k.smLimit * 2;
+    k.ctasPerSm = 2;
+    k.warpsPerCta = 8;
+    k.activeLanes = 32;
+    k.ilpDegree = 4 + static_cast<int>(rng.below(4));
+    k.bodyInsts = 48 + static_cast<int>(rng.below(48));
+    k.iterations = 8 + static_cast<int>(rng.below(12));
+    switch (kind) {
+      case DlKernelKind::Gemm:
+        // Hand-tuned HMMA GEMM: tensor + shared-memory staging.
+        k.mix = {{OpClass::Tensor, 0.40},
+                 {OpClass::LdShared, 0.25},
+                 {OpClass::IntMad, 0.25},
+                 {OpClass::LdGlobal, 0.10}};
+        k.memFootprintKb = 512;
+        break;
+      case DlKernelKind::Conv:
+        // Implicit-GEMM convolution: more address math and global
+        // traffic around the MMA core.
+        k.mix = {{OpClass::Tensor, 0.30},
+                 {OpClass::IntMad, 0.30},
+                 {OpClass::LdShared, 0.20},
+                 {OpClass::LdGlobal, 0.20}};
+        k.memFootprintKb = 2048;
+        break;
+      case DlKernelKind::RnnGate:
+        // LSTM cell: small GEMMs plus sigmoid/tanh activations (SFU).
+        k.mix = {{OpClass::FpFma, 0.40},
+                 {OpClass::Exp, 0.15},
+                 {OpClass::IntAdd, 0.20},
+                 {OpClass::LdGlobal, 0.25}};
+        k.memFootprintKb = 256;
+        break;
+    }
+    return k;
+}
+
+DeepBenchWorkload
+makeWorkload(const std::string &name, DlKernelKind kind, int count)
+{
+    DeepBenchWorkload w;
+    w.name = name;
+    Rng rng(hash64(name.c_str()));
+    for (int i = 0; i < count; ++i)
+        w.kernels.push_back(dlKernel(name, kind, i, rng));
+    return w;
+}
+
+/** Per-kernel modeled costs shared by both schedule estimators. */
+struct KernelCost
+{
+    double durationSec = 0;
+    double dynEnergyJ = 0;
+    double staticPerSmW = 0;
+    int sms = 0;
+};
+
+KernelCost
+modelKernelCost(const AccelWattchModel &model, const GpuSimulator &sim,
+                const KernelDescriptor &k)
+{
+    KernelActivity act = sim.runSass(k);
+    ActivitySample agg = act.aggregate();
+    PowerBreakdown b = model.evaluateKernel(act);
+    KernelCost c;
+    c.durationSec = act.elapsedSec;
+    c.dynEnergyJ = b.dynamicTotalW() * c.durationSec;
+    c.sms = std::max(1, static_cast<int>(agg.avgActiveSms));
+    c.staticPerSmW = model.staticPerActiveSmW(agg.mixCategory(),
+                                              agg.avgActiveLanesPerWarp);
+    return c;
+}
+
+DeepBenchEstimate
+evaluateSchedule(const AccelWattchModel &model,
+                 const std::vector<KernelCost> &costs,
+                 const std::vector<ConcurrentWave> &schedule)
+{
+    const int numSms = model.gpu.numSms;
+    double totalSec = 0, totalJ = 0;
+    for (const auto &wave : schedule) {
+        double waveSec = 0;
+        double smSeconds = 0, dynJ = 0, staticJ = 0;
+        for (size_t idx : wave.kernelIdx) {
+            const KernelCost &c = costs[idx];
+            waveSec = std::max(waveSec, c.durationSec);
+            smSeconds += static_cast<double>(c.sms) * c.durationSec;
+            dynJ += c.dynEnergyJ;
+            staticJ += c.staticPerSmW * c.sms * c.durationSec;
+        }
+        if (waveSec <= 0)
+            continue;
+        double idleSmSeconds =
+            std::max(0.0, numSms * waveSec - smSeconds);
+        totalJ += dynJ + staticJ + model.idleSmW * idleSmSeconds +
+                  model.constPowerW * waveSec;
+        totalSec += waveSec;
+    }
+    DeepBenchEstimate out;
+    out.elapsedSec = totalSec;
+    out.avgPowerW = totalSec > 0 ? totalJ / totalSec : 0;
+    return out;
+}
+
+} // namespace
+
+std::vector<DeepBenchWorkload>
+deepbenchSuite()
+{
+    return {
+        makeWorkload("gemm-train", DlKernelKind::Gemm, 40),
+        makeWorkload("gemm-inference", DlKernelKind::Gemm, 18),
+        makeWorkload("conv-train", DlKernelKind::Conv, 64),
+        makeWorkload("conv-inference", DlKernelKind::Conv, 33),
+        makeWorkload("rnn-lstm-train", DlKernelKind::RnnGate, 130),
+        makeWorkload("rnn-lstm-inference", DlKernelKind::RnnGate, 10),
+    };
+}
+
+std::vector<ConcurrentWave>
+buildConcurrentSchedule(const DeepBenchWorkload &workload, int numSms)
+{
+    std::vector<ConcurrentWave> waves;
+    ConcurrentWave current;
+    int used = 0;
+    for (size_t i = 0; i < workload.kernels.size(); ++i) {
+        int sms = std::max(1, workload.kernels[i].smLimit);
+        if (used + sms > numSms && !current.kernelIdx.empty()) {
+            waves.push_back(std::move(current));
+            current = {};
+            used = 0;
+        }
+        current.kernelIdx.push_back(i);
+        used += sms;
+    }
+    if (!current.kernelIdx.empty())
+        waves.push_back(std::move(current));
+    return waves;
+}
+
+DeepBenchEstimate
+estimateDeepBenchPower(const AccelWattchModel &model,
+                       const GpuSimulator &sim,
+                       const DeepBenchWorkload &workload)
+{
+    std::vector<KernelCost> costs;
+    costs.reserve(workload.kernels.size());
+    for (const auto &k : workload.kernels)
+        costs.push_back(modelKernelCost(model, sim, k));
+    auto schedule = buildConcurrentSchedule(workload, model.gpu.numSms);
+    return evaluateSchedule(model, costs, schedule);
+}
+
+DeepBenchEstimate
+estimateSequentialPower(const AccelWattchModel &model,
+                        const GpuSimulator &sim,
+                        const DeepBenchWorkload &workload)
+{
+    std::vector<KernelCost> costs;
+    costs.reserve(workload.kernels.size());
+    for (const auto &k : workload.kernels)
+        costs.push_back(modelKernelCost(model, sim, k));
+    std::vector<ConcurrentWave> schedule;
+    for (size_t i = 0; i < costs.size(); ++i)
+        schedule.push_back({{i}});
+    return evaluateSchedule(model, costs, schedule);
+}
+
+} // namespace aw

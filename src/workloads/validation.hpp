@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The 26-kernel validation suite of Table 4: kernels from NVIDIA CUDA
+ * Samples, Rodinia 3.1, Parboil, and CUTLASS 1.3, held out from tuning.
+ * Each is synthesized as a KernelDescriptor with the instruction mix,
+ * occupancy, divergence, ILP, and memory behaviour of the real kernel,
+ * spanning the paper's 90-230 W measured-power range.
+ *
+ * Exclusion flags mirror Section 6.1: CUTLASS, hotspot and pathfinder do
+ * not compile for PTX mode; Nsight fails on pathfinder (no HW/HYBRID);
+ * tensor-core workloads cannot run on Pascal.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/power_model.hpp"
+#include "trace/workload.hpp"
+
+namespace aw {
+
+/** One validation kernel with its Table 4 metadata. */
+struct ValidationKernel
+{
+    KernelDescriptor kernel;
+    std::string suite;        ///< "CUDA SDK" | "Rodinia" | "Parboil" | "CUTLASS"
+    std::string workload;     ///< benchmark the kernel comes from
+    double coveragePct = 100; ///< run-time coverage within its workload
+    bool usesTensor = false;
+    bool ptxCompatible = true; ///< compiles for the PTX (emulation) mode
+    bool nsightWorks = true;   ///< HW counters collectable
+};
+
+/** The full 26-kernel suite. */
+const std::vector<ValidationKernel> &validationSuite();
+
+/** True if the kernel participates in the given variant's validation. */
+bool inVariantSuite(const ValidationKernel &k, Variant v);
+
+/** One modeled-vs-measured validation data point. */
+struct ValidationRow
+{
+    std::string name;
+    double measuredW = 0;
+    double modeledW = 0;
+    PowerBreakdown breakdown; ///< modeled decomposition
+};
+
+/**
+ * Run the Figure 7 validation flow: measure each eligible suite kernel
+ * on the card, model it with the variant's tuned model, and return the
+ * rows. `overrideModel` substitutes a different model (used by the
+ * Section 5.4 and ablation benches).
+ */
+std::vector<ValidationRow> runValidation(
+    AccelWattchCalibrator &calibrator, Variant variant,
+    const AccelWattchModel *overrideModel = nullptr);
+
+} // namespace aw

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for activity samples and the 9 instruction-mix categories of
+ * Section 4.5 (they select the divergence-aware static power model).
+ */
+#include <gtest/gtest.h>
+
+#include "arch/activity.hpp"
+
+using namespace aw;
+
+namespace {
+
+std::array<double, kNumUnitKinds>
+unitCounts(std::initializer_list<std::pair<UnitKind, double>> entries)
+{
+    std::array<double, kNumUnitKinds> u{};
+    for (auto [k, v] : entries)
+        u[static_cast<size_t>(k)] = v;
+    return u;
+}
+
+} // namespace
+
+TEST(MixCategory, NamesDistinct)
+{
+    std::set<std::string> names;
+    for (size_t i = 0; i < kNumMixCategories; ++i)
+        names.insert(mixCategoryName(static_cast<MixCategory>(i)));
+    EXPECT_EQ(names.size(), kNumMixCategories);
+    EXPECT_EQ(kNumMixCategories, 9u); // the paper's 9 categories
+}
+
+struct MixCase
+{
+    std::array<double, kNumUnitKinds> units;
+    double addFrac, mulFrac;
+    MixCategory expected;
+    const char *label;
+};
+
+class ClassifyMixTest : public testing::TestWithParam<MixCase>
+{};
+
+TEST_P(ClassifyMixTest, Classifies)
+{
+    const auto &c = GetParam();
+    EXPECT_EQ(classifyMix(c.units, c.addFrac, c.mulFrac), c.expected)
+        << c.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Categories, ClassifyMixTest,
+    testing::Values(
+        MixCase{unitCounts({{UnitKind::Int, 100}}), 0.95, 0.05,
+                MixCategory::IntAddOnly, "pure_int_add"},
+        MixCase{unitCounts({{UnitKind::Int, 100}}), 0.05, 0.95,
+                MixCategory::IntMulOnly, "pure_int_mul"},
+        MixCase{unitCounts({{UnitKind::Int, 100}}), 0.5, 0.5,
+                MixCategory::IntOnly, "int_mix"},
+        MixCase{unitCounts({{UnitKind::Int, 50}, {UnitKind::Fp, 50}}), 0.5,
+                0.5, MixCategory::IntFp, "int_fp"},
+        MixCase{unitCounts({{UnitKind::Int, 40},
+                            {UnitKind::Fp, 40},
+                            {UnitKind::Dp, 20}}),
+                0.5, 0.5, MixCategory::IntFpDp, "int_fp_dp"},
+        MixCase{unitCounts({{UnitKind::Int, 40},
+                            {UnitKind::Fp, 40},
+                            {UnitKind::Sfu, 20}}),
+                0.5, 0.5, MixCategory::IntFpSfu, "int_fp_sfu"},
+        MixCase{unitCounts({{UnitKind::Int, 40},
+                            {UnitKind::Fp, 40},
+                            {UnitKind::Tex, 20}}),
+                0.5, 0.5, MixCategory::IntFpTex, "int_fp_tex"},
+        MixCase{unitCounts({{UnitKind::Int, 40},
+                            {UnitKind::Fp, 30},
+                            {UnitKind::Tensor, 30}}),
+                0.5, 0.5, MixCategory::IntFpTensor, "int_fp_tensor"},
+        MixCase{unitCounts({{UnitKind::Light, 100}}), 0, 0,
+                MixCategory::Light, "nanosleep"},
+        MixCase{unitCounts({}), 0, 0, MixCategory::Light, "empty"},
+        // Tiny shares below the 5% threshold must not flip categories.
+        MixCase{unitCounts({{UnitKind::Int, 97}, {UnitKind::Fp, 3}}), 0.95,
+                0.05, MixCategory::IntAddOnly, "tiny_fp_ignored"},
+        // Memory-dominant kernels behave like the integer category.
+        MixCase{unitCounts({{UnitKind::Mem, 90}, {UnitKind::Light, 2}}),
+                0, 0, MixCategory::IntOnly, "mem_dominant"}),
+    [](const auto &info) { return info.param.label; });
+
+TEST(ActivitySample, AccumulateWeightsIntensives)
+{
+    ActivitySample a;
+    a.cycles = 100;
+    a.freqGhz = 1.0;
+    a.voltage = 0.8;
+    a.avgActiveSms = 10;
+    a.avgActiveLanesPerWarp = 32;
+    ActivitySample b;
+    b.cycles = 300;
+    b.freqGhz = 2.0;
+    b.voltage = 1.2;
+    b.avgActiveSms = 30;
+    b.avgActiveLanesPerWarp = 16;
+    a.accumulate(b);
+    EXPECT_DOUBLE_EQ(a.cycles, 400);
+    EXPECT_DOUBLE_EQ(a.freqGhz, (1.0 * 100 + 2.0 * 300) / 400);
+    EXPECT_DOUBLE_EQ(a.voltage, (0.8 * 100 + 1.2 * 300) / 400);
+    EXPECT_DOUBLE_EQ(a.avgActiveSms, (10 * 100 + 30 * 300) / 400.0);
+    EXPECT_DOUBLE_EQ(a.avgActiveLanesPerWarp,
+                     (32 * 100 + 16 * 300) / 400.0);
+}
+
+TEST(ActivitySample, AccumulateSumsExtensives)
+{
+    ActivitySample a;
+    a.cycles = 1;
+    a.accesses[componentIndex(PowerComponent::RegFile)] = 5;
+    a.intAddInsts = 2;
+    ActivitySample b;
+    b.cycles = 1;
+    b.accesses[componentIndex(PowerComponent::RegFile)] = 7;
+    b.intAddInsts = 3;
+    a.accumulate(b);
+    EXPECT_DOUBLE_EQ(a.accesses[componentIndex(PowerComponent::RegFile)],
+                     12);
+    EXPECT_DOUBLE_EQ(a.intAddInsts, 5);
+}
+
+TEST(ActivitySample, AccumulateEmptyIsNoop)
+{
+    ActivitySample a;
+    a.cycles = 100;
+    a.freqGhz = 1.4;
+    ActivitySample empty;
+    a.accumulate(empty);
+    EXPECT_DOUBLE_EQ(a.cycles, 100);
+    EXPECT_DOUBLE_EQ(a.freqGhz, 1.4);
+}
+
+TEST(KernelActivity, AggregateMatchesManualSum)
+{
+    KernelActivity k;
+    for (int i = 0; i < 4; ++i) {
+        ActivitySample s;
+        s.cycles = 500;
+        s.freqGhz = 1.0;
+        s.accesses[0] = i + 1.0;
+        k.samples.push_back(s);
+    }
+    ActivitySample agg = k.aggregate();
+    EXPECT_DOUBLE_EQ(agg.cycles, 2000);
+    EXPECT_DOUBLE_EQ(agg.accesses[0], 10);
+}

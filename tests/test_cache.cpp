@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the set-associative LRU cache model used for L1D, the
+ * constant cache, and the per-SM L2 slice.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/cache.hpp"
+
+using namespace aw;
+
+namespace {
+
+CacheGeometry
+smallCache()
+{
+    // 8 KB, 128 B lines, 4-way: 64 lines, 16 sets.
+    return {8, 128, 4, 10};
+}
+
+} // namespace
+
+TEST(Cache, ColdMissThenHit)
+{
+    CacheModel c(smallCache());
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000 + 64, false).hit); // same 128B line
+    EXPECT_FALSE(c.access(0x1000 + 128, false).hit);
+    EXPECT_EQ(c.accesses(), 4u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, WorkingSetFitsAllHitsAfterWarmup)
+{
+    CacheModel c(smallCache());
+    const int lines = 32; // half the 64-line capacity
+    for (int i = 0; i < lines; ++i)
+        c.access(static_cast<uint64_t>(i) * 128, false);
+    uint64_t missesAfterWarmup = c.misses();
+    for (int pass = 0; pass < 4; ++pass)
+        for (int i = 0; i < lines; ++i)
+            EXPECT_TRUE(c.access(static_cast<uint64_t>(i) * 128,
+                                 false).hit);
+    EXPECT_EQ(c.misses(), missesAfterWarmup);
+}
+
+TEST(Cache, StreamLargerThanCacheKeepsMissing)
+{
+    CacheModel c(smallCache());
+    const int lines = 512; // 8x capacity, cyclic stream
+    for (int pass = 0; pass < 3; ++pass)
+        for (int i = 0; i < lines; ++i)
+            c.access(static_cast<uint64_t>(i) * 128, false);
+    // LRU on a cyclic stream larger than the cache: every access misses.
+    EXPECT_DOUBLE_EQ(c.missRate(), 1.0);
+}
+
+TEST(Cache, LruEvictsLeastRecent)
+{
+    // 4-way: fill one set with 4 lines, touch the first three, insert a
+    // fifth -> the untouched fourth is evicted.
+    CacheModel c(smallCache());
+    const uint64_t setStride = 16 * 128; // 16 sets
+    for (uint64_t i = 0; i < 4; ++i)
+        c.access(i * setStride, false);
+    c.access(0 * setStride, false);
+    c.access(1 * setStride, false);
+    c.access(2 * setStride, false);
+    c.access(4 * setStride, false); // evicts way holding line 3
+    EXPECT_TRUE(c.access(0 * setStride, false).hit);
+    EXPECT_TRUE(c.access(1 * setStride, false).hit);
+    EXPECT_TRUE(c.access(2 * setStride, false).hit);
+    EXPECT_FALSE(c.access(3 * setStride, false).hit);
+}
+
+TEST(Cache, DirtyEvictionSignalsWriteback)
+{
+    CacheModel c(smallCache());
+    const uint64_t setStride = 16 * 128;
+    c.access(0, true); // dirty line in set 0
+    bool sawWriteback = false;
+    for (uint64_t i = 1; i <= 4; ++i)
+        sawWriteback |= c.access(i * setStride, false).writeback;
+    EXPECT_TRUE(sawWriteback);
+}
+
+TEST(Cache, CleanEvictionNoWriteback)
+{
+    CacheModel c(smallCache());
+    const uint64_t setStride = 16 * 128;
+    for (uint64_t i = 0; i <= 8; ++i)
+        EXPECT_FALSE(c.access(i * setStride, false).writeback);
+}
+
+TEST(Cache, ResetClearsEverything)
+{
+    CacheModel c(smallCache());
+    c.access(0, true);
+    c.access(0, false);
+    c.reset();
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_FALSE(c.access(0, false).hit); // cold again
+}
+
+TEST(Cache, CapacityOverrideShrinks)
+{
+    // Override to 2 KB: 16 lines. A 32-line working set cannot fit.
+    CacheModel c(smallCache(), 2.0);
+    for (int pass = 0; pass < 3; ++pass)
+        for (int i = 0; i < 32; ++i)
+            c.access(static_cast<uint64_t>(i) * 128, false);
+    EXPECT_GT(c.missRate(), 0.9);
+}
+
+/** Property: miss rate decreases (weakly) with capacity. */
+class CacheCapacityTest : public testing::TestWithParam<int>
+{};
+
+TEST_P(CacheCapacityTest, BiggerIsNotWorse)
+{
+    int sizeKb = GetParam();
+    CacheGeometry g{sizeKb, 128, 4, 10};
+    CacheGeometry g2{sizeKb * 2, 128, 4, 10};
+    CacheModel small(g), big(g2);
+    // Pseudo-random reuse pattern over a 64 KB footprint.
+    uint64_t state = 12345;
+    for (int i = 0; i < 20000; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        uint64_t addr = (state >> 33) % (64 * 1024);
+        small.access(addr, false);
+        big.access(addr, false);
+    }
+    EXPECT_LE(big.missRate(), small.missRate() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CacheCapacityTest,
+                         testing::Values(4, 8, 16, 32));

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the Eq. 4 (linear) and Eq. 5 (half-warp) divergence-aware
+ * static power models and their endpoint calibration.
+ */
+#include <gtest/gtest.h>
+
+#include "core/divergence.hpp"
+
+using namespace aw;
+
+TEST(Divergence, LinearModelShape)
+{
+    DivergenceModel m = fitDivergenceEndpoints(10.0, 41.0, false);
+    EXPECT_FALSE(m.halfWarp);
+    EXPECT_DOUBLE_EQ(m.firstLaneW, 10.0);
+    EXPECT_DOUBLE_EQ(m.addLaneW, 1.0);
+    EXPECT_DOUBLE_EQ(m.staticAtLanes(1), 10.0);
+    EXPECT_DOUBLE_EQ(m.staticAtLanes(16), 25.0);
+    EXPECT_DOUBLE_EQ(m.staticAtLanes(32), 41.0);
+    // Strictly increasing in y.
+    for (int y = 2; y <= 32; ++y)
+        EXPECT_GT(m.staticAtLanes(y), m.staticAtLanes(y - 1));
+}
+
+TEST(Divergence, HalfWarpModelSawtooth)
+{
+    DivergenceModel m = fitDivergenceEndpoints(10.0, 25.0, true);
+    EXPECT_TRUE(m.halfWarp);
+    // Endpoints reproduced: y=32 equals the measurement used to fit.
+    EXPECT_DOUBLE_EQ(m.staticAtLanes(1), 10.0);
+    EXPECT_DOUBLE_EQ(m.staticAtLanes(32), 25.0);
+    // Peak at y=16 equals the peak at y=32 (Section 4.4).
+    EXPECT_DOUBLE_EQ(m.staticAtLanes(16), m.staticAtLanes(32));
+    // Sag between: y=17 drops to roughly half the ramp.
+    EXPECT_LT(m.staticAtLanes(17), m.staticAtLanes(16));
+    EXPECT_LT(m.staticAtLanes(24), m.staticAtLanes(16));
+    // Rising again toward 32.
+    EXPECT_GT(m.staticAtLanes(28), m.staticAtLanes(20));
+}
+
+TEST(Divergence, HalfWarpEquationFive)
+{
+    // Literal Eq. 5 check: P(y>16) = first + a*15/2 + a*(y-17)/2.
+    DivergenceModel m;
+    m.halfWarp = true;
+    m.firstLaneW = 5.0;
+    m.addLaneW = 2.0;
+    for (int y = 17; y <= 32; ++y) {
+        double expected = 5.0 + 0.5 * 2.0 * 15.0 + 0.5 * 2.0 * (y - 17);
+        EXPECT_DOUBLE_EQ(m.staticAtLanes(y), expected) << "y=" << y;
+    }
+    for (int y = 1; y <= 16; ++y)
+        EXPECT_DOUBLE_EQ(m.staticAtLanes(y), 5.0 + 2.0 * (y - 1));
+}
+
+TEST(Divergence, ModelsAgreeAtEndpoints)
+{
+    // Both parameterizations must reproduce the same two measurements.
+    double at1 = 12.0, at32 = 30.0;
+    auto lin = fitDivergenceEndpoints(at1, at32, false);
+    auto hw = fitDivergenceEndpoints(at1, at32, true);
+    EXPECT_DOUBLE_EQ(lin.staticAtLanes(1), hw.staticAtLanes(1));
+    EXPECT_DOUBLE_EQ(lin.staticAtLanes(32), hw.staticAtLanes(32));
+    // But differ in between (half-warp is higher below 16: steeper ramp).
+    EXPECT_GT(hw.staticAtLanes(12), lin.staticAtLanes(12));
+    EXPECT_LT(hw.staticAtLanes(20), lin.staticAtLanes(20));
+}
+
+TEST(Divergence, ClampsOutOfRangeLanes)
+{
+    DivergenceModel m = fitDivergenceEndpoints(10.0, 41.0, false);
+    EXPECT_DOUBLE_EQ(m.staticAtLanes(0), m.staticAtLanes(1));
+    EXPECT_DOUBLE_EQ(m.staticAtLanes(40), m.staticAtLanes(32));
+}
+
+TEST(Divergence, ExpectedModelPerCategory)
+{
+    // Section 4.5: homogeneous single-unit categories keep the sawtooth;
+    // multi-unit mixes smooth to linear.
+    EXPECT_TRUE(expectedHalfWarp(MixCategory::IntAddOnly));
+    EXPECT_TRUE(expectedHalfWarp(MixCategory::IntMulOnly));
+    EXPECT_TRUE(expectedHalfWarp(MixCategory::IntOnly));
+    EXPECT_TRUE(expectedHalfWarp(MixCategory::Light));
+    EXPECT_FALSE(expectedHalfWarp(MixCategory::IntFp));
+    EXPECT_FALSE(expectedHalfWarp(MixCategory::IntFpDp));
+    EXPECT_FALSE(expectedHalfWarp(MixCategory::IntFpSfu));
+    EXPECT_FALSE(expectedHalfWarp(MixCategory::IntFpTex));
+    EXPECT_FALSE(expectedHalfWarp(MixCategory::IntFpTensor));
+}
+
+/** Property: both models are continuous except the y=16->17 half-warp
+ *  drop, and never negative for sane calibrations. */
+class DivergenceSweepTest : public testing::TestWithParam<double>
+{};
+
+TEST_P(DivergenceSweepTest, NonNegativeEverywhere)
+{
+    double at32 = GetParam();
+    for (bool hw : {false, true}) {
+        auto m = fitDivergenceEndpoints(8.0, at32, hw);
+        for (double y = 1; y <= 32; y += 0.5)
+            EXPECT_GE(m.staticAtLanes(y), 0.0)
+                << "hw=" << hw << " y=" << y;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Endpoints, DivergenceSweepTest,
+                         testing::Values(10.0, 20.0, 40.0, 80.0));

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Edge-case and robustness tests across modules: degenerate launch
+ * shapes, the PTX path's idealized memory model, oracle concurrent
+ * scheduling corner cases, and guard rails.
+ */
+#include <gtest/gtest.h>
+
+#include "core/calibration.hpp"
+#include "sim/memsys.hpp"
+
+using namespace aw;
+
+TEST(EdgeCases, SingleWarpSingleSmKernelRuns)
+{
+    GpuSimulator sim(voltaGV100());
+    auto k = makeKernel("tiny1", {{OpClass::IntAdd, 1.0}}, 1, 1);
+    k.ctasPerSm = 1;
+    auto act = sim.runSass(k);
+    EXPECT_GT(act.totalCycles, 0);
+    EXPECT_DOUBLE_EQ(act.aggregate().avgActiveSms, 1.0);
+}
+
+TEST(EdgeCases, SmLimitLargerThanChipClamped)
+{
+    GpuSimulator sim(voltaGV100());
+    auto k = makeKernel("overlimit", {{OpClass::IntAdd, 1.0}}, 400, 8);
+    k.smLimit = 500;
+    EXPECT_EQ(sim.launchShape(k).activeSms, 80);
+}
+
+TEST(EdgeCases, WarpsPerCtaBeyondSmCapacityClamped)
+{
+    GpuSimulator sim(voltaGV100());
+    auto k = makeKernel("fatcta", {{OpClass::IntAdd, 1.0}}, 80, 128);
+    auto shape = sim.launchShape(k);
+    EXPECT_LE(shape.residentWarps,
+              voltaGV100().maxWarpsPerSubcore *
+                  voltaGV100().subcoresPerSm);
+    // Still simulates fine.
+    EXPECT_GT(sim.runSass(k).totalCycles, 0);
+}
+
+TEST(EdgeCases, OneLaneKernelStillProgresses)
+{
+    GpuSimulator sim(voltaGV100());
+    auto k = makeKernel("onelane", {{OpClass::FpFma, 1.0}}, 160, 8, 1);
+    auto act = sim.runSass(k);
+    EXPECT_GT(act.totalCycles, 0);
+    EXPECT_DOUBLE_EQ(act.aggregate().avgActiveLanesPerWarp, 1.0);
+}
+
+TEST(EdgeCases, PtxIdealizedMemoryIsFasterWhenBandwidthBound)
+{
+    // The PTX path's legacy memory model has no bandwidth queues, so a
+    // bandwidth-bound kernel finishes unrealistically fast in PTX mode
+    // even though PTX executes more instructions.
+    GpuSimulator sim(voltaGV100());
+    auto k = makeKernel("bwbound",
+                        {{OpClass::StGlobal, 0.6}, {OpClass::IntAdd, 0.4}},
+                        160, 8);
+    k.memFootprintKb = 64;
+    auto sass = sim.runSass(k);
+    auto ptx = sim.runPtx(k);
+    EXPECT_LT(ptx.totalCycles, sass.totalCycles);
+}
+
+TEST(EdgeCases, MemsysIdealizedHasNoQueueing)
+{
+    auto gpu = voltaGV100();
+    MemorySystem real(gpu, 80, gpu.defaultClockGhz, false);
+    MemorySystem ideal(gpu, 80, gpu.defaultClockGhz, true);
+    double lastReal = 0, lastIdeal = 0;
+    for (int i = 0; i < 64; ++i) {
+        uint64_t addr = static_cast<uint64_t>(i) * 1024 * 1024;
+        lastReal = real.globalAccess(addr, false, 0.0).latencyCycles;
+        lastIdeal = ideal.globalAccess(addr, false, 0.0).latencyCycles;
+    }
+    EXPECT_GT(lastReal, lastIdeal * 2);
+    // Idealized mode reports no shared-resource occupancy at all.
+    EXPECT_DOUBLE_EQ(
+        ideal.globalAccess(1ULL << 40, false, 0.0).occupancyCycles, 0.0);
+}
+
+TEST(EdgeCases, ConcurrentRunWithSingleKernelMatchesSequential)
+{
+    const SiliconOracle &card = sharedVoltaCard();
+    auto k = makeKernel("solo", {{OpClass::IntMad, 1.0}}, 24, 8);
+    k.smLimit = 12;
+    auto solo = card.execute(k);
+    auto conc = card.executeConcurrent({k});
+    EXPECT_NEAR(conc.elapsedSec, solo.activity.elapsedSec, 1e-12);
+    EXPECT_NEAR(conc.avgPowerW, solo.avgPowerW,
+                0.05 * solo.avgPowerW);
+}
+
+TEST(EdgeCases, ConcurrentKernelsWiderThanPoolSerialize)
+{
+    const SiliconOracle &card = sharedVoltaCard();
+    std::vector<KernelDescriptor> kernels;
+    for (int i = 0; i < 3; ++i) {
+        auto k = makeKernel("wide_" + std::to_string(i),
+                            {{OpClass::IntMad, 1.0}}, 160, 8);
+        k.smLimit = 0; // uses the whole chip: no two can overlap
+        kernels.push_back(k);
+    }
+    auto conc = card.executeConcurrent(kernels);
+    double sumSec = 0;
+    for (const auto &k : kernels)
+        sumSec += card.execute(k).activity.elapsedSec;
+    EXPECT_NEAR(conc.elapsedSec, sumSec, 0.01 * sumSec);
+}
+
+TEST(EdgeCases, ModelEvaluationLinearInAccesses)
+{
+    // Dynamic power is linear in activity: doubling every access count
+    // at fixed time doubles dynamic watts exactly (Eq. 11).
+    auto &cal = sharedVoltaCalibrator();
+    const auto &model = cal.variant(Variant::SassSim).model;
+    ActivitySample s;
+    s.cycles = 1e6;
+    s.freqGhz = 1.417;
+    s.voltage = model.refVoltage;
+    s.avgActiveSms = 80;
+    s.avgActiveLanesPerWarp = 32;
+    for (size_t i = 0; i < kNumPowerComponents; ++i)
+        s.accesses[i] = 1e5;
+    double d1 = model.evaluate(s).dynamicTotalW();
+    for (auto &a : s.accesses)
+        a *= 2;
+    double d2 = model.evaluate(s).dynamicTotalW();
+    EXPECT_NEAR(d2, 2 * d1, 1e-9);
+}
+
+TEST(EdgeCases, PointerChaseSlowerThanStreaming)
+{
+    GpuSimulator sim(voltaGV100());
+    auto stream = makeKernel("acc_stream",
+                             {{OpClass::LdGlobal, 0.5},
+                              {OpClass::IntAdd, 0.5}},
+                             160, 8);
+    stream.memFootprintKb = 512;
+    auto chase = stream;
+    chase.name = "acc_chase";
+    chase.seed = hash64("acc_chase");
+    chase.pointerChase = true;
+    // Random accesses over the same footprint hit less in the L1 and
+    // serialize more -> longer run.
+    EXPECT_GT(sim.runSass(chase).totalCycles,
+              sim.runSass(stream).totalCycles);
+}
+
+TEST(EdgeCases, ZeroWeightMixEntriesAllowed)
+{
+    auto k = makeKernel("zerow",
+                        {{OpClass::IntAdd, 1.0}, {OpClass::Tensor, 0.0}},
+                        160, 8);
+    GpuSimulator sim(voltaGV100());
+    auto agg = sim.runSass(k).aggregate();
+    EXPECT_DOUBLE_EQ(
+        agg.accesses[componentIndex(PowerComponent::TensorCore)], 0.0);
+}

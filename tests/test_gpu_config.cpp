@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the Table 3 GPU configurations and their timing tables.
+ */
+#include <gtest/gtest.h>
+
+#include "arch/gpu_config.hpp"
+
+using namespace aw;
+
+namespace {
+
+std::vector<GpuConfig>
+allGpus()
+{
+    return {voltaGV100(), pascalTitanX(), turingRTX2060S(),
+            fermiGTX480()};
+}
+
+} // namespace
+
+class GpuConfigTest : public testing::TestWithParam<GpuConfig>
+{};
+
+TEST_P(GpuConfigTest, GeometryIsSane)
+{
+    const GpuConfig &g = GetParam();
+    EXPECT_GT(g.numSms, 0);
+    EXPECT_EQ(g.lanesPerSm, 32);
+    EXPECT_EQ(g.warpSize, 32);
+    EXPECT_GT(g.subcoresPerSm, 0);
+    EXPECT_GT(g.defaultClockGhz, 0.5);
+    EXPECT_LT(g.defaultClockGhz, 2.5);
+    EXPECT_GT(g.powerLimitW, 100);
+    EXPECT_EQ(g.totalLanes(), g.numSms * 32);
+    EXPECT_GT(g.l1d.sizeKb, 0);
+    EXPECT_GT(g.l2.sizeKb, g.l1d.sizeKb);
+    EXPECT_GT(g.dramBandwidthGBs, 100);
+}
+
+TEST_P(GpuConfigTest, VoltageCurveMonotoneAndClamped)
+{
+    const GpuConfig &g = GetParam();
+    double prev = 0;
+    for (double f = g.vf.fMinGhz; f <= g.vf.fMaxGhz; f += 0.1) {
+        double v = g.vf.voltageAt(f);
+        EXPECT_GT(v, prev);
+        EXPECT_GT(v, 0.1);
+        EXPECT_LT(v, 1.6);
+        prev = v;
+    }
+    // Clamping outside the supported range.
+    EXPECT_DOUBLE_EQ(g.vf.voltageAt(0.0), g.vf.voltageAt(g.vf.fMinGhz));
+    EXPECT_DOUBLE_EQ(g.vf.voltageAt(99.0), g.vf.voltageAt(g.vf.fMaxGhz));
+    EXPECT_NEAR(g.referenceVoltage(), 1.0, 0.2);
+}
+
+TEST_P(GpuConfigTest, LatencyAndIiPositiveForAllOps)
+{
+    const GpuConfig &g = GetParam();
+    for (size_t i = 0; i < kNumOpClasses; ++i) {
+        OpClass c = static_cast<OpClass>(i);
+        EXPECT_GE(g.opLatency(c), 1.0) << static_cast<int>(i);
+        EXPECT_GE(g.opInitiationInterval(c), 1.0) << static_cast<int>(i);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table3, GpuConfigTest,
+                         testing::ValuesIn(allGpus()),
+                         [](const auto &info) {
+                             std::string n = info.param.name;
+                             for (char &ch : n)
+                                 if (!isalnum(static_cast<unsigned char>(
+                                         ch)))
+                                     ch = '_';
+                             return n;
+                         });
+
+TEST(GpuConfig, VoltaMatchesPaperTable3)
+{
+    auto g = voltaGV100();
+    EXPECT_EQ(g.numSms, 80);
+    EXPECT_EQ(g.techNodeNm, 12);
+    EXPECT_NEAR(g.defaultClockGhz, 1.417, 1e-9);
+    EXPECT_EQ(static_cast<int>(g.powerLimitW), 250);
+    EXPECT_TRUE(g.hasTensorCores);
+    EXPECT_EQ(g.l2.sizeKb, 6144);
+}
+
+TEST(GpuConfig, PascalMatchesPaperTable3)
+{
+    auto g = pascalTitanX();
+    EXPECT_EQ(g.techNodeNm, 16);
+    EXPECT_NEAR(g.defaultClockGhz, 1.470, 1e-9);
+    EXPECT_FALSE(g.hasTensorCores);
+    EXPECT_EQ(static_cast<int>(g.powerLimitW), 250);
+}
+
+TEST(GpuConfig, TuringMatchesPaperTable3)
+{
+    auto g = turingRTX2060S();
+    EXPECT_EQ(g.techNodeNm, 12);
+    EXPECT_NEAR(g.defaultClockGhz, 1.905, 1e-9);
+    EXPECT_TRUE(g.hasTensorCores);
+    EXPECT_EQ(static_cast<int>(g.powerLimitW), 175);
+}
+
+TEST(GpuConfig, InitiationIntervalsEncodeUnitWidths)
+{
+    auto volta = voltaGV100();
+    // 16-wide INT32/FP32 per processing block: a 32-thread warp needs 2
+    // issue slots (the half-warp structure of Section 4.4).
+    EXPECT_DOUBLE_EQ(volta.opInitiationInterval(OpClass::IntAdd), 2.0);
+    EXPECT_DOUBLE_EQ(volta.opInitiationInterval(OpClass::FpFma), 2.0);
+    // 8-wide FP64: 4 slots.
+    EXPECT_DOUBLE_EQ(volta.opInitiationInterval(OpClass::DpFma), 4.0);
+
+    // Pascal's 1/32-rate FP64 and missing tensor cores.
+    auto pascal = pascalTitanX();
+    EXPECT_DOUBLE_EQ(pascal.opInitiationInterval(OpClass::DpFma), 32.0);
+    EXPECT_GT(pascal.opInitiationInterval(OpClass::Tensor), 1e6);
+}
+
+TEST(GpuConfig, MemoryOpsSlowerThanAlu)
+{
+    auto g = voltaGV100();
+    EXPECT_GT(g.opLatency(OpClass::LdGlobal),
+              g.opLatency(OpClass::IntAdd));
+    EXPECT_GT(g.opLatency(OpClass::Tex), g.opLatency(OpClass::LdGlobal));
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the GPUWattch baseline: its defining failure modes on
+ * modern GPUs (Section 7.3) must be present by construction.
+ */
+#include <gtest/gtest.h>
+
+#include "baseline/gpuwattch.hpp"
+#include "core/calibration.hpp"
+#include "ubench/microbench.hpp"
+
+using namespace aw;
+
+TEST(GpuWattch, FermiEnergiesExceedModernSilicon)
+{
+    auto fermi = fermiEnergyEstimatesNj(true);
+    const auto &volta = sharedVoltaCard().truth().energyNj;
+    int higher = 0;
+    for (size_t i = 0; i < kNumPowerComponents; ++i)
+        higher += fermi[i] > volta[i];
+    // 40 nm energies dominate 12 nm ones almost everywhere.
+    EXPECT_GE(higher, static_cast<int>(kNumPowerComponents) - 2);
+}
+
+TEST(GpuWattch, TensorGraftControlledByFlag)
+{
+    auto with = fermiEnergyEstimatesNj(true);
+    auto without = fermiEnergyEstimatesNj(false);
+    EXPECT_GT(with[componentIndex(PowerComponent::TensorCore)], 0.0);
+    EXPECT_DOUBLE_EQ(without[componentIndex(PowerComponent::TensorCore)],
+                     0.0);
+}
+
+TEST(GpuWattch, MultiplierPathDisproportionate)
+{
+    // The Section 7.3 finding: GPUWattch's IMUL energy dwarfs its
+    // register file cost — the give-away that the attribution is wrong.
+    auto fermi = fermiEnergyEstimatesNj(true);
+    EXPECT_GT(fermi[componentIndex(PowerComponent::IntMul)],
+              10 * fermi[componentIndex(PowerComponent::RegFile)]);
+}
+
+TEST(GpuWattch, OverestimatesVoltaKernels)
+{
+    auto &cal = sharedVoltaCalibrator();
+    GpuWattchModel legacy = gpuwattchOnVolta();
+    auto k = occupancyKernel(80, 1);
+    auto act = cal.simulator().runSass(k);
+    double measured = cal.nvml().measureAveragePowerW(k);
+    double modeled = legacy.averagePowerW(act);
+    EXPECT_GT(modeled, 1.8 * measured);
+}
+
+TEST(GpuWattch, LumpedConstStaticContradictsHardwareFloor)
+{
+    GpuWattchModel legacy = gpuwattchOnVolta();
+    // The model's total fixed power is below what even the lightest
+    // workload at the lowest clock draws on real Volta (> 30 W).
+    EXPECT_LT(legacy.lumpedConstStaticW, 11.0);
+    EXPECT_GT(sharedVoltaCard().truth().constPowerW, 30.0);
+}
+
+TEST(GpuWattch, NoDvfsAwareness)
+{
+    // GPUWattch scales power linearly with access rate only: at half
+    // frequency the same work yields exactly half the dynamic power
+    // (no V^2 effect), unlike silicon.
+    GpuWattchModel legacy = gpuwattchOnVolta();
+    ActivitySample s;
+    s.cycles = 1e9;
+    s.freqGhz = 1.4;
+    s.accesses[componentIndex(PowerComponent::IntAdd)] = 1e9;
+    auto fast = legacy.dynamicW(s);
+    s.freqGhz = 0.7;
+    auto slow = legacy.dynamicW(s);
+    EXPECT_NEAR(slow[componentIndex(PowerComponent::IntAdd)] /
+                    fast[componentIndex(PowerComponent::IntAdd)],
+                0.5, 1e-9);
+}
+
+TEST(GpuWattchDeath, EmptyActivityRejected)
+{
+    GpuWattchModel legacy = gpuwattchOnVolta();
+    KernelActivity empty;
+    empty.kernelName = "none";
+    EXPECT_EXIT(legacy.averagePowerW(empty), testing::ExitedWithCode(1),
+                "no samples");
+}

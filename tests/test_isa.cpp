@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the ISA layer: SASS/PTX opcode round trips, the opcode ->
+ * power-component map of Table 1 ("FADD" -> FPU, "mul.f64" -> DPU mul),
+ * unit assignments, and mix-category bookkeeping.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/isa.hpp"
+
+using namespace aw;
+
+namespace {
+
+std::vector<OpClass>
+allOpClasses()
+{
+    std::vector<OpClass> out;
+    for (size_t i = 0; i < kNumOpClasses; ++i)
+        out.push_back(static_cast<OpClass>(i));
+    return out;
+}
+
+} // namespace
+
+class OpClassParamTest : public testing::TestWithParam<OpClass>
+{};
+
+TEST_P(OpClassParamTest, SassRoundTrip)
+{
+    OpClass c = GetParam();
+    SassOp op = opClassToSass(c);
+    OpClass back = sassOpClass(op);
+    // The mapping collapses some classes (e.g. IntLogic variants), but
+    // the round trip must preserve the execution unit and the power
+    // component — what timing and power both key on.
+    EXPECT_EQ(opClassUnit(back), opClassUnit(c));
+    EXPECT_EQ(opClassPowerComponent(back), opClassPowerComponent(c));
+}
+
+TEST_P(OpClassParamTest, PtxRoundTrip)
+{
+    OpClass c = GetParam();
+    PtxOp op = opClassToPtx(c);
+    OpClass back = ptxOpClass(op);
+    EXPECT_EQ(opClassUnit(back), opClassUnit(c));
+    EXPECT_EQ(opClassPowerComponent(back), opClassPowerComponent(c));
+}
+
+TEST_P(OpClassParamTest, UnitKindConsistentWithUnit)
+{
+    OpClass c = GetParam();
+    switch (opClassUnit(c)) {
+      case ExecUnit::Int32:
+        EXPECT_EQ(opClassUnitKind(c), UnitKind::Int);
+        break;
+      case ExecUnit::Fp32:
+        EXPECT_EQ(opClassUnitKind(c), UnitKind::Fp);
+        break;
+      case ExecUnit::Fp64:
+        EXPECT_EQ(opClassUnitKind(c), UnitKind::Dp);
+        break;
+      case ExecUnit::LdSt:
+        EXPECT_EQ(opClassUnitKind(c), UnitKind::Mem);
+        EXPECT_TRUE(isMemoryOp(c));
+        break;
+      default:
+        EXPECT_FALSE(isMemoryOp(c));
+        break;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, OpClassParamTest, testing::ValuesIn(allOpClasses()),
+    [](const testing::TestParamInfo<OpClass> &info) {
+        std::string name = sassOpName(opClassToSass(info.param)) + "_" +
+                           std::to_string(static_cast<int>(info.param));
+        for (char &c : name)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(Isa, PaperExampleMappings)
+{
+    // The Figure 1 power-map examples.
+    EXPECT_EQ(sassOpClass(SassOp::FADD), OpClass::FpAdd);
+    EXPECT_EQ(opClassPowerComponent(OpClass::FpAdd),
+              PowerComponent::FpAdd);
+    EXPECT_EQ(sassOpClass(SassOp::IMUL), OpClass::IntMul);
+    EXPECT_EQ(opClassPowerComponent(OpClass::IntMul),
+              PowerComponent::IntMul);
+    EXPECT_EQ(ptxOpClass(PtxOp::ADD_S32), OpClass::IntAdd);
+    EXPECT_EQ(ptxOpClass(PtxOp::MUL_F64), OpClass::DpMul);
+    EXPECT_EQ(opClassPowerComponent(OpClass::DpMul),
+              PowerComponent::DpMul);
+}
+
+TEST(Isa, MemoryOpsRouteToTheirStructures)
+{
+    EXPECT_EQ(opClassPowerComponent(OpClass::LdGlobal),
+              PowerComponent::L1DCache);
+    EXPECT_EQ(opClassPowerComponent(OpClass::StGlobal),
+              PowerComponent::L1DCache);
+    EXPECT_EQ(opClassPowerComponent(OpClass::LdShared),
+              PowerComponent::SharedMem);
+    EXPECT_EQ(opClassPowerComponent(OpClass::LdConst),
+              PowerComponent::ConstCache);
+}
+
+TEST(Isa, IssueOnlyOpsHaveNoUnit)
+{
+    for (OpClass c : {OpClass::Branch, OpClass::Bar, OpClass::Nop,
+                      OpClass::NanoSleep, OpClass::Exit})
+        EXPECT_EQ(opClassUnit(c), ExecUnit::None);
+}
+
+TEST(Isa, SfuOpsDistinguished)
+{
+    EXPECT_EQ(opClassPowerComponent(OpClass::Sqrt), PowerComponent::Sqrt);
+    EXPECT_EQ(opClassPowerComponent(OpClass::Log), PowerComponent::Log);
+    EXPECT_EQ(opClassPowerComponent(OpClass::Sin),
+              PowerComponent::SinCos);
+    EXPECT_EQ(opClassPowerComponent(OpClass::Exp), PowerComponent::Exp);
+}
+
+TEST(Isa, NamesAreUnique)
+{
+    std::set<std::string> sassNames, ptxNames;
+    for (size_t i = 0; i < static_cast<size_t>(SassOp::NumOps); ++i)
+        sassNames.insert(sassOpName(static_cast<SassOp>(i)));
+    for (size_t i = 0; i < static_cast<size_t>(PtxOp::NumOps); ++i)
+        ptxNames.insert(ptxOpName(static_cast<PtxOp>(i)));
+    EXPECT_EQ(sassNames.size(), static_cast<size_t>(SassOp::NumOps));
+    EXPECT_EQ(ptxNames.size(), static_cast<size_t>(PtxOp::NumOps));
+}
+
+TEST(PowerComponents, TwentyTwoTracked)
+{
+    // Table 1 tracks exactly 22 dynamic components.
+    EXPECT_EQ(kNumPowerComponents, 22u);
+    std::set<std::string> names;
+    for (auto c : allComponents())
+        names.insert(componentName(c));
+    EXPECT_EQ(names.size(), kNumPowerComponents);
+}
+
+TEST(PowerComponents, CounterGapsMatchTable1)
+{
+    EXPECT_FALSE(hasHardwareCounter(PowerComponent::RegFile));
+    EXPECT_FALSE(hasHardwareCounter(PowerComponent::InstCache));
+    EXPECT_TRUE(hasHardwareCounter(PowerComponent::L1DCache));
+    EXPECT_TRUE(hasHardwareCounter(PowerComponent::DramMc));
+    // Blind fractions: total for counterless, partial for DRAM
+    // (no precharge counter), zero elsewhere.
+    EXPECT_DOUBLE_EQ(counterBlindFraction(PowerComponent::RegFile), 1.0);
+    EXPECT_GT(counterBlindFraction(PowerComponent::DramMc), 0.0);
+    EXPECT_LT(counterBlindFraction(PowerComponent::DramMc), 1.0);
+    EXPECT_DOUBLE_EQ(counterBlindFraction(PowerComponent::Scheduler), 0.0);
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit and property tests for the dense linear algebra kernel routines
+ * (Cholesky solve, Householder-QR least squares) used by the polynomial
+ * fitter and the QP solver.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "solver/linalg.hpp"
+
+using namespace aw;
+
+TEST(Matrix, IdentityAndMul)
+{
+    Matrix id = Matrix::identity(3);
+    std::vector<double> v{1, 2, 3};
+    EXPECT_EQ(id.mul(v), v);
+    EXPECT_EQ(id.mulTransposed(v), v);
+}
+
+TEST(Matrix, MulKnown)
+{
+    Matrix a(2, 3);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(0, 2) = 3;
+    a(1, 0) = 4;
+    a(1, 1) = 5;
+    a(1, 2) = 6;
+    auto y = a.mul({1, 1, 1});
+    EXPECT_DOUBLE_EQ(y[0], 6);
+    EXPECT_DOUBLE_EQ(y[1], 15);
+    auto yt = a.mulTransposed({1, 1});
+    EXPECT_DOUBLE_EQ(yt[0], 5);
+    EXPECT_DOUBLE_EQ(yt[1], 7);
+    EXPECT_DOUBLE_EQ(yt[2], 9);
+}
+
+TEST(Matrix, GramMatchesExplicit)
+{
+    Rng rng(5);
+    Matrix a(6, 4);
+    for (size_t i = 0; i < 6; ++i)
+        for (size_t j = 0; j < 4; ++j)
+            a(i, j) = rng.uniform(-1, 1);
+    Matrix g = a.gram();
+    Matrix g2 = a.transposed().mul(a);
+    for (size_t i = 0; i < 4; ++i)
+        for (size_t j = 0; j < 4; ++j)
+            EXPECT_NEAR(g(i, j), g2(i, j), 1e-12);
+}
+
+TEST(VectorOps, DotNormAxpy)
+{
+    EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32);
+    EXPECT_DOUBLE_EQ(norm2({3, 4}), 5);
+    auto r = axpy({1, 2}, 2.0, {10, 20});
+    EXPECT_DOUBLE_EQ(r[0], 21);
+    EXPECT_DOUBLE_EQ(r[1], 42);
+}
+
+TEST(Cholesky, SolvesKnownSystem)
+{
+    // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2].
+    Matrix a(2, 2);
+    a(0, 0) = 4;
+    a(0, 1) = 2;
+    a(1, 0) = 2;
+    a(1, 1) = 3;
+    auto x = choleskySolve(a, {10, 9});
+    EXPECT_NEAR(x[0], 1.5, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Cholesky, RidgeRescuesNearSingular)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 1;
+    a(1, 0) = 1;
+    a(1, 1) = 1; // singular
+    auto x = choleskySolve(a, {2, 2});
+    // With ridge, solution approximates the minimum-norm answer [1,1].
+    EXPECT_NEAR(x[0] + x[1], 2.0, 1e-3);
+}
+
+TEST(LeastSquares, ExactSquareSystem)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 2;
+    a(0, 1) = 0;
+    a(1, 0) = 0;
+    a(1, 1) = 4;
+    auto x = leastSquares(a, {6, 8});
+    EXPECT_NEAR(x[0], 3, 1e-12);
+    EXPECT_NEAR(x[1], 2, 1e-12);
+}
+
+TEST(LeastSquares, OverdeterminedKnown)
+{
+    // Fit y = 2x + 1 through noisy-free points: exact recovery.
+    Matrix a(4, 2);
+    std::vector<double> b(4);
+    double xs[] = {0, 1, 2, 3};
+    for (int i = 0; i < 4; ++i) {
+        a(static_cast<size_t>(i), 0) = xs[i];
+        a(static_cast<size_t>(i), 1) = 1.0;
+        b[static_cast<size_t>(i)] = 2 * xs[i] + 1;
+    }
+    auto x = leastSquares(a, b);
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+    EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(LeastSquaresDeath, RejectsUnderdetermined)
+{
+    Matrix a(1, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 1;
+    EXPECT_EXIT(leastSquares(a, {1.0}), testing::ExitedWithCode(1),
+                "underdetermined");
+}
+
+/** Property: LS residual is orthogonal to the column space (A^T r = 0). */
+class LeastSquaresPropertyTest : public testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(LeastSquaresPropertyTest, NormalEquationsHold)
+{
+    Rng rng(GetParam());
+    const size_t m = 12, n = 5;
+    Matrix a(m, n);
+    std::vector<double> b(m);
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < n; ++j)
+            a(i, j) = rng.uniform(-2, 2);
+        b[i] = rng.uniform(-5, 5);
+    }
+    auto x = leastSquares(a, b);
+    auto ax = a.mul(x);
+    std::vector<double> r(m);
+    for (size_t i = 0; i < m; ++i)
+        r[i] = ax[i] - b[i];
+    auto atr = a.mulTransposed(r);
+    for (size_t j = 0; j < n; ++j)
+        EXPECT_NEAR(atr[j], 0.0, 1e-8) << "seed " << GetParam();
+}
+
+TEST_P(LeastSquaresPropertyTest, CholeskySolvesRandomSpd)
+{
+    Rng rng(GetParam() ^ 0xC0FFEE);
+    const size_t n = 6;
+    Matrix g(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            g(i, j) = rng.uniform(-1, 1);
+    Matrix spd = g.gram(); // g^T g is PSD
+    for (size_t i = 0; i < n; ++i)
+        spd(i, i) += 0.5; // make it PD
+    std::vector<double> xTrue(n);
+    for (auto &v : xTrue)
+        v = rng.uniform(-3, 3);
+    auto b = spd.mul(xTrue);
+    auto x = choleskySolve(spd, b);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], xTrue[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LeastSquaresPropertyTest,
+                         testing::Values(1, 2, 3, 4, 5, 6, 7, 8));

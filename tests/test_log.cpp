@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the logging layer: formatting, observer hook, and the
+ * fatal/panic exit disciplines (gem5 style: fatal = user error ->
+ * exit(1); panic = internal bug -> abort()).
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+
+using namespace aw;
+
+namespace {
+
+std::vector<std::pair<LogLevel, std::string>> g_seen;
+
+void
+observer(LogLevel level, const std::string &msg)
+{
+    g_seen.push_back({level, msg});
+}
+
+struct ObserverGuard
+{
+    ObserverGuard()
+    {
+        g_seen.clear();
+        setLogObserver(&observer);
+    }
+    ~ObserverGuard() { setLogObserver(nullptr); }
+};
+
+} // namespace
+
+TEST(Log, StrprintfFormats)
+{
+    EXPECT_EQ(strprintf("x=%d y=%.1f s=%s", 3, 2.5, "hi"),
+              "x=3 y=2.5 s=hi");
+    EXPECT_EQ(strprintf("plain"), "plain");
+    EXPECT_EQ(strprintf("%s", ""), "");
+}
+
+TEST(Log, StrprintfLongStrings)
+{
+    std::string big(5000, 'a');
+    EXPECT_EQ(strprintf("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(Log, ObserverSeesMessages)
+{
+    ObserverGuard guard;
+    inform("hello %d", 42);
+    warn("watch out");
+    ASSERT_EQ(g_seen.size(), 2u);
+    EXPECT_EQ(g_seen[0].first, LogLevel::Inform);
+    EXPECT_EQ(g_seen[0].second, "hello 42");
+    EXPECT_EQ(g_seen[1].first, LogLevel::Warn);
+    EXPECT_EQ(g_seen[1].second, "watch out");
+}
+
+TEST(Log, ObserverDetaches)
+{
+    {
+        ObserverGuard guard;
+        inform("captured");
+    }
+    size_t count = g_seen.size();
+    inform("not captured");
+    EXPECT_EQ(g_seen.size(), count);
+}
+
+TEST(LogDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("user did %s", "bad thing"),
+                testing::ExitedWithCode(1), "user did bad thing");
+}
+
+TEST(LogDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant %d broke", 7), "invariant 7 broke");
+}
+
+TEST(LogDeath, AssertMacroPanicsWithLocation)
+{
+    EXPECT_DEATH([] { AW_ASSERT(1 == 2, "unused"); }(),
+                 "assertion failed: 1 == 2");
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the chip-level memory system: L2 slice behaviour, DRAM
+ * latency/bandwidth queuing, and traffic accounting.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/memsys.hpp"
+
+using namespace aw;
+
+TEST(MemSys, L2HitCheaperThanDram)
+{
+    auto gpu = voltaGV100();
+    MemorySystem mem(gpu, 80, gpu.defaultClockGhz);
+    auto miss = mem.globalAccess(0x0, false, 0.0);
+    auto hit = mem.globalAccess(0x0, false, 1000.0);
+    EXPECT_EQ(miss.dramAccesses, 1);
+    EXPECT_EQ(hit.dramAccesses, 0);
+    EXPECT_EQ(hit.l2Accesses, 1);
+    EXPECT_LT(hit.latencyCycles, miss.latencyCycles);
+}
+
+TEST(MemSys, BandwidthQueuingDelaysBursts)
+{
+    auto gpu = voltaGV100();
+    MemorySystem mem(gpu, 80, gpu.defaultClockGhz);
+    // Fire a burst of distinct lines at the same instant: later ones
+    // queue behind the per-SM DRAM bandwidth share.
+    double first = 0, last = 0;
+    for (int i = 0; i < 64; ++i) {
+        auto out = mem.globalAccess(static_cast<uint64_t>(i) * 1024 * 1024,
+                                    false, 0.0);
+        if (i == 0)
+            first = out.latencyCycles;
+        last = out.latencyCycles;
+    }
+    EXPECT_GT(last, first + 100);
+}
+
+TEST(MemSys, FewerSharersMeansMoreBandwidth)
+{
+    auto gpu = voltaGV100();
+    MemorySystem alone(gpu, 1, gpu.defaultClockGhz);
+    MemorySystem crowded(gpu, 80, gpu.defaultClockGhz);
+    double lastAlone = 0, lastCrowded = 0;
+    for (int i = 0; i < 64; ++i) {
+        uint64_t addr = static_cast<uint64_t>(i) * 1024 * 1024;
+        lastAlone = alone.globalAccess(addr, false, 0.0).latencyCycles;
+        lastCrowded =
+            crowded.globalAccess(addr, false, 0.0).latencyCycles;
+    }
+    EXPECT_LT(lastAlone, lastCrowded);
+}
+
+TEST(MemSys, L2SliceScalesWithActiveSms)
+{
+    auto gpu = voltaGV100();
+    // With 1 active SM the slice is the whole L2: a 1 MB working set
+    // fits. With 80 SMs the slice is ~77 KB: it cannot.
+    MemorySystem whole(gpu, 1, gpu.defaultClockGhz);
+    MemorySystem slice(gpu, 80, gpu.defaultClockGhz);
+    const int lines = 8192; // 1 MB of 128B lines
+    auto stream = [&](MemorySystem &m) {
+        int dram = 0;
+        for (int pass = 0; pass < 2; ++pass)
+            for (int i = 0; i < lines; ++i)
+                dram += m.globalAccess(static_cast<uint64_t>(i) * 128,
+                                       false, 1e9)
+                            .dramAccesses;
+        return dram;
+    };
+    int dramWhole = stream(whole);
+    int dramSlice = stream(slice);
+    EXPECT_LT(dramWhole, dramSlice);
+}
+
+TEST(MemSys, WritesReachDramOnEviction)
+{
+    auto gpu = voltaGV100();
+    MemorySystem mem(gpu, 80, gpu.defaultClockGhz);
+    // Dirty a stream far larger than the slice; evictions must drain.
+    int dramEvents = 0;
+    for (int i = 0; i < 4096; ++i)
+        dramEvents += mem.globalAccess(static_cast<uint64_t>(i) * 128,
+                                       true, 1e9)
+                          .dramAccesses;
+    // Every miss fetches + every dirty eviction writes back.
+    EXPECT_GT(dramEvents, 4096);
+}
+
+TEST(MemSys, LatencyScalesWithFrequency)
+{
+    auto gpu = voltaGV100();
+    // Off-chip latency is constant in wall time, so the cycle cost grows
+    // with core frequency.
+    MemorySystem slow(gpu, 80, 0.7);
+    MemorySystem fast(gpu, 80, 1.4);
+    double slowCycles = slow.globalAccess(0, false, 0).latencyCycles;
+    double fastCycles = fast.globalAccess(0, false, 0).latencyCycles;
+    EXPECT_GT(fastCycles, slowCycles * 1.5);
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for AccelWattch configuration-file serialization: round trips,
+ * hand-edited overrides, and rejection of malformed input.
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/calibration.hpp"
+#include "core/model_io.hpp"
+
+using namespace aw;
+
+namespace {
+
+AccelWattchModel
+sampleModel()
+{
+    AccelWattchModel m;
+    m.gpu = voltaGV100();
+    m.refVoltage = m.gpu.referenceVoltage();
+    m.constPowerW = 33.25;
+    m.idleSmW = 0.125;
+    m.calibrationSms = 80;
+    for (size_t c = 0; c < kNumMixCategories; ++c) {
+        m.divergence[c].firstLaneW = 10.0 + c;
+        m.divergence[c].addLaneW = 0.1 * (c + 1);
+        m.divergence[c].halfWarp = (c % 2) == 0;
+    }
+    for (size_t i = 0; i < kNumPowerComponents; ++i)
+        m.energyNj[i] = 0.01 * (i + 1);
+    return m;
+}
+
+} // namespace
+
+TEST(ModelIo, RoundTripPreservesEverything)
+{
+    auto m = sampleModel();
+    auto back = parseModel(serializeModel(m));
+    EXPECT_EQ(back.gpu.name, m.gpu.name);
+    EXPECT_EQ(back.gpu.numSms, m.gpu.numSms);
+    EXPECT_DOUBLE_EQ(back.constPowerW, m.constPowerW);
+    EXPECT_DOUBLE_EQ(back.idleSmW, m.idleSmW);
+    EXPECT_DOUBLE_EQ(back.refVoltage, m.refVoltage);
+    EXPECT_EQ(back.calibrationSms, m.calibrationSms);
+    for (size_t c = 0; c < kNumMixCategories; ++c) {
+        EXPECT_DOUBLE_EQ(back.divergence[c].firstLaneW,
+                         m.divergence[c].firstLaneW);
+        EXPECT_DOUBLE_EQ(back.divergence[c].addLaneW,
+                         m.divergence[c].addLaneW);
+        EXPECT_EQ(back.divergence[c].halfWarp, m.divergence[c].halfWarp);
+    }
+    for (size_t i = 0; i < kNumPowerComponents; ++i)
+        EXPECT_DOUBLE_EQ(back.energyNj[i], m.energyNj[i]);
+}
+
+TEST(ModelIo, RoundTripPreservesEvaluation)
+{
+    auto m = sampleModel();
+    auto back = parseModel(serializeModel(m));
+    ActivitySample s;
+    s.cycles = 1e6;
+    s.freqGhz = 1.417;
+    s.voltage = m.refVoltage;
+    s.avgActiveSms = 40;
+    s.avgActiveLanesPerWarp = 24;
+    for (size_t i = 0; i < kNumPowerComponents; ++i)
+        s.accesses[i] = 1e5 * (i + 1);
+    EXPECT_DOUBLE_EQ(back.evaluate(s).totalW(), m.evaluate(s).totalW());
+}
+
+TEST(ModelIo, FileRoundTrip)
+{
+    auto path = (std::filesystem::temp_directory_path() /
+                 "aw_model_io_test.cfg")
+                    .string();
+    auto m = sampleModel();
+    saveModel(m, path);
+    auto back = loadModel(path);
+    EXPECT_DOUBLE_EQ(back.constPowerW, m.constPowerW);
+    std::filesystem::remove(path);
+}
+
+TEST(ModelIo, HandEditedOverridesApply)
+{
+    // A what-if study: edit the SM count and constant power in the file.
+    auto text = serializeModel(sampleModel());
+    text += "\n[gpu]\nnum_sms = 64\n[model]\nconst_power_w = 40\n";
+    auto m = parseModel(text);
+    EXPECT_EQ(m.gpu.numSms, 64);
+    EXPECT_DOUBLE_EQ(m.constPowerW, 40.0);
+    // Eq. 9 divisor untouched by the SM-count edit.
+    EXPECT_EQ(m.calibrationSms, 80);
+}
+
+TEST(ModelIo, CommentsAndBlanksIgnored)
+{
+    auto text = "# leading comment\n\n" + serializeModel(sampleModel()) +
+                "\n# trailing comment\n";
+    EXPECT_DOUBLE_EQ(parseModel(text).constPowerW, 33.25);
+}
+
+TEST(ModelIoDeath, UnknownKeyRejected)
+{
+    auto text = serializeModel(sampleModel()) + "\n[model]\nbogus = 1\n";
+    EXPECT_EXIT(parseModel(text), testing::ExitedWithCode(1),
+                "unknown \\[model\\] key");
+}
+
+TEST(ModelIoDeath, UnknownComponentRejected)
+{
+    auto text = serializeModel(sampleModel()) +
+                "\n[dynamic_energy_nj]\nFLUX_CAP = 1.21\n";
+    EXPECT_EXIT(parseModel(text), testing::ExitedWithCode(1),
+                "unknown power component");
+}
+
+TEST(ModelIoDeath, MissingEnergiesRejected)
+{
+    // Drop the last energy line.
+    auto text = serializeModel(sampleModel());
+    text = text.substr(0, text.rfind("DRAM+MC"));
+    EXPECT_EXIT(parseModel(text), testing::ExitedWithCode(1),
+                "dynamic energies");
+}
+
+TEST(ModelIoDeath, UnknownPresetRejected)
+{
+    EXPECT_EXIT(parseModel("[gpu]\npreset = HAL 9000\n"),
+                testing::ExitedWithCode(1), "unknown GPU preset");
+}
+
+TEST(ModelIoDeath, MissingFileRejected)
+{
+    EXPECT_EXIT(loadModel("/nonexistent/aw.cfg"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(ModelIo, CalibratedModelSurvivesRoundTrip)
+{
+    auto &cal = sharedVoltaCalibrator();
+    const auto &model = cal.variant(Variant::SassSim).model;
+    auto back = parseModel(serializeModel(model));
+    auto k = makeKernel("io_check", {{OpClass::FpFma, 1.0}}, 160, 8);
+    auto act = cal.simulator().runSass(k);
+    EXPECT_NEAR(back.averagePowerW(act), model.averagePowerW(act), 1e-6);
+}

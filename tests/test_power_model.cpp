@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the AccelWattch model evaluation (Eqs. 10-12): hand-checked
+ * arithmetic, DVFS scaling, kernel-level weighting, breakdown groups,
+ * and the Eq. 9 normalization.
+ */
+#include <gtest/gtest.h>
+
+#include "core/power_model.hpp"
+
+using namespace aw;
+
+namespace {
+
+AccelWattchModel
+handModel()
+{
+    AccelWattchModel m;
+    m.gpu = voltaGV100();
+    m.refVoltage = m.gpu.referenceVoltage();
+    m.constPowerW = 30.0;
+    m.idleSmW = 0.1;
+    m.calibrationSms = 80;
+    for (auto &d : m.divergence) {
+        d.firstLaneW = 16.0; // chip-wide at 80 SMs
+        d.addLaneW = 0.8;
+        d.halfWarp = false;
+    }
+    m.energyNj = {};
+    m.energyNj[componentIndex(PowerComponent::IntAdd)] = 2.0;
+    return m;
+}
+
+ActivitySample
+handSample()
+{
+    ActivitySample s;
+    s.cycles = 1.417e9; // exactly one second at the default clock
+    s.freqGhz = 1.417;
+    s.voltage = voltaGV100().referenceVoltage();
+    s.avgActiveSms = 40;
+    s.avgActiveLanesPerWarp = 32;
+    s.accesses[componentIndex(PowerComponent::IntAdd)] = 1e9;
+    s.unitInsts[static_cast<size_t>(UnitKind::Int)] = 1e9;
+    s.intAddInsts = 1e9;
+    return s;
+}
+
+} // namespace
+
+TEST(PowerModel, HandCheckedEvaluation)
+{
+    auto m = handModel();
+    auto s = handSample();
+    PowerBreakdown b = m.evaluate(s);
+
+    // Dynamic: 1e9 accesses x 2 nJ / 1 s = 2 W, no voltage scaling.
+    EXPECT_NEAR(b.dynamicW[componentIndex(PowerComponent::IntAdd)], 2.0,
+                1e-9);
+    EXPECT_NEAR(b.dynamicTotalW(), 2.0, 1e-9);
+    // Static per active SM: (16 + 0.8*31)/80 = 0.51 W; 40 SMs = 20.4 W.
+    EXPECT_NEAR(b.staticW, 40 * (16.0 + 0.8 * 31) / 80.0, 1e-9);
+    // Idle: 40 idle SMs x 0.1 W.
+    EXPECT_NEAR(b.idleSmW, 4.0, 1e-9);
+    EXPECT_NEAR(b.constW, 30.0, 1e-9);
+    EXPECT_NEAR(b.totalW(),
+                30.0 + 4.0 + 40 * (16.0 + 0.8 * 31) / 80.0 + 2.0, 1e-9);
+}
+
+TEST(PowerModel, DvfsScalesDynamicQuadraticallyInVoltage)
+{
+    auto m = handModel();
+    auto s = handSample();
+    auto base = m.evaluate(s);
+
+    ActivitySample lower = s;
+    lower.freqGhz = 0.7;
+    lower.voltage = m.gpu.vf.voltageAt(0.7);
+    // Same accesses over the same cycle count: the per-second rate drops
+    // with f, and energy drops with V^2.
+    auto low = m.evaluate(lower);
+    double vRatio = lower.voltage / s.voltage;
+    double fRatio = 0.7 / 1.417;
+    EXPECT_NEAR(low.dynamicTotalW() / base.dynamicTotalW(),
+                vRatio * vRatio * fRatio, 1e-9);
+    // Static scales ~ V.
+    EXPECT_NEAR(low.staticW / base.staticW, vRatio, 1e-9);
+    // Constant power does not scale.
+    EXPECT_DOUBLE_EQ(low.constW, base.constW);
+}
+
+TEST(PowerModel, Eq9UsesCalibrationSmCount)
+{
+    auto m = handModel();
+    // Porting to a 28-SM chip must not change the per-SM static power.
+    double perSmBefore = m.staticPerActiveSmW(MixCategory::IntFp, 32);
+    m.gpu = pascalTitanX();
+    double perSmAfter = m.staticPerActiveSmW(MixCategory::IntFp, 32);
+    EXPECT_DOUBLE_EQ(perSmBefore, perSmAfter);
+}
+
+TEST(PowerModel, EvaluateKernelWeightsByCycles)
+{
+    auto m = handModel();
+    KernelActivity k;
+    k.kernelName = "weighted";
+    auto s1 = handSample();
+    auto s2 = handSample();
+    s2.cycles = s1.cycles * 3;
+    s2.accesses[componentIndex(PowerComponent::IntAdd)] = 0; // idle phase
+    k.samples = {s1, s2};
+    PowerBreakdown b = m.evaluateKernel(k);
+    // Phase 1 contributes 2 W dynamic for 1/4 of the time; phase 2 zero.
+    EXPECT_NEAR(b.dynamicTotalW(), 2.0 * 0.25, 1e-9);
+}
+
+TEST(PowerModelDeath, EmptyKernelRejected)
+{
+    auto m = handModel();
+    KernelActivity k;
+    k.kernelName = "empty";
+    EXPECT_EXIT(m.evaluateKernel(k), testing::ExitedWithCode(1),
+                "no activity samples");
+}
+
+TEST(PowerModel, ZeroCycleSampleYieldsConstOnly)
+{
+    auto m = handModel();
+    ActivitySample s;
+    PowerBreakdown b = m.evaluate(s);
+    EXPECT_DOUBLE_EQ(b.totalW(), m.constPowerW);
+}
+
+TEST(PowerModel, BreakdownGroupsSumToTotal)
+{
+    auto m = handModel();
+    // Populate several components.
+    for (size_t i = 0; i < kNumPowerComponents; ++i)
+        m.energyNj[i] = 0.1 * (i + 1);
+    auto s = handSample();
+    for (size_t i = 0; i < kNumPowerComponents; ++i)
+        s.accesses[i] = 1e8;
+    PowerBreakdown b = m.evaluate(s);
+    auto groups = groupBreakdown(b);
+    double sum = 0;
+    for (double g : groups)
+        sum += g;
+    EXPECT_NEAR(sum, b.totalW(), 1e-9);
+}
+
+TEST(PowerModel, BreakdownGroupNamesDistinct)
+{
+    std::set<std::string> names;
+    for (size_t g = 0; g < kNumBreakdownGroups; ++g)
+        names.insert(breakdownGroupName(static_cast<BreakdownGroup>(g)));
+    EXPECT_EQ(names.size(), kNumBreakdownGroups);
+}
+
+TEST(PowerModel, SumOfHelper)
+{
+    PowerBreakdown b;
+    b.dynamicW[componentIndex(PowerComponent::IntAdd)] = 1.5;
+    b.dynamicW[componentIndex(PowerComponent::IntMul)] = 2.5;
+    EXPECT_DOUBLE_EQ(
+        b.sumOf({PowerComponent::IntAdd, PowerComponent::IntMul}), 4.0);
+}
+
+TEST(PowerModel, MixSelectsDivergenceModel)
+{
+    auto m = handModel();
+    // Give the IntMulOnly category a half-warp model with a sag.
+    auto &hw = m.divergence[static_cast<size_t>(MixCategory::IntMulOnly)];
+    hw.halfWarp = true;
+    hw.firstLaneW = 16.0;
+    hw.addLaneW = 1.6;
+
+    auto s = handSample();
+    s.avgActiveLanesPerWarp = 20;
+    s.intAddInsts = 0;
+    s.intMulInsts = 1e9; // classifies as IntMulOnly
+    PowerBreakdown bMul = m.evaluate(s);
+
+    s.intAddInsts = 1e9;
+    s.intMulInsts = 0; // classifies as IntAddOnly (linear here)
+    PowerBreakdown bAdd = m.evaluate(s);
+    EXPECT_NE(bMul.staticW, bAdd.staticW);
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the interior-point QP solver (the Eq. 14 optimization
+ * engine): known solutions, active/inactive constraints, feasibility
+ * search, and KKT-style properties on random instances.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "solver/qp.hpp"
+
+using namespace aw;
+
+namespace {
+
+/** min (x-c)^T(x-c): Q = 2I, linear = -2c. */
+QpProblem
+distanceProblem(const std::vector<double> &target)
+{
+    QpProblem p;
+    size_t n = target.size();
+    p.q = Matrix(n, n);
+    p.c.assign(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        p.q(i, i) = 2.0;
+        p.c[i] = -2.0 * target[i];
+    }
+    p.g = Matrix(0, n);
+    return p;
+}
+
+} // namespace
+
+TEST(Qp, UnconstrainedReachesMinimum)
+{
+    auto p = distanceProblem({3.0, -1.0, 7.0});
+    auto r = solveQp(p, {0.0, 0.0, 0.0});
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x[0], 3.0, 1e-6);
+    EXPECT_NEAR(r.x[1], -1.0, 1e-6);
+    EXPECT_NEAR(r.x[2], 7.0, 1e-6);
+}
+
+TEST(Qp, InactiveBoxDoesNotPerturb)
+{
+    auto p = distanceProblem({0.5, 0.25});
+    p.addBox(-10, 10);
+    auto r = solveQp(p, {0.0, 0.0});
+    EXPECT_NEAR(r.x[0], 0.5, 1e-5);
+    EXPECT_NEAR(r.x[1], 0.25, 1e-5);
+}
+
+TEST(Qp, ActiveBoxClamps)
+{
+    auto p = distanceProblem({5.0, -5.0});
+    p.addBox(-1, 1);
+    auto r = solveQp(p, {0.0, 0.0});
+    EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+    EXPECT_NEAR(r.x[1], -1.0, 1e-4);
+}
+
+TEST(Qp, OrderingConstraintBinds)
+{
+    // Minimize distance to (2, 1) subject to x0 <= x1: optimum (1.5,1.5).
+    auto p = distanceProblem({2.0, 1.0});
+    p.addConstraint({1.0, -1.0}, 0.0);
+    auto r = solveQp(p, {0.0, 0.5});
+    EXPECT_NEAR(r.x[0], 1.5, 1e-4);
+    EXPECT_NEAR(r.x[1], 1.5, 1e-4);
+}
+
+TEST(Qp, OrderingConstraintSlack)
+{
+    // Target already satisfies the ordering: constraint inactive.
+    auto p = distanceProblem({1.0, 2.0});
+    p.addConstraint({1.0, -1.0}, 0.0);
+    auto r = solveQp(p, {0.0, 0.5});
+    EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+    EXPECT_NEAR(r.x[1], 2.0, 1e-4);
+}
+
+TEST(QpDeath, InfeasibleStartRejected)
+{
+    auto p = distanceProblem({0.0});
+    p.addBox(0.0, 1.0);
+    EXPECT_EXIT(solveQp(p, {5.0}), testing::ExitedWithCode(1),
+                "not strictly feasible");
+}
+
+TEST(Qp, MakeFeasibleFixesViolations)
+{
+    auto p = distanceProblem({0.0, 0.0, 0.0});
+    p.addBox(0.001, 1000.0);
+    p.addConstraint({1.0, -1.0, 0.0}, 0.0); // x0 <= x1
+    auto x = makeFeasible(p, {5000.0, -3.0, 0.5});
+    EXPECT_TRUE(p.isStrictlyFeasible(x));
+}
+
+TEST(Qp, MakeFeasibleKeepsFeasiblePoint)
+{
+    auto p = distanceProblem({0.0, 0.0});
+    p.addBox(0.0, 1.0);
+    auto x = makeFeasible(p, {0.5, 0.5});
+    EXPECT_DOUBLE_EQ(x[0], 0.5);
+    EXPECT_DOUBLE_EQ(x[1], 0.5);
+}
+
+TEST(Qp, ObjectiveHelper)
+{
+    auto p = distanceProblem({1.0, 1.0});
+    // f(x) = |x - c|^2 - |c|^2 in this parameterization.
+    EXPECT_NEAR(p.objective({1.0, 1.0}), -2.0, 1e-12);
+    EXPECT_NEAR(p.objective({0.0, 0.0}), 0.0, 1e-12);
+}
+
+/** Properties on random strictly convex problems with box constraints. */
+class QpPropertyTest : public testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(QpPropertyTest, SolutionFeasibleAndLocallyOptimal)
+{
+    Rng rng(GetParam());
+    const size_t n = 6;
+    Matrix g(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            g(i, j) = rng.uniform(-1, 1);
+    QpProblem p;
+    p.q = g.gram();
+    for (size_t i = 0; i < n; ++i)
+        p.q(i, i) += 1.0;
+    p.c.resize(n);
+    for (auto &v : p.c)
+        v = rng.uniform(-3, 3);
+    p.g = Matrix(0, n);
+    p.addBox(-1.0, 1.0);
+
+    auto r = solveQp(p, std::vector<double>(n, 0.0));
+    EXPECT_TRUE(r.converged);
+    EXPECT_TRUE(p.isStrictlyFeasible(r.x, -1e-7));
+
+    // Local optimality: random feasible perturbations do not improve.
+    for (int trial = 0; trial < 60; ++trial) {
+        std::vector<double> cand = r.x;
+        for (auto &v : cand) {
+            v += rng.uniform(-0.02, 0.02);
+            v = std::clamp(v, -1.0, 1.0);
+        }
+        EXPECT_GE(p.objective(cand), r.objective - 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QpPropertyTest,
+                         testing::Values(11, 22, 33, 44, 55, 66));

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and hashing: every experiment in
+ * this repository must be bit-reproducible.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+using namespace aw;
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(7);
+    uint64_t first = a.next();
+    a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform(5.0, 9.0);
+        ASSERT_GE(u, 5.0);
+        ASSERT_LT(u, 9.0);
+    }
+}
+
+TEST(Rng, UniformMomentsReasonable)
+{
+    Rng r(11);
+    double sum = 0, sumsq = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double u = r.uniform();
+        sum += u;
+        sumsq += u * u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+    EXPECT_NEAR(sumsq / n - 0.25, 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, GaussianMomentsReasonable)
+{
+    Rng r(13);
+    double sum = 0, sumsq = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double g = r.gaussian();
+        sum += g;
+        sumsq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianShifted)
+{
+    Rng r(17);
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += r.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(19);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.below(7), 7u);
+}
+
+TEST(Hash, DeterministicAndDistinct)
+{
+    EXPECT_EQ(hash64("kmeans_K1"), hash64("kmeans_K1"));
+    EXPECT_NE(hash64("kmeans_K1"), hash64("kmeans_K2"));
+    EXPECT_NE(hash64(""), hash64("a"));
+}
+
+TEST(Hash, SplitMixConstexpr)
+{
+    // Compile-time evaluable and stable.
+    constexpr uint64_t v = splitmix64(1);
+    static_assert(v != 0);
+    EXPECT_EQ(splitmix64(1), v);
+    EXPECT_NE(splitmix64(1), splitmix64(2));
+}

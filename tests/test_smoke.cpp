@@ -1,0 +1,136 @@
+/**
+ * @file
+ * End-to-end smoke probes: exercise the oracle, the simulator, and the
+ * calibration pipeline on a handful of workloads and print the key
+ * physical quantities. Bounds are intentionally loose; the detailed
+ * behavioural tests live in the per-module test binaries.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/calibration.hpp"
+#include "ubench/microbench.hpp"
+
+using namespace aw;
+
+namespace {
+
+double
+nowSec()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+TEST(Smoke, OraclePowerLevels)
+{
+    const SiliconOracle &card = sharedVoltaCard();
+    double t0 = nowSec();
+    auto suite = dvfsSuite();
+    for (const auto &k : suite) {
+        double t1 = nowSec();
+        OracleRun run = card.execute(k);
+        std::printf("%-16s power=%7.2f W (const=%.1f static=%.1f "
+                    "idle=%.2f dyn=%.1f) cycles=%.0f elapsed=%.1f us "
+                    "[sim %.0f ms]\n",
+                    k.name.c_str(), run.avgPowerW, run.constW, run.staticW,
+                    run.idleSmW, run.dynamicW, run.activity.totalCycles,
+                    run.activity.elapsedSec * 1e6,
+                    (nowSec() - t1) * 1e3);
+        EXPECT_GT(run.avgPowerW, 30.0) << k.name;
+        EXPECT_LT(run.avgPowerW, 300.0) << k.name;
+    }
+    std::printf("dvfs suite total: %.1f s\n", nowSec() - t0);
+}
+
+TEST(Smoke, ConstantPowerRecovery)
+{
+    double t0 = nowSec();
+    auto &cal = sharedVoltaCalibrator();
+    const auto &result = cal.constantPower();
+    std::printf("estimated const=%.2f W (truth %.2f), linear intercept "
+                "%.2f W [%.1f s]\n",
+                result.constPowerW, sharedVoltaCard().truth().constPowerW,
+                result.linearInterceptW, nowSec() - t0);
+    for (const auto &fit : result.fits)
+        std::printf("  %-16s r=%.4f beta=%.2f tau=%.2f c=%.2f\n",
+                    fit.name.c_str(), fit.cubicFit.pearsonR,
+                    fit.cubicFit.beta, fit.cubicFit.tau,
+                    fit.cubicFit.constant);
+    EXPECT_NEAR(result.constPowerW, 32.5, 8.0);
+    EXPECT_LT(result.linearInterceptW, result.constPowerW);
+}
+
+TEST(Smoke, StaticCalibration)
+{
+    double t0 = nowSec();
+    auto &cal = sharedVoltaCalibrator();
+    const auto &result = cal.staticPower();
+    std::printf("static calibration [%.1f s]: idleSm=%.4f W (truth %.4f)\n",
+                nowSec() - t0, result.idleSmW,
+                sharedVoltaCard().truth().idleSmLeakW);
+    for (const auto &d : result.details)
+        std::printf("  %-14s first=%.2f add=%.3f halfwarp=%d "
+                    "(errLin=%.1f%% errHw=%.1f%%)\n",
+                    mixCategoryName(d.category).c_str(),
+                    d.chosen.firstLaneW, d.chosen.addLaneW,
+                    d.chosen.halfWarp, d.linearErrPct, d.halfWarpErrPct);
+    EXPECT_GT(result.idleSmW, 0);
+}
+
+TEST(Smoke, TuneSassSim)
+{
+    double t0 = nowSec();
+    auto &cal = sharedVoltaCalibrator();
+    const auto &v = cal.variant(Variant::SassSim);
+    std::printf("SASS SIM tuning [%.1f s]: train MAPE fermi=%.2f%% "
+                "ones=%.2f%%\n",
+                nowSec() - t0, v.tuningFermi.trainingMapePct,
+                v.tuningOnes.trainingMapePct);
+    const auto &truth = sharedVoltaCard().truth().energyNj;
+    for (size_t i = 0; i < kNumPowerComponents; ++i)
+        std::printf("  %-8s E=%8.4f nJ (truth %8.4f) x=%.3f\n",
+                    componentName(static_cast<PowerComponent>(i)).c_str(),
+                    v.model.energyNj[i], truth[i],
+                    v.tuningFermi.scalingFactors[i]);
+    EXPECT_LT(v.tuningFermi.trainingMapePct, 15.0);
+}
+
+#include "common/stats.hpp"
+#include "workloads/validation.hpp"
+
+TEST(Smoke, ValidationMape)
+{
+    auto &cal = sharedVoltaCalibrator();
+    for (Variant v : {Variant::SassSim, Variant::PtxSim, Variant::Hw,
+                      Variant::Hybrid}) {
+        double t0 = nowSec();
+        auto rows = runValidation(cal, v);
+        std::vector<double> meas, mod;
+        for (const auto &r : rows) {
+            meas.push_back(r.measuredW);
+            mod.push_back(r.modeledW);
+        }
+        auto s = summarizeErrors(meas, mod);
+        std::printf("%-9s n=%zu MAPE=%.2f%% +-%.2f r=%.3f max=%.1f%% "
+                    "[%.1f s]\n",
+                    variantName(v).c_str(), s.count, s.mapePct, s.ci95Pct,
+                    s.pearsonR, s.maxErrPct, nowSec() - t0);
+        // Also the all-ones-start model, for the Section 5.4 contrast.
+        auto rowsOnes = runValidation(cal, v, &cal.variant(v).modelOnes);
+        std::vector<double> modOnes;
+        for (const auto &r : rowsOnes)
+            modOnes.push_back(r.modeledW);
+        std::printf("   all-ones start: MAPE=%.2f%%\n", mape(meas, modOnes));
+        if (v == Variant::SassSim)
+            for (const auto &r : rows)
+                std::printf("   %-12s meas=%7.2f mod=%7.2f err=%+5.1f%%\n",
+                            r.name.c_str(), r.measuredW, r.modeledW,
+                            100 * (r.modeledW - r.measuredW) / r.measuredW);
+    }
+}

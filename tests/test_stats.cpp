@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for common/stats: MAPE, Pearson, geomean, confidence
+ * intervals — the metrics every validation experiment reports.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+using namespace aw;
+
+TEST(Stats, MeanBasics)
+{
+    EXPECT_DOUBLE_EQ(mean({2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({-1.0, 1.0}), 0.0);
+}
+
+TEST(Stats, StddevBasics)
+{
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({1.0, 1.0, 1.0}), 0.0);
+    // Sample stddev of {2, 4, 4, 4, 5, 5, 7, 9} is ~2.138.
+    EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.13809, 1e-4);
+}
+
+TEST(Stats, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 8.0}), std::sqrt(8.0), 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(StatsDeath, GeomeanRejectsNonPositive)
+{
+    EXPECT_EXIT(geomean({1.0, 0.0}), testing::ExitedWithCode(1),
+                "positive");
+    EXPECT_EXIT(geomean({}), testing::ExitedWithCode(1), "empty");
+}
+
+TEST(StatsDeath, MeanRejectsEmpty)
+{
+    EXPECT_EXIT(mean({}), testing::ExitedWithCode(1), "empty");
+}
+
+TEST(Stats, MapeBasics)
+{
+    EXPECT_DOUBLE_EQ(mape({100, 200}, {100, 200}), 0.0);
+    EXPECT_DOUBLE_EQ(mape({100}, {110}), 10.0);
+    EXPECT_DOUBLE_EQ(mape({100, 100}, {90, 120}), 15.0);
+    // Symmetric in sign of the error.
+    EXPECT_DOUBLE_EQ(mape({100}, {90}), mape({100}, {110}));
+}
+
+TEST(StatsDeath, MapeRejectsMismatchedOrZero)
+{
+    EXPECT_EXIT(mape({1.0, 2.0}, {1.0}), testing::ExitedWithCode(1),
+                "mismatch");
+    EXPECT_EXIT(mape({0.0}, {1.0}), testing::ExitedWithCode(1), "zero");
+}
+
+TEST(Stats, PearsonPerfectCorrelation)
+{
+    EXPECT_NEAR(pearson({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+    EXPECT_NEAR(pearson({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonAffineInvariance)
+{
+    std::vector<double> x{1, 5, 2, 9, 3};
+    std::vector<double> y{2, 3, 8, 1, 4};
+    double r = pearson(x, y);
+    std::vector<double> y2;
+    for (double v : y)
+        y2.push_back(3.5 * v + 10.0);
+    EXPECT_NEAR(pearson(x, y2), r, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateIsZero)
+{
+    EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(Stats, ConfidenceIntervalShrinksWithN)
+{
+    std::vector<double> small{90, 110, 95, 105};
+    std::vector<double> big;
+    for (int i = 0; i < 16; ++i)
+        big.insert(big.end(), small.begin(), small.end());
+    EXPECT_GT(confidenceInterval95(small), confidenceInterval95(big));
+    EXPECT_DOUBLE_EQ(confidenceInterval95({5.0}), 0.0);
+}
+
+TEST(Stats, MaxAbsPercentageError)
+{
+    EXPECT_DOUBLE_EQ(maxAbsPercentageError({100, 100}, {105, 80}), 20.0);
+}
+
+TEST(Stats, SummarizeErrorsConsistent)
+{
+    std::vector<double> meas{100, 150, 200, 120};
+    std::vector<double> mod{110, 140, 210, 118};
+    auto s = summarizeErrors(meas, mod);
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.mapePct, mape(meas, mod));
+    EXPECT_DOUBLE_EQ(s.pearsonR, pearson(meas, mod));
+    EXPECT_DOUBLE_EQ(s.maxErrPct, maxAbsPercentageError(meas, mod));
+    EXPECT_GT(s.ci95Pct, 0.0);
+}
+
+/** Property: MAPE is scale-invariant (both vectors scaled together). */
+class MapeScaleTest : public testing::TestWithParam<double>
+{};
+
+TEST_P(MapeScaleTest, ScaleInvariant)
+{
+    double s = GetParam();
+    std::vector<double> meas{80, 120, 230, 95};
+    std::vector<double> mod{85, 112, 240, 99};
+    std::vector<double> meas2, mod2;
+    for (size_t i = 0; i < meas.size(); ++i) {
+        meas2.push_back(meas[i] * s);
+        mod2.push_back(mod[i] * s);
+    }
+    EXPECT_NEAR(mape(meas, mod), mape(meas2, mod2), 1e-9);
+    EXPECT_NEAR(pearson(meas, mod), pearson(meas2, mod2), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, MapeScaleTest,
+                         testing::Values(0.01, 0.5, 2.0, 1000.0));

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the performance-statistics report and the generalized
+ * HYBRID component selection, plus extra simulator conservation
+ * properties.
+ */
+#include <gtest/gtest.h>
+
+#include "core/calibration.hpp"
+#include "sim/stats_report.hpp"
+
+using namespace aw;
+
+namespace {
+
+KernelDescriptor
+balancedKernel()
+{
+    auto k = makeKernel("rpt_balanced",
+                        {{OpClass::IntMad, 0.5}, {OpClass::FpFma, 0.5}},
+                        160, 8);
+    k.ilpDegree = 6;
+    return k;
+}
+
+} // namespace
+
+TEST(PerfReport, IssueUtilizationBounded)
+{
+    GpuSimulator sim(voltaGV100());
+    auto r = buildPerfReport(voltaGV100(), sim.runSass(balancedKernel()));
+    EXPECT_GT(r.issueUtilization, 0.4); // saturating two unit families
+    EXPECT_LE(r.issueUtilization, 1.0 + 1e-9);
+    EXPECT_LE(r.warpIpcPerSm, 4.0 + 1e-9); // 4 schedulers per SM
+}
+
+TEST(PerfReport, UnitUtilizationMatchesMix)
+{
+    GpuSimulator sim(voltaGV100());
+    auto r = buildPerfReport(voltaGV100(), sim.runSass(balancedKernel()));
+    double intU = r.unitUtilization[static_cast<size_t>(UnitKind::Int)];
+    double fpU = r.unitUtilization[static_cast<size_t>(UnitKind::Fp)];
+    // 50/50 mix: both families near-equally utilized, nothing else hot.
+    EXPECT_NEAR(intU / fpU, 1.0, 0.35);
+    EXPECT_LT(r.unitUtilization[static_cast<size_t>(UnitKind::Dp)], 0.05);
+    for (double u : r.unitUtilization)
+        EXPECT_LE(u, 1.05);
+}
+
+TEST(PerfReport, SingleUnitKernelSaturatesItsPipe)
+{
+    GpuSimulator sim(voltaGV100());
+    auto k = makeKernel("rpt_int", {{OpClass::IntMul, 1.0}}, 160, 8);
+    auto r = buildPerfReport(voltaGV100(), sim.runSass(k));
+    EXPECT_GT(r.unitUtilization[static_cast<size_t>(UnitKind::Int)], 0.8);
+    EXPECT_EQ(r.mix, MixCategory::IntMulOnly);
+}
+
+TEST(PerfReport, MemoryRatesVisible)
+{
+    GpuSimulator sim(voltaGV100());
+    auto k = makeKernel("rpt_mem",
+                        {{OpClass::LdGlobal, 0.4}, {OpClass::IntAdd, 0.6}},
+                        160, 8);
+    k.memFootprintKb = 16 * 1024;
+    auto r = buildPerfReport(voltaGV100(), sim.runSass(k));
+    EXPECT_GT(r.l1dAccessesPerKcycle, 1.0);
+    EXPECT_GT(r.dramAccessesPerKcycle, 0.5);
+    EXPECT_GE(r.l1dAccessesPerKcycle, r.dramAccessesPerKcycle);
+}
+
+TEST(PerfReport, RfAccessesPerInstPlausible)
+{
+    GpuSimulator sim(voltaGV100());
+    auto r = buildPerfReport(voltaGV100(), sim.runSass(balancedKernel()));
+    // FMA-heavy code reads ~3 and writes 1 operand, lane-weighted.
+    EXPECT_GT(r.rfAccessesPerInst, 2.0);
+    EXPECT_LT(r.rfAccessesPerInst, 4.5);
+}
+
+TEST(PerfReport, RenderContainsKeyNumbers)
+{
+    GpuSimulator sim(voltaGV100());
+    auto r = buildPerfReport(voltaGV100(), sim.runSass(balancedKernel()));
+    std::string text = r.render();
+    EXPECT_NE(text.find("warp IPC"), std::string::npos);
+    EXPECT_NE(text.find("INT_FP"), std::string::npos);
+}
+
+TEST(PerfReportDeath, EmptyActivityRejected)
+{
+    KernelActivity empty;
+    empty.kernelName = "none";
+    EXPECT_EXIT(buildPerfReport(voltaGV100(), empty),
+                testing::ExitedWithCode(1), "no activity samples");
+}
+
+TEST(HybridComponents, CustomSetReplacesExactlyThose)
+{
+    auto &cal = sharedVoltaCalibrator();
+    ActivityProvider hybrid(Variant::Hybrid, cal.simulator(),
+                            &cal.nsight());
+    hybrid.setHybridComponents(
+        {PowerComponent::L1DCache, PowerComponent::DramMc});
+    ActivityProvider hw(Variant::Hw, cal.simulator(), &cal.nsight());
+    ActivityProvider sw(Variant::SassSim, cal.simulator(), &cal.nsight());
+
+    auto k = makeKernel("hyb_custom",
+                        {{OpClass::LdGlobal, 0.4}, {OpClass::IntAdd, 0.6}},
+                        160, 8);
+    k.memFootprintKb = 8192;
+    auto aHy = hybrid.collect(k).aggregate();
+    auto aHw = hw.collect(k).aggregate();
+    auto aSw = sw.collect(k).aggregate();
+
+    EXPECT_DOUBLE_EQ(
+        aHy.accesses[componentIndex(PowerComponent::L1DCache)],
+        aSw.accesses[componentIndex(PowerComponent::L1DCache)]);
+    EXPECT_DOUBLE_EQ(aHy.accesses[componentIndex(PowerComponent::DramMc)],
+                     aSw.accesses[componentIndex(PowerComponent::DramMc)]);
+    // L2 stays with the hardware counters now.
+    EXPECT_DOUBLE_EQ(aHy.accesses[componentIndex(PowerComponent::L2Noc)],
+                     aHw.accesses[componentIndex(PowerComponent::L2Noc)]);
+}
+
+TEST(HybridComponentsDeath, EmptySetRejected)
+{
+    auto &cal = sharedVoltaCalibrator();
+    ActivityProvider hybrid(Variant::Hybrid, cal.simulator(),
+                            &cal.nsight());
+    EXPECT_EXIT(hybrid.setHybridComponents({}),
+                testing::ExitedWithCode(1), "at least one");
+}
+
+TEST(SimConservation, SampleSumsEqualAggregate)
+{
+    // Extensive quantities must be conserved across the sampling split.
+    GpuSimulator sim(voltaGV100());
+    SimOptions fine, coarse;
+    fine.sampleIntervalCycles = 125;
+    coarse.sampleIntervalCycles = 4000;
+    auto k = balancedKernel();
+    auto aggF = sim.runSass(k, fine).aggregate();
+    auto aggC = sim.runSass(k, coarse).aggregate();
+    for (size_t i = 0; i < kNumPowerComponents; ++i)
+        EXPECT_NEAR(aggF.accesses[i], aggC.accesses[i],
+                    1e-9 + 1e-12 * aggF.accesses[i])
+            << componentName(static_cast<PowerComponent>(i));
+    EXPECT_NEAR(aggF.cycles, aggC.cycles, 4000.0);
+}
+
+TEST(SimConservation, PowerIndependentOfSamplingInterval)
+{
+    auto &cal = sharedVoltaCalibrator();
+    const auto &model = cal.variant(Variant::SassSim).model;
+    GpuSimulator sim(voltaGV100());
+    auto k = balancedKernel();
+    SimOptions a, b;
+    a.sampleIntervalCycles = 250;
+    b.sampleIntervalCycles = 2000;
+    double pa = model.averagePowerW(sim.runSass(k, a));
+    double pb = model.averagePowerW(sim.runSass(k, b));
+    EXPECT_NEAR(pa, pb, 0.02 * pa);
+}
+
+TEST(SimConservation, WavesScaleRuntimeNotPower)
+{
+    // 4x the CTAs at full occupancy: ~4x the waves and runtime, but the
+    // same steady-state behaviour per wave.
+    GpuSimulator sim(voltaGV100());
+    auto k1 = balancedKernel();
+    auto k4 = balancedKernel();
+    k4.ctas = k1.ctas * 4;
+    auto a1 = sim.runSass(k1);
+    auto a4 = sim.runSass(k4);
+    EXPECT_NEAR(a4.totalCycles / a1.totalCycles, 4.0, 0.4);
+    auto &cal = sharedVoltaCalibrator();
+    const auto &model = cal.variant(Variant::SassSim).model;
+    EXPECT_NEAR(model.averagePowerW(a1), model.averagePowerW(a4),
+                0.03 * model.averagePowerW(a1));
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the table/CSV/scatter reporting helpers.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/table.hpp"
+
+using namespace aw;
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    // Column alignment: "value" starts at the same offset in all rows.
+    size_t headerPos = out.find("value");
+    size_t row1 = out.find("1\n");
+    ASSERT_NE(headerPos, std::string::npos);
+    ASSERT_NE(row1, std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials)
+{
+    Table t({"a", "b"});
+    t.addRow({"has,comma", "has\"quote"});
+    std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripPlain)
+{
+    Table t({"x", "y"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.renderCsv(), "x,y\n1,2\n");
+}
+
+TEST(TableDeath, ArityMismatchRejected)
+{
+    Table t({"one", "two"});
+    EXPECT_EXIT(t.addRow({"only-one"}), testing::ExitedWithCode(1),
+                "arity");
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::pct(12.345, 1), "12.3%");
+}
+
+TEST(AsciiScatter, ContainsGlyphsAndBounds)
+{
+    std::string plot =
+        asciiScatter({{1, 2, 3}}, {{10, 20, 30}}, {'o'}, 30, 10);
+    EXPECT_NE(plot.find('o'), std::string::npos);
+    EXPECT_NE(plot.find("30.0"), std::string::npos);
+    EXPECT_NE(plot.find("10.0"), std::string::npos);
+}
+
+TEST(AsciiScatter, EmptyDataHandled)
+{
+    std::string plot = asciiScatter({{}}, {{}}, {'o'});
+    EXPECT_EQ(plot, "(no data)\n");
+}
+
+TEST(AsciiScatter, SquareModeSharesAxes)
+{
+    // In square mode both axes span the same range, so a point at
+    // (100, 100) sits on the identity diagonal.
+    std::string plot = asciiScatter({{50, 100}}, {{50, 100}}, {'x'}, 20,
+                                    10, true);
+    EXPECT_NE(plot.find('x'), std::string::npos);
+    EXPECT_NE(plot.find('.'), std::string::npos); // identity guide
+}
+
+TEST(WriteFile, RoundTrips)
+{
+    auto path = std::filesystem::temp_directory_path() /
+                "aw_test_writefile.txt";
+    writeFile(path.string(), "hello\nworld\n");
+    std::ifstream in(path);
+    std::string a, b;
+    in >> a >> b;
+    EXPECT_EQ(a, "hello");
+    EXPECT_EQ(b, "world");
+    std::filesystem::remove(path);
+}
+
+TEST(WriteFileDeath, BadPathRejected)
+{
+    EXPECT_EXIT(writeFile("/nonexistent-dir-zzz/file.txt", "x"),
+                testing::ExitedWithCode(1), "cannot open");
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for IRDS-style technology scaling (Section 7.1) and the
+ * cycle-level power trace utilities.
+ */
+#include <gtest/gtest.h>
+
+#include "core/power_trace.hpp"
+#include "core/tech_scaling.hpp"
+
+using namespace aw;
+
+namespace {
+
+AccelWattchModel
+voltaStub()
+{
+    AccelWattchModel m;
+    m.gpu = voltaGV100();
+    m.refVoltage = m.gpu.referenceVoltage();
+    m.constPowerW = 33.0;
+    m.idleSmW = 0.1;
+    for (auto &d : m.divergence) {
+        d.firstLaneW = 20.0;
+        d.addLaneW = 0.7;
+    }
+    for (size_t i = 0; i < kNumPowerComponents; ++i)
+        m.energyNj[i] = 0.1 * (i + 1);
+    return m;
+}
+
+} // namespace
+
+TEST(TechScaling, FactorsMonotoneInNode)
+{
+    EXPECT_GT(dynamicEnergyFactor(40), dynamicEnergyFactor(16));
+    EXPECT_GT(dynamicEnergyFactor(16), dynamicEnergyFactor(12));
+    EXPECT_GT(dynamicEnergyFactor(12), dynamicEnergyFactor(7));
+    EXPECT_DOUBLE_EQ(dynamicEnergyFactor(12), 1.0);
+    EXPECT_DOUBLE_EQ(staticPowerFactor(12), 1.0);
+}
+
+TEST(TechScalingDeath, UnknownNodeRejected)
+{
+    EXPECT_EXIT(dynamicEnergyFactor(10), testing::ExitedWithCode(1),
+                "no technology scaling data");
+}
+
+TEST(TechScaling, SameNodeIsIdentity)
+{
+    auto m = voltaStub();
+    auto scaled = scaleToTechNode(m, 12);
+    for (size_t i = 0; i < kNumPowerComponents; ++i)
+        EXPECT_DOUBLE_EQ(scaled.energyNj[i], m.energyNj[i]);
+}
+
+TEST(TechScaling, ScalesDynamicAndStaticNotConst)
+{
+    auto m = voltaStub();
+    auto scaled = scaleToTechNode(m, 16);
+    double dynFactor = dynamicEnergyFactor(16) / dynamicEnergyFactor(12);
+    double statFactor = staticPowerFactor(16) / staticPowerFactor(12);
+    for (size_t i = 0; i < kNumPowerComponents; ++i)
+        EXPECT_NEAR(scaled.energyNj[i], m.energyNj[i] * dynFactor, 1e-12);
+    EXPECT_NEAR(scaled.divergence[0].firstLaneW,
+                m.divergence[0].firstLaneW * statFactor, 1e-12);
+    EXPECT_NEAR(scaled.idleSmW, m.idleSmW * statFactor, 1e-12);
+    // Fans and peripherals are not silicon: unscaled.
+    EXPECT_DOUBLE_EQ(scaled.constPowerW, m.constPowerW);
+    EXPECT_EQ(scaled.gpu.techNodeNm, 16);
+}
+
+TEST(TechScaling, RoundTripApproximatelyIdentity)
+{
+    auto m = voltaStub();
+    auto there = scaleToTechNode(m, 16);
+    auto back = scaleToTechNode(there, 12);
+    for (size_t i = 0; i < kNumPowerComponents; ++i)
+        EXPECT_NEAR(back.energyNj[i], m.energyNj[i], 1e-9);
+}
+
+TEST(PowerTrace, TraceCoversSamples)
+{
+    auto m = voltaStub();
+    KernelActivity act;
+    for (int i = 0; i < 5; ++i) {
+        ActivitySample s;
+        s.cycles = 500;
+        s.freqGhz = 1.417;
+        s.voltage = m.refVoltage;
+        s.avgActiveSms = 80;
+        s.avgActiveLanesPerWarp = 32;
+        s.accesses[0] = 1e6 * (i + 1); // rising activity
+        act.samples.push_back(s);
+    }
+    auto trace = powerTrace(m, act);
+    ASSERT_EQ(trace.size(), 5u);
+    EXPECT_DOUBLE_EQ(trace[0].startCycle, 0);
+    EXPECT_DOUBLE_EQ(trace[4].startCycle, 2000);
+    // Monotone power with rising activity.
+    for (size_t i = 1; i < trace.size(); ++i)
+        EXPECT_GT(trace[i].power.totalW(), trace[i - 1].power.totalW());
+    // Peak is the last interval.
+    EXPECT_DOUBLE_EQ(tracePeakW(trace), trace[4].power.totalW());
+}
+
+TEST(PowerTrace, EnergyIntegratesPowerOverTime)
+{
+    auto m = voltaStub();
+    KernelActivity act;
+    ActivitySample s;
+    s.cycles = 1.417e9; // one second
+    s.freqGhz = 1.417;
+    s.voltage = m.refVoltage;
+    s.avgActiveSms = 80;
+    s.avgActiveLanesPerWarp = 32;
+    act.samples.push_back(s);
+    auto trace = powerTrace(m, act);
+    EXPECT_NEAR(traceEnergyJ(trace), trace[0].power.totalW(), 1e-6);
+}

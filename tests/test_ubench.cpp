@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the microbenchmark suites: Table 2 composition, category
+ * targeting, the special-purpose probes of Sections 4.2-4.6.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/gpusim.hpp"
+#include "ubench/microbench.hpp"
+
+using namespace aw;
+
+TEST(Ubench, SuiteHas102Benchmarks)
+{
+    auto suite = dynamicPowerSuite(voltaGV100());
+    EXPECT_EQ(suite.size(), 102u);
+    int total = 0;
+    for (size_t c = 0; c < kNumUbenchCategories; ++c)
+        total += ubenchCategoryCount(static_cast<UbenchCategory>(c));
+    EXPECT_EQ(total, 102);
+}
+
+class UbenchCategoryTest : public testing::TestWithParam<UbenchCategory>
+{};
+
+TEST_P(UbenchCategoryTest, CountMatchesTable2)
+{
+    auto suite = dynamicPowerSuite(voltaGV100());
+    int count = 0;
+    for (const auto &ub : suite)
+        count += ub.category == GetParam();
+    EXPECT_EQ(count, ubenchCategoryCount(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2, UbenchCategoryTest,
+    testing::Values(UbenchCategory::ActiveIdleSm, UbenchCategory::Int32Core,
+                    UbenchCategory::Fp32Core, UbenchCategory::Fp64Core,
+                    UbenchCategory::Sfu, UbenchCategory::TextureUnit,
+                    UbenchCategory::RegisterFile,
+                    UbenchCategory::DCacheShmemNoc, UbenchCategory::DramMc,
+                    UbenchCategory::TensorCore, UbenchCategory::Mix),
+    [](const auto &info) {
+        std::string n = ubenchCategoryName(info.param);
+        std::string out;
+        for (char c : n)
+            if (isalnum(static_cast<unsigned char>(c)))
+                out += c;
+        return out;
+    });
+
+TEST(Ubench, NamesUnique)
+{
+    auto suite = dynamicPowerSuite(voltaGV100());
+    std::set<std::string> names;
+    for (const auto &ub : suite)
+        names.insert(ub.kernel.name);
+    EXPECT_EQ(names.size(), suite.size());
+}
+
+TEST(Ubench, TensorlessGpuGetsSubstitutes)
+{
+    auto suite = dynamicPowerSuite(pascalTitanX());
+    EXPECT_EQ(suite.size(), 102u);
+    for (const auto &ub : suite)
+        EXPECT_DOUBLE_EQ(ub.kernel.mixFraction(OpClass::Tensor), 0.0)
+            << ub.kernel.name;
+}
+
+TEST(Ubench, DvfsSuiteMatchesFigure2)
+{
+    auto suite = dvfsSuite();
+    ASSERT_EQ(suite.size(), 5u);
+    // INT_MEM, INT_ADD, FP_ADD, FP_MUL, NANOSLEEP.
+    EXPECT_GT(suite[0].mixFraction(OpClass::LdGlobal), 0.2);
+    EXPECT_DOUBLE_EQ(suite[1].mixFraction(OpClass::IntAdd), 1.0);
+    EXPECT_DOUBLE_EQ(suite[2].mixFraction(OpClass::FpAdd), 1.0);
+    EXPECT_DOUBLE_EQ(suite[3].mixFraction(OpClass::FpMul), 1.0);
+    EXPECT_DOUBLE_EQ(suite[4].mixFraction(OpClass::NanoSleep), 1.0);
+}
+
+TEST(Ubench, GatingKernelShape)
+{
+    auto k = gatingKernel(1, 1);
+    GpuSimulator sim(voltaGV100());
+    auto shape = sim.launchShape(k);
+    EXPECT_EQ(shape.activeSms, 1);
+    EXPECT_EQ(shape.residentWarps, 1);
+    EXPECT_EQ(k.activeLanes, 1);
+
+    auto k80 = gatingKernel(8, 80);
+    auto s80 = sim.launchShape(k80);
+    EXPECT_EQ(s80.activeSms, 80);
+    EXPECT_EQ(k80.activeLanes, 8);
+}
+
+TEST(Ubench, OccupancyKernelLimitsSms)
+{
+    GpuSimulator sim(voltaGV100());
+    for (int sms : {1, 16, 40, 80}) {
+        auto k = occupancyKernel(sms, 0);
+        EXPECT_EQ(sim.launchShape(k).activeSms, sms);
+        EXPECT_EQ(k.activeLanes, 32); // full warps: no divergence noise
+    }
+}
+
+TEST(Ubench, DivergenceKernelSweepsLanes)
+{
+    for (int y : {1, 16, 32}) {
+        auto k = divergenceKernel(DivergenceFamily::IntMul, y);
+        EXPECT_EQ(k.activeLanes, y);
+        EXPECT_DOUBLE_EQ(k.mixFraction(OpClass::IntMul), 1.0);
+    }
+}
+
+class MixProbeTest : public testing::TestWithParam<MixCategory>
+{};
+
+TEST_P(MixProbeTest, ProbeClassifiesAsItsCategory)
+{
+    MixCategory cat = GetParam();
+    auto k = mixCategoryProbe(cat, 32);
+    GpuSimulator sim(voltaGV100());
+    auto agg = sim.runSass(k).aggregate();
+    EXPECT_EQ(agg.mixCategory(), cat) << k.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Categories, MixProbeTest,
+    testing::Values(MixCategory::IntAddOnly, MixCategory::IntMulOnly,
+                    MixCategory::IntOnly, MixCategory::IntFp,
+                    MixCategory::IntFpDp, MixCategory::IntFpSfu,
+                    MixCategory::IntFpTex, MixCategory::IntFpTensor,
+                    MixCategory::Light),
+    [](const auto &info) {
+        std::string n = mixCategoryName(info.param);
+        std::string out;
+        for (char c : n)
+            if (isalnum(static_cast<unsigned char>(c)))
+                out += c;
+        return out;
+    });
+
+TEST(Ubench, HeatmapTargeting)
+{
+    // Spot-check that category representatives actually stress their
+    // target component in simulation (the Figure 6 diagonal).
+    GpuSimulator sim(voltaGV100());
+    auto suite = dynamicPowerSuite(voltaGV100());
+    auto findBench = [&](const std::string &name) {
+        for (const auto &ub : suite)
+            if (ub.kernel.name == name)
+                return ub.kernel;
+        ADD_FAILURE() << name << " missing";
+        return suite[0].kernel;
+    };
+    auto share = [&](const KernelDescriptor &k, PowerComponent c) {
+        auto agg = sim.runSass(k).aggregate();
+        return agg.accesses[componentIndex(c)];
+    };
+    EXPECT_GT(share(findBench("ub_dram_stream"), PowerComponent::DramMc),
+              share(findBench("ub_int_add"), PowerComponent::DramMc) * 10);
+    EXPECT_GT(share(findBench("ub_tensor_dense"),
+                    PowerComponent::TensorCore),
+              0.0);
+    EXPECT_GT(share(findBench("ub_shmem_ld"), PowerComponent::SharedMem),
+              share(findBench("ub_l1_hit"), PowerComponent::SharedMem));
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the four activity providers (Section 5.2): what each
+ * variant can and cannot see.
+ */
+#include <gtest/gtest.h>
+
+#include "core/calibration.hpp"
+#include "ubench/microbench.hpp"
+
+using namespace aw;
+
+namespace {
+
+KernelDescriptor
+memKernel()
+{
+    auto k = makeKernel("variant_mem",
+                        {{OpClass::LdGlobal, 0.4}, {OpClass::IntAdd, 0.6}},
+                        160, 8);
+    k.memFootprintKb = 2048;
+    return k;
+}
+
+} // namespace
+
+TEST(Variants, NamesDistinct)
+{
+    std::set<std::string> names;
+    for (size_t v = 0; v < kNumVariants; ++v)
+        names.insert(variantName(static_cast<Variant>(v)));
+    EXPECT_EQ(names.size(), kNumVariants);
+}
+
+TEST(Variants, SimVariantsSeeRegisterFile)
+{
+    auto &cal = sharedVoltaCalibrator();
+    ActivityProvider sass(Variant::SassSim, cal.simulator(),
+                          &cal.nsight());
+    auto agg = sass.collect(memKernel()).aggregate();
+    EXPECT_GT(agg.accesses[componentIndex(PowerComponent::RegFile)], 0.0);
+    EXPECT_GT(agg.accesses[componentIndex(PowerComponent::InstCache)],
+              0.0);
+}
+
+TEST(Variants, HwVariantMissesCounterlessComponents)
+{
+    auto &cal = sharedVoltaCalibrator();
+    ActivityProvider hw(Variant::Hw, cal.simulator(), &cal.nsight());
+    auto agg = hw.collect(memKernel()).aggregate();
+    EXPECT_DOUBLE_EQ(agg.accesses[componentIndex(PowerComponent::RegFile)],
+                     0.0);
+    EXPECT_DOUBLE_EQ(
+        agg.accesses[componentIndex(PowerComponent::InstCache)], 0.0);
+    EXPECT_GT(agg.accesses[componentIndex(PowerComponent::L1DCache)],
+              0.0);
+}
+
+TEST(Variants, HybridSwapsOnlyL2Noc)
+{
+    auto &cal = sharedVoltaCalibrator();
+    ActivityProvider hw(Variant::Hw, cal.simulator(), &cal.nsight());
+    ActivityProvider hybrid(Variant::Hybrid, cal.simulator(),
+                            &cal.nsight());
+    ActivityProvider sass(Variant::SassSim, cal.simulator(),
+                          &cal.nsight());
+    auto k = memKernel();
+    auto aHw = hw.collect(k).aggregate();
+    auto aHy = hybrid.collect(k).aggregate();
+    auto aSw = sass.collect(k).aggregate();
+
+    // The L2+NoC activity comes from the software model...
+    EXPECT_DOUBLE_EQ(aHy.accesses[componentIndex(PowerComponent::L2Noc)],
+                     aSw.accesses[componentIndex(PowerComponent::L2Noc)]);
+    // ...while every other component still matches the HW counters.
+    for (auto c : allComponents()) {
+        if (c == PowerComponent::L2Noc)
+            continue;
+        EXPECT_DOUBLE_EQ(aHy.accesses[componentIndex(c)],
+                         aHw.accesses[componentIndex(c)])
+            << componentName(c);
+    }
+}
+
+TEST(Variants, PtxSeesMoreInstructionsThanSass)
+{
+    auto &cal = sharedVoltaCalibrator();
+    ActivityProvider sass(Variant::SassSim, cal.simulator(),
+                          &cal.nsight());
+    ActivityProvider ptx(Variant::PtxSim, cal.simulator(), &cal.nsight());
+    auto k = memKernel();
+    double sassIb = sass.collect(k).aggregate().accesses[componentIndex(
+        PowerComponent::InstBuffer)];
+    double ptxIb = ptx.collect(k).aggregate().accesses[componentIndex(
+        PowerComponent::InstBuffer)];
+    EXPECT_GT(ptxIb, sassIb);
+}
+
+TEST(Variants, HwTimingDiffersFromSimTiming)
+{
+    // Hardware counters carry the silicon's true runtime, including the
+    // behaviours the simulator cannot model; they must not be identical.
+    auto &cal = sharedVoltaCalibrator();
+    ActivityProvider hw(Variant::Hw, cal.simulator(), &cal.nsight());
+    ActivityProvider sass(Variant::SassSim, cal.simulator(),
+                          &cal.nsight());
+    auto k = memKernel();
+    EXPECT_NE(hw.collect(k).totalCycles, sass.collect(k).totalCycles);
+}
+
+TEST(VariantsDeath, HwNeedsCounterSession)
+{
+    auto &cal = sharedVoltaCalibrator();
+    EXPECT_EXIT(
+        ActivityProvider(Variant::Hw, cal.simulator(), nullptr),
+        testing::ExitedWithCode(1), "hardware counter session");
+}
+
+TEST(Variants, FrequencyForwarded)
+{
+    auto &cal = sharedVoltaCalibrator();
+    ActivityProvider sass(Variant::SassSim, cal.simulator(),
+                          &cal.nsight());
+    MeasurementConditions cond;
+    cond.freqGhz = 0.9;
+    auto agg = sass.collect(memKernel(), cond).aggregate();
+    EXPECT_DOUBLE_EQ(agg.freqGhz, 0.9);
+}

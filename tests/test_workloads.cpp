@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the Table 4 validation suite, the case-study helpers, and
+ * DeepBench scheduling.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "workloads/case_study.hpp"
+#include "workloads/deepbench.hpp"
+#include "workloads/validation.hpp"
+
+using namespace aw;
+
+TEST(ValidationSuite, TwentySixKernelsFromEighteenWorkloads)
+{
+    const auto &suite = validationSuite();
+    EXPECT_EQ(suite.size(), 26u);
+    std::set<std::string> names, workloads;
+    for (const auto &k : suite) {
+        names.insert(k.kernel.name);
+        workloads.insert(k.suite + "/" + k.workload);
+        EXPECT_GT(k.coveragePct, 0);
+        EXPECT_LE(k.coveragePct, 100);
+    }
+    EXPECT_EQ(names.size(), 26u);
+    EXPECT_EQ(workloads.size(), 18u);
+}
+
+TEST(ValidationSuite, SuitesRepresented)
+{
+    std::set<std::string> suites;
+    for (const auto &k : validationSuite())
+        suites.insert(k.suite);
+    EXPECT_TRUE(suites.count("CUDA SDK"));
+    EXPECT_TRUE(suites.count("Rodinia"));
+    EXPECT_TRUE(suites.count("Parboil"));
+    EXPECT_TRUE(suites.count("CUTLASS"));
+}
+
+TEST(ValidationSuite, ExclusionRulesMatchSection61)
+{
+    size_t nSass = 0, nPtx = 0, nHw = 0, nHybrid = 0;
+    for (const auto &k : validationSuite()) {
+        nSass += inVariantSuite(k, Variant::SassSim);
+        nPtx += inVariantSuite(k, Variant::PtxSim);
+        nHw += inVariantSuite(k, Variant::Hw);
+        nHybrid += inVariantSuite(k, Variant::Hybrid);
+    }
+    EXPECT_EQ(nSass, 26u);
+    // CUTLASS x3 + hotspot + pathfinder do not compile for PTX.
+    EXPECT_EQ(nPtx, 21u);
+    // Nsight fails on pathfinder.
+    EXPECT_EQ(nHw, 25u);
+    EXPECT_EQ(nHybrid, 25u);
+}
+
+TEST(ValidationSuite, TensorKernelsFlagged)
+{
+    int tensor = 0;
+    for (const auto &k : validationSuite()) {
+        tensor += k.usesTensor;
+        if (k.usesTensor) {
+            EXPECT_GT(k.kernel.mixFraction(OpClass::Tensor), 0.0);
+        }
+    }
+    EXPECT_EQ(tensor, 4); // cudaTensorCoreGemm + 3x CUTLASS
+}
+
+TEST(CaseStudy, PascalSuiteExcludesTensor)
+{
+    auto pascal = caseStudySuite(CaseStudyGpu::Pascal);
+    EXPECT_EQ(pascal.size(), 22u);
+    for (const auto &k : pascal)
+        EXPECT_FALSE(k.usesTensor);
+    auto turing = caseStudySuite(CaseStudyGpu::Turing);
+    EXPECT_EQ(turing.size(), 26u);
+}
+
+TEST(CaseStudy, PortModelAdjustments)
+{
+    AccelWattchModel volta;
+    volta.gpu = voltaGV100();
+    volta.refVoltage = volta.gpu.referenceVoltage();
+    volta.constPowerW = 33.0;
+    volta.idleSmW = 0.1;
+    volta.calibrationSms = 80;
+    for (size_t i = 0; i < kNumPowerComponents; ++i)
+        volta.energyNj[i] = 0.2;
+    for (auto &d : volta.divergence) {
+        d.firstLaneW = 16;
+        d.addLaneW = 0.7;
+    }
+
+    auto turing = portModel(volta, turingRTX2060S(), 1.7, true);
+    EXPECT_EQ(turing.gpu.numSms, 34);
+    EXPECT_NEAR(turing.constPowerW, 1.7 * 33.0, 1e-9);
+    EXPECT_EQ(turing.calibrationSms, 80); // Eq. 9 divisor preserved
+    // 12 nm -> 12 nm: no energy scaling.
+    EXPECT_DOUBLE_EQ(turing.energyNj[0], volta.energyNj[0]);
+
+    auto pascal = portModel(volta, pascalTitanX(), 1.0, true);
+    EXPECT_GT(pascal.energyNj[0], volta.energyNj[0]); // 16 nm costs more
+    auto pascalUnscaled = portModel(volta, pascalTitanX(), 1.0, false);
+    EXPECT_DOUBLE_EQ(pascalUnscaled.energyNj[0], volta.energyNj[0]);
+}
+
+TEST(CaseStudy, RelativePowerMath)
+{
+    std::vector<ValidationRow> a(2), b(2);
+    a[0].name = "k1";
+    a[0].modeledW = 110;
+    a[0].measuredW = 120;
+    a[1].name = "k2";
+    a[1].modeledW = 90;
+    a[1].measuredW = 80;
+    b[0].name = "k1";
+    b[0].modeledW = 100;
+    b[0].measuredW = 100;
+    b[1].name = "k2";
+    b[1].modeledW = 100;
+    b[1].measuredW = 100;
+    auto rel = relativePower(a, b);
+    ASSERT_EQ(rel.size(), 2u);
+    EXPECT_NEAR(rel[0].modeledRel, 0.10, 1e-12);
+    EXPECT_NEAR(rel[0].measuredRel, 0.20, 1e-12);
+    EXPECT_NEAR(rel[1].modeledRel, -0.10, 1e-12);
+    EXPECT_NEAR(rel[1].measuredRel, -0.20, 1e-12);
+}
+
+TEST(CaseStudy, RelativePowerSkipsUnmatched)
+{
+    std::vector<ValidationRow> a(1), b(1);
+    a[0].name = "only_in_a";
+    b[0].name = "only_in_b";
+    a[0].modeledW = a[0].measuredW = b[0].modeledW = b[0].measuredW = 100;
+    EXPECT_TRUE(relativePower(a, b).empty());
+}
+
+TEST(DeepBench, SuiteShapeMatchesSection72)
+{
+    auto suite = deepbenchSuite();
+    ASSERT_EQ(suite.size(), 6u);
+    double logSum = 0;
+    for (const auto &w : suite) {
+        EXPECT_GE(w.kernels.size(), 10u);
+        EXPECT_LE(w.kernels.size(), 130u);
+        logSum += std::log(static_cast<double>(w.kernels.size()));
+        for (const auto &k : w.kernels) {
+            EXPECT_GE(k.smLimit, 10);
+            EXPECT_LE(k.smLimit, 14); // "each kernel only uses ~12 SMs"
+        }
+    }
+    double geomean = std::exp(logSum / 6.0);
+    EXPECT_NEAR(geomean, 33.0, 8.0);
+}
+
+TEST(DeepBench, ScheduleCoversEveryKernelOnce)
+{
+    auto suite = deepbenchSuite();
+    for (const auto &w : suite) {
+        auto waves = buildConcurrentSchedule(w, 80);
+        std::vector<int> seen(w.kernels.size(), 0);
+        for (const auto &wave : waves) {
+            int sms = 0;
+            for (size_t idx : wave.kernelIdx) {
+                ++seen[idx];
+                sms += w.kernels[idx].smLimit;
+            }
+            EXPECT_LE(sms, 80); // waves fit the SM pool
+        }
+        for (int s : seen)
+            EXPECT_EQ(s, 1);
+    }
+}
+
+TEST(DeepBench, ScheduleKeepsStreamOrder)
+{
+    // Kernel dependencies are unknown (closed-source libraries), so the
+    // constructed schedule must preserve issue order.
+    auto w = deepbenchSuite()[0];
+    auto waves = buildConcurrentSchedule(w, 80);
+    size_t expected = 0;
+    for (const auto &wave : waves)
+        for (size_t idx : wave.kernelIdx)
+            EXPECT_EQ(idx, expected++);
+}
