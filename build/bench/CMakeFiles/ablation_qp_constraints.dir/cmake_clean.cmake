@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_qp_constraints.dir/ablation_qp_constraints.cpp.o"
+  "CMakeFiles/ablation_qp_constraints.dir/ablation_qp_constraints.cpp.o.d"
+  "ablation_qp_constraints"
+  "ablation_qp_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_qp_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

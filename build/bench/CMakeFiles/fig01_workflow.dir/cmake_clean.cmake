@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_workflow.dir/fig01_workflow.cpp.o"
+  "CMakeFiles/fig01_workflow.dir/fig01_workflow.cpp.o.d"
+  "fig01_workflow"
+  "fig01_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_power_gating.dir/fig03_power_gating.cpp.o"
+  "CMakeFiles/fig03_power_gating.dir/fig03_power_gating.cpp.o.d"
+  "fig03_power_gating"
+  "fig03_power_gating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_power_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

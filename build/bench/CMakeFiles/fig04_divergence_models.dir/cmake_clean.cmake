@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_divergence_models.dir/fig04_divergence_models.cpp.o"
+  "CMakeFiles/fig04_divergence_models.dir/fig04_divergence_models.cpp.o.d"
+  "fig04_divergence_models"
+  "fig04_divergence_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_divergence_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_idle_sm.dir/fig05_idle_sm.cpp.o"
+  "CMakeFiles/fig05_idle_sm.dir/fig05_idle_sm.cpp.o.d"
+  "fig05_idle_sm"
+  "fig05_idle_sm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_idle_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_ubench_heatmap.dir/fig06_ubench_heatmap.cpp.o"
+  "CMakeFiles/fig06_ubench_heatmap.dir/fig06_ubench_heatmap.cpp.o.d"
+  "fig06_ubench_heatmap"
+  "fig06_ubench_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_ubench_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_volta_validation.dir/fig07_volta_validation.cpp.o"
+  "CMakeFiles/fig07_volta_validation.dir/fig07_volta_validation.cpp.o.d"
+  "fig07_volta_validation"
+  "fig07_volta_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_volta_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

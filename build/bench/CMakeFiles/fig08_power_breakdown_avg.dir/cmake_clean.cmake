@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_power_breakdown_avg.dir/fig08_power_breakdown_avg.cpp.o"
+  "CMakeFiles/fig08_power_breakdown_avg.dir/fig08_power_breakdown_avg.cpp.o.d"
+  "fig08_power_breakdown_avg"
+  "fig08_power_breakdown_avg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_power_breakdown_avg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

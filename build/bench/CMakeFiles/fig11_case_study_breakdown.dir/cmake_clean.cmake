@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_case_study_breakdown.dir/fig11_case_study_breakdown.cpp.o"
+  "CMakeFiles/fig11_case_study_breakdown.dir/fig11_case_study_breakdown.cpp.o.d"
+  "fig11_case_study_breakdown"
+  "fig11_case_study_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_case_study_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_relative_power.dir/fig12_relative_power.cpp.o"
+  "CMakeFiles/fig12_relative_power.dir/fig12_relative_power.cpp.o.d"
+  "fig12_relative_power"
+  "fig12_relative_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_relative_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

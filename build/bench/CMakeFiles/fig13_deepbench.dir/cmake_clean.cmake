@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_deepbench.dir/fig13_deepbench.cpp.o"
+  "CMakeFiles/fig13_deepbench.dir/fig13_deepbench.cpp.o.d"
+  "fig13_deepbench"
+  "fig13_deepbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_deepbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec54_tuning_start_points.dir/sec54_tuning_start_points.cpp.o"
+  "CMakeFiles/sec54_tuning_start_points.dir/sec54_tuning_start_points.cpp.o.d"
+  "sec54_tuning_start_points"
+  "sec54_tuning_start_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec54_tuning_start_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

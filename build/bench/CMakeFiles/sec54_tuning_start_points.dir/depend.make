@@ -1,0 +1,2 @@
+# Empty dependencies file for sec54_tuning_start_points.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec73_gpuwattch_comparison.dir/sec73_gpuwattch_comparison.cpp.o"
+  "CMakeFiles/sec73_gpuwattch_comparison.dir/sec73_gpuwattch_comparison.cpp.o.d"
+  "sec73_gpuwattch_comparison"
+  "sec73_gpuwattch_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec73_gpuwattch_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_ubench_suite.dir/table2_ubench_suite.cpp.o"
+  "CMakeFiles/table2_ubench_suite.dir/table2_ubench_suite.cpp.o.d"
+  "table2_ubench_suite"
+  "table2_ubench_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_ubench_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_target_gpus.dir/table3_target_gpus.cpp.o"
+  "CMakeFiles/table3_target_gpus.dir/table3_target_gpus.cpp.o.d"
+  "table3_target_gpus"
+  "table3_target_gpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_target_gpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

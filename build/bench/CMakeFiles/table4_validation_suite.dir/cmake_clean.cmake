@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_validation_suite.dir/table4_validation_suite.cpp.o"
+  "CMakeFiles/table4_validation_suite.dir/table4_validation_suite.cpp.o.d"
+  "table4_validation_suite"
+  "table4_validation_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_validation_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwattch_cli.dir/accelwattch_cli.cpp.o"
+  "CMakeFiles/accelwattch_cli.dir/accelwattch_cli.cpp.o.d"
+  "accelwattch_cli"
+  "accelwattch_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwattch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvfs_power_trace.dir/dvfs_power_trace.cpp.o"
+  "CMakeFiles/dvfs_power_trace.dir/dvfs_power_trace.cpp.o.d"
+  "dvfs_power_trace"
+  "dvfs_power_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvfs_power_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_modeling.dir/hybrid_modeling.cpp.o"
+  "CMakeFiles/hybrid_modeling.dir/hybrid_modeling.cpp.o.d"
+  "hybrid_modeling"
+  "hybrid_modeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_modeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

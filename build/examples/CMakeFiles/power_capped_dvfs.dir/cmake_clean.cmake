@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_capped_dvfs.dir/power_capped_dvfs.cpp.o"
+  "CMakeFiles/power_capped_dvfs.dir/power_capped_dvfs.cpp.o.d"
+  "power_capped_dvfs"
+  "power_capped_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_capped_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

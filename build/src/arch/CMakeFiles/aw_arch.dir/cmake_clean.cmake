@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aw_arch.dir/activity.cpp.o"
+  "CMakeFiles/aw_arch.dir/activity.cpp.o.d"
+  "CMakeFiles/aw_arch.dir/gpu_config.cpp.o"
+  "CMakeFiles/aw_arch.dir/gpu_config.cpp.o.d"
+  "CMakeFiles/aw_arch.dir/isa.cpp.o"
+  "CMakeFiles/aw_arch.dir/isa.cpp.o.d"
+  "CMakeFiles/aw_arch.dir/power_components.cpp.o"
+  "CMakeFiles/aw_arch.dir/power_components.cpp.o.d"
+  "libaw_arch.a"
+  "libaw_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aw_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

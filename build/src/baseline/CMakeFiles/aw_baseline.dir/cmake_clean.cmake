@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aw_baseline.dir/gpuwattch.cpp.o"
+  "CMakeFiles/aw_baseline.dir/gpuwattch.cpp.o.d"
+  "libaw_baseline.a"
+  "libaw_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aw_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aw_common.dir/log.cpp.o"
+  "CMakeFiles/aw_common.dir/log.cpp.o.d"
+  "CMakeFiles/aw_common.dir/stats.cpp.o"
+  "CMakeFiles/aw_common.dir/stats.cpp.o.d"
+  "CMakeFiles/aw_common.dir/table.cpp.o"
+  "CMakeFiles/aw_common.dir/table.cpp.o.d"
+  "libaw_common.a"
+  "libaw_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aw_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

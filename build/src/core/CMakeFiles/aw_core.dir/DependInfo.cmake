@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/aw_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/aw_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/constant_power.cpp" "src/core/CMakeFiles/aw_core.dir/constant_power.cpp.o" "gcc" "src/core/CMakeFiles/aw_core.dir/constant_power.cpp.o.d"
+  "/root/repo/src/core/divergence.cpp" "src/core/CMakeFiles/aw_core.dir/divergence.cpp.o" "gcc" "src/core/CMakeFiles/aw_core.dir/divergence.cpp.o.d"
+  "/root/repo/src/core/dvfs_governor.cpp" "src/core/CMakeFiles/aw_core.dir/dvfs_governor.cpp.o" "gcc" "src/core/CMakeFiles/aw_core.dir/dvfs_governor.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/core/CMakeFiles/aw_core.dir/model_io.cpp.o" "gcc" "src/core/CMakeFiles/aw_core.dir/model_io.cpp.o.d"
+  "/root/repo/src/core/power_model.cpp" "src/core/CMakeFiles/aw_core.dir/power_model.cpp.o" "gcc" "src/core/CMakeFiles/aw_core.dir/power_model.cpp.o.d"
+  "/root/repo/src/core/power_trace.cpp" "src/core/CMakeFiles/aw_core.dir/power_trace.cpp.o" "gcc" "src/core/CMakeFiles/aw_core.dir/power_trace.cpp.o.d"
+  "/root/repo/src/core/static_power.cpp" "src/core/CMakeFiles/aw_core.dir/static_power.cpp.o" "gcc" "src/core/CMakeFiles/aw_core.dir/static_power.cpp.o.d"
+  "/root/repo/src/core/tech_scaling.cpp" "src/core/CMakeFiles/aw_core.dir/tech_scaling.cpp.o" "gcc" "src/core/CMakeFiles/aw_core.dir/tech_scaling.cpp.o.d"
+  "/root/repo/src/core/thermal_factor.cpp" "src/core/CMakeFiles/aw_core.dir/thermal_factor.cpp.o" "gcc" "src/core/CMakeFiles/aw_core.dir/thermal_factor.cpp.o.d"
+  "/root/repo/src/core/tuner.cpp" "src/core/CMakeFiles/aw_core.dir/tuner.cpp.o" "gcc" "src/core/CMakeFiles/aw_core.dir/tuner.cpp.o.d"
+  "/root/repo/src/core/variants.cpp" "src/core/CMakeFiles/aw_core.dir/variants.cpp.o" "gcc" "src/core/CMakeFiles/aw_core.dir/variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/aw_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/ubench/CMakeFiles/aw_ubench.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/aw_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/aw_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/aw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/aw_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aw_core.dir/calibration.cpp.o"
+  "CMakeFiles/aw_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/aw_core.dir/constant_power.cpp.o"
+  "CMakeFiles/aw_core.dir/constant_power.cpp.o.d"
+  "CMakeFiles/aw_core.dir/divergence.cpp.o"
+  "CMakeFiles/aw_core.dir/divergence.cpp.o.d"
+  "CMakeFiles/aw_core.dir/dvfs_governor.cpp.o"
+  "CMakeFiles/aw_core.dir/dvfs_governor.cpp.o.d"
+  "CMakeFiles/aw_core.dir/model_io.cpp.o"
+  "CMakeFiles/aw_core.dir/model_io.cpp.o.d"
+  "CMakeFiles/aw_core.dir/power_model.cpp.o"
+  "CMakeFiles/aw_core.dir/power_model.cpp.o.d"
+  "CMakeFiles/aw_core.dir/power_trace.cpp.o"
+  "CMakeFiles/aw_core.dir/power_trace.cpp.o.d"
+  "CMakeFiles/aw_core.dir/static_power.cpp.o"
+  "CMakeFiles/aw_core.dir/static_power.cpp.o.d"
+  "CMakeFiles/aw_core.dir/tech_scaling.cpp.o"
+  "CMakeFiles/aw_core.dir/tech_scaling.cpp.o.d"
+  "CMakeFiles/aw_core.dir/thermal_factor.cpp.o"
+  "CMakeFiles/aw_core.dir/thermal_factor.cpp.o.d"
+  "CMakeFiles/aw_core.dir/tuner.cpp.o"
+  "CMakeFiles/aw_core.dir/tuner.cpp.o.d"
+  "CMakeFiles/aw_core.dir/variants.cpp.o"
+  "CMakeFiles/aw_core.dir/variants.cpp.o.d"
+  "libaw_core.a"
+  "libaw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

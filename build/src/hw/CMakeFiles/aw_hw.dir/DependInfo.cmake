@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/nsight.cpp" "src/hw/CMakeFiles/aw_hw.dir/nsight.cpp.o" "gcc" "src/hw/CMakeFiles/aw_hw.dir/nsight.cpp.o.d"
+  "/root/repo/src/hw/nvml.cpp" "src/hw/CMakeFiles/aw_hw.dir/nvml.cpp.o" "gcc" "src/hw/CMakeFiles/aw_hw.dir/nvml.cpp.o.d"
+  "/root/repo/src/hw/silicon_model.cpp" "src/hw/CMakeFiles/aw_hw.dir/silicon_model.cpp.o" "gcc" "src/hw/CMakeFiles/aw_hw.dir/silicon_model.cpp.o.d"
+  "/root/repo/src/hw/thermal.cpp" "src/hw/CMakeFiles/aw_hw.dir/thermal.cpp.o" "gcc" "src/hw/CMakeFiles/aw_hw.dir/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/aw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/aw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/aw_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

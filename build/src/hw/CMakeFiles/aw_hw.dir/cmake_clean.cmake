@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aw_hw.dir/nsight.cpp.o"
+  "CMakeFiles/aw_hw.dir/nsight.cpp.o.d"
+  "CMakeFiles/aw_hw.dir/nvml.cpp.o"
+  "CMakeFiles/aw_hw.dir/nvml.cpp.o.d"
+  "CMakeFiles/aw_hw.dir/silicon_model.cpp.o"
+  "CMakeFiles/aw_hw.dir/silicon_model.cpp.o.d"
+  "CMakeFiles/aw_hw.dir/thermal.cpp.o"
+  "CMakeFiles/aw_hw.dir/thermal.cpp.o.d"
+  "libaw_hw.a"
+  "libaw_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aw_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/aw_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/aw_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/gpusim.cpp" "src/sim/CMakeFiles/aw_sim.dir/gpusim.cpp.o" "gcc" "src/sim/CMakeFiles/aw_sim.dir/gpusim.cpp.o.d"
+  "/root/repo/src/sim/memsys.cpp" "src/sim/CMakeFiles/aw_sim.dir/memsys.cpp.o" "gcc" "src/sim/CMakeFiles/aw_sim.dir/memsys.cpp.o.d"
+  "/root/repo/src/sim/sm.cpp" "src/sim/CMakeFiles/aw_sim.dir/sm.cpp.o" "gcc" "src/sim/CMakeFiles/aw_sim.dir/sm.cpp.o.d"
+  "/root/repo/src/sim/stats_report.cpp" "src/sim/CMakeFiles/aw_sim.dir/stats_report.cpp.o" "gcc" "src/sim/CMakeFiles/aw_sim.dir/stats_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/aw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/aw_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aw_sim.dir/cache.cpp.o"
+  "CMakeFiles/aw_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/aw_sim.dir/gpusim.cpp.o"
+  "CMakeFiles/aw_sim.dir/gpusim.cpp.o.d"
+  "CMakeFiles/aw_sim.dir/memsys.cpp.o"
+  "CMakeFiles/aw_sim.dir/memsys.cpp.o.d"
+  "CMakeFiles/aw_sim.dir/sm.cpp.o"
+  "CMakeFiles/aw_sim.dir/sm.cpp.o.d"
+  "CMakeFiles/aw_sim.dir/stats_report.cpp.o"
+  "CMakeFiles/aw_sim.dir/stats_report.cpp.o.d"
+  "libaw_sim.a"
+  "libaw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/linalg.cpp" "src/solver/CMakeFiles/aw_solver.dir/linalg.cpp.o" "gcc" "src/solver/CMakeFiles/aw_solver.dir/linalg.cpp.o.d"
+  "/root/repo/src/solver/polyfit.cpp" "src/solver/CMakeFiles/aw_solver.dir/polyfit.cpp.o" "gcc" "src/solver/CMakeFiles/aw_solver.dir/polyfit.cpp.o.d"
+  "/root/repo/src/solver/qp.cpp" "src/solver/CMakeFiles/aw_solver.dir/qp.cpp.o" "gcc" "src/solver/CMakeFiles/aw_solver.dir/qp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

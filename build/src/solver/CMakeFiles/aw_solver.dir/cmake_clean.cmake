@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aw_solver.dir/linalg.cpp.o"
+  "CMakeFiles/aw_solver.dir/linalg.cpp.o.d"
+  "CMakeFiles/aw_solver.dir/polyfit.cpp.o"
+  "CMakeFiles/aw_solver.dir/polyfit.cpp.o.d"
+  "CMakeFiles/aw_solver.dir/qp.cpp.o"
+  "CMakeFiles/aw_solver.dir/qp.cpp.o.d"
+  "libaw_solver.a"
+  "libaw_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aw_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

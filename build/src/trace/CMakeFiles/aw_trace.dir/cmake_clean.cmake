@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aw_trace.dir/tracegen.cpp.o"
+  "CMakeFiles/aw_trace.dir/tracegen.cpp.o.d"
+  "CMakeFiles/aw_trace.dir/workload.cpp.o"
+  "CMakeFiles/aw_trace.dir/workload.cpp.o.d"
+  "libaw_trace.a"
+  "libaw_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aw_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aw_ubench.dir/microbench.cpp.o"
+  "CMakeFiles/aw_ubench.dir/microbench.cpp.o.d"
+  "libaw_ubench.a"
+  "libaw_ubench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aw_ubench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aw_workloads.dir/case_study.cpp.o"
+  "CMakeFiles/aw_workloads.dir/case_study.cpp.o.d"
+  "CMakeFiles/aw_workloads.dir/deepbench.cpp.o"
+  "CMakeFiles/aw_workloads.dir/deepbench.cpp.o.d"
+  "CMakeFiles/aw_workloads.dir/validation.cpp.o"
+  "CMakeFiles/aw_workloads.dir/validation.cpp.o.d"
+  "libaw_workloads.a"
+  "libaw_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aw_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

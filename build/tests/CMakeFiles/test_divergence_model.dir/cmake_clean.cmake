@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_divergence_model.dir/test_divergence_model.cpp.o"
+  "CMakeFiles/test_divergence_model.dir/test_divergence_model.cpp.o.d"
+  "test_divergence_model"
+  "test_divergence_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_divergence_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

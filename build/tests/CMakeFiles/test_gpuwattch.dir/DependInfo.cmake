@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_gpuwattch.cpp" "tests/CMakeFiles/test_gpuwattch.dir/test_gpuwattch.cpp.o" "gcc" "tests/CMakeFiles/test_gpuwattch.dir/test_gpuwattch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/aw_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/aw_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/ubench/CMakeFiles/aw_ubench.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/aw_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/aw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/aw_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/aw_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpuwattch.dir/test_gpuwattch.cpp.o"
+  "CMakeFiles/test_gpuwattch.dir/test_gpuwattch.cpp.o.d"
+  "test_gpuwattch"
+  "test_gpuwattch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpuwattch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

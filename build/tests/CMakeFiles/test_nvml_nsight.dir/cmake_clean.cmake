@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvml_nsight.dir/test_nvml_nsight.cpp.o"
+  "CMakeFiles/test_nvml_nsight.dir/test_nvml_nsight.cpp.o.d"
+  "test_nvml_nsight"
+  "test_nvml_nsight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvml_nsight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_nvml_nsight.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_polyfit.dir/test_polyfit.cpp.o"
+  "CMakeFiles/test_polyfit.dir/test_polyfit.cpp.o.d"
+  "test_polyfit"
+  "test_polyfit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_polyfit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_silicon_oracle.dir/test_silicon_oracle.cpp.o"
+  "CMakeFiles/test_silicon_oracle.dir/test_silicon_oracle.cpp.o.d"
+  "test_silicon_oracle"
+  "test_silicon_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_silicon_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tech_scaling.dir/test_tech_scaling.cpp.o"
+  "CMakeFiles/test_tech_scaling.dir/test_tech_scaling.cpp.o.d"
+  "test_tech_scaling"
+  "test_tech_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tech_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tracegen.dir/test_tracegen.cpp.o"
+  "CMakeFiles/test_tracegen.dir/test_tracegen.cpp.o.d"
+  "test_tracegen"
+  "test_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
