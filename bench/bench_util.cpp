@@ -3,11 +3,17 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "obs/telemetry.hpp"
+
 namespace aw::bench {
 
 void
 banner(const std::string &experiment, const std::string &description)
 {
+    // Every figure/table bench prints a banner first, so this is the
+    // one place to arrange the AW_METRICS_OUT / AW_TRACE_OUT /
+    // AW_LOG_LEVEL sinks without per-binary flag plumbing.
+    obs::initSinksFromEnv();
     std::printf("\n=================================================="
                 "==========================\n");
     std::printf("%s\n%s\n", experiment.c_str(), description.c_str());

@@ -14,7 +14,13 @@
 
 namespace aw::bench {
 
-/** Print the figure banner. */
+/**
+ * Print the figure banner. Also initializes the observability sinks
+ * from the environment: set AW_METRICS_OUT=<file> (".csv" for CSV),
+ * AW_TRACE_OUT=<file>, AW_LOG_LEVEL=<debug|inform|warn|fatal>, or
+ * AW_DEBUG=<tag,...> before running any bench binary to capture run
+ * telemetry / a Chrome trace without per-binary flags.
+ */
 void banner(const std::string &experiment, const std::string &description);
 
 /** Print an ErrorSummary line in the paper's reporting style. */

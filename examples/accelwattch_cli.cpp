@@ -22,6 +22,11 @@
  *                         calibrating in-process
  *     --save-model FILE   write the calibrated model and exit
  *     --trace             print the 500-cycle power trace
+ *     --metrics-out FILE  write run telemetry (metrics registry, zone
+ *                         aggregates, per-kernel rows); ".csv" selects CSV
+ *     --trace-out FILE    record profiling zones, write Chrome trace JSON
+ *     --log-level LEVEL   debug|inform|warn|fatal                [inform]
+ *     --debug TAGS        comma-separated debug tags (sim,tuner,hw,...)
  *
  * Example:
  *   accelwattch_cli --mix ffma:0.6,ldg:0.2,iadd:0.2 --footprint-kb 8192
@@ -34,6 +39,8 @@
 #include "core/calibration.hpp"
 #include "core/model_io.hpp"
 #include "core/power_trace.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "sim/stats_report.hpp"
 
 using namespace aw;
@@ -101,13 +108,29 @@ variantFromToken(const std::string &token)
 }
 
 void
+writeSinks(const std::string &metricsOut, const std::string &traceOut)
+{
+    if (!metricsOut.empty()) {
+        if (metricsOut.size() > 4 &&
+            metricsOut.compare(metricsOut.size() - 4, 4, ".csv") == 0)
+            obs::writeMetricsCsv(metricsOut);
+        else
+            obs::writeMetricsJson(metricsOut);
+    }
+    if (!traceOut.empty())
+        obs::writeTraceJson(traceOut);
+}
+
+void
 usage()
 {
     std::printf("usage: accelwattch_cli --mix CLASS:W[,CLASS:W...] "
                 "[--ctas N] [--warps N] [--lanes N] [--ilp N]\n"
                 "       [--footprint-kb N] [--chase] [--freq GHZ] "
                 "[--variant sass|ptx|hw|hybrid]\n"
-                "       [--model FILE] [--save-model FILE] [--trace] [--stats]\n");
+                "       [--model FILE] [--save-model FILE] [--trace] [--stats]\n"
+                "       [--metrics-out FILE] [--trace-out FILE] "
+                "[--log-level LEVEL] [--debug TAGS]\n");
 }
 
 } // namespace
@@ -122,6 +145,7 @@ main(int argc, char **argv)
     k.memFootprintKb = 256;
     Variant variant = Variant::SassSim;
     std::string modelFile, saveModelFile;
+    std::string metricsOut, traceOut;
     double freqGhz = 0;
     bool printTrace = false;
     bool printStats = false;
@@ -159,6 +183,14 @@ main(int argc, char **argv)
             printTrace = true;
         else if (arg == "--stats")
             printStats = true;
+        else if (arg == "--metrics-out")
+            metricsOut = next();
+        else if (arg == "--trace-out")
+            traceOut = next();
+        else if (arg == "--log-level")
+            setLogLevel(parseLogLevel(next()));
+        else if (arg == "--debug")
+            setDebugTags(next());
         else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -168,11 +200,15 @@ main(int argc, char **argv)
         }
     }
 
+    if (!traceOut.empty())
+        obs::Profiler::instance().setEnabled(true);
+
     auto &cal = sharedVoltaCalibrator();
     if (!saveModelFile.empty()) {
         saveModel(cal.variant(variant).model, saveModelFile);
         std::printf("calibrated %s model written to %s\n",
                     variantName(variant).c_str(), saveModelFile.c_str());
+        writeSinks(metricsOut, traceOut);
         return 0;
     }
     AccelWattchModel model = modelFile.empty()
@@ -182,8 +218,16 @@ main(int argc, char **argv)
     ActivityProvider provider(variant, cal.simulator(), &cal.nsight());
     MeasurementConditions cond;
     cond.freqGhz = freqGhz;
-    KernelActivity act = provider.collect(k, cond);
-    PowerBreakdown p = model.evaluateKernel(act);
+    KernelActivity act;
+    PowerBreakdown p;
+    {
+        AW_PROF_SCOPE("validate/kernel");
+        act = provider.collect(k, cond);
+        p = model.evaluateKernel(act);
+        obs::Telemetry::instance().recordKernel(
+            {k.name, "validate", act.totalCycles, act.elapsedSec,
+             p.totalW(), /*measuredW=*/0.0});
+    }
 
     std::printf("kernel: %d CTAs x %d warps, %d lanes/warp, mix of %zu "
                 "classes, %.0f KB footprint%s\n",
@@ -216,5 +260,6 @@ main(int argc, char **argv)
             std::printf("  cycle %8.0f  f=%.3f GHz  %7.2f W\n",
                         pt.startCycle, pt.freqGhz, pt.power.totalW());
     }
+    writeSinks(metricsOut, traceOut);
     return 0;
 }

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Sanitizer sweep: configure (and by default build + test) the tree
+# with AddressSanitizer + UndefinedBehaviorSanitizer (-DAW_SANITIZE=ON).
+#
+# Usage:
+#   scripts/check.sh [--configure-only] [--build-dir DIR]
+#
+#   --configure-only   stop after the CMake configure step (this is what
+#                      the `lint` CTest label runs, so plain `ctest`
+#                      stays fast)
+#   --build-dir DIR    sanitizer build tree [build-asan]
+#
+# The test step excludes the lint label itself (-LE lint) so the check
+# does not recurse into another configure of the same tree.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir=build-asan
+configure_only=0
+
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+      --configure-only)
+        configure_only=1
+        shift
+        ;;
+      --build-dir)
+        [[ $# -ge 2 ]] || { echo "error: --build-dir needs a value" >&2; exit 2; }
+        build_dir=$2
+        shift 2
+        ;;
+      -h|--help)
+        sed -n '2,15p' "$0"
+        exit 0
+        ;;
+      *)
+        echo "error: unknown option '$1' (see --help)" >&2
+        exit 2
+        ;;
+    esac
+done
+
+echo "== configure (AW_SANITIZE=ON) -> ${build_dir}"
+cmake -B "${build_dir}" -S . -DAW_SANITIZE=ON >/dev/null
+
+if [[ ${configure_only} -eq 1 ]]; then
+    echo "== configure OK (sanitizer flags accepted)"
+    exit 0
+fi
+
+echo "== build"
+cmake --build "${build_dir}" -j
+
+echo "== test (ASan+UBSan, excluding the lint label)"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" -LE lint
+
+echo "== sanitizer sweep passed"

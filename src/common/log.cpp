@@ -1,14 +1,51 @@
 #include "common/log.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace aw {
 
 namespace {
 
-void (*g_observer)(LogLevel, const std::string &) = nullptr;
+using LogObserver = void (*)(LogLevel, const std::string &);
+
+std::atomic<LogObserver> g_observer{nullptr};
+
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("AW_LOG_LEVEL");
+    if (!env || !*env)
+        return LogLevel::Inform;
+    return parseLogLevel(env);
+}
+
+std::atomic<int> g_minLevel{static_cast<int>(levelFromEnv())};
+
+/**
+ * Debug-tag set. Reads are guarded by g_anyDebugTags (a relaxed atomic
+ * fast-path) so disabled debug() calls never take the mutex; the tag
+ * list itself changes rarely and is mutex-protected.
+ */
+std::mutex g_tagMutex;
+std::vector<std::string> g_debugTags;
+bool g_allTags = false;
+std::atomic<bool> g_anyDebugTags{false};
+
+bool
+initDebugTagsFromEnv()
+{
+    if (const char *env = std::getenv("AW_DEBUG"); env && *env)
+        setDebugTags(env);
+    return true;
+}
+
+[[maybe_unused]] const bool g_tagsInitialized = initDebugTagsFromEnv();
 
 std::string
 vformat(const char *fmt, va_list ap)
@@ -29,24 +66,132 @@ vformat(const char *fmt, va_list ap)
 void
 emit(LogLevel level, const std::string &msg)
 {
+    // fatal/panic always emit; lower levels honour the runtime minimum.
+    if (level < LogLevel::Fatal &&
+        static_cast<int>(level) < g_minLevel.load(std::memory_order_relaxed))
+        return;
     const char *tag = "";
     switch (level) {
+      case LogLevel::Debug:  tag = "debug: "; break;
       case LogLevel::Inform: tag = "info: "; break;
       case LogLevel::Warn:   tag = "warn: "; break;
       case LogLevel::Fatal:  tag = "fatal: "; break;
       case LogLevel::Panic:  tag = "panic: "; break;
     }
     std::fprintf(stderr, "%s%s\n", tag, msg.c_str());
-    if (g_observer)
-        g_observer(level, msg);
+    if (LogObserver obs = g_observer.load(std::memory_order_acquire))
+        obs(level, msg);
 }
 
 } // namespace
 
+std::string
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug:  return "debug";
+      case LogLevel::Inform: return "inform";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "unknown";
+}
+
+LogLevel
+parseLogLevel(const std::string &name)
+{
+    std::string s;
+    for (char c : name)
+        s.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    if (s == "debug")
+        return LogLevel::Debug;
+    if (s == "inform" || s == "info")
+        return LogLevel::Inform;
+    if (s == "warn" || s == "warning")
+        return LogLevel::Warn;
+    if (s == "fatal")
+        return LogLevel::Fatal;
+    fatal("unknown log level '%s' (debug|inform|warn|fatal)", name.c_str());
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_minLevel.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(g_minLevel.load(std::memory_order_relaxed));
+}
+
 void
 setLogObserver(void (*observer)(LogLevel, const std::string &))
 {
-    g_observer = observer;
+    g_observer.store(observer, std::memory_order_release);
+}
+
+void
+setDebugTags(const std::string &csv)
+{
+    std::lock_guard<std::mutex> lock(g_tagMutex);
+    g_debugTags.clear();
+    g_allTags = false;
+    size_t pos = 0;
+    while (pos <= csv.size()) {
+        size_t comma = csv.find(',', pos);
+        size_t end = comma == std::string::npos ? csv.size() : comma;
+        std::string tag = csv.substr(pos, end - pos);
+        tag.erase(std::remove_if(tag.begin(), tag.end(),
+                                 [](unsigned char c) {
+                                     return std::isspace(c);
+                                 }),
+                  tag.end());
+        if (tag == "all")
+            g_allTags = true;
+        else if (!tag.empty())
+            g_debugTags.push_back(tag);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    g_anyDebugTags.store(g_allTags || !g_debugTags.empty(),
+                         std::memory_order_relaxed);
+}
+
+bool
+debugTagEnabled(std::string_view tag)
+{
+    if (static_cast<LogLevel>(g_minLevel.load(std::memory_order_relaxed)) ==
+        LogLevel::Debug)
+        return true;
+    if (!g_anyDebugTags.load(std::memory_order_relaxed))
+        return false;
+    std::lock_guard<std::mutex> lock(g_tagMutex);
+    if (g_allTags)
+        return true;
+    return std::find(g_debugTags.begin(), g_debugTags.end(), tag) !=
+           g_debugTags.end();
+}
+
+void
+debug(const char *tag, const char *fmt, ...)
+{
+    if (!debugTagEnabled(tag))
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = "[" + std::string(tag) + "] " + vformat(fmt, ap);
+    va_end(ap);
+    // Tag-enabled debug output bypasses the level floor: asking for a
+    // subsystem's debug stream is an explicit opt-in.
+    const char *prefix = "debug: ";
+    std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
+    if (LogObserver obs = g_observer.load(std::memory_order_acquire))
+        obs(LogLevel::Debug, msg);
 }
 
 void

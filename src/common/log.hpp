@@ -8,23 +8,66 @@
  *            Aborts so a core dump / debugger can catch it.
  * warn()   — something is off but execution can continue.
  * inform() — plain status output.
+ * debug()  — high-volume diagnostics gated by per-subsystem tags
+ *            (gem5-style debug flags; see setDebugTags / AW_DEBUG).
+ *
+ * Runtime verbosity: messages below the minimum level are dropped before
+ * formatting. The level starts from the AW_LOG_LEVEL environment variable
+ * (debug|inform|warn|fatal) and can be changed with setLogLevel(). Fatal
+ * and panic messages are never suppressed.
+ *
+ * Debug tags: debug("sim", ...) only emits when the "sim" tag is enabled,
+ * either via setDebugTags("sim,tuner") / AW_DEBUG=sim,tuner (use "all"
+ * for every tag) or by lowering the log level to Debug. debugTagEnabled()
+ * lets callers skip expensive argument computation.
  */
 #pragma once
 
 #include <cstdarg>
 #include <string>
+#include <string_view>
 
 namespace aw {
 
-/** Severity used by the message sink. */
-enum class LogLevel { Inform, Warn, Fatal, Panic };
+/** Severity used by the message sink, in ascending order. */
+enum class LogLevel { Debug, Inform, Warn, Fatal, Panic };
+
+/** Human-readable name of a level ("debug", "inform", ...). */
+std::string logLevelName(LogLevel level);
+
+/** Parse a level name (case-insensitive; "info" == "inform").
+ *  fatal() on an unknown name. */
+LogLevel parseLogLevel(const std::string &name);
+
+/** Set the minimum level that is emitted (thread-safe). */
+void setLogLevel(LogLevel level);
+
+/** The current minimum emitted level. */
+LogLevel logLevel();
 
 /**
- * Install a callback that observes every log message (used by tests).
- * Pass nullptr to restore the default stderr sink. The observer is called
- * in addition to stderr output for Warn and above.
+ * Install a callback that observes every emitted log message (used by
+ * tests and the observability layer). Pass nullptr to restore the
+ * default stderr-only sink. Safe to call while other threads log: the
+ * observer is held in an atomic pointer, and the callback must remain
+ * valid until setLogObserver is called again.
  */
 void setLogObserver(void (*observer)(LogLevel, const std::string &));
+
+/**
+ * Enable debug() output for a comma-separated list of subsystem tags
+ * ("sim,tuner"); "all" enables every tag, "" disables tag-based debug
+ * output. Also initialized from the AW_DEBUG environment variable.
+ */
+void setDebugTags(const std::string &csv);
+
+/** True when debug messages for this tag would be emitted. */
+bool debugTagEnabled(std::string_view tag);
+
+/** Emit a tagged debug message (dropped unless the tag is enabled or
+ *  the log level is Debug). */
+void debug(const char *tag, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
 
 /** Print an informational status message to stderr. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
@@ -51,6 +94,13 @@ std::string strprintf(const char *fmt, ...)
             ::aw::panic("assertion failed: %s (%s:%d) ", #cond, __FILE__,    \
                         __LINE__);                                           \
         }                                                                    \
+    } while (0)
+
+/** debug() that skips argument evaluation when the tag is disabled. */
+#define AW_DEBUGF(tag, ...)                                                  \
+    do {                                                                     \
+        if (::aw::debugTagEnabled(tag))                                      \
+            ::aw::debug(tag, __VA_ARGS__);                                   \
     } while (0)
 
 } // namespace aw

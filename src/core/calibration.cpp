@@ -1,6 +1,8 @@
 #include "core/calibration.hpp"
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "ubench/microbench.hpp"
 
 namespace aw {
@@ -13,8 +15,10 @@ AccelWattchCalibrator::AccelWattchCalibrator(const SiliconOracle &oracle)
 const ConstantPowerResult &
 AccelWattchCalibrator::constantPower()
 {
-    if (!constant_)
+    if (!constant_) {
+        AW_PROF_SCOPE("calibrate/constant_power");
         constant_ = estimateConstantPower(nvml_, dvfsSuite());
+    }
     return *constant_;
 }
 
@@ -23,6 +27,7 @@ AccelWattchCalibrator::staticPower()
 {
     if (!static_) {
         double constW = constantPower().constPowerW;
+        AW_PROF_SCOPE("calibrate/static_power");
         static_ = calibrateStaticPower(nvml_, constW);
     }
     return *static_;
@@ -54,6 +59,7 @@ const std::vector<double> &
 AccelWattchCalibrator::tuningPowerW()
 {
     if (suitePowerW_.empty()) {
+        AW_PROF_SCOPE("calibrate/tuning_power");
         for (const auto &ub : tuningSuite())
             suitePowerW_.push_back(nvml_.measureAveragePowerW(ub.kernel));
     }
@@ -67,6 +73,8 @@ AccelWattchCalibrator::variant(Variant v)
     if (slot)
         return *slot;
 
+    AW_PROF_SCOPE("calibrate/variant");
+    obs::metrics().counter("calibration.variants_tuned").add(1);
     ActivityProvider provider(v, modelSim_, &nsight_);
     std::vector<KernelActivity> activities;
     activities.reserve(tuningSuite().size());

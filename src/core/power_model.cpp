@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace aw {
 
@@ -41,6 +42,8 @@ AccelWattchModel::staticPerActiveSmW(MixCategory mix, double yLanes) const
 PowerBreakdown
 AccelWattchModel::evaluate(const ActivitySample &sample) const
 {
+    static obs::Counter &evals = obs::metrics().counter("model.evaluations");
+    evals.add(1);
     PowerBreakdown out;
     if (sample.cycles <= 0 || sample.freqGhz <= 0) {
         out.constW = constPowerW;
@@ -73,6 +76,9 @@ AccelWattchModel::evaluateKernel(const KernelActivity &activity) const
     if (activity.samples.empty())
         fatal("evaluateKernel: kernel %s has no activity samples",
               activity.kernelName.c_str());
+    static obs::Counter &evals =
+        obs::metrics().counter("model.kernel_evaluations");
+    evals.add(1);
     // Cycle-weighted average of per-sample power: correct under DVFS
     // transitions where V/f differ across samples.
     PowerBreakdown avg;

@@ -6,6 +6,8 @@
 #include "baseline/gpuwattch.hpp"
 #include "common/log.hpp"
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "solver/qp.hpp"
 
 namespace aw {
@@ -94,6 +96,7 @@ tuneDynamicPower(const std::vector<Microbenchmark> &suite,
                  const ComponentArray<double> &initialEnergies,
                  const TuningOptions &opts)
 {
+    AW_PROF_SCOPE("tune/qp");
     const size_t m = suite.size();
     const size_t n = kNumPowerComponents;
     if (m == 0 || measuredPowerW.size() != m || activities.size() != m)
@@ -168,6 +171,7 @@ tuneDynamicPower(const std::vector<Microbenchmark> &suite,
     double bestMape = trainingMape(x);
 
     for (int round = 0; round < opts.maxRounds; ++round) {
+        AW_PROF_SCOPE("tune/round");
         // Objective: ||A x - b||^2 + lambda ||x - anchor||^2
         // => Q = 2 (A^T A + lambda I), c = -2 (A^T b + lambda anchor).
         for (size_t i = 0; i < n; ++i) {
@@ -196,6 +200,28 @@ tuneDynamicPower(const std::vector<Microbenchmark> &suite,
     for (size_t i = 0; i < n; ++i)
         result.finalEnergyNj[i] = initialEnergies[i] * x[i];
     result.trainingMapePct = trainingMape(x);
+
+    // Constraint activations: bound or ordering rows met with equality
+    // at the solution (within solver tolerance) — the knobs the QP
+    // actually pushed against.
+    int active = 0;
+    auto gx = problem.g.mul(x);
+    for (size_t i = 0; i < problem.numConstraints(); ++i)
+        if (gx[i] > problem.h[i] - 1e-5 * (1.0 + std::abs(problem.h[i])))
+            ++active;
+
+    auto &reg = obs::metrics();
+    reg.counter("tuner.runs").add(1);
+    reg.counter("tuner.qp.iterations").add(result.rounds);
+    reg.counter("tuner.qp.newton_iters").add(result.qpNewtonIters);
+    reg.counter("tuner.constraint_activations").add(active);
+    reg.gauge("tuner.training_mape_pct").set(result.trainingMapePct);
+    AW_DEBUGF("tuner",
+              "%s start: %d rounds, %d Newton iters, %d active "
+              "constraints, training MAPE %.2f%%",
+              opts.start == StartingPoint::Fermi ? "Fermi" : "all-ones",
+              result.rounds, result.qpNewtonIters, active,
+              result.trainingMapePct);
     return result;
 }
 

@@ -1,11 +1,16 @@
 #include "hw/nsight.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace aw {
 
 KernelActivity
 NsightEmu::collectCounters(const KernelDescriptor &desc,
                            const MeasurementConditions &cond) const
 {
+    AW_PROF_SCOPE("hw/nsight_profile");
+    obs::metrics().counter("hw.nsight.profiles").add(1);
     OracleRun run = oracle_.execute(desc, cond);
 
     KernelActivity out;

@@ -4,6 +4,8 @@
 
 #include "common/log.hpp"
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace aw {
 
@@ -14,6 +16,7 @@ NvmlEmu::NvmlEmu(const SiliconOracle &oracle, uint64_t seed)
 double
 NvmlEmu::measureAveragePowerW(const KernelDescriptor &desc, int repetitions)
 {
+    AW_PROF_SCOPE("hw/nvml_measure");
     MeasurementConditions cond;
     cond.freqGhz = lockedFreqGhz_;
 
@@ -62,7 +65,19 @@ NvmlEmu::measureAveragePowerW(const KernelDescriptor &desc, int repetitions)
         // Let the chip cool back to idle between repetitions.
         thermal_.coolToAmbient();
     }
-    return mean(repMeans);
+
+    double result = mean(repMeans);
+    auto &reg = obs::metrics();
+    reg.counter("hw.nvml.measurements").add(1);
+    reg.counter("hw.nvml.samples")
+        .add(static_cast<double>(lastReadings_.size()));
+    reg.histogram("hw.nvml.power_w").record(result);
+    reg.histogram("hw.nvml.relative_variance")
+        .record(lastRelativeVariance());
+    AW_DEBUGF("hw", "NVML %s: %.1f W over %zu samples (rel var %.4f%%)",
+              desc.name.c_str(), result, lastReadings_.size(),
+              100.0 * lastRelativeVariance());
+    return result;
 }
 
 double

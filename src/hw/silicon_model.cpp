@@ -5,6 +5,8 @@
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace aw {
 
@@ -330,6 +332,8 @@ OracleRun
 SiliconOracle::execute(const KernelDescriptor &desc,
                        const MeasurementConditions &cond) const
 {
+    AW_PROF_SCOPE("hw/oracle_execute");
+    obs::metrics().counter("hw.oracle.executions").add(1);
     SimOptions opts;
     opts.freqGhz = cond.freqGhz;
     OracleRun run;

@@ -1,0 +1,292 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace aw::obs {
+
+namespace {
+
+/** Cursor over the document with fatal()-style error reporting. */
+struct Parser
+{
+    const std::string &text;
+    size_t pos = 0;
+
+    [[noreturn]] void die(const char *what) const
+    {
+        fatal("JSON parse error at offset %zu: %s", pos, what);
+    }
+
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    char peek()
+    {
+        if (pos >= text.size())
+            die("unexpected end of input");
+        return text[pos];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            die("unexpected character");
+        ++pos;
+    }
+
+    bool consumeLiteral(const char *lit)
+    {
+        size_t n = std::strlen(lit);
+        if (text.compare(pos, n, lit) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= text.size())
+                die("unterminated string");
+            char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos >= text.size())
+                die("unterminated escape");
+            char e = text[pos++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    die("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text[pos++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        die("bad hex digit in \\u escape");
+                }
+                // Encode the BMP codepoint as UTF-8 (the sinks only
+                // emit ASCII; this keeps foreign documents readable).
+                if (cp < 0x80) {
+                    out.push_back(static_cast<char>(cp));
+                } else if (cp < 0x800) {
+                    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+                    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+                } else {
+                    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+                    out.push_back(
+                        static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+                    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+                }
+                break;
+              }
+              default:
+                die("unknown escape character");
+            }
+        }
+    }
+
+    JsonValue parseValue(int depth)
+    {
+        if (depth > 64)
+            die("nesting too deep");
+        skipWs();
+        char c = peek();
+        JsonValue v;
+        if (c == '{') {
+            ++pos;
+            v.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (peek() == '}') {
+                ++pos;
+                return v;
+            }
+            while (true) {
+                skipWs();
+                std::string key = parseString();
+                skipWs();
+                expect(':');
+                v.object.emplace_back(std::move(key),
+                                      parseValue(depth + 1));
+                skipWs();
+                char d = peek();
+                ++pos;
+                if (d == '}')
+                    return v;
+                if (d != ',')
+                    die("expected ',' or '}' in object");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            v.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (peek() == ']') {
+                ++pos;
+                return v;
+            }
+            while (true) {
+                v.array.push_back(parseValue(depth + 1));
+                skipWs();
+                char d = peek();
+                ++pos;
+                if (d == ']')
+                    return v;
+                if (d != ',')
+                    die("expected ',' or ']' in array");
+            }
+        }
+        if (c == '"') {
+            v.kind = JsonValue::Kind::String;
+            v.str = parseString();
+            return v;
+        }
+        if (consumeLiteral("true")) {
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (consumeLiteral("false")) {
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = false;
+            return v;
+        }
+        if (consumeLiteral("null"))
+            return v;
+        // Number: defer to strtod, then validate it consumed something.
+        const char *start = text.c_str() + pos;
+        char *end = nullptr;
+        double num = std::strtod(start, &end);
+        if (end == start)
+            die("expected a JSON value");
+        v.kind = JsonValue::Kind::Number;
+        v.number = num;
+        pos += static_cast<size_t>(end - start);
+        return v;
+    }
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : object)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        fatal("JSON object has no member '%s'", key.c_str());
+    return *v;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (kind != Kind::Number)
+        fatal("JSON value is not a number");
+    return number;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind != Kind::String)
+        fatal("JSON value is not a string");
+    return str;
+}
+
+JsonValue
+parseJson(const std::string &text)
+{
+    Parser p{text};
+    JsonValue v = p.parseValue(0);
+    p.skipWs();
+    if (p.pos != text.size())
+        p.die("trailing garbage after document");
+    return v;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v)) {
+        warn("non-finite value in JSON output clamped to 0");
+        return "0";
+    }
+    // %.17g round-trips any double but is noisy; try shorter forms first.
+    char buf[40];
+    for (int prec : {6, 12, 17}) {
+        std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+} // namespace aw::obs

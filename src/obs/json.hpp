@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal JSON support for the observability layer: a writer with
+ * correct string escaping (used by the metrics / trace / telemetry
+ * sinks) and a strict recursive-descent parser in the model_io style —
+ * fatal() on malformed input, so a truncated telemetry file cannot be
+ * silently half-read. Used by tests to round-trip every exported sink.
+ *
+ * This is deliberately not a general-purpose JSON library: documents
+ * are small (metric registries, trace summaries), numbers are doubles,
+ * and object key order is preserved for deterministic output.
+ */
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace aw::obs {
+
+/** One parsed JSON value (tagged union; children own their storage). */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string str;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Object member access; fatal() when absent. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Typed accessors; fatal() on a kind mismatch. */
+    double asNumber() const;
+    const std::string &asString() const;
+};
+
+/** Parse a complete JSON document. fatal() on malformed input or
+ *  trailing garbage. */
+JsonValue parseJson(const std::string &text);
+
+/** Escape a string for embedding in a JSON document (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/** Format a double the way the sinks do: shortest round-trippable,
+ *  never NaN/Inf (clamped to 0 with a warning — JSON has no NaN). */
+std::string jsonNumber(double v);
+
+} // namespace aw::obs

@@ -1,0 +1,332 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "obs/json.hpp"
+
+namespace aw::obs {
+
+namespace {
+
+/** Atomic min/max update for doubles (relaxed; statistics only). */
+void
+atomicMin(std::atomic<double> &slot, double v)
+{
+    double cur = slot.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed))
+        ;
+}
+
+void
+atomicMax(std::atomic<double> &slot, double v)
+{
+    double cur = slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed))
+        ;
+}
+
+void
+atomicAdd(std::atomic<double> &slot, double v)
+{
+    double cur = slot.load(std::memory_order_relaxed);
+    while (!slot.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed))
+        ;
+}
+
+/** Bucket index for a value (clamped into the span). */
+int
+bucketIndex(double v)
+{
+    if (!(v > 0))
+        return 0;
+    double idx = (std::log10(v) - Histogram::kMinDecade) *
+                 Histogram::kBucketsPerDecade;
+    return std::clamp(static_cast<int>(std::floor(idx)), 0,
+                      Histogram::kNumBuckets - 1);
+}
+
+/** Lower edge of bucket i. */
+double
+bucketLo(int i)
+{
+    return std::pow(10.0, Histogram::kMinDecade +
+                              static_cast<double>(i) /
+                                  Histogram::kBucketsPerDecade);
+}
+
+const char *
+kindName(MetricKind k)
+{
+    switch (k) {
+      case MetricKind::Counter: return "counter";
+      case MetricKind::Gauge: return "gauge";
+      case MetricKind::Histogram: return "histogram";
+      case MetricKind::Timer: return "timer";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+void
+Histogram::record(double v)
+{
+    buckets_[static_cast<size_t>(bucketIndex(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(sum_, v);
+    atomicMin(min_, v);
+    atomicMax(max_, v);
+}
+
+double
+Histogram::percentile(double p) const
+{
+    uint64_t n = count();
+    if (n == 0)
+        return 0;
+    p = std::clamp(p, 0.0, 100.0);
+    double target = p / 100.0 * static_cast<double>(n);
+    uint64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+        uint64_t inBucket =
+            buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+        if (inBucket == 0)
+            continue;
+        if (static_cast<double>(seen + inBucket) >= target) {
+            // Linear interpolation within the geometric bucket.
+            double frac =
+                std::clamp((target - static_cast<double>(seen)) /
+                               static_cast<double>(inBucket),
+                           0.0, 1.0);
+            double lo = bucketLo(i), hi = bucketLo(i + 1);
+            double est = lo + frac * (hi - lo);
+            // Exact bounds beat bucket edges at the distribution tails.
+            return std::clamp(est, min_.load(std::memory_order_relaxed),
+                              max_.load(std::memory_order_relaxed));
+        }
+        seen += inBucket;
+    }
+    return max_.load(std::memory_order_relaxed);
+}
+
+HistogramStats
+Histogram::stats() const
+{
+    HistogramStats s;
+    s.count = count();
+    if (s.count == 0)
+        return s;
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    s.mean = s.sum / static_cast<double>(s.count);
+    s.p50 = percentile(50);
+    s.p90 = percentile(90);
+    s.p99 = percentile(99);
+    return s;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    min_.store(1e308, std::memory_order_relaxed);
+    max_.store(-1e308, std::memory_order_relaxed);
+}
+
+bool
+validMetricName(const std::string &name)
+{
+    if (name.empty() || name.front() == '.' || name.back() == '.')
+        return false;
+    char prev = '.';
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '_' || c == '.';
+        if (!ok)
+            return false;
+        if (c == '.' && prev == '.')
+            return false;
+        prev = c;
+    }
+    return true;
+}
+
+Registry::Slot &
+Registry::resolve(const std::string &name, MetricKind kind)
+{
+    if (!validMetricName(name))
+        panic("bad metric name '%s' (want dotted [a-z0-9_] segments)",
+              name.c_str());
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(name);
+    if (it == slots_.end()) {
+        Slot slot;
+        slot.kind = kind;
+        switch (kind) {
+          case MetricKind::Counter:
+            slot.counter = std::make_unique<Counter>();
+            break;
+          case MetricKind::Gauge:
+            slot.gauge = std::make_unique<Gauge>();
+            break;
+          case MetricKind::Histogram:
+            slot.histogram = std::make_unique<Histogram>();
+            break;
+          case MetricKind::Timer:
+            slot.timer = std::make_unique<Timer>();
+            break;
+        }
+        it = slots_.emplace(name, std::move(slot)).first;
+    } else if (it->second.kind != kind) {
+        panic("metric '%s' is a %s, requested as %s", name.c_str(),
+              kindName(it->second.kind), kindName(kind));
+    }
+    return it->second;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    return *resolve(name, MetricKind::Counter).counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    return *resolve(name, MetricKind::Gauge).gauge;
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    return *resolve(name, MetricKind::Histogram).histogram;
+}
+
+Timer &
+Registry::timer(const std::string &name)
+{
+    return *resolve(name, MetricKind::Timer).timer;
+}
+
+std::vector<Registry::Entry>
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Entry> out;
+    out.reserve(slots_.size());
+    for (const auto &[name, slot] : slots_) {
+        Entry e;
+        e.name = name;
+        e.kind = slot.kind;
+        switch (slot.kind) {
+          case MetricKind::Counter:
+            e.value = slot.counter->value();
+            break;
+          case MetricKind::Gauge:
+            e.value = slot.gauge->value();
+            break;
+          case MetricKind::Histogram:
+            e.stats = slot.histogram->stats();
+            break;
+          case MetricKind::Timer:
+            e.stats = slot.timer->stats();
+            break;
+        }
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+size_t
+Registry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return slots_.size();
+}
+
+std::string
+Registry::toJson() const
+{
+    std::ostringstream out;
+    out << "{";
+    bool first = true;
+    for (const Entry &e : snapshot()) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n  \"" << jsonEscape(e.name) << "\": {\"type\": \""
+            << kindName(e.kind) << "\"";
+        if (e.kind == MetricKind::Counter || e.kind == MetricKind::Gauge) {
+            out << ", \"value\": " << jsonNumber(e.value);
+        } else {
+            out << ", \"count\": " << e.stats.count
+                << ", \"sum\": " << jsonNumber(e.stats.sum)
+                << ", \"mean\": " << jsonNumber(e.stats.mean)
+                << ", \"min\": " << jsonNumber(e.stats.min)
+                << ", \"max\": " << jsonNumber(e.stats.max)
+                << ", \"p50\": " << jsonNumber(e.stats.p50)
+                << ", \"p90\": " << jsonNumber(e.stats.p90)
+                << ", \"p99\": " << jsonNumber(e.stats.p99);
+        }
+        out << "}";
+    }
+    out << "\n}";
+    return out.str();
+}
+
+std::string
+Registry::toCsv() const
+{
+    std::ostringstream out;
+    out << "name,kind,count,value,mean,p50,p90,p99,min,max\n";
+    for (const Entry &e : snapshot()) {
+        out << e.name << "," << kindName(e.kind) << ",";
+        if (e.kind == MetricKind::Counter || e.kind == MetricKind::Gauge) {
+            out << 1 << "," << jsonNumber(e.value) << ",,,,,,";
+        } else {
+            out << e.stats.count << "," << jsonNumber(e.stats.sum) << ","
+                << jsonNumber(e.stats.mean) << ","
+                << jsonNumber(e.stats.p50) << ","
+                << jsonNumber(e.stats.p90) << ","
+                << jsonNumber(e.stats.p99) << ","
+                << jsonNumber(e.stats.min) << ","
+                << jsonNumber(e.stats.max);
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+void
+Registry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &[name, slot] : slots_) {
+        switch (slot.kind) {
+          case MetricKind::Counter: slot.counter->reset(); break;
+          case MetricKind::Gauge: slot.gauge->reset(); break;
+          case MetricKind::Histogram: slot.histogram->reset(); break;
+          case MetricKind::Timer: slot.timer->reset(); break;
+        }
+    }
+}
+
+Registry &
+metrics()
+{
+    static Registry registry;
+    return registry;
+}
+
+} // namespace aw::obs

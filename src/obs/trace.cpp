@@ -1,0 +1,165 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "obs/json.hpp"
+
+namespace aw::obs {
+
+/**
+ * Per-thread recording state. Owned jointly by the thread (via a
+ * thread_local pointer) and the global buffer list (shared_ptr), so
+ * events survive thread exit until the next clear().
+ */
+struct Profiler::ThreadBuf
+{
+    struct Open
+    {
+        const char *name;
+        double tsUs;
+    };
+
+    std::mutex mu; ///< serializes the owning thread vs. exporters
+    uint32_t tid = 0;
+    std::vector<Open> stack;
+    std::vector<TraceEvent> done;
+};
+
+namespace {
+
+std::mutex g_bufListMutex;
+std::vector<std::shared_ptr<Profiler::ThreadBuf>> &
+bufList()
+{
+    static std::vector<std::shared_ptr<Profiler::ThreadBuf>> list;
+    return list;
+}
+
+} // namespace
+
+Profiler::ThreadBuf &
+Profiler::localBuf()
+{
+    thread_local std::shared_ptr<ThreadBuf> buf = [] {
+        auto b = std::make_shared<ThreadBuf>();
+        std::lock_guard<std::mutex> lock(g_bufListMutex);
+        b->tid = static_cast<uint32_t>(bufList().size() + 1);
+        bufList().push_back(b);
+        return b;
+    }();
+    return *buf;
+}
+
+Profiler &
+Profiler::instance()
+{
+    static Profiler profiler;
+    return profiler;
+}
+
+void
+Profiler::setEnabled(bool on)
+{
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+void
+Profiler::begin(const char *name)
+{
+    std::chrono::duration<double, std::micro> ts =
+        std::chrono::steady_clock::now() - epoch_;
+    ThreadBuf &buf = localBuf();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    buf.stack.push_back({name, ts.count()});
+}
+
+void
+Profiler::end()
+{
+    std::chrono::duration<double, std::micro> ts =
+        std::chrono::steady_clock::now() - epoch_;
+    ThreadBuf &buf = localBuf();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    if (buf.stack.empty())
+        return; // zone opened before enable / after clear
+    ThreadBuf::Open open = buf.stack.back();
+    buf.stack.pop_back();
+    TraceEvent e;
+    e.name = open.name;
+    e.tsUs = open.tsUs;
+    e.durUs = std::max(0.0, ts.count() - open.tsUs);
+    e.tid = buf.tid;
+    e.depth = static_cast<uint32_t>(buf.stack.size());
+    buf.done.push_back(std::move(e));
+}
+
+std::vector<TraceEvent>
+Profiler::events() const
+{
+    std::vector<TraceEvent> out;
+    std::lock_guard<std::mutex> listLock(g_bufListMutex);
+    for (const auto &buf : bufList()) {
+        std::lock_guard<std::mutex> lock(buf->mu);
+        out.insert(out.end(), buf->done.begin(), buf->done.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  return a.tsUs < b.tsUs;
+              });
+    return out;
+}
+
+std::vector<ZoneStat>
+Profiler::zoneStats() const
+{
+    std::map<std::string, ZoneStat> agg;
+    for (const TraceEvent &e : events()) {
+        ZoneStat &s = agg[e.name];
+        s.name = e.name;
+        s.count += 1;
+        s.totalUs += e.durUs;
+    }
+    std::vector<ZoneStat> out;
+    out.reserve(agg.size());
+    for (auto &[name, s] : agg)
+        out.push_back(std::move(s));
+    return out;
+}
+
+std::string
+Profiler::chromeTraceJson() const
+{
+    std::ostringstream out;
+    out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    bool first = true;
+    for (const TraceEvent &e : events()) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n  {\"name\": \"" << jsonEscape(e.name)
+            << "\", \"cat\": \"aw\", \"ph\": \"X\", \"pid\": 1"
+            << ", \"tid\": " << e.tid << ", \"ts\": " << jsonNumber(e.tsUs)
+            << ", \"dur\": " << jsonNumber(e.durUs)
+            << ", \"args\": {\"depth\": " << e.depth << "}}";
+    }
+    out << "\n]}";
+    return out.str();
+}
+
+void
+Profiler::clear()
+{
+    std::lock_guard<std::mutex> listLock(g_bufListMutex);
+    for (const auto &buf : bufList()) {
+        std::lock_guard<std::mutex> lock(buf->mu);
+        buf->stack.clear();
+        buf->done.clear();
+    }
+}
+
+} // namespace aw::obs

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Scoped profiling zones with Chrome trace-event export.
+ *
+ * Usage:
+ *     void GpuSimulator::run(...) {
+ *         AW_PROF_SCOPE("sim/kernel");
+ *         ...
+ *         { AW_PROF_SCOPE("sim/wave"); ... }   // nests under sim/kernel
+ *     }
+ *
+ * Zones nest per thread (a thread-local stack) and accumulate into
+ * per-thread buffers, merged at export time into the Chrome
+ * trace-event JSON format that chrome://tracing and Perfetto load
+ * directly ("X" complete events with microsecond timestamps).
+ *
+ * Cost model: tracing is off by default. A disabled AW_PROF_SCOPE is
+ * one relaxed atomic load and two branches — cheap enough to leave in
+ * the simulator's per-kernel paths (per-cycle paths should still not
+ * carry zones). Enabled zones take one steady_clock read at entry and
+ * exit plus a short lock on the owning thread's buffer.
+ *
+ * Besides raw events, the profiler keeps per-zone aggregates (count and
+ * total inclusive time) so the telemetry sink can report where a run's
+ * wall clock went without shipping the full event stream.
+ */
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aw::obs {
+
+/** One completed zone instance ("X" trace event). */
+struct TraceEvent
+{
+    std::string name;
+    double tsUs = 0;  ///< start, microseconds since profiler epoch
+    double durUs = 0; ///< inclusive duration, microseconds
+    uint32_t tid = 0; ///< profiler-assigned thread id (1-based)
+    uint32_t depth = 0; ///< nesting depth at entry (0 = top level)
+};
+
+/** Aggregated view of one zone name across all threads. */
+struct ZoneStat
+{
+    std::string name;
+    uint64_t count = 0;
+    double totalUs = 0; ///< summed inclusive time
+};
+
+/** Process-wide zone collector. */
+class Profiler
+{
+  public:
+    static Profiler &instance();
+
+    /** Turn collection on/off. Zones opened while disabled are ignored
+     *  entirely; zones open across a flip close harmlessly. */
+    void setEnabled(bool on);
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Open a zone on the calling thread. `name` must outlive the
+     *  profiler (string literals; zone names are a fixed vocabulary). */
+    void begin(const char *name);
+
+    /** Close the calling thread's innermost zone. */
+    void end();
+
+    /** All completed events, merged across threads, start-time order. */
+    std::vector<TraceEvent> events() const;
+
+    /** Per-name aggregates, name order. */
+    std::vector<ZoneStat> zoneStats() const;
+
+    /** Chrome trace-event JSON ({"traceEvents": [...]}) for
+     *  chrome://tracing / Perfetto. */
+    std::string chromeTraceJson() const;
+
+    /** Drop all recorded events and aggregates (keeps enabled state). */
+    void clear();
+
+    struct ThreadBuf; ///< implementation detail (public for the TU)
+
+  private:
+    Profiler() = default;
+    ThreadBuf &localBuf();
+
+    std::atomic<bool> enabled_{false};
+    std::chrono::steady_clock::time_point epoch_ =
+        std::chrono::steady_clock::now();
+};
+
+/** RAII zone; see AW_PROF_SCOPE. */
+class ZoneScope
+{
+  public:
+    explicit ZoneScope(const char *name)
+        : active_(Profiler::instance().enabled())
+    {
+        if (active_)
+            Profiler::instance().begin(name);
+    }
+    ~ZoneScope()
+    {
+        if (active_)
+            Profiler::instance().end();
+    }
+    ZoneScope(const ZoneScope &) = delete;
+    ZoneScope &operator=(const ZoneScope &) = delete;
+
+  private:
+    bool active_;
+};
+
+#define AW_PROF_CONCAT2(a, b) a##b
+#define AW_PROF_CONCAT(a, b) AW_PROF_CONCAT2(a, b)
+
+/** Open a profiling zone covering the rest of the enclosing scope. */
+#define AW_PROF_SCOPE(name)                                                  \
+    ::aw::obs::ZoneScope AW_PROF_CONCAT(awProfZone_, __LINE__)(name)
+
+} // namespace aw::obs

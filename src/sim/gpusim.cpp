@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace aw {
 
@@ -34,6 +36,7 @@ KernelActivity
 GpuSimulator::run(const KernelDescriptor &desc, const WarpProgram &program,
                   const SimOptions &opts) const
 {
+    AW_PROF_SCOPE("sim/kernel");
     const double f = opts.freqGhz > 0 ? opts.freqGhz : gpu_.defaultClockGhz;
     LaunchShape shape = launchShape(desc);
 
@@ -50,16 +53,19 @@ GpuSimulator::run(const KernelDescriptor &desc, const WarpProgram &program,
     const double interval = opts.sampleIntervalCycles;
     double now = 0;
     double sampleStart = 0;
-    while (!sm.done() && now < static_cast<double>(opts.maxCycles)) {
-        double next = sm.step(now);
-        // Close any sample intervals the clock passes over.
-        while (next >= sampleStart + interval) {
-            ActivitySample s = sm.drainActivity();
-            s.cycles = interval;
-            out.samples.push_back(std::move(s));
-            sampleStart += interval;
+    {
+        AW_PROF_SCOPE("sim/wave");
+        while (!sm.done() && now < static_cast<double>(opts.maxCycles)) {
+            double next = sm.step(now);
+            // Close any sample intervals the clock passes over.
+            while (next >= sampleStart + interval) {
+                ActivitySample s = sm.drainActivity();
+                s.cycles = interval;
+                out.samples.push_back(std::move(s));
+                sampleStart += interval;
+            }
+            now = next;
         }
-        now = next;
     }
     if (!sm.done())
         warn("simulation of %s hit the cycle cap (%ld)", desc.name.c_str(),
@@ -85,6 +91,35 @@ GpuSimulator::run(const KernelDescriptor &desc, const WarpProgram &program,
 
     out.totalCycles = now * shape.waves;
     out.elapsedSec = out.totalCycles / (f * 1e9);
+
+    // Per-kernel flush of the SM's plain counters into the registry
+    // (static references: one name lookup per process, then lock-free).
+    {
+        using obs::metrics;
+        static obs::Counter &kernels = metrics().counter("sim.kernels");
+        static obs::Counter &cycles =
+            metrics().counter("sim.cycles_simulated");
+        static obs::Counter &samples = metrics().counter("sim.samples");
+        static obs::Counter &waves = metrics().counter("sim.waves");
+        static obs::Counter &insts =
+            metrics().counter("sim.sm.insts_issued");
+        static obs::Counter &issueCycles =
+            metrics().counter("sim.sm.issue_cycles");
+        static obs::Counter &stalls =
+            metrics().counter("sim.sm.issue_stalls");
+        kernels.add(1);
+        cycles.add(now);
+        samples.add(static_cast<double>(out.samples.size()));
+        waves.add(shape.waves);
+        insts.add(static_cast<double>(sm.issuedInsts()));
+        issueCycles.add(static_cast<double>(sm.issueCycles()));
+        stalls.add(static_cast<double>(sm.stallCycles()));
+    }
+    AW_DEBUGF("sim",
+              "%s: %.0f cycles, %zu samples, %d waves, %ld insts, "
+              "%ld stall cycles",
+              desc.name.c_str(), out.totalCycles, out.samples.size(),
+              shape.waves, sm.issuedInsts(), sm.stallCycles());
     return out;
 }
 

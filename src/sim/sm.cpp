@@ -207,6 +207,7 @@ SmCore::issue(Warp &w, double now)
     w.readyCycle[static_cast<size_t>(w.issuedCount) % kScoreboard] =
         completion;
     ++w.issuedCount;
+    ++issuedInsts_;
 
     // --- power activity (Table 1) ----------------------------------------
     auto &acc = activity_.accesses;
@@ -295,9 +296,12 @@ SmCore::step(double now)
     bool issuedAny = false;
     for (int sc = 0; sc < gpu_.subcoresPerSm; ++sc)
         issuedAny |= tryIssueSubcore(sc, now, nextEvent);
-    if (issuedAny || done())
+    if (issuedAny || done()) {
+        ++issueCycles_;
         return now + 1.0;
+    }
     // Nothing could issue: the caller may fast-forward to the next event.
+    ++stallCycles_;
     return std::max(now + 1.0, nextEvent);
 }
 

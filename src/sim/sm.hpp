@@ -57,6 +57,12 @@ class SmCore
 
     const CacheModel &l1d() const { return l1d_; }
 
+    // Scheduler observability (plain members, flushed into the metrics
+    // registry once per kernel by GpuSimulator::run).
+    long issuedInsts() const { return issuedInsts_; }
+    long issueCycles() const { return issueCycles_; }    ///< >=1 issue
+    long stallCycles() const { return stallCycles_; }    ///< no issue
+
   private:
     struct Warp
     {
@@ -126,6 +132,10 @@ class SmCore
     /** Precomputed per-opclass effective initiation intervals. */
     std::array<double, kNumOpClasses> effII_{};
     std::array<double, kNumOpClasses> latency_{};
+
+    long issuedInsts_ = 0;
+    long issueCycles_ = 0;
+    long stallCycles_ = 0;
 };
 
 } // namespace aw

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace aw {
 
@@ -150,10 +152,26 @@ center(const QpProblem &p, double t, std::vector<double> &x,
 
 } // namespace
 
+namespace {
+
+/** Shared exit bookkeeping of solveQp (both return paths). */
+void
+recordSolve(const QpResult &result)
+{
+    auto &reg = obs::metrics();
+    reg.counter("solver.qp.solves").add(1);
+    reg.counter("solver.qp.newton_iters").add(result.newtonIters);
+    if (!result.converged)
+        reg.counter("solver.qp.nonconverged").add(1);
+}
+
+} // namespace
+
 QpResult
 solveQp(const QpProblem &problem, std::vector<double> x0,
         const QpOptions &opts)
 {
+    AW_PROF_SCOPE("solver/qp");
     AW_ASSERT(x0.size() == problem.numVars());
     if (!problem.isStrictlyFeasible(x0))
         fatal("solveQp: starting point is not strictly feasible");
@@ -167,6 +185,7 @@ solveQp(const QpProblem &problem, std::vector<double> x0,
         result.newtonIters = center(problem, 1.0, result.x, opts);
         result.converged = true;
         result.objective = problem.objective(result.x);
+        recordSolve(result);
         return result;
     }
 
@@ -180,6 +199,7 @@ solveQp(const QpProblem &problem, std::vector<double> x0,
         t *= opts.tMultiplier;
     }
     result.objective = problem.objective(result.x);
+    recordSolve(result);
     return result;
 }
 

@@ -1,6 +1,11 @@
 #include "workloads/validation.hpp"
 
+#include <cmath>
+
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace aw {
 
@@ -255,15 +260,18 @@ std::vector<ValidationRow>
 runValidation(AccelWattchCalibrator &calibrator, Variant variant,
               const AccelWattchModel *overrideModel)
 {
+    AW_PROF_SCOPE("validate/suite");
     const AccelWattchModel &model =
         overrideModel ? *overrideModel : calibrator.variant(variant).model;
     ActivityProvider provider(variant, calibrator.simulator(),
                               &calibrator.nsight());
 
+    auto &reg = obs::metrics();
     std::vector<ValidationRow> rows;
     for (const auto &k : validationSuite()) {
         if (!inVariantSuite(k, variant))
             continue;
+        AW_PROF_SCOPE("validate/kernel");
         ValidationRow row;
         row.name = k.kernel.name;
         row.measuredW =
@@ -271,6 +279,18 @@ runValidation(AccelWattchCalibrator &calibrator, Variant variant,
         KernelActivity act = provider.collect(k.kernel);
         row.breakdown = model.evaluateKernel(act);
         row.modeledW = row.breakdown.totalW();
+
+        reg.counter("validation.kernels").add(1);
+        if (row.measuredW > 0)
+            reg.histogram("validation.abs_err_pct")
+                .record(100.0 *
+                        std::abs(row.modeledW - row.measuredW) /
+                        row.measuredW);
+        obs::Telemetry::instance().recordKernel(
+            {row.name, "validate", act.totalCycles, act.elapsedSec,
+             row.modeledW, row.measuredW});
+        AW_DEBUGF("validate", "%s: modeled %.1f W vs measured %.1f W",
+                  row.name.c_str(), row.modeledW, row.measuredW);
         rows.push_back(std::move(row));
     }
     return rows;

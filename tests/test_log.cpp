@@ -6,7 +6,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/log.hpp"
@@ -70,6 +72,80 @@ TEST(Log, ObserverDetaches)
     size_t count = g_seen.size();
     inform("not captured");
     EXPECT_EQ(g_seen.size(), count);
+}
+
+TEST(Log, LevelNamesRoundTrip)
+{
+    for (LogLevel l : {LogLevel::Debug, LogLevel::Inform, LogLevel::Warn,
+                       LogLevel::Fatal})
+        EXPECT_EQ(parseLogLevel(logLevelName(l)), l);
+    EXPECT_EQ(parseLogLevel("INFO"), LogLevel::Inform);
+    EXPECT_EQ(parseLogLevel("warning"), LogLevel::Warn);
+}
+
+TEST(Log, MinimumLevelFiltersMessages)
+{
+    ObserverGuard guard;
+    setLogLevel(LogLevel::Warn);
+    inform("below the floor");
+    warn("at the floor");
+    setLogLevel(LogLevel::Inform);
+    ASSERT_EQ(g_seen.size(), 1u);
+    EXPECT_EQ(g_seen[0].first, LogLevel::Warn);
+    EXPECT_EQ(g_seen[0].second, "at the floor");
+}
+
+TEST(Log, DebugSuppressedByDefault)
+{
+    ObserverGuard guard;
+    debug("sim", "invisible %d", 1);
+    EXPECT_TRUE(g_seen.empty());
+    EXPECT_FALSE(debugTagEnabled("sim"));
+}
+
+TEST(Log, DebugTagsEnableSubsystems)
+{
+    ObserverGuard guard;
+    setDebugTags("sim, tuner");
+    EXPECT_TRUE(debugTagEnabled("sim"));
+    EXPECT_TRUE(debugTagEnabled("tuner"));
+    EXPECT_FALSE(debugTagEnabled("hw"));
+    debug("sim", "wave %d", 3);
+    debug("hw", "dropped");
+    setDebugTags("");
+    ASSERT_EQ(g_seen.size(), 1u);
+    EXPECT_EQ(g_seen[0].first, LogLevel::Debug);
+    EXPECT_EQ(g_seen[0].second, "[sim] wave 3");
+}
+
+TEST(Log, DebugAllTagAndDebugLevelEnableEverything)
+{
+    setDebugTags("all");
+    EXPECT_TRUE(debugTagEnabled("anything"));
+    setDebugTags("");
+    EXPECT_FALSE(debugTagEnabled("anything"));
+    setLogLevel(LogLevel::Debug);
+    EXPECT_TRUE(debugTagEnabled("anything"));
+    setLogLevel(LogLevel::Inform);
+}
+
+TEST(Log, ObserverSwapIsSafeWhileLogging)
+{
+    // The observer is an atomic pointer: flipping it while other threads
+    // log must neither crash nor deadlock (this is the data race the
+    // plain global had).
+    std::atomic<bool> done{false};
+    std::thread logger([&] {
+        for (int i = 0; i < 2000; ++i)
+            inform("concurrent message %d", i);
+        done.store(true);
+    });
+    while (!done.load()) {
+        setLogObserver(&observer);
+        setLogObserver(nullptr);
+    }
+    logger.join();
+    setLogObserver(nullptr);
 }
 
 TEST(LogDeath, FatalExitsWithOne)

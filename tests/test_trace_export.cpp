@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests of the profiling-zone collector and the run-telemetry sink:
+ * zone nesting, per-thread buffers, Chrome trace-event export, and the
+ * telemetry JSON/CSV documents (all round-tripped through the strict
+ * JSON parser).
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+using namespace aw;
+using namespace aw::obs;
+
+namespace {
+
+class ProfilerTest : public testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        Profiler::instance().clear();
+        Profiler::instance().setEnabled(true);
+    }
+    void TearDown() override
+    {
+        Profiler::instance().setEnabled(false);
+        Profiler::instance().clear();
+    }
+};
+
+TEST_F(ProfilerTest, DisabledProfilerRecordsNothing)
+{
+    Profiler::instance().setEnabled(false);
+    {
+        AW_PROF_SCOPE("off/zone");
+    }
+    EXPECT_TRUE(Profiler::instance().events().empty());
+}
+
+TEST_F(ProfilerTest, ZonesNestWithDepthAndContainment)
+{
+    {
+        AW_PROF_SCOPE("outer");
+        {
+            AW_PROF_SCOPE("inner");
+        }
+        {
+            AW_PROF_SCOPE("inner");
+        }
+    }
+    auto events = Profiler::instance().events();
+    ASSERT_EQ(events.size(), 3u);
+
+    // events() is start-time ordered: outer first, then the two inners.
+    EXPECT_EQ(events[0].name, "outer");
+    EXPECT_EQ(events[0].depth, 0u);
+    EXPECT_EQ(events[1].name, "inner");
+    EXPECT_EQ(events[1].depth, 1u);
+    EXPECT_EQ(events[2].name, "inner");
+    EXPECT_EQ(events[2].depth, 1u);
+
+    // Children start after the parent and finish within it.
+    for (int i : {1, 2}) {
+        EXPECT_GE(events[i].tsUs, events[0].tsUs);
+        EXPECT_LE(events[i].tsUs + events[i].durUs,
+                  events[0].tsUs + events[0].durUs + 1e-3);
+    }
+}
+
+TEST_F(ProfilerTest, ThreadsGetDistinctTids)
+{
+    {
+        AW_PROF_SCOPE("main/zone");
+    }
+    std::thread worker([] { AW_PROF_SCOPE("worker/zone"); });
+    worker.join();
+
+    auto events = Profiler::instance().events();
+    ASSERT_EQ(events.size(), 2u);
+    std::set<uint32_t> tids;
+    for (const auto &e : events)
+        tids.insert(e.tid);
+    EXPECT_EQ(tids.size(), 2u);
+}
+
+TEST_F(ProfilerTest, ZoneStatsAggregateByName)
+{
+    for (int i = 0; i < 3; ++i) {
+        AW_PROF_SCOPE("repeat");
+    }
+    {
+        AW_PROF_SCOPE("once");
+    }
+    auto stats = Profiler::instance().zoneStats();
+    ASSERT_EQ(stats.size(), 2u); // name order: "once", "repeat"
+    EXPECT_EQ(stats[0].name, "once");
+    EXPECT_EQ(stats[0].count, 1u);
+    EXPECT_EQ(stats[1].name, "repeat");
+    EXPECT_EQ(stats[1].count, 3u);
+    EXPECT_GE(stats[1].totalUs, 0.0);
+}
+
+TEST_F(ProfilerTest, UnbalancedEndIsHarmless)
+{
+    Profiler::instance().end(); // nothing open: must not crash
+    {
+        AW_PROF_SCOPE("ok");
+    }
+    EXPECT_EQ(Profiler::instance().events().size(), 1u);
+}
+
+TEST_F(ProfilerTest, ChromeTraceJsonIsWellFormed)
+{
+    {
+        AW_PROF_SCOPE("sim/kernel");
+        {
+            AW_PROF_SCOPE("sim/wave");
+        }
+    }
+    JsonValue doc = parseJson(Profiler::instance().chromeTraceJson());
+    ASSERT_TRUE(doc.isObject());
+    const JsonValue &events = doc.at("traceEvents");
+    ASSERT_TRUE(events.isArray());
+    ASSERT_EQ(events.array.size(), 2u);
+    for (const JsonValue &e : events.array) {
+        EXPECT_EQ(e.at("ph").asString(), "X"); // complete events
+        EXPECT_EQ(e.at("cat").asString(), "aw");
+        EXPECT_GE(e.at("ts").asNumber(), 0.0);
+        EXPECT_GE(e.at("dur").asNumber(), 0.0);
+        EXPECT_GE(e.at("tid").asNumber(), 1.0);
+        EXPECT_EQ(e.at("pid").asNumber(), 1.0);
+    }
+    EXPECT_EQ(events.array[0].at("name").asString(), "sim/kernel");
+    EXPECT_EQ(events.array[1].at("name").asString(), "sim/wave");
+    EXPECT_DOUBLE_EQ(
+        events.array[1].at("args").at("depth").asNumber(), 1.0);
+}
+
+TEST_F(ProfilerTest, ClearDropsEventsButKeepsEnabledState)
+{
+    {
+        AW_PROF_SCOPE("gone");
+    }
+    Profiler::instance().clear();
+    EXPECT_TRUE(Profiler::instance().events().empty());
+    EXPECT_TRUE(Profiler::instance().enabled());
+    {
+        AW_PROF_SCOPE("fresh");
+    }
+    EXPECT_EQ(Profiler::instance().events().size(), 1u);
+}
+
+TEST(TelemetryTest, JsonDocumentHasAllSections)
+{
+    Telemetry::instance().clear();
+    Profiler::instance().clear();
+    metrics().counter("telemetry_test.events").add(4);
+    Telemetry::instance().recordKernel(
+        {"k1", "validate", 1000.0, 1e-6, 150.0, 140.0});
+    Telemetry::instance().recordKernel(
+        {"k2", "simulate", 2000.0, 2e-6, 80.0, 0.0});
+
+    JsonValue doc = parseJson(Telemetry::instance().toJson());
+    EXPECT_EQ(doc.at("schema").asString(), "aw.telemetry.v1");
+    EXPECT_DOUBLE_EQ(
+        doc.at("metrics").at("telemetry_test.events").at("value")
+            .asNumber(),
+        4.0);
+    EXPECT_TRUE(doc.at("zones").isArray());
+
+    const JsonValue &kernels = doc.at("kernels");
+    ASSERT_EQ(kernels.array.size(), 2u);
+    EXPECT_EQ(kernels.array[0].at("name").asString(), "k1");
+    EXPECT_EQ(kernels.array[0].at("phase").asString(), "validate");
+    EXPECT_DOUBLE_EQ(kernels.array[0].at("cycles").asNumber(), 1000.0);
+    EXPECT_DOUBLE_EQ(kernels.array[0].at("modeled_w").asNumber(), 150.0);
+    EXPECT_DOUBLE_EQ(kernels.array[1].at("measured_w").asNumber(), 0.0);
+
+    Telemetry::instance().clear();
+    EXPECT_TRUE(Telemetry::instance().kernels().empty());
+}
+
+TEST(TelemetryTest, CsvHasMetricsAndKernelSections)
+{
+    Telemetry::instance().clear();
+    metrics().counter("telemetry_test.csv").add(1);
+    Telemetry::instance().recordKernel(
+        {"csv_kernel", "tune", 10.0, 1e-5, 55.0, 54.0});
+    std::string csv = Telemetry::instance().toCsv();
+    EXPECT_NE(csv.find("name,kind,count,value"), std::string::npos);
+    EXPECT_NE(csv.find("kernel,phase,cycles,elapsed_sec"),
+              std::string::npos);
+    EXPECT_NE(csv.find("csv_kernel,tune,"), std::string::npos);
+    Telemetry::instance().clear();
+}
+
+} // namespace
