@@ -10,6 +10,8 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "common/parallel.hpp"
+#include "core/result_cache.hpp"
 
 using namespace aw;
 
@@ -25,24 +27,42 @@ main()
 
     Table t({"kernel", "measured (W)", "GTO modeled (W)", "RR modeled (W)",
              "GTO cycles", "RR cycles"});
+    // Each kernel needs one measurement and two simulations; all of it
+    // is independent, so fan the whole suite out over the task pool.
+    struct SchedulerPoint
+    {
+        double measured = 0;
+        double wG = 0, wR = 0;
+        double cyclesG = 0, cyclesR = 0;
+    };
+    const auto &suite = validationSuite();
+    std::vector<SchedulerPoint> points =
+        parallelMap<SchedulerPoint>(suite.size(), [&](size_t i) {
+            const auto &k = suite[i];
+            SchedulerPoint p;
+            p.measured = measurePowerCached(cal.oracle(), k.kernel);
+            SimOptions gto, rr;
+            rr.scheduler = SchedulerPolicy::RoundRobin;
+            auto actG = runSassCached(cal.simulator(), k.kernel, gto);
+            auto actR = runSassCached(cal.simulator(), k.kernel, rr);
+            p.wG = model.averagePowerW(actG);
+            p.wR = model.averagePowerW(actR);
+            p.cyclesG = actG.totalCycles;
+            p.cyclesR = actR.totalCycles;
+            return p;
+        });
+
     std::vector<double> meas, gtoW, rrW;
     double cycleRatioSum = 0;
-    for (const auto &k : validationSuite()) {
-        double measured = cal.nvml().measureAveragePowerW(k.kernel);
-        SimOptions gto, rr;
-        rr.scheduler = SchedulerPolicy::RoundRobin;
-        auto actG = cal.simulator().runSass(k.kernel, gto);
-        auto actR = cal.simulator().runSass(k.kernel, rr);
-        double wG = model.averagePowerW(actG);
-        double wR = model.averagePowerW(actR);
-        meas.push_back(measured);
-        gtoW.push_back(wG);
-        rrW.push_back(wR);
-        cycleRatioSum += actR.totalCycles / actG.totalCycles;
-        t.addRow({k.kernel.name, Table::num(measured, 1),
-                  Table::num(wG, 1), Table::num(wR, 1),
-                  Table::num(actG.totalCycles, 0),
-                  Table::num(actR.totalCycles, 0)});
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const auto &p = points[i];
+        meas.push_back(p.measured);
+        gtoW.push_back(p.wG);
+        rrW.push_back(p.wR);
+        cycleRatioSum += p.cyclesR / p.cyclesG;
+        t.addRow({suite[i].kernel.name, Table::num(p.measured, 1),
+                  Table::num(p.wG, 1), Table::num(p.wR, 1),
+                  Table::num(p.cyclesG, 0), Table::num(p.cyclesR, 0)});
     }
     std::printf("%s\n", t.render().c_str());
     bench::writeResultsCsv("ablation_scheduler", t);

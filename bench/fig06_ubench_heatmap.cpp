@@ -9,7 +9,9 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "common/parallel.hpp"
 #include "core/calibration.hpp"
+#include "core/result_cache.hpp"
 #include "ubench/microbench.hpp"
 
 using namespace aw;
@@ -74,16 +76,24 @@ main()
     ActivityProvider provider(Variant::SassSim, cal.simulator(),
                               &cal.nsight());
 
-    // Average the per-component dynamic fractions within each category.
+    // Evaluate every microbenchmark concurrently, then average the
+    // per-component dynamic fractions within each category in suite
+    // order (fixed summation order keeps the output deterministic).
+    const auto &suite = cal.tuningSuite();
+    std::vector<PowerBreakdown> breakdowns =
+        parallelMap<PowerBreakdown>(suite.size(), [&](size_t i) {
+            return model.evaluateKernel(
+                collectActivityCached(provider, suite[i].kernel));
+        });
     std::array<std::array<double, NumCols>, kNumUbenchCategories> sums{};
     std::array<int, kNumUbenchCategories> counts{};
-    for (const auto &ub : cal.tuningSuite()) {
-        PowerBreakdown b = model.evaluateKernel(provider.collect(ub.kernel));
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const PowerBreakdown &b = breakdowns[i];
         double dyn = b.dynamicTotalW();
         if (dyn <= 0)
             continue;
         auto g = groupDynamic(b);
-        auto c = static_cast<size_t>(ub.category);
+        auto c = static_cast<size_t>(suite[i].category);
         for (size_t j = 0; j < NumCols; ++j)
             sums[c][j] += g[j] / dyn;
         ++counts[c];

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Performance of the calibration pipeline itself: end-to-end wall time
+ * of a full Volta SASS SIM calibration (constant power, static power,
+ * microbenchmark measurement, activity collection, QP tuning from both
+ * starting points) in four configurations — serial vs parallel task
+ * pool, cold vs warm result cache. The tuned energy vector must be
+ * bit-identical in all four, which is the pipeline's core determinism
+ * guarantee; the run fails loudly if it is not.
+ *
+ * Emits results/BENCH_pipeline.json so the perf trajectory of the
+ * pipeline is tracked across commits alongside the figure CSVs.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/parallel.hpp"
+#include "core/calibration.hpp"
+#include "core/result_cache.hpp"
+#include "obs/json.hpp"
+
+using namespace aw;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct RunResult
+{
+    std::string label;
+    int threads = 1;
+    double wallSec = 0;
+    std::vector<double> energyNj;
+};
+
+RunResult
+runCalibration(const std::string &label, int threads, bool coldCache,
+               const std::string &cacheDir)
+{
+    if (coldCache)
+        fs::remove_all(cacheDir);
+    setParallelThreadCount(threads);
+
+    RunResult r;
+    r.label = label;
+    r.threads = parallelThreadCount();
+    // A fresh calibrator per run: nothing carries over in memory, so
+    // the only state shared between runs is the on-disk cache.
+    AccelWattchCalibrator cal(sharedVoltaCard());
+    auto t0 = std::chrono::steady_clock::now();
+    const CalibratedVariant &v = cal.variant(Variant::SassSim);
+    auto t1 = std::chrono::steady_clock::now();
+    r.wallSec = std::chrono::duration<double>(t1 - t0).count();
+    r.energyNj.assign(v.tuningFermi.finalEnergyNj.begin(),
+                      v.tuningFermi.finalEnergyNj.end());
+    return r;
+}
+
+bool
+bitIdentical(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (a[i] != b[i])
+            return false;
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Pipeline performance - parallel engine & result cache",
+                  "full Volta SASS SIM calibration wall time: serial vs "
+                  "parallel task pool, cold vs warm cache");
+
+    // Private cache directory so this bench's timings are not polluted
+    // by (and do not pollute) entries from tests or other benches.
+    const std::string cacheDir = "results/perf_pipeline_cache";
+    ResultCache::instance().configure(cacheDir);
+    ResultCache::instance().setEnabled(true);
+
+    // 0 = the AW_THREADS / hardware-concurrency default.
+    std::vector<RunResult> runs;
+    runs.push_back(runCalibration("serial cold", 1, true, cacheDir));
+    runs.push_back(runCalibration("serial warm", 1, false, cacheDir));
+    runs.push_back(runCalibration("parallel cold", 0, true, cacheDir));
+    runs.push_back(runCalibration("parallel warm", 0, false, cacheDir));
+    setParallelThreadCount(0);
+
+    Table t({"configuration", "threads", "wall (s)", "vs serial cold"});
+    for (const auto &r : runs)
+        t.addRow({r.label, Table::num(r.threads, 0),
+                  Table::num(r.wallSec, 3),
+                  Table::num(r.wallSec / runs[0].wallSec, 3)});
+    std::printf("%s\n", t.render().c_str());
+
+    bool identical = true;
+    for (size_t i = 1; i < runs.size(); ++i)
+        identical = identical &&
+                    bitIdentical(runs[0].energyNj, runs[i].energyNj);
+    std::printf("tuned energy vectors bit-identical across all four "
+                "configurations: %s\n",
+                identical ? "yes" : "NO - DETERMINISM BROKEN");
+
+    double speedup = runs[0].wallSec / runs[2].wallSec;
+    double warmRatio = runs[3].wallSec / runs[0].wallSec;
+    std::printf("parallel cold speedup over serial cold: %.2fx "
+                "(%d threads)\n",
+                speedup, runs[2].threads);
+    std::printf("parallel warm / serial cold: %.1f%%\n", 100 * warmRatio);
+
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"pipeline\",\n";
+    for (const auto &r : runs) {
+        std::string key = r.label;
+        for (auto &c : key)
+            if (c == ' ')
+                c = '_';
+        json << "  \"" << key
+             << "_sec\": " << obs::jsonNumber(r.wallSec) << ",\n";
+    }
+    json << "  \"parallel_threads\": " << runs[2].threads << ",\n"
+         << "  \"parallel_cold_speedup\": " << obs::jsonNumber(speedup)
+         << ",\n"
+         << "  \"warm_over_serial_cold\": " << obs::jsonNumber(warmRatio)
+         << ",\n"
+         << "  \"energies_bit_identical\": "
+         << (identical ? "true" : "false") << ",\n"
+         << "  \"tuned_components\": " << runs[0].energyNj.size() << "\n"
+         << "}\n";
+    fs::create_directories("results");
+    writeFile("results/BENCH_pipeline.json", json.str());
+    std::printf("[json] results/BENCH_pipeline.json\n");
+
+    fs::remove_all(cacheDir);
+    return identical ? 0 : 1;
+}

@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
 # Sanitizer sweep: configure (and by default build + test) the tree
-# with AddressSanitizer + UndefinedBehaviorSanitizer (-DAW_SANITIZE=ON).
+# under the requested sanitizer. With no --sanitizer flag the full
+# sweep runs BOTH modes: the classic ASan+UBSan pass over the whole
+# suite, then a TSan pass that exercises the parallel engine and the
+# result cache with AW_THREADS=4.
 #
 # Usage:
 #   scripts/check.sh [--configure-only] [--build-dir DIR]
+#                    [--sanitizer address|thread]
 #
-#   --configure-only   stop after the CMake configure step (this is what
-#                      the `lint` CTest label runs, so plain `ctest`
-#                      stays fast)
-#   --build-dir DIR    sanitizer build tree [build-asan]
+#   --configure-only        stop after the CMake configure step (this is
+#                           what the `lint` CTest label runs, so plain
+#                           `ctest` stays fast)
+#   --build-dir DIR         sanitizer build tree [build-asan / build-tsan]
+#   --sanitizer MODE        run only one mode: address (ASan+UBSan) or
+#                           thread (TSan) [both]
 #
 # The test step excludes the lint label itself (-LE lint) so the check
 # does not recurse into another configure of the same tree.
@@ -16,8 +22,9 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-build_dir=build-asan
+build_dir=
 configure_only=0
+sanitizer=both
 
 while [[ $# -gt 0 ]]; do
     case "$1" in
@@ -30,8 +37,17 @@ while [[ $# -gt 0 ]]; do
         build_dir=$2
         shift 2
         ;;
+      --sanitizer)
+        [[ $# -ge 2 ]] || { echo "error: --sanitizer needs a value" >&2; exit 2; }
+        sanitizer=$2
+        case "${sanitizer}" in
+          address|thread) ;;
+          *) echo "error: --sanitizer must be 'address' or 'thread'" >&2; exit 2 ;;
+        esac
+        shift 2
+        ;;
       -h|--help)
-        sed -n '2,15p' "$0"
+        sed -n '2,20p' "$0"
         exit 0
         ;;
       *)
@@ -41,18 +57,50 @@ while [[ $# -gt 0 ]]; do
     esac
 done
 
-echo "== configure (AW_SANITIZE=ON) -> ${build_dir}"
-cmake -B "${build_dir}" -S . -DAW_SANITIZE=ON >/dev/null
+# One sweep: configure, and unless --configure-only, build + test.
+#   $1 = sanitizer mode (address | thread)
+#   $2 = build dir
+#   $3 = extra ctest args (optional, e.g. a -R filter)
+sweep() {
+    local mode=$1 dir=$2 filter=${3:-}
+    local cmake_value=ON
+    [[ ${mode} == thread ]] && cmake_value=thread
 
-if [[ ${configure_only} -eq 1 ]]; then
-    echo "== configure OK (sanitizer flags accepted)"
-    exit 0
-fi
+    echo "== configure (AW_SANITIZE=${cmake_value}) -> ${dir}"
+    cmake -B "${dir}" -S . -DAW_SANITIZE="${cmake_value}" >/dev/null
 
-echo "== build"
-cmake --build "${build_dir}" -j
+    if [[ ${configure_only} -eq 1 ]]; then
+        echo "== configure OK (${mode} sanitizer flags accepted)"
+        return 0
+    fi
 
-echo "== test (ASan+UBSan, excluding the lint label)"
-ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" -LE lint
+    echo "== build (${mode})"
+    cmake --build "${dir}" -j
+
+    echo "== test (${mode}, excluding the lint label)"
+    # AW_THREADS=4 forces the task pool to spin up real workers even on
+    # small machines, so TSan actually sees the concurrent paths.
+    # shellcheck disable=SC2086
+    AW_THREADS=4 ctest --test-dir "${dir}" --output-on-failure \
+        -j "$(nproc)" -LE lint ${filter}
+}
+
+case "${sanitizer}" in
+  address)
+    sweep address "${build_dir:-build-asan}"
+    ;;
+  thread)
+    sweep thread "${build_dir:-build-tsan}"
+    ;;
+  both)
+    sweep address "${build_dir:-build-asan}"
+    # The TSan pass targets the suites that drive the parallel engine
+    # and the cache; the rest of the tree is serial and already covered
+    # by the address pass.
+    tsan_dir=${build_dir:+${build_dir}-tsan}
+    sweep thread "${tsan_dir:-build-tsan}" \
+        "-R test_parallel|test_result_cache|test_calibration|test_integration"
+    ;;
+esac
 
 echo "== sanitizer sweep passed"

@@ -1,0 +1,232 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hpp"
+
+namespace aw {
+
+namespace {
+
+thread_local bool tlInWorker = false;
+
+std::atomic<int> gThreadOverride{0};
+
+int
+threadsFromEnvironment()
+{
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    if (hw < 1)
+        hw = 1;
+    const char *env = std::getenv("AW_THREADS");
+    if (!env || !*env)
+        return hw;
+    char *end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v < 1 || v > 1024) {
+        warn("AW_THREADS='%s' is not a thread count in [1, 1024]; "
+             "using hardware concurrency (%d)",
+             env, hw);
+        return hw;
+    }
+    return static_cast<int>(v);
+}
+
+/** One parallelFor invocation: a shared index counter plus completion
+ *  and error state. Participants (the caller + pool workers) grab
+ *  indices until the range is exhausted. */
+struct Job
+{
+    const std::function<void(size_t)> *body = nullptr;
+    size_t n = 0;
+    size_t maxParticipants = 0;
+
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::atomic<size_t> participants{0};
+    std::atomic<bool> cancelled{false};
+
+    std::mutex mu;
+    std::condition_variable doneCv;
+    std::exception_ptr error;
+    size_t errorIndex = ~size_t{0};
+
+    bool exhausted() const
+    {
+        return next.load(std::memory_order_relaxed) >= n;
+    }
+
+    void
+    recordError(size_t index, std::exception_ptr e)
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        if (index < errorIndex) {
+            errorIndex = index;
+            error = std::move(e);
+        }
+        cancelled.store(true, std::memory_order_relaxed);
+    }
+
+    /** Grab-and-run until the index range is exhausted. Cancelled
+     *  indices are skipped but still counted so done reaches n. */
+    void
+    runSome()
+    {
+        while (true) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            if (!cancelled.load(std::memory_order_relaxed)) {
+                try {
+                    (*body)(i);
+                } catch (...) {
+                    recordError(i, std::current_exception());
+                }
+            }
+            if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+                { std::lock_guard<std::mutex> lk(mu); }
+                doneCv.notify_all();
+            }
+        }
+    }
+};
+
+/** Lazily created, process-lifetime worker pool. Leaked on purpose so
+ *  exit never races a pool destructor; the object stays reachable
+ *  through the static pointer, which keeps LeakSanitizer quiet. */
+class Pool
+{
+  public:
+    static Pool &
+    instance()
+    {
+        static Pool *pool = new Pool;
+        return *pool;
+    }
+
+    void
+    submit(const std::shared_ptr<Job> &job)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        size_t helpers = job->maxParticipants - 1;
+        while (workers_.size() < helpers && workers_.size() < kMaxWorkers)
+            workers_.emplace_back([this] { workerLoop(); });
+        queue_.push_back(job);
+        ++generation_;
+        workCv_.notify_all();
+    }
+
+  private:
+    static constexpr size_t kMaxWorkers = 256;
+
+    /** First queued job that still has indices and a free participant
+     *  slot; exhausted jobs are dropped from the queue on the way. */
+    std::shared_ptr<Job>
+    findEligibleLocked()
+    {
+        for (auto it = queue_.begin(); it != queue_.end();) {
+            if ((*it)->exhausted()) {
+                it = queue_.erase(it);
+                continue;
+            }
+            if ((*it)->participants.load(std::memory_order_relaxed) <
+                (*it)->maxParticipants)
+                return *it;
+            ++it;
+        }
+        return nullptr;
+    }
+
+    void
+    workerLoop()
+    {
+        tlInWorker = true;
+        uint64_t seen = 0;
+        std::unique_lock<std::mutex> lk(mu_);
+        while (true) {
+            std::shared_ptr<Job> job = findEligibleLocked();
+            if (!job) {
+                seen = generation_;
+                workCv_.wait(lk, [&] { return generation_ != seen; });
+                continue;
+            }
+            job->participants.fetch_add(1, std::memory_order_relaxed);
+            lk.unlock();
+            job->runSome();
+            lk.lock();
+        }
+    }
+
+    std::mutex mu_;
+    std::condition_variable workCv_;
+    std::deque<std::shared_ptr<Job>> queue_;
+    std::vector<std::thread> workers_;
+    uint64_t generation_ = 0;
+};
+
+} // namespace
+
+int
+parallelThreadCount()
+{
+    int v = gThreadOverride.load(std::memory_order_relaxed);
+    if (v > 0)
+        return v;
+    static const int fromEnv = threadsFromEnvironment();
+    return fromEnv;
+}
+
+void
+setParallelThreadCount(int n)
+{
+    if (n < 0)
+        fatal("setParallelThreadCount: %d is not a valid count", n);
+    gThreadOverride.store(n, std::memory_order_relaxed);
+}
+
+bool
+inParallelWorker()
+{
+    return tlInWorker;
+}
+
+void
+parallelFor(size_t n, const std::function<void(size_t)> &body)
+{
+    if (n == 0)
+        return;
+    size_t threads = static_cast<size_t>(parallelThreadCount());
+    if (threads <= 1 || n == 1 || tlInWorker) {
+        // Exact serial fallback: index order, caller's thread. Also the
+        // nested-call path, so pool workers can never deadlock waiting
+        // on their own pool.
+        for (size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->body = &body;
+    job->n = n;
+    job->maxParticipants = std::min(threads, n);
+    // The caller takes one participant slot and works alongside the
+    // pool, so a saturated pool degrades to serial instead of stalling.
+    job->participants.store(1, std::memory_order_relaxed);
+    Pool::instance().submit(job);
+    job->runSome();
+
+    std::unique_lock<std::mutex> lk(job->mu);
+    job->doneCv.wait(lk, [&] {
+        return job->done.load(std::memory_order_acquire) == job->n;
+    });
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+} // namespace aw

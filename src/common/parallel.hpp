@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic task-pool parallelism for the calibration/validation
+ * pipeline.
+ *
+ * The pool is lazily initialized on first use and sized by the
+ * AW_THREADS environment variable (default: hardware concurrency;
+ * `AW_THREADS=1` is an exact serial fallback that runs every task
+ * inline, in index order, on the calling thread). parallelFor /
+ * parallelMap preserve input ordering — task i writes only slot i —
+ * so results are bit-identical across any thread count, provided each
+ * task is deterministic in its index (per-task RNG seeds, no shared
+ * mutable sessions).
+ *
+ * Error model: the first exception (lowest task index among those
+ * thrown) is captured, remaining unstarted tasks are cancelled, and the
+ * exception is rethrown on the calling thread once all in-flight tasks
+ * have drained. Note that fatal()/panic() terminate the process from
+ * whatever thread they run on, exactly as in serial code.
+ *
+ * Nesting: a parallelFor issued from inside a pool task runs serially
+ * inline (the pool never deadlocks on itself); a parallelFor issued
+ * from the main thread while another is in flight shares the worker
+ * pool. The calling thread always participates in the work, so the
+ * pool adds at most threads-1 helpers.
+ */
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace aw {
+
+/**
+ * Worker threads a parallelFor would use right now: the
+ * setParallelThreadCount override if set, else AW_THREADS, else
+ * hardware concurrency (never less than 1).
+ */
+int parallelThreadCount();
+
+/**
+ * Override the thread count for subsequent parallelFor calls (0
+ * reverts to the AW_THREADS / hardware default). For benches and tests
+ * that compare serial against parallel runs in one process.
+ */
+void setParallelThreadCount(int n);
+
+/** True when the calling thread is a pool worker running a task. */
+bool inParallelWorker();
+
+/** Run body(0) .. body(n-1), potentially concurrently. Returns after
+ *  every task finished; rethrows the first (lowest-index) exception. */
+void parallelFor(size_t n, const std::function<void(size_t)> &body);
+
+/** parallelFor that collects return values in input order. */
+template <typename T, typename Fn>
+std::vector<T>
+parallelMap(size_t n, Fn &&body)
+{
+    std::vector<T> out(n);
+    parallelFor(n, [&](size_t i) { out[i] = body(i); });
+    return out;
+}
+
+} // namespace aw

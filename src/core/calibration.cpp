@@ -1,6 +1,8 @@
 #include "core/calibration.hpp"
 
 #include "common/log.hpp"
+#include "common/parallel.hpp"
+#include "core/result_cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "ubench/microbench.hpp"
@@ -60,8 +62,10 @@ AccelWattchCalibrator::tuningPowerW()
 {
     if (suitePowerW_.empty()) {
         AW_PROF_SCOPE("calibrate/tuning_power");
-        for (const auto &ub : tuningSuite())
-            suitePowerW_.push_back(nvml_.measureAveragePowerW(ub.kernel));
+        const auto &suite = tuningSuite();
+        suitePowerW_ = parallelMap<double>(suite.size(), [&](size_t i) {
+            return measurePowerCached(oracle_, suite[i].kernel);
+        });
     }
     return suitePowerW_;
 }
@@ -76,13 +80,17 @@ AccelWattchCalibrator::variant(Variant v)
     AW_PROF_SCOPE("calibrate/variant");
     obs::metrics().counter("calibration.variants_tuned").add(1);
     ActivityProvider provider(v, modelSim_, &nsight_);
-    std::vector<KernelActivity> activities;
-    activities.reserve(tuningSuite().size());
-    for (const auto &ub : tuningSuite())
-        activities.push_back(provider.collect(ub.kernel));
+    const auto &suite = tuningSuite();
+    std::vector<KernelActivity> activities =
+        parallelMap<KernelActivity>(suite.size(), [&](size_t i) {
+            return collectActivityCached(provider, suite[i].kernel);
+        });
 
     AccelWattchModel partial = partialModel();
     auto initial = initialEnergyEstimates();
+    // Both starting points tune against the same activities: aggregate
+    // each microbenchmark's samples once, not once per starting point.
+    auto aggregates = aggregateActivities(activities);
 
     TuningOptions fermiOpts;
     fermiOpts.start = StartingPoint::Fermi;
@@ -93,10 +101,10 @@ AccelWattchCalibrator::variant(Variant v)
     cal.variant = v;
     cal.tuningFermi = tuneDynamicPower(tuningSuite(), tuningPowerW(),
                                        activities, partial, initial,
-                                       fermiOpts);
+                                       fermiOpts, &aggregates);
     cal.tuningOnes = tuneDynamicPower(tuningSuite(), tuningPowerW(),
                                       activities, partial, initial,
-                                      onesOpts);
+                                      onesOpts, &aggregates);
 
     cal.model = partial;
     cal.model.energyNj = cal.tuningFermi.finalEnergyNj;

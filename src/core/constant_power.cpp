@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
+#include "core/result_cache.hpp"
 
 namespace aw {
 
@@ -26,15 +28,20 @@ estimateConstantPower(NvmlEmu &nvml,
     ConstantPowerResult result;
     std::vector<double> intercepts;
     std::vector<double> linearIntercepts;
-    for (const auto &kernel : workloads) {
+    // Every (workload, frequency) point is an independent measurement:
+    // flatten the grid so the task pool sees them all at once.
+    const size_t nf = freqsGhz.size();
+    std::vector<double> grid = parallelMap<double>(
+        workloads.size() * nf, [&](size_t i) {
+            return measurePowerCached(nvml.oracle(), workloads[i / nf],
+                                      freqsGhz[i % nf]);
+        });
+    for (size_t w = 0; w < workloads.size(); ++w) {
         DvfsWorkloadFit fit;
-        fit.name = kernel.name;
-        for (double f : freqsGhz) {
-            nvml.lockClocks(f);
-            fit.freqsGhz.push_back(f);
-            fit.powersW.push_back(nvml.measureAveragePowerW(kernel));
-        }
-        nvml.resetClocks();
+        fit.name = workloads[w].name;
+        fit.freqsGhz = freqsGhz;
+        fit.powersW.assign(grid.begin() + static_cast<long>(w * nf),
+                           grid.begin() + static_cast<long>((w + 1) * nf));
         fit.cubicFit = fitCubicNoQuad(fit.freqsGhz, fit.powersW);
         fit.linearFit = fitLinear(fit.freqsGhz, fit.powersW);
         intercepts.push_back(fit.cubicFit.constant);

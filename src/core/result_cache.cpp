@@ -1,0 +1,495 @@
+#include "core/result_cache.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "hw/nsight.hpp"
+#include "hw/nvml.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace fs = std::filesystem;
+
+namespace aw {
+
+namespace {
+
+/** Round-trippable double spelling, shared with the stored values so a
+ *  key is stable across platforms that print doubles differently. */
+std::string
+num(double v)
+{
+    return obs::jsonNumber(v);
+}
+
+std::string
+hex16(uint64_t v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+describeCacheGeometry(const CacheGeometry &c)
+{
+    std::ostringstream os;
+    os << c.sizeKb << '/' << c.lineBytes << '/' << c.ways << '/'
+       << num(c.latencyCycles);
+    return os.str();
+}
+
+// --- KernelActivity <-> JSON -----------------------------------------------
+
+void
+appendSampleJson(std::ostringstream &os, const ActivitySample &s)
+{
+    os << "{\"cycles\":" << num(s.cycles) << ",\"freqGhz\":"
+       << num(s.freqGhz) << ",\"voltage\":" << num(s.voltage)
+       << ",\"accesses\":[";
+    for (size_t i = 0; i < s.accesses.size(); ++i)
+        os << (i ? "," : "") << num(s.accesses[i]);
+    os << "],\"avgActiveSms\":" << num(s.avgActiveSms)
+       << ",\"avgActiveLanesPerWarp\":" << num(s.avgActiveLanesPerWarp)
+       << ",\"unitInsts\":[";
+    for (size_t i = 0; i < s.unitInsts.size(); ++i)
+        os << (i ? "," : "") << num(s.unitInsts[i]);
+    os << "],\"intAddInsts\":" << num(s.intAddInsts)
+       << ",\"intMulInsts\":" << num(s.intMulInsts) << "}";
+}
+
+std::string
+activityToJson(const KernelActivity &a)
+{
+    std::ostringstream os;
+    os << "{\"kernelName\":\"" << obs::jsonEscape(a.kernelName)
+       << "\",\"totalCycles\":" << num(a.totalCycles)
+       << ",\"elapsedSec\":" << num(a.elapsedSec) << ",\"samples\":[";
+    for (size_t i = 0; i < a.samples.size(); ++i) {
+        if (i)
+            os << ",";
+        appendSampleJson(os, a.samples[i]);
+    }
+    os << "]}";
+    return os.str();
+}
+
+bool
+getNumber(const obs::JsonValue &obj, const char *key, double &out)
+{
+    const obs::JsonValue *v = obj.find(key);
+    if (!v || !v->isNumber())
+        return false;
+    out = v->number;
+    return true;
+}
+
+template <typename Array>
+bool
+getFixedArray(const obs::JsonValue &obj, const char *key, Array &out)
+{
+    const obs::JsonValue *v = obj.find(key);
+    if (!v || !v->isArray() || v->array.size() != out.size())
+        return false;
+    for (size_t i = 0; i < out.size(); ++i) {
+        if (!v->array[i].isNumber())
+            return false;
+        out[i] = v->array[i].number;
+    }
+    return true;
+}
+
+bool
+sampleFromJson(const obs::JsonValue &v, ActivitySample &out)
+{
+    if (!v.isObject())
+        return false;
+    return getNumber(v, "cycles", out.cycles) &&
+           getNumber(v, "freqGhz", out.freqGhz) &&
+           getNumber(v, "voltage", out.voltage) &&
+           getFixedArray(v, "accesses", out.accesses) &&
+           getNumber(v, "avgActiveSms", out.avgActiveSms) &&
+           getNumber(v, "avgActiveLanesPerWarp",
+                     out.avgActiveLanesPerWarp) &&
+           getFixedArray(v, "unitInsts", out.unitInsts) &&
+           getNumber(v, "intAddInsts", out.intAddInsts) &&
+           getNumber(v, "intMulInsts", out.intMulInsts);
+}
+
+bool
+activityFromJson(const obs::JsonValue &v, KernelActivity &out)
+{
+    if (!v.isObject())
+        return false;
+    const obs::JsonValue *name = v.find("kernelName");
+    const obs::JsonValue *samples = v.find("samples");
+    if (!name || !name->isString() || !samples || !samples->isArray())
+        return false;
+    out.kernelName = name->str;
+    if (!getNumber(v, "totalCycles", out.totalCycles) ||
+        !getNumber(v, "elapsedSec", out.elapsedSec))
+        return false;
+    out.samples.clear();
+    out.samples.reserve(samples->array.size());
+    for (const auto &s : samples->array) {
+        ActivitySample sample;
+        if (!sampleFromJson(s, sample))
+            return false;
+        out.samples.push_back(sample);
+    }
+    return true;
+}
+
+} // namespace
+
+uint64_t
+fnv1a64(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s)
+        h = (h ^ c) * 0x100000001b3ULL;
+    return h;
+}
+
+std::string
+describeGpuConfig(const GpuConfig &g)
+{
+    std::ostringstream os;
+    os << "gpu{" << g.name << ";sms=" << g.numSms << ";sub="
+       << g.subcoresPerSm << ";lanes=" << g.lanesPerSm << ";maxwps="
+       << g.maxWarpsPerSubcore << ";ws=" << g.warpSize << ";int="
+       << g.int32PerSubcore << ";fp=" << g.fp32PerSubcore << ";dp="
+       << g.fp64PerSubcore << ";sfu=" << g.sfuPerSubcore << ";tc="
+       << g.tensorPerSubcore << ";ldst=" << g.ldstPerSubcore << ";hasTc="
+       << (g.hasTensorCores ? 1 : 0) << ";l0i="
+       << describeCacheGeometry(g.l0i) << ";l1i="
+       << describeCacheGeometry(g.l1i) << ";l1d="
+       << describeCacheGeometry(g.l1d) << ";cl1="
+       << describeCacheGeometry(g.constL1) << ";l2="
+       << describeCacheGeometry(g.l2) << ";shm=" << g.sharedMemKbPerSm
+       << ";rf=" << g.regFileKbPerSubcore << ";l2bw="
+       << num(g.l2BandwidthGBs) << ";drambw=" << num(g.dramBandwidthGBs)
+       << ";dramlat=" << num(g.dramLatencyCycles) << ";noclat="
+       << num(g.nocLatencyCycles) << ";clk=" << num(g.defaultClockGhz)
+       << ";vf=" << num(g.vf.v0) << '+' << num(g.vf.slope) << '*'
+       << num(g.vf.fMinGhz) << ".." << num(g.vf.fMaxGhz) << ";plim="
+       << num(g.powerLimitW) << ";node=" << g.techNodeNm << "}";
+    return os.str();
+}
+
+std::string
+describeKernel(const KernelDescriptor &k)
+{
+    std::ostringstream os;
+    os << "kernel{" << k.name << ";ctas=" << k.ctas << ";wpc="
+       << k.warpsPerCta << ";cps=" << k.ctasPerSm << ";smlim="
+       << k.smLimit << ";mix=[";
+    for (size_t i = 0; i < k.mix.size(); ++i)
+        os << (i ? "," : "") << static_cast<int>(k.mix[i].op) << ':'
+           << num(k.mix[i].weight);
+    os << "];body=" << k.bodyInsts << ";iters=" << k.iterations
+       << ";ilp=" << k.ilpDegree << ";lanes=" << k.activeLanes
+       << ";foot=" << num(k.memFootprintKb) << ";chase="
+       << (k.pointerChase ? 1 : 0) << ";txn="
+       << k.transactionsPerMemAccess << ";seed=" << k.seed << "}";
+    return os.str();
+}
+
+std::string
+describeSimOptions(const SimOptions &o)
+{
+    std::ostringstream os;
+    os << "sim{freq=" << num(o.freqGhz) << ";interval="
+       << o.sampleIntervalCycles << ";max=" << o.maxCycles << ";sched="
+       << static_cast<int>(o.scheduler) << "}";
+    return os.str();
+}
+
+std::string
+describeConditions(const MeasurementConditions &c)
+{
+    std::ostringstream os;
+    os << "cond{freq=" << num(c.freqGhz) << ";temp=" << num(c.tempC)
+       << "}";
+    return os.str();
+}
+
+ResultCache::ResultCache()
+{
+    const char *toggle = std::getenv("AW_CACHE");
+    if (toggle &&
+        (std::string(toggle) == "off" || std::string(toggle) == "0" ||
+         std::string(toggle) == "false"))
+        enabled_ = false;
+    const char *dir = std::getenv("AW_CACHE_DIR");
+    dir_ = dir && *dir ? dir : "results/cache";
+}
+
+ResultCache &
+ResultCache::instance()
+{
+    // Leaked on purpose: measurements may still store results while
+    // other static destructors run.
+    static ResultCache *cache = new ResultCache;
+    return *cache;
+}
+
+void
+ResultCache::configure(std::string directory)
+{
+    dir_ = std::move(directory);
+}
+
+std::string
+ResultCache::pathFor(const std::string &key) const
+{
+    return dir_ + "/" + hex16(fnv1a64(key)) + ".json";
+}
+
+namespace {
+
+/** Shared fetch: on success `value` holds the entry's "value" member. */
+bool
+fetchEntry(const ResultCache &cache, const std::string &key,
+           const char *kind, obs::JsonValue &value)
+{
+    auto &reg = obs::metrics();
+    std::string path = cache.pathFor(key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        reg.counter("cache.misses").add(1);
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    obs::JsonValue doc;
+    if (!obs::tryParseJson(ss.str(), doc) || !doc.isObject()) {
+        warn("result cache: corrupt entry %s; removing", path.c_str());
+        std::error_code ec;
+        fs::remove(path, ec);
+        reg.counter("cache.corrupt").add(1);
+        reg.counter("cache.misses").add(1);
+        return false;
+    }
+    const obs::JsonValue *schema = doc.find("schema");
+    const obs::JsonValue *storedKey = doc.find("key");
+    const obs::JsonValue *storedKind = doc.find("kind");
+    const obs::JsonValue *val = doc.find("value");
+    if (!schema || !schema->isNumber() || !storedKey ||
+        !storedKey->isString() || !storedKind || !storedKind->isString() ||
+        !val) {
+        warn("result cache: malformed entry %s; removing", path.c_str());
+        std::error_code ec;
+        fs::remove(path, ec);
+        reg.counter("cache.corrupt").add(1);
+        reg.counter("cache.misses").add(1);
+        return false;
+    }
+    if (static_cast<int>(schema->number) != kResultCacheSchemaVersion) {
+        // Stale schema: silently discard; the writer will replace it.
+        std::error_code ec;
+        fs::remove(path, ec);
+        reg.counter("cache.misses").add(1);
+        return false;
+    }
+    if (storedKind->str != kind || storedKey->str != key) {
+        // FNV collision (or foreign file named like our hash): do not
+        // trust, do not destroy.
+        warn("result cache: key collision on %s; ignoring entry",
+             path.c_str());
+        reg.counter("cache.misses").add(1);
+        return false;
+    }
+    value = *val;
+    reg.counter("cache.hits").add(1);
+    return true;
+}
+
+void
+storeEntry(const ResultCache &cache, const std::string &key,
+           const char *kind, const std::string &valueJson)
+{
+    std::error_code ec;
+    fs::create_directories(cache.directory(), ec);
+    std::string path = cache.pathFor(key);
+    static std::atomic<uint64_t> tmpId{0};
+    std::string tmp =
+        path + ".tmp" + std::to_string(tmpId.fetch_add(1) + 1);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out << "{\"schema\":" << kResultCacheSchemaVersion
+            << ",\"kind\":\"" << kind << "\",\"key\":\""
+            << obs::jsonEscape(key) << "\",\"value\":" << valueJson
+            << "}\n";
+        if (!out.good()) {
+            warn("result cache: cannot write %s", tmp.c_str());
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    // Atomic publish: a concurrent reader sees the old entry or the new
+    // one, never a torn file.
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        warn("result cache: cannot publish %s: %s", path.c_str(),
+             ec.message().c_str());
+        fs::remove(tmp, ec);
+        return;
+    }
+    obs::metrics().counter("cache.writes").add(1);
+}
+
+} // namespace
+
+bool
+ResultCache::fetchPower(const std::string &key, double &out)
+{
+    if (!enabled_)
+        return false;
+    obs::JsonValue value;
+    if (!fetchEntry(*this, key, "power", value) || !value.isNumber())
+        return false;
+    out = value.number;
+    return true;
+}
+
+void
+ResultCache::storePower(const std::string &key, double value)
+{
+    if (!enabled_)
+        return;
+    storeEntry(*this, key, "power", num(value));
+}
+
+bool
+ResultCache::fetchActivity(const std::string &key, KernelActivity &out)
+{
+    if (!enabled_)
+        return false;
+    obs::JsonValue value;
+    if (!fetchEntry(*this, key, "activity", value))
+        return false;
+    KernelActivity parsed;
+    if (!activityFromJson(value, parsed)) {
+        warn("result cache: unreadable activity entry for key hash %s",
+             hex16(fnv1a64(key)).c_str());
+        std::error_code ec;
+        fs::remove(pathFor(key), ec);
+        obs::metrics().counter("cache.corrupt").add(1);
+        return false;
+    }
+    out = std::move(parsed);
+    return true;
+}
+
+void
+ResultCache::storeActivity(const std::string &key, const KernelActivity &act)
+{
+    if (!enabled_)
+        return;
+    storeEntry(*this, key, "activity", activityToJson(act));
+}
+
+std::string
+powerMeasurementKey(const SiliconOracle &oracle,
+                    const KernelDescriptor &desc, double lockedFreqGhz,
+                    int repetitions)
+{
+    std::ostringstream os;
+    os << "power;card=" << hex16(oracle.cacheSalt()) << ";"
+       << describeGpuConfig(oracle.config()) << ";" << describeKernel(desc)
+       << ";lock=" << num(lockedFreqGhz) << ";reps=" << repetitions;
+    return os.str();
+}
+
+std::string
+activityKey(const ActivityProvider &provider, const KernelDescriptor &desc,
+            const MeasurementConditions &cond)
+{
+    std::ostringstream os;
+    os << "activity;variant=" << variantName(provider.variant());
+    if (provider.variant() == Variant::Hybrid) {
+        os << ";hybrid=[";
+        const auto &comps = provider.hybridComponents();
+        for (size_t i = 0; i < comps.size(); ++i)
+            os << (i ? "," : "") << static_cast<int>(comps[i]);
+        os << "]";
+    }
+    // HW counters observe the card, so its hidden identity keys those
+    // variants; the pure-software variants depend only on the config.
+    if ((provider.variant() == Variant::Hw ||
+         provider.variant() == Variant::Hybrid) &&
+        provider.nsight())
+        os << ";card=" << hex16(provider.nsight()->oracle().cacheSalt());
+    os << ";" << describeGpuConfig(provider.sim().gpu()) << ";"
+       << describeKernel(desc) << ";" << describeConditions(cond);
+    return os.str();
+}
+
+std::string
+sassRunKey(const GpuSimulator &sim, const KernelDescriptor &desc,
+           const SimOptions &opts)
+{
+    std::ostringstream os;
+    os << "sass;" << describeGpuConfig(sim.gpu()) << ";"
+       << describeKernel(desc) << ";" << describeSimOptions(opts);
+    return os.str();
+}
+
+double
+measurePowerCached(const SiliconOracle &oracle, const KernelDescriptor &desc,
+                   double lockedFreqGhz, int repetitions)
+{
+    std::string key =
+        powerMeasurementKey(oracle, desc, lockedFreqGhz, repetitions);
+    auto &cache = ResultCache::instance();
+    double value = 0;
+    if (cache.fetchPower(key, value))
+        return value;
+    // Fresh session per measurement, seeded from the key: the NVML noise
+    // stream depends only on what is measured, so results are identical
+    // whichever thread runs this and in whatever order.
+    NvmlEmu session(oracle, splitmix64(fnv1a64(key) ^ 0xA11CEULL));
+    if (lockedFreqGhz > 0)
+        session.lockClocks(lockedFreqGhz);
+    value = session.measureAveragePowerW(desc, repetitions);
+    cache.storePower(key, value);
+    return value;
+}
+
+KernelActivity
+collectActivityCached(const ActivityProvider &provider,
+                      const KernelDescriptor &desc,
+                      const MeasurementConditions &cond)
+{
+    std::string key = activityKey(provider, desc, cond);
+    auto &cache = ResultCache::instance();
+    KernelActivity act;
+    if (cache.fetchActivity(key, act))
+        return act;
+    act = provider.collect(desc, cond);
+    cache.storeActivity(key, act);
+    return act;
+}
+
+KernelActivity
+runSassCached(const GpuSimulator &sim, const KernelDescriptor &desc,
+              const SimOptions &opts)
+{
+    std::string key = sassRunKey(sim, desc, opts);
+    auto &cache = ResultCache::instance();
+    KernelActivity act;
+    if (cache.fetchActivity(key, act))
+        return act;
+    act = sim.runSass(desc, opts);
+    cache.storeActivity(key, act);
+    return act;
+}
+
+} // namespace aw

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Persistent content-addressed result cache for the calibration /
+ * validation pipeline.
+ *
+ * A calibration campaign re-measures the same (card, kernel, clock)
+ * points across benches, tests and repeated runs. Every such result is
+ * a pure function of its inputs, so it is memoized on disk under a key
+ * derived from the *content* of those inputs: the GPU configuration,
+ * the kernel descriptor, the measurement/simulation options, the hidden
+ * card identity (SiliconOracle::cacheSalt()) and a schema version.
+ * Change any input and the key changes; bump kResultCacheSchemaVersion
+ * when the meaning of a stored value changes and every old entry is
+ * ignored.
+ *
+ * Layout: one JSON file per entry, `<fnv1a64-hex16>.json`, inside
+ * $AW_CACHE_DIR (default `results/cache/`). Files carry the full
+ * human-readable key string, so hash collisions are detected (not just
+ * assumed away) and entries are self-describing. Writes go through a
+ * temp file + rename, so readers never observe a torn entry; a corrupt
+ * file (killed process, disk hiccup) is warned about, removed, and
+ * treated as a miss. `AW_CACHE=off` disables the cache entirely.
+ *
+ * Doubles are serialized with obs::jsonNumber (shortest form that
+ * round-trips exactly), so a warm-cache run is bit-identical to the
+ * cold run that populated it.
+ *
+ * The high-level helpers (measurePowerCached, collectActivityCached,
+ * runSassCached) are also where the pipeline's parallel determinism
+ * lives: each measurement builds a fresh NvmlEmu seeded from the cache
+ * key, so the measurement-noise stream depends only on *what* is
+ * measured, never on which thread or in which order — results are
+ * bit-identical across any AW_THREADS setting.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arch/activity.hpp"
+#include "arch/gpu_config.hpp"
+#include "core/variants.hpp"
+#include "hw/silicon_model.hpp"
+#include "sim/gpusim.hpp"
+#include "trace/workload.hpp"
+
+namespace aw {
+
+/** Bump to invalidate every existing cache entry. */
+constexpr int kResultCacheSchemaVersion = 1;
+
+/** FNV-1a 64-bit hash of a byte string (the cache's content address). */
+uint64_t fnv1a64(const std::string &s);
+
+/** Canonical one-line key fragments; every field that can change a
+ *  result appears here, so the hash covers the full input content. */
+std::string describeGpuConfig(const GpuConfig &g);
+std::string describeKernel(const KernelDescriptor &k);
+std::string describeSimOptions(const SimOptions &o);
+std::string describeConditions(const MeasurementConditions &c);
+
+/** Process-wide handle to the on-disk cache. */
+class ResultCache
+{
+  public:
+    static ResultCache &instance();
+
+    bool enabled() const { return enabled_; }
+    const std::string &directory() const { return dir_; }
+
+    /** Redirect the cache (benches/tests). Does not create the
+     *  directory until the first store. */
+    void configure(std::string directory);
+    void setEnabled(bool on) { enabled_ = on; }
+
+    /** Fetch a scalar result; false on miss (disabled, absent, corrupt,
+     *  schema mismatch, or hash collision). */
+    bool fetchPower(const std::string &key, double &out);
+    void storePower(const std::string &key, double value);
+
+    bool fetchActivity(const std::string &key, KernelActivity &out);
+    void storeActivity(const std::string &key, const KernelActivity &act);
+
+    /** Path the given key maps to (for tests and diagnostics). */
+    std::string pathFor(const std::string &key) const;
+
+  private:
+    ResultCache();
+
+    bool enabled_ = true;
+    std::string dir_;
+};
+
+/**
+ * Cache keys for the two expensive primitives. Exposed so tests can
+ * assert stability; normal code goes through the *Cached helpers.
+ */
+std::string powerMeasurementKey(const SiliconOracle &oracle,
+                                const KernelDescriptor &desc,
+                                double lockedFreqGhz, int repetitions);
+std::string activityKey(const ActivityProvider &provider,
+                        const KernelDescriptor &desc,
+                        const MeasurementConditions &cond);
+std::string sassRunKey(const GpuSimulator &sim,
+                       const KernelDescriptor &desc,
+                       const SimOptions &opts);
+
+/**
+ * Measure a kernel's average power the Section 4.1 way, memoized.
+ * Equivalent to NvmlEmu::lockClocks(lockedFreqGhz) +
+ * measureAveragePowerW(desc, repetitions) on a fresh session whose
+ * noise seed derives from the cache key — deterministic regardless of
+ * measurement order or thread count.
+ */
+double measurePowerCached(const SiliconOracle &oracle,
+                          const KernelDescriptor &desc,
+                          double lockedFreqGhz = 0, int repetitions = 5);
+
+/** ActivityProvider::collect, memoized (keyed on variant, hybrid
+ *  component set, GPU config, card identity, kernel, conditions). */
+KernelActivity collectActivityCached(const ActivityProvider &provider,
+                                     const KernelDescriptor &desc,
+                                     const MeasurementConditions &cond = {});
+
+/** GpuSimulator::runSass, memoized. */
+KernelActivity runSassCached(const GpuSimulator &sim,
+                             const KernelDescriptor &desc,
+                             const SimOptions &opts = {});
+
+} // namespace aw

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
+#include "core/result_cache.hpp"
 #include "solver/polyfit.hpp"
 #include "ubench/microbench.hpp"
 
@@ -15,14 +17,12 @@ measureStaticPowerW(NvmlEmu &nvml, const KernelDescriptor &kernel,
                     const std::vector<double> &sweepFreqsGhz)
 {
     AW_ASSERT(sweepFreqsGhz.size() >= 3);
-    std::vector<double> freqs, powers;
-    for (double f : sweepFreqsGhz) {
-        nvml.lockClocks(f);
-        freqs.push_back(f);
-        powers.push_back(nvml.measureAveragePowerW(kernel));
-    }
-    nvml.resetClocks();
-    auto fit = fitCubicNoQuad(freqs, powers);
+    std::vector<double> powers =
+        parallelMap<double>(sweepFreqsGhz.size(), [&](size_t i) {
+            return measurePowerCached(nvml.oracle(), kernel,
+                                      sweepFreqsGhz[i]);
+        });
+    auto fit = fitCubicNoQuad(sweepFreqsGhz, powers);
     // The tau*f term at the default application clock is the static
     // power estimate (Section 4.4).
     return fit.tau * nvml.oracle().config().defaultClockGhz;
@@ -38,12 +38,40 @@ calibrateStaticPower(NvmlEmu &nvml, double constPowerW,
     StaticPowerResult result;
 
     // --- divergence models per mix category (Sections 4.4-4.5) ----------
+    // Every (category, lane-count) probe is an independent frequency
+    // sweep; run them all through the task pool, then assemble the
+    // models serially in category order (IntFpTensor may reuse IntFp's
+    // model, which enum ordering guarantees is already filled in).
+    const bool hasTensor = nvml.oracle().config().hasTensorCores;
+    struct LaneProbe
+    {
+        size_t category;
+        int lanes;
+    };
+    std::vector<LaneProbe> probes;
+    for (size_t c = 0; c < kNumMixCategories; ++c) {
+        if (static_cast<MixCategory>(c) == MixCategory::IntFpTensor &&
+            !hasTensor)
+            continue;
+        for (int y : opts.laneProbes)
+            probes.push_back({c, y});
+    }
+    std::vector<double> probeStaticW =
+        parallelMap<double>(probes.size(), [&](size_t i) {
+            KernelDescriptor probe = mixCategoryProbe(
+                static_cast<MixCategory>(probes[i].category),
+                probes[i].lanes);
+            // The probe's mix must actually classify as the category it
+            // calibrates, or the model table would be inconsistent.
+            return measureStaticPowerW(nvml, probe, opts.sweepFreqsGhz);
+        });
+
+    size_t probeIdx = 0;
     for (size_t c = 0; c < kNumMixCategories; ++c) {
         auto category = static_cast<MixCategory>(c);
-        if (category == MixCategory::IntFpTensor &&
-            !nvml.oracle().config().hasTensorCores) {
+        if (category == MixCategory::IntFpTensor && !hasTensor) {
             // No tensor cores: the category cannot be probed; reuse the
-            // IntFp model (filled in below thanks to enum ordering).
+            // IntFp model.
             result.divergence[c] =
                 result.divergence[static_cast<size_t>(MixCategory::IntFp)];
             continue;
@@ -51,12 +79,12 @@ calibrateStaticPower(NvmlEmu &nvml, double constPowerW,
         DivergenceCalibration cal;
         cal.category = category;
         for (int y : opts.laneProbes) {
-            KernelDescriptor probe = mixCategoryProbe(category, y);
-            // The probe's mix must actually classify as the category it
-            // calibrates, or the model table would be inconsistent.
+            AW_ASSERT(probeIdx < probes.size() &&
+                      probes[probeIdx].category == c &&
+                      probes[probeIdx].lanes == y);
             cal.lanes.push_back(y);
-            cal.staticW.push_back(
-                measureStaticPowerW(nvml, probe, opts.sweepFreqsGhz));
+            cal.staticW.push_back(probeStaticW[probeIdx]);
+            ++probeIdx;
         }
 
         double at1 = cal.staticW.front();
@@ -84,17 +112,41 @@ calibrateStaticPower(NvmlEmu &nvml, double constPowerW,
     // --- idle-SM power (Section 4.6, Eqs. 6-8) ----------------------------
     const int numSms = nvml.oracle().config().numSms;
     std::vector<double> idleEstimates;
+    // Flatten the (flavor, occupancy) grid — the full-chip reference run
+    // of each flavor is just one more independent measurement.
+    struct IdleProbe
+    {
+        int flavor;
+        int activeSms;
+    };
+    std::vector<IdleProbe> idleProbes;
     for (int flavor = 0; flavor < 2; ++flavor) {
-        double pFull =
-            nvml.measureAveragePowerW(occupancyKernel(numSms, flavor));
+        idleProbes.push_back({flavor, numSms});
+        for (int n : opts.idleOccupancies)
+            if (n < numSms)
+                idleProbes.push_back({flavor, n});
+    }
+    std::vector<double> idlePowerW =
+        parallelMap<double>(idleProbes.size(), [&](size_t i) {
+            return measurePowerCached(
+                nvml.oracle(),
+                occupancyKernel(idleProbes[i].activeSms,
+                                idleProbes[i].flavor));
+        });
+
+    size_t idleIdx = 0;
+    for (int flavor = 0; flavor < 2; ++flavor) {
+        AW_ASSERT(idleProbes[idleIdx].flavor == flavor &&
+                  idleProbes[idleIdx].activeSms == numSms);
+        double pFull = idlePowerW[idleIdx++];
         double perActive = (pFull - constPowerW) / numSms; // Eq. 6
         for (int n : opts.idleOccupancies) {
             if (n >= numSms)
                 continue;
             IdleSmExperiment exp;
             exp.activeSms = n;
-            exp.totalPowerW =
-                nvml.measureAveragePowerW(occupancyKernel(n, flavor));
+            AW_ASSERT(idleProbes[idleIdx].activeSms == n);
+            exp.totalPowerW = idlePowerW[idleIdx++];
             double idleSmsW =
                 exp.totalPowerW - constPowerW - perActive * n; // Eq. 7
             exp.perIdleSmW = idleSmsW / (numSms - n);

@@ -66,12 +66,15 @@ fermiStartFactors(const ComponentArray<double> &initialEnergies)
 
 namespace {
 
-/** Ordering constraints of Eq. 14, as (lhs <= rhs) component pairs. */
-std::vector<std::pair<PowerComponent, PowerComponent>>
+/** Ordering constraints of Eq. 14, as (lhs <= rhs) component pairs.
+ *  Built once: the list is fixed, and the tuner runs per variant and per
+ *  starting point. */
+const std::vector<std::pair<PowerComponent, PowerComponent>> &
 orderingConstraints()
 {
     using PC = PowerComponent;
-    return {
+    static const std::vector<std::pair<PowerComponent, PowerComponent>>
+        constraints = {
         {PC::IntAdd, PC::FpAdd},      // X_alu <= X_fpu
         {PC::FpAdd, PC::DpAdd},       // X_fpu <= X_dpu
         {PC::IntAdd, PC::IntMul},     // X_alu <= X_imul
@@ -84,9 +87,20 @@ orderingConstraints()
         {PC::FpMul, PC::TensorCore},  // X_fpmul <= X_tensor
         {PC::FpMul, PC::TextureUnit}, // X_fpmul <= X_tex
     };
+    return constraints;
 }
 
 } // namespace
+
+std::vector<ActivitySample>
+aggregateActivities(const std::vector<KernelActivity> &activities)
+{
+    std::vector<ActivitySample> aggs;
+    aggs.reserve(activities.size());
+    for (const auto &a : activities)
+        aggs.push_back(a.aggregate());
+    return aggs;
+}
 
 TuningResult
 tuneDynamicPower(const std::vector<Microbenchmark> &suite,
@@ -94,13 +108,21 @@ tuneDynamicPower(const std::vector<Microbenchmark> &suite,
                  const std::vector<KernelActivity> &activities,
                  const AccelWattchModel &partialModel,
                  const ComponentArray<double> &initialEnergies,
-                 const TuningOptions &opts)
+                 const TuningOptions &opts,
+                 const std::vector<ActivitySample> *aggregates)
 {
     AW_PROF_SCOPE("tune/qp");
     const size_t m = suite.size();
     const size_t n = kNumPowerComponents;
     if (m == 0 || measuredPowerW.size() != m || activities.size() != m)
         fatal("tuneDynamicPower: suite/measurement/activity size mismatch");
+    std::vector<ActivitySample> localAggs;
+    if (!aggregates) {
+        localAggs = aggregateActivities(activities);
+        aggregates = &localAggs;
+    }
+    if (aggregates->size() != m)
+        fatal("tuneDynamicPower: aggregate count mismatch");
 
     // Fixed (x = 1) terms: constant, static, idle-SM power per Eq. 12,
     // evaluated with the already-calibrated part of the model.
@@ -113,7 +135,7 @@ tuneDynamicPower(const std::vector<Microbenchmark> &suite,
     Matrix a(m, n);
     std::vector<double> b(m);
     for (size_t k = 0; k < m; ++k) {
-        const ActivitySample agg = activities[k].aggregate();
+        const ActivitySample &agg = (*aggregates)[k];
         if (agg.cycles <= 0 || agg.freqGhz <= 0)
             fatal("tuneDynamicPower: microbenchmark %s has no activity",
                   suite[k].kernel.name.c_str());
@@ -163,6 +185,13 @@ tuneDynamicPower(const std::vector<Microbenchmark> &suite,
     Matrix gram = a.gram();
     std::vector<double> atb = a.mulTransposed(b);
 
+    // The Q off-diagonals are 2 A^T A throughout: only the diagonal
+    // (proximal lambda) and the linear term change per round, so fill
+    // the matrix once and touch n entries per round instead of n^2.
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            problem.q(i, j) = 2.0 * gram(i, j);
+
     TuningResult result;
     result.start = opts.start;
     std::vector<double> anchor = makeFeasible(problem, x0);
@@ -175,9 +204,7 @@ tuneDynamicPower(const std::vector<Microbenchmark> &suite,
         // Objective: ||A x - b||^2 + lambda ||x - anchor||^2
         // => Q = 2 (A^T A + lambda I), c = -2 (A^T b + lambda anchor).
         for (size_t i = 0; i < n; ++i) {
-            for (size_t j = 0; j < n; ++j)
-                problem.q(i, j) = 2.0 * gram(i, j);
-            problem.q(i, i) += 2.0 * lambda;
+            problem.q(i, i) = 2.0 * gram(i, i) + 2.0 * lambda;
             problem.c[i] = -2.0 * (atb[i] + lambda * anchor[i]);
         }
         QpResult qp = solveQp(problem, x);

@@ -85,12 +85,23 @@ std::vector<double> fermiStartFactors(
  * @param partialModel    model with const/static/idle calibrated and
  *                        energies ignored (they are what is being tuned)
  * @param initialEnergies the E_i estimates to be corrected
+ * @param aggregates      optional precomputed whole-kernel aggregates of
+ *                        `activities` (one per microbenchmark). Callers
+ *                        tuning the same activities from several starting
+ *                        points compute them once via aggregateActivities
+ *                        and share; nullptr aggregates internally.
  */
 TuningResult tuneDynamicPower(const std::vector<Microbenchmark> &suite,
                               const std::vector<double> &measuredPowerW,
                               const std::vector<KernelActivity> &activities,
                               const AccelWattchModel &partialModel,
                               const ComponentArray<double> &initialEnergies,
-                              const TuningOptions &opts = {});
+                              const TuningOptions &opts = {},
+                              const std::vector<ActivitySample> *aggregates =
+                                  nullptr);
+
+/** Whole-kernel aggregates of each activity, for tuneDynamicPower. */
+std::vector<ActivitySample> aggregateActivities(
+    const std::vector<KernelActivity> &activities);
 
 } // namespace aw

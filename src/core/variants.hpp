@@ -68,6 +68,12 @@ class ActivityProvider
     KernelActivity collect(const KernelDescriptor &desc,
                            const MeasurementConditions &cond = {}) const;
 
+    /** The software performance model backing this provider. */
+    const GpuSimulator &sim() const { return sim_; }
+
+    /** The counter session, if any (HW/HYBRID variants). */
+    const NsightEmu *nsight() const { return nsight_; }
+
   private:
     Variant variant_;
     const GpuSimulator &sim_;

@@ -32,6 +32,9 @@ class NsightEmu
                                    const MeasurementConditions &cond = {})
         const;
 
+    /** The card this session profiles. */
+    const SiliconOracle &oracle() const { return oracle_; }
+
   private:
     const SiliconOracle &oracle_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
@@ -317,6 +318,39 @@ SiliconOracle::executeConcurrent(const std::vector<KernelDescriptor> &kernels,
             vStatic * tempScale / makespan +
         dynJ / makespan;
     return out;
+}
+
+uint64_t
+SiliconOracle::cacheSalt() const
+{
+    // Fold every hidden electrical parameter plus the hardware seed into
+    // one 64-bit digest (order-dependent mix, splitmix64 per word).
+    uint64_t h = 0xcbf29ce484222325ULL; // FNV offset basis
+    auto mix = [&](uint64_t bits) {
+        h = splitmix64(h ^ bits);
+    };
+    auto mixD = [&](double v) {
+        uint64_t bits;
+        static_assert(sizeof bits == sizeof v);
+        std::memcpy(&bits, &v, sizeof bits);
+        mix(bits);
+    };
+    mix(hwSeed_);
+    mixD(truth_.constPowerW);
+    mixD(truth_.chipGlobalLeakW);
+    mixD(truth_.smWideLeakW);
+    mixD(truth_.laneLeakW);
+    mixD(truth_.idleSmLeakW);
+    for (double e : truth_.energyNj)
+        mixD(e);
+    mixD(truth_.staticVoltageExp);
+    mixD(truth_.dynamicVoltageExp);
+    mixD(truth_.leakTempDoubleC);
+    mixD(truth_.measurementNoise);
+    mixD(truth_.perKernelWobble);
+    mixD(truth_.dataWobble);
+    mix(hash64(publicConfig_.name.c_str()));
+    return h;
 }
 
 double

@@ -145,6 +145,15 @@ class SiliconOracle
     /** The documented (public) architecture description. */
     const GpuConfig &config() const { return publicConfig_; }
 
+    /**
+     * Digest of this card's *hidden* identity (electrical truth and
+     * hardware seed). Two oracles with the same public config but
+     * different hidden parameters measure different power; result-cache
+     * keys include this salt so their measurements never collide. The
+     * value reveals nothing usable about the truth parameters.
+     */
+    uint64_t cacheSalt() const;
+
     /** White-box access for tests; the tuner never reads this. */
     const SiliconParams &truth() const { return truth_; }
 

@@ -11,7 +11,15 @@ namespace aw::obs {
 
 namespace {
 
-/** Cursor over the document with fatal()-style error reporting. */
+/** Internal error signal for the tolerant tryParseJson entry point. */
+struct ParseError
+{
+    size_t pos;
+    const char *what;
+};
+
+/** Cursor over the document. Errors throw ParseError; parseJson turns
+ *  that into a fatal(), tryParseJson into a false return. */
 struct Parser
 {
     const std::string &text;
@@ -19,7 +27,7 @@ struct Parser
 
     [[noreturn]] void die(const char *what) const
     {
-        fatal("JSON parse error at offset %zu: %s", pos, what);
+        throw ParseError{pos, what};
     }
 
     void skipWs()
@@ -237,12 +245,31 @@ JsonValue::asString() const
 JsonValue
 parseJson(const std::string &text)
 {
-    Parser p{text};
-    JsonValue v = p.parseValue(0);
-    p.skipWs();
-    if (p.pos != text.size())
-        p.die("trailing garbage after document");
-    return v;
+    try {
+        Parser p{text};
+        JsonValue v = p.parseValue(0);
+        p.skipWs();
+        if (p.pos != text.size())
+            p.die("trailing garbage after document");
+        return v;
+    } catch (const ParseError &e) {
+        fatal("JSON parse error at offset %zu: %s", e.pos, e.what);
+    }
+}
+
+bool
+tryParseJson(const std::string &text, JsonValue &out)
+{
+    try {
+        Parser p{text};
+        out = p.parseValue(0);
+        p.skipWs();
+        if (p.pos != text.size())
+            p.die("trailing garbage after document");
+        return true;
+    } catch (const ParseError &) {
+        return false;
+    }
 }
 
 std::string

@@ -52,6 +52,14 @@ class JsonValue
  *  trailing garbage. */
 JsonValue parseJson(const std::string &text);
 
+/**
+ * Parse without fatal(): returns false (leaving `out` unspecified) on
+ * malformed input or trailing garbage. For readers that must survive a
+ * corrupt document — e.g. the result cache recovering from a torn
+ * cache file — where the strict parseJson would take the process down.
+ */
+bool tryParseJson(const std::string &text, JsonValue &out);
+
 /** Escape a string for embedding in a JSON document (no quotes). */
 std::string jsonEscape(const std::string &s);
 

@@ -57,12 +57,25 @@ GpuSimulator::run(const KernelDescriptor &desc, const WarpProgram &program,
         AW_PROF_SCOPE("sim/wave");
         while (!sm.done() && now < static_cast<double>(opts.maxCycles)) {
             double next = sm.step(now);
-            // Close any sample intervals the clock passes over.
-            while (next >= sampleStart + interval) {
+            // Close any sample intervals the clock passes over. All the
+            // activity of the boundary-crossing step lands in the first
+            // closed interval; a long stall fast-forward then leaves the
+            // remaining crossed intervals with no activity at all, so
+            // collapse that run of all-idle intervals into one sample
+            // instead of allocating one zero sample per interval.
+            if (next >= sampleStart + interval) {
                 ActivitySample s = sm.drainActivity();
                 s.cycles = interval;
                 out.samples.push_back(std::move(s));
                 sampleStart += interval;
+                double idleIntervals =
+                    std::floor((next - sampleStart) / interval);
+                if (idleIntervals >= 1) {
+                    ActivitySample idle = sm.drainActivity();
+                    idle.cycles = idleIntervals * interval;
+                    out.samples.push_back(std::move(idle));
+                    sampleStart += idleIntervals * interval;
+                }
             }
             now = next;
         }

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "core/result_cache.hpp"
 
 namespace aw {
 
@@ -81,7 +83,7 @@ KernelCost
 modelKernelCost(const AccelWattchModel &model, const GpuSimulator &sim,
                 const KernelDescriptor &k)
 {
-    KernelActivity act = sim.runSass(k);
+    KernelActivity act = runSassCached(sim, k);
     ActivitySample agg = act.aggregate();
     PowerBreakdown b = model.evaluateKernel(act);
     KernelCost c;
@@ -165,10 +167,10 @@ estimateDeepBenchPower(const AccelWattchModel &model,
                        const GpuSimulator &sim,
                        const DeepBenchWorkload &workload)
 {
-    std::vector<KernelCost> costs;
-    costs.reserve(workload.kernels.size());
-    for (const auto &k : workload.kernels)
-        costs.push_back(modelKernelCost(model, sim, k));
+    std::vector<KernelCost> costs =
+        parallelMap<KernelCost>(workload.kernels.size(), [&](size_t i) {
+            return modelKernelCost(model, sim, workload.kernels[i]);
+        });
     auto schedule = buildConcurrentSchedule(workload, model.gpu.numSms);
     return evaluateSchedule(model, costs, schedule);
 }
@@ -178,10 +180,10 @@ estimateSequentialPower(const AccelWattchModel &model,
                         const GpuSimulator &sim,
                         const DeepBenchWorkload &workload)
 {
-    std::vector<KernelCost> costs;
-    costs.reserve(workload.kernels.size());
-    for (const auto &k : workload.kernels)
-        costs.push_back(modelKernelCost(model, sim, k));
+    std::vector<KernelCost> costs =
+        parallelMap<KernelCost>(workload.kernels.size(), [&](size_t i) {
+            return modelKernelCost(model, sim, workload.kernels[i]);
+        });
     std::vector<ConcurrentWave> schedule;
     for (size_t i = 0; i < costs.size(); ++i)
         schedule.push_back({{i}});

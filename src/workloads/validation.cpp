@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "common/parallel.hpp"
+#include "core/result_cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -266,20 +268,40 @@ runValidation(AccelWattchCalibrator &calibrator, Variant variant,
     ActivityProvider provider(variant, calibrator.simulator(),
                               &calibrator.nsight());
 
+    std::vector<const ValidationKernel *> kernels;
+    for (const auto &k : validationSuite())
+        if (inVariantSuite(k, variant))
+            kernels.push_back(&k);
+
+    // Each kernel's measurement and activity collection is independent;
+    // modeling/recording stays serial so telemetry rows keep suite order.
+    struct Evaluated
+    {
+        ValidationRow row;
+        double totalCycles = 0;
+        double elapsedSec = 0;
+    };
+    std::vector<Evaluated> evaluated =
+        parallelMap<Evaluated>(kernels.size(), [&](size_t i) {
+            AW_PROF_SCOPE("validate/kernel");
+            const ValidationKernel &k = *kernels[i];
+            Evaluated e;
+            e.row.name = k.kernel.name;
+            e.row.measuredW =
+                measurePowerCached(calibrator.oracle(), k.kernel);
+            KernelActivity act = collectActivityCached(provider, k.kernel);
+            e.row.breakdown = model.evaluateKernel(act);
+            e.row.modeledW = e.row.breakdown.totalW();
+            e.totalCycles = act.totalCycles;
+            e.elapsedSec = act.elapsedSec;
+            return e;
+        });
+
     auto &reg = obs::metrics();
     std::vector<ValidationRow> rows;
-    for (const auto &k : validationSuite()) {
-        if (!inVariantSuite(k, variant))
-            continue;
-        AW_PROF_SCOPE("validate/kernel");
-        ValidationRow row;
-        row.name = k.kernel.name;
-        row.measuredW =
-            calibrator.nvml().measureAveragePowerW(k.kernel);
-        KernelActivity act = provider.collect(k.kernel);
-        row.breakdown = model.evaluateKernel(act);
-        row.modeledW = row.breakdown.totalW();
-
+    rows.reserve(evaluated.size());
+    for (auto &e : evaluated) {
+        ValidationRow row = std::move(e.row);
         reg.counter("validation.kernels").add(1);
         if (row.measuredW > 0)
             reg.histogram("validation.abs_err_pct")
@@ -287,7 +309,7 @@ runValidation(AccelWattchCalibrator &calibrator, Variant variant,
                         std::abs(row.modeledW - row.measuredW) /
                         row.measuredW);
         obs::Telemetry::instance().recordKernel(
-            {row.name, "validate", act.totalCycles, act.elapsedSec,
+            {row.name, "validate", e.totalCycles, e.elapsedSec,
              row.modeledW, row.measuredW});
         AW_DEBUGF("validate", "%s: modeled %.1f W vs measured %.1f W",
                   row.name.c_str(), row.modeledW, row.measuredW);

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the deterministic task pool: ordering, serial fallback,
+ * nesting, exception propagation, and bit-identical results across
+ * thread counts.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+
+using namespace aw;
+
+namespace {
+
+/** Restore the default thread count when a test returns. */
+struct ThreadCountGuard
+{
+    explicit ThreadCountGuard(int n) { setParallelThreadCount(n); }
+    ~ThreadCountGuard() { setParallelThreadCount(0); }
+};
+
+} // namespace
+
+TEST(Parallel, MapPreservesInputOrdering)
+{
+    ThreadCountGuard guard(4);
+    auto out = parallelMap<int>(100, [](size_t i) {
+        return static_cast<int>(i * i);
+    });
+    ASSERT_EQ(out.size(), 100u);
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(Parallel, EveryIndexRunsExactlyOnce)
+{
+    ThreadCountGuard guard(4);
+    constexpr size_t kN = 257;
+    std::vector<std::atomic<int>> runs(kN);
+    parallelFor(kN, [&](size_t i) { runs[i].fetch_add(1); });
+    for (size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(runs[i].load(), 1) << "index " << i;
+}
+
+TEST(Parallel, SerialFallbackRunsInIndexOrderOnCallingThread)
+{
+    ThreadCountGuard guard(1);
+    std::vector<size_t> order;
+    std::thread::id caller = std::this_thread::get_id();
+    parallelFor(20, [&](size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i); // safe: serial fallback is single-threaded
+    });
+    ASSERT_EQ(order.size(), 20u);
+    for (size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Parallel, ZeroAndSingleElementRanges)
+{
+    ThreadCountGuard guard(4);
+    int calls = 0;
+    parallelFor(0, [&](size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    parallelFor(1, [&](size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Parallel, NestedParallelForRunsInlineWithoutDeadlock)
+{
+    ThreadCountGuard guard(4);
+    std::vector<std::atomic<int>> inner(8 * 8);
+    parallelFor(8, [&](size_t i) {
+        // A nested call from a pool worker must run serially inline
+        // rather than wait on the pool it is part of.
+        parallelFor(8, [&](size_t j) { inner[i * 8 + j].fetch_add(1); });
+    });
+    for (auto &slot : inner)
+        EXPECT_EQ(slot.load(), 1);
+}
+
+TEST(Parallel, LowestIndexExceptionWins)
+{
+    ThreadCountGuard guard(4);
+    try {
+        parallelFor(64, [](size_t i) {
+            throw std::runtime_error(std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        // Index 0 is grabbed first and always throws, so the reported
+        // (lowest-index) exception is deterministic.
+        EXPECT_STREQ(e.what(), "0");
+    }
+}
+
+TEST(Parallel, ExceptionCancelsRemainingTasks)
+{
+    ThreadCountGuard guard(4);
+    std::atomic<int> executed{0};
+    EXPECT_THROW(parallelFor(10'000,
+                             [&](size_t i) {
+                                 if (i == 0)
+                                     throw std::runtime_error("boom");
+                                 executed.fetch_add(1);
+                             }),
+                 std::runtime_error);
+    // Cancellation is best-effort, but the vast majority of the range
+    // must have been skipped once the failure was recorded.
+    EXPECT_LT(executed.load(), 10'000);
+}
+
+TEST(Parallel, ResultsBitIdenticalAcrossThreadCounts)
+{
+    // A per-index computation (seeded RNG per task, like the pipeline's
+    // per-measurement sessions) must not depend on the thread count.
+    auto compute = [](size_t i) {
+        Rng rng(splitmix64(0x1234 + i));
+        double acc = 0;
+        for (int r = 0; r < 100; ++r)
+            acc += rng.uniform();
+        return acc;
+    };
+    std::vector<double> serial, parallel4;
+    {
+        ThreadCountGuard guard(1);
+        serial = parallelMap<double>(50, compute);
+    }
+    {
+        ThreadCountGuard guard(4);
+        parallel4 = parallelMap<double>(50, compute);
+    }
+    ASSERT_EQ(serial.size(), parallel4.size());
+    for (size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel4[i]) << "index " << i;
+}
+
+TEST(Parallel, ThreadCountOverrideAndRevert)
+{
+    setParallelThreadCount(3);
+    EXPECT_EQ(parallelThreadCount(), 3);
+    setParallelThreadCount(0);
+    EXPECT_GE(parallelThreadCount(), 1);
+}
+
+TEST(Parallel, WorkerFlagVisibleInsideTasks)
+{
+    EXPECT_FALSE(inParallelWorker());
+    ThreadCountGuard guard(4);
+    std::atomic<int> sawWorker{0};
+    parallelFor(64, [&](size_t) {
+        if (inParallelWorker())
+            sawWorker.fetch_add(1);
+    });
+    // The caller participates too, so not every task runs on a pool
+    // worker; but the flag must never leak back to the caller.
+    EXPECT_FALSE(inParallelWorker());
+    EXPECT_GE(sawWorker.load(), 0);
+}
