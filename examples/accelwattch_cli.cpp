@@ -27,6 +27,9 @@
  *     --trace-out FILE    record profiling zones, write Chrome trace JSON
  *     --log-level LEVEL   debug|inform|warn|fatal                [inform]
  *     --debug TAGS        comma-separated debug tags (sim,tuner,hw,...)
+ *     --faults SPEC       inject measurement faults, same grammar as
+ *                         AW_FAULTS (class:rate,...[,seed:N]); prints a
+ *                         resilience summary after the run
  *
  * Example:
  *   accelwattch_cli --mix ffma:0.6,ldg:0.2,iadd:0.2 --footprint-kb 8192
@@ -39,6 +42,8 @@
 #include "core/calibration.hpp"
 #include "core/model_io.hpp"
 #include "core/power_trace.hpp"
+#include "hw/fault_injector.hpp"
+#include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "sim/stats_report.hpp"
@@ -121,6 +126,47 @@ writeSinks(const std::string &metricsOut, const std::string &traceOut)
         obs::writeTraceJson(traceOut);
 }
 
+/**
+ * After a fault-injected run: how the harness coped. Counter lookups
+ * find-or-create, so absent events simply print as 0.
+ */
+void
+printResilienceSummary()
+{
+    auto &reg = obs::metrics();
+    std::printf("\nresilience summary (faults: %s):\n",
+                FaultInjector::globalConfig().describe().c_str());
+    double injected = 0;
+    for (size_t c = 0; c < kNumFaultClasses; ++c) {
+        double n = reg.counter(std::string("faults.injected.") +
+                               faultClassName(static_cast<FaultClass>(c)))
+                       .value();
+        injected += n;
+        if (n > 0)
+            std::printf("  injected %-18s %8.0f\n",
+                        faultClassName(static_cast<FaultClass>(c)).c_str(),
+                        n);
+    }
+    std::printf("  faults injected (total)  %8.0f\n", injected);
+    std::printf("  retries                  %8.0f (%.1f sim-seconds of "
+                "backoff)\n",
+                reg.counter("retry.attempts").value(),
+                reg.counter("retry.backoff_sim_seconds").value());
+    std::printf("  retries exhausted        %8.0f\n",
+                reg.counter("retry.exhausted").value());
+    std::printf("  repetitions re-measured  %8.0f rejected, %8.0f lost\n",
+                reg.counter("hw.nvml.reps_rejected").value(),
+                reg.counter("hw.nvml.reps_lost").value());
+    std::printf("  counter fallbacks        %8.0f component, %8.0f "
+                "variant\n",
+                reg.counter("activity.component_fallbacks").value(),
+                reg.counter("activity.variant_fallbacks").value());
+    std::printf("  data points skipped      %8.0f ubench, %8.0f "
+                "validation\n",
+                reg.counter("calibration.ubench_skipped").value(),
+                reg.counter("validation.kernels_skipped").value());
+}
+
 void
 usage()
 {
@@ -130,7 +176,7 @@ usage()
                 "[--variant sass|ptx|hw|hybrid]\n"
                 "       [--model FILE] [--save-model FILE] [--trace] [--stats]\n"
                 "       [--metrics-out FILE] [--trace-out FILE] "
-                "[--log-level LEVEL] [--debug TAGS]\n");
+                "[--log-level LEVEL] [--debug TAGS] [--faults SPEC]\n");
 }
 
 } // namespace
@@ -191,6 +237,8 @@ main(int argc, char **argv)
             setLogLevel(parseLogLevel(next()));
         else if (arg == "--debug")
             setDebugTags(next());
+        else if (arg == "--faults")
+            FaultInjector::setGlobalConfig(parseFaultSpec(next()));
         else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -208,6 +256,8 @@ main(int argc, char **argv)
         saveModel(cal.variant(variant).model, saveModelFile);
         std::printf("calibrated %s model written to %s\n",
                     variantName(variant).c_str(), saveModelFile.c_str());
+        if (FaultInjector::enabled())
+            printResilienceSummary();
         writeSinks(metricsOut, traceOut);
         return 0;
     }
@@ -260,6 +310,8 @@ main(int argc, char **argv)
             std::printf("  cycle %8.0f  f=%.3f GHz  %7.2f W\n",
                         pt.startCycle, pt.freqGhz, pt.power.totalW());
     }
+    if (FaultInjector::enabled())
+        printResilienceSummary();
     writeSinks(metricsOut, traceOut);
     return 0;
 }

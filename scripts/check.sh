@@ -5,6 +5,12 @@
 # suite, then a TSan pass that exercises the parallel engine and the
 # result cache with AW_THREADS=4.
 #
+# The address pass finishes with a chaos leg: the resilience suites
+# re-run in the ASan tree with AW_FAULTS set to the documented example
+# rates and a fixed seed, so the retry/abort/fallback paths execute
+# under fire with leak and UB checking on, and any failure replays
+# exactly.
+#
 # Usage:
 #   scripts/check.sh [--configure-only] [--build-dir DIR]
 #                    [--sanitizer address|thread]
@@ -85,15 +91,37 @@ sweep() {
         -j "$(nproc)" -LE lint ${filter}
 }
 
+# The fault-model example rates (see DESIGN.md "Fault model"), pinned to
+# a fixed seed: a failing chaos run reproduces bit-for-bit.
+chaos_spec="nvml_dropout:0.05,stale_sample:0.02,driver_reset:0.005"
+chaos_spec+=",counter_mux_noise:0.03,thermal_runaway:0.01"
+chaos_spec+=",cache_corrupt:0.01,seed:1234"
+
+# Chaos pass: rerun the resilience-aware suites in an existing build
+# tree with fault injection live. test_fault_injection pins its own
+# configs (and so proves the harness under an ambient AW_FAULTS);
+# test_smoke drives full measurement campaigns through the injected
+# NVML/Nsight/cache faults and must still land inside its bounds.
+#   $1 = build dir (already built by a sweep)
+chaos() {
+    local dir=$1
+    echo "== chaos (AW_FAULTS=${chaos_spec}) -> ${dir}"
+    AW_FAULTS="${chaos_spec}" AW_THREADS=4 ctest --test-dir "${dir}" \
+        --output-on-failure -j "$(nproc)" -LE lint \
+        -R "test_fault_injection|test_smoke"
+}
+
 case "${sanitizer}" in
   address)
     sweep address "${build_dir:-build-asan}"
+    [[ ${configure_only} -eq 1 ]] || chaos "${build_dir:-build-asan}"
     ;;
   thread)
     sweep thread "${build_dir:-build-tsan}"
     ;;
   both)
     sweep address "${build_dir:-build-asan}"
+    [[ ${configure_only} -eq 1 ]] || chaos "${build_dir:-build-asan}"
     # The TSan pass targets the suites that drive the parallel engine
     # and the cache; the rest of the tree is serial and already covered
     # by the address pass.

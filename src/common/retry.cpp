@@ -1,0 +1,80 @@
+#include "common/retry.hpp"
+
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace aw {
+
+const char *
+failCauseName(FailCause cause)
+{
+    switch (cause) {
+      case FailCause::None:
+        return "none";
+      case FailCause::KernelTooShort:
+        return "kernel_too_short";
+      case FailCause::DriverReset:
+        return "driver_reset";
+      case FailCause::SampleLoss:
+        return "sample_loss";
+      case FailCause::QuorumFailed:
+        return "quorum_failed";
+      case FailCause::CounterFailure:
+        return "counter_failure";
+      case FailCause::CounterUnavailable:
+        return "counter_unavailable";
+      case FailCause::RetriesExhausted:
+        return "retries_exhausted";
+    }
+    return "unknown";
+}
+
+bool
+retryableCause(FailCause cause)
+{
+    switch (cause) {
+      case FailCause::DriverReset:
+      case FailCause::SampleLoss:
+      case FailCause::QuorumFailed:
+      case FailCause::CounterFailure:
+        return true;
+      case FailCause::None:
+      case FailCause::KernelTooShort:
+      case FailCause::CounterUnavailable:
+      case FailCause::RetriesExhausted:
+        return false;
+    }
+    return false;
+}
+
+const RetryPolicy &
+defaultRetryPolicy()
+{
+    static const RetryPolicy policy;
+    return policy;
+}
+
+void
+noteRetry(const char *what, const MeasureError &err, double backoffSec,
+          int attempt)
+{
+    auto &reg = obs::metrics();
+    reg.counter("retry.attempts").add(1);
+    reg.counter("retry.backoff_sim_seconds").add(backoffSec);
+    reg.counter(std::string("retry.cause.") + failCauseName(err.cause))
+        .add(1);
+    AW_DEBUGF("retry", "%s attempt %d failed (%s): %s; backing off %.1fs "
+              "(simulated)",
+              what, attempt + 1, failCauseName(err.cause),
+              err.message.c_str(), backoffSec);
+}
+
+void
+noteRetriesExhausted(const char *what, const MeasureError &err, int attempts)
+{
+    obs::metrics().counter("retry.exhausted").add(1);
+    warn("%s: giving up after %d attempts (%s): %s", what, attempts,
+         failCauseName(err.cause), err.message.c_str());
+}
+
+} // namespace aw

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Structured measurement errors and a bounded retry policy for the
+ * resilient calibration harness.
+ *
+ * Real calibration campaigns against silicon see transient failures:
+ * NVML sample dropouts, mid-measurement driver resets, Nsight counter
+ * collection hiccups. Instead of fatal()ing, fallible primitives return
+ * Result<T> — either a value or a MeasureError with a classified cause —
+ * and callers decide: retry (transient causes), fall back to a software
+ * model, or skip the data point with a warning.
+ *
+ * Retries use exponential backoff in *simulated* time: no thread ever
+ * sleeps; the virtual seconds a real harness would have waited are
+ * accumulated in the `retry.backoff_sim_seconds` metrics counter so
+ * chaos runs report how long the campaign would have stalled.
+ */
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace aw {
+
+/** Why a fallible measurement primitive failed. */
+enum class FailCause : uint8_t
+{
+    None,               ///< default-constructed Result (no value yet)
+    KernelTooShort,     ///< < 2 us per launch: paper's exclusion (permanent)
+    DriverReset,        ///< mid-measurement device reset (transient)
+    SampleLoss,         ///< too many NVML samples dropped (transient)
+    QuorumFailed,       ///< outlier rejection left too few repetitions
+    CounterFailure,     ///< Nsight collection failed this profile (transient)
+    CounterUnavailable, ///< counter persistently broken (permanent)
+    RetriesExhausted,   ///< retry policy gave up on a transient cause
+};
+
+/** Short stable name, e.g. "driver_reset". */
+const char *failCauseName(FailCause cause);
+
+/** True when retrying the same operation can plausibly succeed. */
+bool retryableCause(FailCause cause);
+
+/** A classified failure with a human-readable message. */
+struct MeasureError
+{
+    FailCause cause = FailCause::None;
+    std::string message;
+};
+
+/**
+ * Minimal expected-style result: a value or a MeasureError. The default
+ * constructor yields an *empty* error state (FailCause::None) so
+ * Result<T> can live in containers filled by parallelMap; treat a
+ * default-constructed Result as a failure.
+ */
+template <typename T> class Result
+{
+  public:
+    Result() : err_{FailCause::None, "empty result"} {}
+    Result(T value) : hasValue_(true), value_(std::move(value)), err_{} {}
+    Result(MeasureError err) : err_(std::move(err)) {}
+
+    explicit operator bool() const { return hasValue_; }
+    bool ok() const { return hasValue_; }
+
+    const T &value() const { return value_; }
+    T &value() { return value_; }
+    const T &operator*() const { return value_; }
+    const T *operator->() const { return &value_; }
+
+    const MeasureError &error() const { return err_; }
+
+  private:
+    bool hasValue_ = false;
+    T value_{};
+    MeasureError err_;
+};
+
+/** Bounded-attempt retry controls (backoff is in simulated seconds). */
+struct RetryPolicy
+{
+    int maxAttempts = 4;
+    double initialBackoffSec = 0.5;
+    double backoffMultiplier = 2.0;
+    double maxBackoffSec = 30.0;
+};
+
+/** The harness-wide default policy for measurement retries. */
+const RetryPolicy &defaultRetryPolicy();
+
+/**
+ * Metrics/log bookkeeping for one failed attempt that will be retried:
+ * counts retry.attempts, accumulates the simulated backoff, and emits a
+ * debug line. Split out of the template so it compiles once.
+ */
+void noteRetry(const char *what, const MeasureError &err,
+               double backoffSec, int attempt);
+
+/** Bookkeeping for a retry loop that gave up (retry.exhausted). */
+void noteRetriesExhausted(const char *what, const MeasureError &err,
+                          int attempts);
+
+/**
+ * Run `attemptFn(attempt)` (attempt = 0, 1, ...) until it succeeds, its
+ * error is not retryable, or the policy's attempts are exhausted.
+ * Backoff between attempts is exponential in simulated time (recorded,
+ * never slept). On exhaustion the last error is returned with cause
+ * RetriesExhausted so callers can distinguish "gave up" from "cannot
+ * ever work".
+ */
+template <typename T, typename Fn>
+Result<T>
+retryWithPolicy(const RetryPolicy &policy, const char *what, Fn &&attemptFn)
+{
+    double backoff = policy.initialBackoffSec;
+    MeasureError last;
+    for (int attempt = 0; attempt < policy.maxAttempts; ++attempt) {
+        Result<T> r = attemptFn(attempt);
+        if (r.ok())
+            return r;
+        last = r.error();
+        if (!retryableCause(last.cause))
+            return r;
+        if (attempt + 1 < policy.maxAttempts) {
+            noteRetry(what, last, backoff, attempt);
+            backoff = backoff * policy.backoffMultiplier;
+            if (backoff > policy.maxBackoffSec)
+                backoff = policy.maxBackoffSec;
+        }
+    }
+    noteRetriesExhausted(what, last, policy.maxAttempts);
+    return MeasureError{FailCause::RetriesExhausted,
+                        last.message + " (after " +
+                            std::to_string(policy.maxAttempts) +
+                            " attempts)"};
+}
+
+} // namespace aw

@@ -1,5 +1,6 @@
 #include "common/stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/log.hpp"
@@ -41,6 +42,28 @@ geomean(const std::vector<double> &xs)
         logsum += std::log(x);
     }
     return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+double
+median(std::vector<double> xs)
+{
+    if (xs.empty())
+        fatal("median() of empty vector");
+    std::sort(xs.begin(), xs.end());
+    size_t n = xs.size();
+    return n % 2 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double
+mad(const std::vector<double> &xs, double center)
+{
+    if (xs.empty())
+        fatal("mad() of empty vector");
+    std::vector<double> dev;
+    dev.reserve(xs.size());
+    for (double x : xs)
+        dev.push_back(std::abs(x - center));
+    return median(std::move(dev));
 }
 
 std::vector<double>

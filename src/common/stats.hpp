@@ -23,6 +23,16 @@ double stddev(const std::vector<double> &xs);
 /** Geometric mean; all inputs must be positive. */
 double geomean(const std::vector<double> &xs);
 
+/** Median; fatal on empty input. */
+double median(std::vector<double> xs);
+
+/**
+ * Median absolute deviation around `center` (pass the median). Robust
+ * scale estimate used by the measurement quorum's outlier rejection;
+ * multiply by 1.4826 for a gaussian-consistent sigma.
+ */
+double mad(const std::vector<double> &xs, double center);
+
 /**
  * Mean Absolute Percentage Error, in percent:
  * 100/n * sum |modeled - measured| / |measured|.

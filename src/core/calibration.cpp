@@ -1,5 +1,7 @@
 #include "core/calibration.hpp"
 
+#include <cmath>
+
 #include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "core/result_cache.hpp"
@@ -64,10 +66,31 @@ AccelWattchCalibrator::tuningPowerW()
         AW_PROF_SCOPE("calibrate/tuning_power");
         const auto &suite = tuningSuite();
         suitePowerW_ = parallelMap<double>(suite.size(), [&](size_t i) {
-            return measurePowerCached(oracle_, suite[i].kernel);
+            Result<double> r =
+                tryMeasurePowerCached(oracle_, suite[i].kernel);
+            if (r)
+                return *r;
+            // Skip-with-warning: the tuner runs on the reduced set
+            // rather than the campaign dying on one bad data point.
+            warn("skipping tuning microbenchmark %s: %s",
+                 suite[i].kernel.name.c_str(),
+                 r.error().message.c_str());
+            obs::metrics().counter("calibration.ubench_skipped").add(1);
+            return std::nan("");
         });
+        suiteUsable_.assign(suitePowerW_.size(), 1);
+        for (size_t i = 0; i < suitePowerW_.size(); ++i)
+            if (!std::isfinite(suitePowerW_[i]))
+                suiteUsable_[i] = 0;
     }
     return suitePowerW_;
+}
+
+const std::vector<char> &
+AccelWattchCalibrator::tuningUsable()
+{
+    tuningPowerW();
+    return suiteUsable_;
 }
 
 const CalibratedVariant &
@@ -81,10 +104,42 @@ AccelWattchCalibrator::variant(Variant v)
     obs::metrics().counter("calibration.variants_tuned").add(1);
     ActivityProvider provider(v, modelSim_, &nsight_);
     const auto &suite = tuningSuite();
+    const auto &powers = tuningPowerW();
+    const auto &usable = tuningUsable();
+
+    // Fault injection can knock individual microbenchmarks out of the
+    // campaign (NaN power, usable flag false). The tuner sees only the
+    // surviving subset; with faults off this is the identity filter.
+    std::vector<size_t> keep;
+    keep.reserve(suite.size());
+    for (size_t i = 0; i < suite.size(); ++i)
+        if (usable[i])
+            keep.push_back(i);
+    if (keep.size() < suite.size())
+        warn("tuning %s for %s on %zu of %zu microbenchmarks (%zu "
+             "skipped by measurement failures)",
+             variantName(v).c_str(), oracle_.config().name.c_str(),
+             keep.size(), suite.size(), suite.size() - keep.size());
+    // The QP needs healthy over-determination to pin ~20 component
+    // energies; below this the tuned model would be junk.
+    if (keep.size() < kNumPowerComponents + 4)
+        fatal("only %zu of %zu tuning microbenchmarks survived "
+              "measurement: too few to tune %s",
+              keep.size(), suite.size(), variantName(v).c_str());
+
     std::vector<KernelActivity> activities =
-        parallelMap<KernelActivity>(suite.size(), [&](size_t i) {
-            return collectActivityCached(provider, suite[i].kernel);
+        parallelMap<KernelActivity>(keep.size(), [&](size_t i) {
+            return collectActivityCached(provider, suite[keep[i]].kernel);
         });
+
+    std::vector<Microbenchmark> tuneSuite;
+    std::vector<double> tunePowers;
+    tuneSuite.reserve(keep.size());
+    tunePowers.reserve(keep.size());
+    for (size_t idx : keep) {
+        tuneSuite.push_back(suite[idx]);
+        tunePowers.push_back(powers[idx]);
+    }
 
     AccelWattchModel partial = partialModel();
     auto initial = initialEnergyEstimates();
@@ -99,10 +154,12 @@ AccelWattchCalibrator::variant(Variant v)
 
     CalibratedVariant cal;
     cal.variant = v;
-    cal.tuningFermi = tuneDynamicPower(tuningSuite(), tuningPowerW(),
+    cal.ubenchUsed = keep.size();
+    cal.ubenchSkipped = suite.size() - keep.size();
+    cal.tuningFermi = tuneDynamicPower(tuneSuite, tunePowers,
                                        activities, partial, initial,
                                        fermiOpts, &aggregates);
-    cal.tuningOnes = tuneDynamicPower(tuningSuite(), tuningPowerW(),
+    cal.tuningOnes = tuneDynamicPower(tuneSuite, tunePowers,
                                       activities, partial, initial,
                                       onesOpts, &aggregates);
 

@@ -36,6 +36,8 @@ struct CalibratedVariant
     AccelWattchModel modelOnes;  ///< all-ones-start model, for comparison
     TuningResult tuningFermi;
     TuningResult tuningOnes;
+    size_t ubenchUsed = 0;    ///< microbenchmarks the tuner saw
+    size_t ubenchSkipped = 0; ///< dropped to measurement failures
 };
 
 /** Calibration campaign against one GPU card (oracle). */
@@ -59,8 +61,17 @@ class AccelWattchCalibrator
     /** The tuning suite for this GPU. */
     const std::vector<Microbenchmark> &tuningSuite();
 
-    /** NVML power of each tuning microbenchmark (cached). */
+    /**
+     * NVML power of each tuning microbenchmark (cached). Always aligned
+     * with tuningSuite(): a microbenchmark whose measurement failed
+     * under fault injection (retries exhausted) holds NaN here and is
+     * flagged false in tuningUsable() — the tuner then runs on the
+     * reduced set. With faults off every entry is a real power.
+     */
     const std::vector<double> &tuningPowerW();
+
+    /** Per-microbenchmark usability flags, aligned with tuningSuite(). */
+    const std::vector<char> &tuningUsable();
 
     /** Fully tuned model for one variant (cached). */
     const CalibratedVariant &variant(Variant v);
@@ -84,6 +95,7 @@ class AccelWattchCalibrator
     std::optional<StaticPowerResult> static_;
     std::vector<Microbenchmark> suite_;
     std::vector<double> suitePowerW_;
+    std::vector<char> suiteUsable_;
     std::array<std::optional<CalibratedVariant>, kNumVariants> variants_;
 };
 

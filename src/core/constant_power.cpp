@@ -1,11 +1,13 @@
 #include "core/constant_power.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "core/result_cache.hpp"
+#include "obs/metrics.hpp"
 
 namespace aw {
 
@@ -29,25 +31,52 @@ estimateConstantPower(NvmlEmu &nvml,
     std::vector<double> intercepts;
     std::vector<double> linearIntercepts;
     // Every (workload, frequency) point is an independent measurement:
-    // flatten the grid so the task pool sees them all at once.
+    // flatten the grid so the task pool sees them all at once. Points
+    // lost to injected faults come back NaN and drop out of the fits.
     const size_t nf = freqsGhz.size();
     std::vector<double> grid = parallelMap<double>(
         workloads.size() * nf, [&](size_t i) {
-            return measurePowerCached(nvml.oracle(), workloads[i / nf],
-                                      freqsGhz[i % nf]);
+            Result<double> r = tryMeasurePowerCached(
+                nvml.oracle(), workloads[i / nf], freqsGhz[i % nf]);
+            if (r)
+                return *r;
+            warn("constant power: dropping %s @ %.2f GHz: %s",
+                 workloads[i / nf].name.c_str(), freqsGhz[i % nf],
+                 r.error().message.c_str());
+            obs::metrics().counter("calibration.dvfs_points_lost").add(1);
+            return std::nan("");
         });
     for (size_t w = 0; w < workloads.size(); ++w) {
         DvfsWorkloadFit fit;
         fit.name = workloads[w].name;
-        fit.freqsGhz = freqsGhz;
-        fit.powersW.assign(grid.begin() + static_cast<long>(w * nf),
-                           grid.begin() + static_cast<long>((w + 1) * nf));
+        for (size_t f = 0; f < nf; ++f) {
+            double p = grid[w * nf + f];
+            if (!std::isfinite(p))
+                continue;
+            fit.freqsGhz.push_back(freqsGhz[f]);
+            fit.powersW.push_back(p);
+        }
+        // Eq. 3 has three parameters: fewer than four surviving sweep
+        // points would make the intercept meaningless. Skip the
+        // workload; the estimate averages over the survivors.
+        if (fit.freqsGhz.size() < 4) {
+            warn("constant power: %s kept %zu/%zu sweep points; "
+                 "excluding workload from the intercept average",
+                 fit.name.c_str(), fit.freqsGhz.size(), nf);
+            obs::metrics()
+                .counter("calibration.dvfs_workloads_skipped")
+                .add(1);
+            continue;
+        }
         fit.cubicFit = fitCubicNoQuad(fit.freqsGhz, fit.powersW);
         fit.linearFit = fitLinear(fit.freqsGhz, fit.powersW);
         intercepts.push_back(fit.cubicFit.constant);
         linearIntercepts.push_back(fit.linearFit.intercept);
         result.fits.push_back(std::move(fit));
     }
+    if (intercepts.empty())
+        fatal("constant-power estimation lost every workload to "
+              "measurement failures");
     result.constPowerW = mean(intercepts);
     result.linearInterceptW = mean(linearIntercepts);
     return result;

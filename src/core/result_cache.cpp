@@ -8,6 +8,7 @@
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "hw/fault_injector.hpp"
 #include "hw/nsight.hpp"
 #include "hw/nvml.hpp"
 #include "obs/json.hpp"
@@ -280,10 +281,9 @@ fetchEntry(const ResultCache &cache, const std::string &key,
     const obs::JsonValue *schema = doc.find("schema");
     const obs::JsonValue *storedKey = doc.find("key");
     const obs::JsonValue *storedKind = doc.find("kind");
+    const obs::JsonValue *vcrc = doc.find("vcrc");
     const obs::JsonValue *val = doc.find("value");
-    if (!schema || !schema->isNumber() || !storedKey ||
-        !storedKey->isString() || !storedKind || !storedKind->isString() ||
-        !val) {
+    if (!schema || !schema->isNumber()) {
         warn("result cache: malformed entry %s; removing", path.c_str());
         std::error_code ec;
         fs::remove(path, ec);
@@ -298,11 +298,61 @@ fetchEntry(const ResultCache &cache, const std::string &key,
         reg.counter("cache.misses").add(1);
         return false;
     }
+    if (!storedKey || !storedKey->isString() || !storedKind ||
+        !storedKind->isString()) {
+        warn("result cache: malformed entry %s; removing", path.c_str());
+        std::error_code ec;
+        fs::remove(path, ec);
+        reg.counter("cache.corrupt").add(1);
+        reg.counter("cache.misses").add(1);
+        return false;
+    }
     if (storedKind->str != kind || storedKey->str != key) {
         // FNV collision (or foreign file named like our hash): do not
-        // trust, do not destroy.
+        // trust, do not destroy. Checked before the integrity gates so
+        // a foreign entry is never removed as "ours but damaged".
         warn("result cache: key collision on %s; ignoring entry",
              path.c_str());
+        reg.counter("cache.misses").add(1);
+        return false;
+    }
+    if (!vcrc || !vcrc->isString() || !val) {
+        warn("result cache: malformed entry %s; removing", path.c_str());
+        std::error_code ec;
+        fs::remove(path, ec);
+        reg.counter("cache.corrupt").add(1);
+        reg.counter("cache.misses").add(1);
+        return false;
+    }
+    // Torn-write detection: checksum the *raw* value text against the
+    // stored vcrc. A payload truncated or bit-flipped by an interrupted
+    // write can still parse as JSON (e.g. an array cut at an element
+    // boundary on a line that later re-closes); the checksum convicts
+    // it regardless.
+    const std::string &text = ss.str();
+    const char marker[] = ",\"value\":";
+    size_t pos = text.rfind(marker);
+    size_t end = text.find_last_of('}');
+    if (pos == std::string::npos || end == std::string::npos ||
+        end <= pos) {
+        warn("result cache: unparseable value in %s; removing",
+             path.c_str());
+        std::error_code ec;
+        fs::remove(path, ec);
+        reg.counter("cache.corrupt").add(1);
+        reg.counter("cache.misses").add(1);
+        return false;
+    }
+    std::string rawValue =
+        text.substr(pos + sizeof marker - 1, end - pos - sizeof marker + 1);
+    if (hex16(fnv1a64(rawValue)) != vcrc->str) {
+        warn("result cache: torn entry %s (value checksum mismatch); "
+             "removing",
+             path.c_str());
+        std::error_code ec;
+        fs::remove(path, ec);
+        reg.counter("cache.torn").add(1);
+        reg.counter("cache.corrupt").add(1);
         reg.counter("cache.misses").add(1);
         return false;
     }
@@ -321,12 +371,22 @@ storeEntry(const ResultCache &cache, const std::string &key,
     static std::atomic<uint64_t> tmpId{0};
     std::string tmp =
         path + ".tmp" + std::to_string(tmpId.fetch_add(1) + 1);
+    // `value` is the last member on purpose: a truncated file loses the
+    // payload first, and the vcrc checksum (FNV-1a of the raw value
+    // text) convicts any remains that still happen to parse.
+    std::string payload;
+    {
+        std::ostringstream os;
+        os << "{\"schema\":" << kResultCacheSchemaVersion
+           << ",\"kind\":\"" << kind << "\",\"key\":\""
+           << obs::jsonEscape(key) << "\",\"vcrc\":\""
+           << hex16(fnv1a64(valueJson)) << "\",\"value\":" << valueJson
+           << "}\n";
+        payload = os.str();
+    }
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        out << "{\"schema\":" << kResultCacheSchemaVersion
-            << ",\"kind\":\"" << kind << "\",\"key\":\""
-            << obs::jsonEscape(key) << "\",\"value\":" << valueJson
-            << "}\n";
+        out << payload;
         if (!out.good()) {
             warn("result cache: cannot write %s", tmp.c_str());
             fs::remove(tmp, ec);
@@ -343,6 +403,30 @@ storeEntry(const ResultCache &cache, const std::string &key,
         return;
     }
     obs::metrics().counter("cache.writes").add(1);
+
+    // Fault injection: simulate a torn write (crash on a filesystem
+    // whose rename is not atomic) by truncating the published entry.
+    // Stateless in (chaos seed, key), so the same keys tear on every
+    // run regardless of thread count — and the reader's recovery path
+    // is exercised deterministically.
+    FaultConfig cfg = FaultInjector::globalConfig();
+    double rate = cfg.rate(FaultClass::CacheCorrupt);
+    if (rate > 0) {
+        uint64_t salt = fnv1a64(key);
+        if (faultRoll(cfg.seed, FaultClass::CacheCorrupt, salt) < rate) {
+            double frac =
+                0.2 + 0.6 * faultRoll(cfg.seed, FaultClass::CacheCorrupt,
+                                      splitmix64(salt));
+            auto cut = static_cast<uintmax_t>(
+                static_cast<double>(payload.size()) * frac);
+            fs::resize_file(path, cut, ec);
+            obs::metrics()
+                .counter("faults.injected.cache_corrupt")
+                .add(1);
+            AW_DEBUGF("core", "fault: tore cache entry %s at %ju/%zu "
+                      "bytes", path.c_str(), cut, payload.size());
+        }
+    }
 }
 
 } // namespace
@@ -396,6 +480,26 @@ ResultCache::storeActivity(const std::string &key, const KernelActivity &act)
     storeEntry(*this, key, "activity", activityToJson(act));
 }
 
+namespace {
+
+/**
+ * Key suffix for fault-injected runs: results measured under chaos are
+ * perturbed, so they must never collide with (or poison) the clean
+ * cache. The canonical spec includes the seed, so two chaos campaigns
+ * with different seeds are also kept apart. Empty when faults are off —
+ * keys (and thus warm caches) are bit-identical to the historical ones.
+ */
+std::string
+faultKeySuffix()
+{
+    FaultConfig cfg = FaultInjector::globalConfig();
+    if (!cfg.enabled())
+        return "";
+    return ";faults{" + cfg.describe() + "}";
+}
+
+} // namespace
+
 std::string
 powerMeasurementKey(const SiliconOracle &oracle,
                     const KernelDescriptor &desc, double lockedFreqGhz,
@@ -404,7 +508,8 @@ powerMeasurementKey(const SiliconOracle &oracle,
     std::ostringstream os;
     os << "power;card=" << hex16(oracle.cacheSalt()) << ";"
        << describeGpuConfig(oracle.config()) << ";" << describeKernel(desc)
-       << ";lock=" << num(lockedFreqGhz) << ";reps=" << repetitions;
+       << ";lock=" << num(lockedFreqGhz) << ";reps=" << repetitions
+       << faultKeySuffix();
     return os.str();
 }
 
@@ -429,6 +534,11 @@ activityKey(const ActivityProvider &provider, const KernelDescriptor &desc,
         os << ";card=" << hex16(provider.nsight()->oracle().cacheSalt());
     os << ";" << describeGpuConfig(provider.sim().gpu()) << ";"
        << describeKernel(desc) << ";" << describeConditions(cond);
+    // Only the counter-backed variants see injected faults; the pure
+    // software variants stay on the clean keys.
+    if (provider.variant() == Variant::Hw ||
+        provider.variant() == Variant::Hybrid)
+        os << faultKeySuffix();
     return os.str();
 }
 
@@ -442,9 +552,18 @@ sassRunKey(const GpuSimulator &sim, const KernelDescriptor &desc,
     return os.str();
 }
 
-double
-measurePowerCached(const SiliconOracle &oracle, const KernelDescriptor &desc,
-                   double lockedFreqGhz, int repetitions)
+namespace {
+
+/** Salt distinguishing the fault stream's seed from the NVML noise
+ *  seed, both of which derive from the same cache key. */
+constexpr uint64_t kFaultStreamSalt = 0xFA017ULL;
+
+} // namespace
+
+Result<double>
+tryMeasurePowerCached(const SiliconOracle &oracle,
+                      const KernelDescriptor &desc, double lockedFreqGhz,
+                      int repetitions)
 {
     std::string key =
         powerMeasurementKey(oracle, desc, lockedFreqGhz, repetitions);
@@ -452,15 +571,47 @@ measurePowerCached(const SiliconOracle &oracle, const KernelDescriptor &desc,
     double value = 0;
     if (cache.fetchPower(key, value))
         return value;
-    // Fresh session per measurement, seeded from the key: the NVML noise
-    // stream depends only on what is measured, so results are identical
-    // whichever thread runs this and in whatever order.
-    NvmlEmu session(oracle, splitmix64(fnv1a64(key) ^ 0xA11CEULL));
-    if (lockedFreqGhz > 0)
-        session.lockClocks(lockedFreqGhz);
-    value = session.measureAveragePowerW(desc, repetitions);
-    cache.storePower(key, value);
-    return value;
+    // One fault stream per measurement, seeded from the cache key just
+    // like the noise stream: which faults fire depends only on *what*
+    // is measured, never on thread count or campaign order, and a
+    // replayed measurement reproduces the identical fault sequence.
+    // The stream is shared across retry attempts, so each attempt
+    // advances it — a retry can clear a transient fault.
+    FaultStream faults(FaultInjector::globalConfig(),
+                       splitmix64(fnv1a64(key) ^ kFaultStreamSalt));
+    const uint64_t noiseSeed = splitmix64(fnv1a64(key) ^ 0xA11CEULL);
+    Result<double> r = retryWithPolicy<double>(
+        defaultRetryPolicy(), desc.name.c_str(), [&](int attempt) {
+            // Fresh session per attempt — a driver reset tears down the
+            // old one (and its clock lock). Attempt 0 keeps the
+            // historical noise seed so fault-free runs stay
+            // bit-identical; later attempts (which only exist under
+            // faults) re-seed so they draw fresh noise.
+            uint64_t seed = attempt == 0
+                                ? noiseSeed
+                                : splitmix64(noiseSeed +
+                                             static_cast<uint64_t>(attempt));
+            NvmlEmu session(oracle, seed);
+            if (faults.active())
+                session.setFaultStream(&faults);
+            if (lockedFreqGhz > 0)
+                session.lockClocks(lockedFreqGhz);
+            return session.tryMeasureAveragePowerW(desc, repetitions);
+        });
+    if (r)
+        cache.storePower(key, *r);
+    return r;
+}
+
+double
+measurePowerCached(const SiliconOracle &oracle, const KernelDescriptor &desc,
+                   double lockedFreqGhz, int repetitions)
+{
+    Result<double> r =
+        tryMeasurePowerCached(oracle, desc, lockedFreqGhz, repetitions);
+    if (!r)
+        fatal("%s", r.error().message.c_str());
+    return *r;
 }
 
 KernelActivity
@@ -473,7 +624,29 @@ collectActivityCached(const ActivityProvider &provider,
     KernelActivity act;
     if (cache.fetchActivity(key, act))
         return act;
-    act = provider.collect(desc, cond);
+    FaultStream faults(FaultInjector::globalConfig(),
+                       splitmix64(fnv1a64(key) ^ kFaultStreamSalt));
+    Result<KernelActivity> r = retryWithPolicy<KernelActivity>(
+        defaultRetryPolicy(), desc.name.c_str(), [&](int) {
+            return provider.tryCollect(
+                desc, cond, faults.active() ? &faults : nullptr);
+        });
+    if (r) {
+        act = std::move(*r);
+    } else {
+        // Nsight is persistently down for this kernel: fall back to the
+        // pure software activity model (HW -> SASS SIM, Section 5.2's
+        // accuracy ordering makes this the best available substitute)
+        // rather than killing the campaign.
+        warn("%s activity for %s unavailable (%s); falling back to "
+             "SASS SIM",
+             variantName(provider.variant()).c_str(), desc.name.c_str(),
+             r.error().message.c_str());
+        obs::metrics().counter("activity.variant_fallbacks").add(1);
+        SimOptions opts;
+        opts.freqGhz = cond.freqGhz;
+        act = runSassCached(provider.sim(), desc, opts);
+    }
     cache.storeActivity(key, act);
     return act;
 }

@@ -17,9 +17,19 @@
  * $AW_CACHE_DIR (default `results/cache/`). Files carry the full
  * human-readable key string, so hash collisions are detected (not just
  * assumed away) and entries are self-describing. Writes go through a
- * temp file + rename, so readers never observe a torn entry; a corrupt
- * file (killed process, disk hiccup) is warned about, removed, and
- * treated as a miss. `AW_CACHE=off` disables the cache entirely.
+ * temp file + rename, so readers never observe a torn entry; on top of
+ * the schema check, each entry stores an FNV-1a checksum of its value
+ * payload (`vcrc`) and a truncated or bit-flipped payload — e.g. a
+ * torn write that survived a crash mid-rename on a non-atomic
+ * filesystem — is rejected even when the remains still parse as JSON.
+ * A corrupt file is warned about, removed, and treated as a miss.
+ * `AW_CACHE=off` disables the cache entirely.
+ *
+ * Fault injection: with a `cache_corrupt` rate configured (AW_FAULTS),
+ * stores deterministically tear a fraction of entries after the
+ * publish, exercising exactly that recovery path. Fault-injected runs
+ * also suffix every key with the canonical fault spec, so chaos
+ * campaigns never pollute the clean cache (and vice versa).
  *
  * Doubles are serialized with obs::jsonNumber (shortest form that
  * round-trips exactly), so a warm-cache run is bit-identical to the
@@ -46,8 +56,9 @@
 
 namespace aw {
 
-/** Bump to invalidate every existing cache entry. */
-constexpr int kResultCacheSchemaVersion = 1;
+/** Bump to invalidate every existing cache entry.
+ *  v2: entries carry a `vcrc` value checksum (torn-write detection). */
+constexpr int kResultCacheSchemaVersion = 2;
 
 /** FNV-1a 64-bit hash of a byte string (the cache's content address). */
 uint64_t fnv1a64(const std::string &s);
@@ -108,16 +119,38 @@ std::string sassRunKey(const GpuSimulator &sim,
 /**
  * Measure a kernel's average power the Section 4.1 way, memoized.
  * Equivalent to NvmlEmu::lockClocks(lockedFreqGhz) +
- * measureAveragePowerW(desc, repetitions) on a fresh session whose
+ * tryMeasureAveragePowerW(desc, repetitions) on a fresh session whose
  * noise seed derives from the cache key — deterministic regardless of
  * measurement order or thread count.
+ *
+ * Under an active fault config the measurement runs inside a bounded
+ * retry loop (exponential backoff in simulated time) against a
+ * FaultStream seeded from the same cache key: replaying a measurement
+ * reproduces the identical fault sequence no matter the AW_THREADS
+ * setting or campaign order, while each retry attempt continues the
+ * stream and so can clear transient faults. Non-retryable causes
+ * (KernelTooShort) and exhausted retries surface as errors for the
+ * caller to skip.
  */
+Result<double> tryMeasurePowerCached(const SiliconOracle &oracle,
+                                     const KernelDescriptor &desc,
+                                     double lockedFreqGhz = 0,
+                                     int repetitions = 5);
+
+/** tryMeasurePowerCached, fatal() on any error — for benches and
+ *  figure code with no skip path. */
 double measurePowerCached(const SiliconOracle &oracle,
                           const KernelDescriptor &desc,
                           double lockedFreqGhz = 0, int repetitions = 5);
 
 /** ActivityProvider::collect, memoized (keyed on variant, hybrid
- *  component set, GPU config, card identity, kernel, conditions). */
+ *  component set, GPU config, card identity, kernel, conditions).
+ *  Resilient under fault injection: transient Nsight failures are
+ *  retried with backoff, persistently-broken counters are substituted
+ *  per component, and if collection keeps failing the HW/HYBRID
+ *  variants fall back to the full SASS SIM activity (warned and
+ *  counted in activity.variant_fallbacks) — the campaign never dies
+ *  here. */
 KernelActivity collectActivityCached(const ActivityProvider &provider,
                                      const KernelDescriptor &desc,
                                      const MeasurementConditions &cond = {});

@@ -7,25 +7,51 @@
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "core/result_cache.hpp"
+#include "obs/metrics.hpp"
 #include "solver/polyfit.hpp"
 #include "ubench/microbench.hpp"
 
 namespace aw {
 
-double
-measureStaticPowerW(NvmlEmu &nvml, const KernelDescriptor &kernel,
-                    const std::vector<double> &sweepFreqsGhz)
+Result<double>
+tryMeasureStaticPowerW(NvmlEmu &nvml, const KernelDescriptor &kernel,
+                       const std::vector<double> &sweepFreqsGhz)
 {
     AW_ASSERT(sweepFreqsGhz.size() >= 3);
     std::vector<double> powers =
         parallelMap<double>(sweepFreqsGhz.size(), [&](size_t i) {
-            return measurePowerCached(nvml.oracle(), kernel,
-                                      sweepFreqsGhz[i]);
+            Result<double> r = tryMeasurePowerCached(
+                nvml.oracle(), kernel, sweepFreqsGhz[i]);
+            return r ? *r : std::nan("");
         });
-    auto fit = fitCubicNoQuad(sweepFreqsGhz, powers);
+    std::vector<double> fs, ps;
+    for (size_t i = 0; i < powers.size(); ++i) {
+        if (!std::isfinite(powers[i]))
+            continue;
+        fs.push_back(sweepFreqsGhz[i]);
+        ps.push_back(powers[i]);
+    }
+    if (ps.size() < 3)
+        return MeasureError{
+            FailCause::SampleLoss,
+            strprintf("static sweep of %s kept %zu of %zu points: too "
+                      "few for the Eq. 3 fit",
+                      kernel.name.c_str(), ps.size(),
+                      sweepFreqsGhz.size())};
+    auto fit = fitCubicNoQuad(fs, ps);
     // The tau*f term at the default application clock is the static
     // power estimate (Section 4.4).
     return fit.tau * nvml.oracle().config().defaultClockGhz;
+}
+
+double
+measureStaticPowerW(NvmlEmu &nvml, const KernelDescriptor &kernel,
+                    const std::vector<double> &sweepFreqsGhz)
+{
+    Result<double> r = tryMeasureStaticPowerW(nvml, kernel, sweepFreqsGhz);
+    if (!r)
+        fatal("%s", r.error().message.c_str());
+    return *r;
 }
 
 StaticPowerResult
@@ -63,9 +89,17 @@ calibrateStaticPower(NvmlEmu &nvml, double constPowerW,
                 probes[i].lanes);
             // The probe's mix must actually classify as the category it
             // calibrates, or the model table would be inconsistent.
-            return measureStaticPowerW(nvml, probe, opts.sweepFreqsGhz);
+            Result<double> r =
+                tryMeasureStaticPowerW(nvml, probe, opts.sweepFreqsGhz);
+            if (r)
+                return *r;
+            warn("static power: lost divergence probe %s: %s",
+                 probe.name.c_str(), r.error().message.c_str());
+            obs::metrics().counter("calibration.lane_probes_lost").add(1);
+            return std::nan("");
         });
 
+    std::vector<size_t> fallbackCategories;
     size_t probeIdx = 0;
     for (size_t c = 0; c < kNumMixCategories; ++c) {
         auto category = static_cast<MixCategory>(c);
@@ -82,9 +116,28 @@ calibrateStaticPower(NvmlEmu &nvml, double constPowerW,
             AW_ASSERT(probeIdx < probes.size() &&
                       probes[probeIdx].category == c &&
                       probes[probeIdx].lanes == y);
-            cal.lanes.push_back(y);
-            cal.staticW.push_back(probeStaticW[probeIdx]);
+            // Probes lost to injected faults drop out of the series.
+            if (std::isfinite(probeStaticW[probeIdx])) {
+                cal.lanes.push_back(y);
+                cal.staticW.push_back(probeStaticW[probeIdx]);
+            }
             ++probeIdx;
+        }
+
+        // Eqs. 4-5 are built from the y=1 and y=32 endpoints; without
+        // both, this category cannot be fitted. Borrow the IntFp model
+        // (the same degradation path Volta's missing tensor category
+        // takes) once the loop has filled it in.
+        if (cal.lanes.size() < 2 || cal.lanes.front() != 1 ||
+            cal.lanes.back() != 32) {
+            warn("static power: category %d lost an endpoint probe; "
+                 "falling back to the IntFp divergence model",
+                 static_cast<int>(c));
+            obs::metrics()
+                .counter("calibration.divergence_fallbacks")
+                .add(1);
+            fallbackCategories.push_back(c);
+            continue;
         }
 
         double at1 = cal.staticW.front();
@@ -109,6 +162,16 @@ calibrateStaticPower(NvmlEmu &nvml, double constPowerW,
         result.details.push_back(std::move(cal));
     }
 
+    if (!fallbackCategories.empty()) {
+        constexpr size_t intFp = static_cast<size_t>(MixCategory::IntFp);
+        if (std::find(fallbackCategories.begin(), fallbackCategories.end(),
+                      intFp) != fallbackCategories.end())
+            fatal("static power: the IntFp divergence probes failed; no "
+                  "fallback model available");
+        for (size_t c : fallbackCategories)
+            result.divergence[c] = result.divergence[intFp];
+    }
+
     // --- idle-SM power (Section 4.6, Eqs. 6-8) ----------------------------
     const int numSms = nvml.oracle().config().numSms;
     std::vector<double> idleEstimates;
@@ -128,10 +191,18 @@ calibrateStaticPower(NvmlEmu &nvml, double constPowerW,
     }
     std::vector<double> idlePowerW =
         parallelMap<double>(idleProbes.size(), [&](size_t i) {
-            return measurePowerCached(
+            Result<double> r = tryMeasurePowerCached(
                 nvml.oracle(),
                 occupancyKernel(idleProbes[i].activeSms,
                                 idleProbes[i].flavor));
+            if (r)
+                return *r;
+            warn("static power: lost idle-SM probe (%d SMs, flavor %d): "
+                 "%s",
+                 idleProbes[i].activeSms, idleProbes[i].flavor,
+                 r.error().message.c_str());
+            obs::metrics().counter("calibration.idle_probes_lost").add(1);
+            return std::nan("");
         });
 
     size_t idleIdx = 0;
@@ -139,7 +210,15 @@ calibrateStaticPower(NvmlEmu &nvml, double constPowerW,
         AW_ASSERT(idleProbes[idleIdx].flavor == flavor &&
                   idleProbes[idleIdx].activeSms == numSms);
         double pFull = idlePowerW[idleIdx++];
-        double perActive = (pFull - constPowerW) / numSms; // Eq. 6
+        // Without the full-chip reference, Eq. 6 has no per-active-SM
+        // estimate and the flavor's experiments are uninterpretable.
+        const bool flavorOk = std::isfinite(pFull);
+        if (!flavorOk)
+            warn("static power: flavor %d lost its full-occupancy "
+                 "reference; dropping its idle-SM experiments",
+                 flavor);
+        double perActive =
+            flavorOk ? (pFull - constPowerW) / numSms : 0; // Eq. 6
         for (int n : opts.idleOccupancies) {
             if (n >= numSms)
                 continue;
@@ -147,6 +226,8 @@ calibrateStaticPower(NvmlEmu &nvml, double constPowerW,
             exp.activeSms = n;
             AW_ASSERT(idleProbes[idleIdx].activeSms == n);
             exp.totalPowerW = idlePowerW[idleIdx++];
+            if (!flavorOk || !std::isfinite(exp.totalPowerW))
+                continue;
             double idleSmsW =
                 exp.totalPowerW - constPowerW - perActive * n; // Eq. 7
             exp.perIdleSmW = idleSmsW / (numSms - n);

@@ -78,4 +78,13 @@ StaticPowerResult calibrateStaticPower(
 double measureStaticPowerW(NvmlEmu &nvml, const KernelDescriptor &kernel,
                            const std::vector<double> &sweepFreqsGhz);
 
+/**
+ * Fault-tolerant variant: sweep points whose measurement fails are
+ * dropped from the fit; fewer than three survivors (Eq. 3 has three
+ * parameters) is a SampleLoss error for the caller to handle.
+ */
+Result<double> tryMeasureStaticPowerW(
+    NvmlEmu &nvml, const KernelDescriptor &kernel,
+    const std::vector<double> &sweepFreqsGhz);
+
 } // namespace aw

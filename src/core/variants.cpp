@@ -1,6 +1,7 @@
 #include "core/variants.hpp"
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace aw {
 
@@ -62,6 +63,47 @@ ActivityProvider::collect(const KernelDescriptor &desc,
       default:
         panic("bad variant");
     }
+}
+
+Result<KernelActivity>
+ActivityProvider::tryCollect(const KernelDescriptor &desc,
+                             const MeasurementConditions &cond,
+                             FaultStream *faults) const
+{
+    if (variant_ == Variant::SassSim || variant_ == Variant::PtxSim)
+        return collect(desc, cond); // software models cannot fail
+
+    Result<NsightEmu::Collection> col =
+        nsight_->tryCollectCounters(desc, cond, faults);
+    if (!col)
+        return col.error();
+
+    SimOptions opts;
+    opts.freqGhz = cond.freqGhz;
+    KernelActivity hw = std::move(col->activity);
+    AW_ASSERT(hw.samples.size() == 1);
+
+    const bool hybrid = variant_ == Variant::Hybrid;
+    if (!col->unavailable.empty() || hybrid) {
+        ActivitySample swAgg = sim_.runSass(desc, opts).aggregate();
+        for (PowerComponent c : col->unavailable)
+            hw.samples[0].accesses[componentIndex(c)] =
+                swAgg.accesses[componentIndex(c)];
+        if (!col->unavailable.empty()) {
+            obs::metrics()
+                .counter("activity.component_fallbacks")
+                .add(static_cast<double>(col->unavailable.size()));
+            AW_DEBUGF("core", "%s %s: %zu counters unavailable; "
+                      "substituting SASS SIM activity",
+                      variantName(variant_).c_str(), desc.name.c_str(),
+                      col->unavailable.size());
+        }
+        if (hybrid)
+            for (PowerComponent c : hybridComponents_)
+                hw.samples[0].accesses[componentIndex(c)] =
+                    swAgg.accesses[componentIndex(c)];
+    }
+    return hw;
 }
 
 } // namespace aw

@@ -68,6 +68,19 @@ class ActivityProvider
     KernelActivity collect(const KernelDescriptor &desc,
                            const MeasurementConditions &cond = {}) const;
 
+    /**
+     * Fault-aware collection. The software variants cannot fail; the
+     * HW/HYBRID variants propagate transient Nsight collection failures
+     * (retryable) and transparently substitute the SASS simulation's
+     * activity for any component whose hardware counter is persistently
+     * broken under the active fault config — the per-component half of
+     * the HW -> SASS SIM fallback. With a null or inactive stream this
+     * is exactly collect().
+     */
+    Result<KernelActivity> tryCollect(const KernelDescriptor &desc,
+                                      const MeasurementConditions &cond,
+                                      FaultStream *faults) const;
+
     /** The software performance model backing this provider. */
     const GpuSimulator &sim() const { return sim_; }
 

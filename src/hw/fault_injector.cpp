@@ -1,0 +1,210 @@
+#include "hw/fault_injector.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace aw {
+
+const std::string &
+faultClassName(FaultClass c)
+{
+    static const std::string names[] = {
+        "nvml_dropout", "stale_sample",    "driver_reset",
+        "counter_mux_noise", "counter_fail", "thermal_runaway",
+        "cache_corrupt",
+    };
+    size_t i = static_cast<size_t>(c);
+    AW_ASSERT(i < kNumFaultClasses);
+    return names[i];
+}
+
+bool
+FaultConfig::enabled() const
+{
+    for (double r : rates)
+        if (r > 0)
+            return true;
+    return false;
+}
+
+std::string
+FaultConfig::describe() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (size_t i = 0; i < kNumFaultClasses; ++i) {
+        if (rates[i] <= 0)
+            continue;
+        os << (first ? "" : ",")
+           << faultClassName(static_cast<FaultClass>(i)) << ':'
+           << obs::jsonNumber(rates[i]);
+        first = false;
+    }
+    os << (first ? "" : ",") << "seed:" << seed;
+    return os.str();
+}
+
+FaultConfig
+parseFaultSpec(const std::string &spec)
+{
+    FaultConfig cfg;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        std::string item = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        size_t colon = item.find(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= item.size())
+            fatal("AW_FAULTS entry '%s' must be CLASS:RATE or seed:N",
+                  item.c_str());
+        std::string name = item.substr(0, colon);
+        std::string value = item.substr(colon + 1);
+        if (name == "seed") {
+            char *end = nullptr;
+            cfg.seed = std::strtoull(value.c_str(), &end, 0);
+            if (!end || *end != '\0')
+                fatal("AW_FAULTS seed '%s' is not an integer",
+                      value.c_str());
+        } else {
+            bool known = false;
+            for (size_t i = 0; i < kNumFaultClasses; ++i) {
+                if (name == faultClassName(static_cast<FaultClass>(i))) {
+                    char *end = nullptr;
+                    double rate = std::strtod(value.c_str(), &end);
+                    if (!end || *end != '\0' || !(rate >= 0) || rate > 1)
+                        fatal("AW_FAULTS rate '%s' for %s must be in "
+                              "[0, 1]",
+                              value.c_str(), name.c_str());
+                    cfg.rates[i] = rate;
+                    known = true;
+                    break;
+                }
+            }
+            if (!known)
+                fatal("unknown AW_FAULTS class '%s' (known: nvml_dropout "
+                      "stale_sample driver_reset counter_mux_noise "
+                      "counter_fail thermal_runaway cache_corrupt seed)",
+                      name.c_str());
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return cfg;
+}
+
+namespace {
+
+std::mutex gFaultMutex;
+
+FaultConfig &
+globalSlot()
+{
+    static FaultConfig cfg = [] {
+        FaultConfig c;
+        if (const char *spec = std::getenv("AW_FAULTS"); spec && *spec)
+            c = parseFaultSpec(spec);
+        if (const char *seed = std::getenv("AW_FAULTS_SEED");
+            seed && *seed) {
+            char *end = nullptr;
+            c.seed = std::strtoull(seed, &end, 0);
+            if (!end || *end != '\0')
+                fatal("AW_FAULTS_SEED '%s' is not an integer", seed);
+        }
+        if (c.enabled())
+            inform("fault injection active: %s", c.describe().c_str());
+        return c;
+    }();
+    return cfg;
+}
+
+} // namespace
+
+FaultConfig
+FaultInjector::globalConfig()
+{
+    std::lock_guard<std::mutex> lock(gFaultMutex);
+    return globalSlot();
+}
+
+void
+FaultInjector::setGlobalConfig(const FaultConfig &cfg)
+{
+    std::lock_guard<std::mutex> lock(gFaultMutex);
+    globalSlot() = cfg;
+}
+
+bool
+FaultInjector::enabled()
+{
+    std::lock_guard<std::mutex> lock(gFaultMutex);
+    return globalSlot().enabled();
+}
+
+namespace {
+
+/** Hash (seed, class, salt) into a uniform double in [0, 1). */
+double
+hashToUniform(uint64_t seed, FaultClass c, uint64_t salt)
+{
+    uint64_t h = splitmix64(
+        seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(c) + 1)) ^
+        splitmix64(salt));
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+double
+faultRoll(uint64_t seed, FaultClass c, uint64_t salt)
+{
+    return hashToUniform(seed, c, salt);
+}
+
+double
+FaultStream::roll(FaultClass c)
+{
+    size_t i = static_cast<size_t>(c);
+    return hashToUniform(seed_ ^ cfg_.seed, c, draws_[i]++);
+}
+
+bool
+FaultStream::fires(FaultClass c)
+{
+    if (!active_ || cfg_.rate(c) <= 0)
+        return false;
+    if (roll(c) >= cfg_.rate(c))
+        return false;
+    obs::metrics()
+        .counter("faults.injected." + faultClassName(c))
+        .add(1);
+    return true;
+}
+
+double
+FaultStream::uniform(FaultClass c)
+{
+    return roll(c);
+}
+
+double
+FaultStream::gaussian(FaultClass c, double sigma)
+{
+    double u1 = roll(c);
+    double u2 = roll(c);
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    return sigma * std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(6.283185307179586 * u2);
+}
+
+} // namespace aw

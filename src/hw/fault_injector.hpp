@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the hardware substrate.
+ *
+ * The paper's calibration campaign runs against real silicon, where
+ * labs see NVML sample dropouts, stale readings, driver resets,
+ * counter-multiplexing noise, thermal throttling mid-run, and torn
+ * cache writes. The emulated substrate never exhibits those failure
+ * modes on its own, so this layer injects them on demand — making the
+ * resilient calibration harness testable — while guaranteeing that a
+ * configuration with every rate at zero leaves the pipeline
+ * bit-identical to a build without the layer.
+ *
+ * Configuration comes from the AW_FAULTS environment variable (or the
+ * CLI --faults flag / FaultInjector::setGlobalConfig in tests), a
+ * comma-separated list of `class:rate` pairs plus an optional
+ * `seed:<uint64>` entry:
+ *
+ *   AW_FAULTS=nvml_dropout:0.05,stale_sample:0.02,driver_reset:0.005,\
+ *             counter_mux_noise:0.03,counter_fail:0.02,\
+ *             thermal_runaway:0.01,cache_corrupt:0.01,seed:7
+ *
+ * Determinism: faults are drawn from counter-based hashes, never from
+ * shared mutable state. A FaultStream is seeded per measurement from
+ * the result-cache key (exactly like the NVML noise stream), so which
+ * faults fire depends only on *what* is measured — never on thread
+ * count or measurement order — and a re-run replays the identical
+ * fault sequence, retries included. Per-class draw counters keep the
+ * classes independent: enabling one class never shifts another's
+ * stream.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace aw {
+
+/** The injectable failure modes. */
+enum class FaultClass : uint8_t
+{
+    NvmlDropout,     ///< power sample dropped or read back as NaN
+    StaleSample,     ///< NVML returns the previous reading again
+    DriverReset,     ///< mid-measurement reset aborts the repetition set
+    CounterMuxNoise, ///< multiplexing noise on individual Nsight counters
+    CounterFail,     ///< counter collection fails / counter broken
+    ThermalRunaway,  ///< throttling excursion above the 65 C setpoint
+    CacheCorrupt,    ///< torn/truncated result-cache entry write
+    NumClasses
+};
+
+constexpr size_t kNumFaultClasses =
+    static_cast<size_t>(FaultClass::NumClasses);
+
+/** Grammar token of a class, e.g. "nvml_dropout". */
+const std::string &faultClassName(FaultClass c);
+
+/** Per-class fault rates plus the chaos seed. All-zero = inactive. */
+struct FaultConfig
+{
+    std::array<double, kNumFaultClasses> rates{};
+    uint64_t seed = 0;
+
+    double rate(FaultClass c) const
+    {
+        return rates[static_cast<size_t>(c)];
+    }
+    bool enabled() const;
+
+    /** Canonical spec string ("class:rate,...,seed:N", nonzero rates
+     *  only) — folded into result-cache keys so faulted measurements
+     *  never collide with clean ones. */
+    std::string describe() const;
+};
+
+/** Parse the AW_FAULTS grammar; fatal() on malformed specs. */
+FaultConfig parseFaultSpec(const std::string &spec);
+
+/**
+ * Process-wide fault configuration, initialized lazily from AW_FAULTS /
+ * AW_FAULTS_SEED. setGlobalConfig (tests, CLI) must not race with an
+ * in-flight parallel campaign — configure before measuring.
+ */
+class FaultInjector
+{
+  public:
+    static FaultConfig globalConfig();
+    static void setGlobalConfig(const FaultConfig &cfg);
+    static bool enabled();
+};
+
+/**
+ * Stateless uniform draw in [0, 1) for faults that have no natural
+ * stream position (persistent per-component counter gaps, per-key torn
+ * cache writes): deterministic in (seed, class, salt) alone.
+ */
+double faultRoll(uint64_t seed, FaultClass c, uint64_t salt);
+
+/**
+ * Per-measurement fault source. Constructed from the fault config and a
+ * stream seed derived from the measurement's cache key; every draw is a
+ * counter-based hash, so the sequence of faults is a pure function of
+ * (config, stream seed, call sequence). The stream is shared across the
+ * retry attempts of one measurement: attempt 2 continues the stream
+ * where attempt 1 left it, so retries can clear transient faults while
+ * the whole retried sequence stays replayable.
+ */
+class FaultStream
+{
+  public:
+    /** Inactive stream: fires() is always false, no draws consumed. */
+    FaultStream() = default;
+
+    FaultStream(const FaultConfig &cfg, uint64_t streamSeed)
+        : cfg_(cfg), seed_(streamSeed), active_(cfg.enabled())
+    {}
+
+    bool active() const { return active_; }
+
+    /** Does the next event of this class fire? Counts the injection in
+     *  the faults.injected.<class> metric when it does. */
+    bool fires(FaultClass c);
+
+    /** Extra deterministic uniform in [0,1) (fault magnitudes). */
+    double uniform(FaultClass c);
+
+    /** Deterministic zero-mean gaussian with the given sigma. */
+    double gaussian(FaultClass c, double sigma);
+
+    const FaultConfig &config() const { return cfg_; }
+
+  private:
+    double roll(FaultClass c);
+
+    FaultConfig cfg_{};
+    uint64_t seed_ = 0;
+    bool active_ = false;
+    std::array<uint32_t, kNumFaultClasses> draws_{};
+};
+
+} // namespace aw

@@ -9,9 +9,20 @@
  * precharge (Table 1, shaded). The emulation reproduces those gaps:
  * counterless components report zero activity, and DRAM activity is
  * under-reported by its precharge share.
+ *
+ * Fault injection extends the realism: tryCollectCounters can fail
+ * transiently (CounterFailure, retryable), add multiplexing noise to
+ * individual counters, and report components whose counters are
+ * *persistently* broken on this card (deterministic in the chaos seed
+ * and card identity) so the activity provider can fall back to the
+ * software model for them.
  */
 #pragma once
 
+#include <vector>
+
+#include "common/retry.hpp"
+#include "hw/fault_injector.hpp"
 #include "hw/silicon_model.hpp"
 
 namespace aw {
@@ -27,15 +38,50 @@ class NsightEmu
      * hardware counters (single aggregate sample; Nsight does not give
      * 500-cycle resolution). Lane occupancy and instruction mix are
      * available — the paper extracts them from silicon SASS traces.
+     * Legacy fault-free entry point; identical to the fault-aware path
+     * with an inactive stream.
      */
     KernelActivity collectCounters(const KernelDescriptor &desc,
                                    const MeasurementConditions &cond = {})
         const;
 
+    /** One fault-aware profile: the visible activity plus the list of
+     *  components whose counters were persistently unavailable (their
+     *  accesses read zero and the caller should substitute a software
+     *  model). */
+    struct Collection
+    {
+        KernelActivity activity;
+        std::vector<PowerComponent> unavailable;
+    };
+
+    /**
+     * Fault-aware profile. With an active stream, the collection can
+     * fail outright (CounterFailure, retryable — the next attempt draws
+     * fresh faults), individual counters pick up multiplexing noise,
+     * and persistently-broken counters (see componentUnavailable) are
+     * zeroed and reported in `unavailable`.
+     */
+    Result<Collection> tryCollectCounters(const KernelDescriptor &desc,
+                                          const MeasurementConditions &cond,
+                                          FaultStream *faults) const;
+
+    /**
+     * True when this card's counter for the component is persistently
+     * broken under the current fault config (counter_fail rate), e.g. a
+     * PerfWorks metric that errors on every run. Deterministic in
+     * (chaos seed, card identity, component) — thread count and
+     * collection order cannot change which counters are broken.
+     */
+    bool componentUnavailable(PowerComponent c) const;
+
     /** The card this session profiles. */
     const SiliconOracle &oracle() const { return oracle_; }
 
   private:
+    KernelActivity collectImpl(const KernelDescriptor &desc,
+                               const MeasurementConditions &cond) const;
+
     const SiliconOracle &oracle_;
 };
 

@@ -1,5 +1,6 @@
 #include "hw/nvml.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/log.hpp"
@@ -13,10 +14,12 @@ NvmlEmu::NvmlEmu(const SiliconOracle &oracle, uint64_t seed)
     : oracle_(oracle), rng_(seed)
 {}
 
-double
-NvmlEmu::measureAveragePowerW(const KernelDescriptor &desc, int repetitions)
+Result<double>
+NvmlEmu::tryMeasureAveragePowerW(const KernelDescriptor &desc,
+                                 int repetitions)
 {
     AW_PROF_SCOPE("hw/nvml_measure");
+    auto &reg = obs::metrics();
     MeasurementConditions cond;
     cond.freqGhz = lockedFreqGhz_;
 
@@ -28,46 +31,150 @@ NvmlEmu::measureAveragePowerW(const KernelDescriptor &desc, int repetitions)
     // not be vanishingly short or the readings are perturbed by
     // inter-launch overheads (Section 6.1 excludes < 2 us kernels).
     double launchSec = run.activity.elapsedSec;
-    if (launchSec < 2e-6)
-        fatal("kernel %s runs %.3g us per launch: too short for NVML "
-              "power measurement (< 2 us)",
-              desc.name.c_str(), launchSec * 1e6);
+    if (launchSec < 2e-6) {
+        reg.counter("hw.nvml.rejected_short").add(1);
+        return MeasureError{
+            FailCause::KernelTooShort,
+            strprintf("kernel %s runs %.3g us per launch: too short for "
+                      "NVML power measurement (< 2 us)",
+                      desc.name.c_str(), launchSec * 1e6)};
+    }
 
     lastReadings_.clear();
     const ActivitySample aggregate = run.activity.aggregate();
     const double dynFactor = oracle_.dataToggleFactor(desc.name);
+    const bool chaos = faults_ && faults_->active();
     std::vector<double> repMeans;
     const int samplesPerRep = 24; // several NVML periods per repetition
-    for (int rep = 0; rep < repetitions; ++rep) {
+    // Quorum re-measurement: a repetition lost to faults is re-taken,
+    // up to 3x the requested count, so transient dropouts shrink the
+    // campaign's wall-clock budget rather than its data.
+    const int maxReps = chaos ? 3 * repetitions : repetitions;
+    for (int rep = 0;
+         rep < maxReps && static_cast<int>(repMeans.size()) < repetitions;
+         ++rep) {
         // Section 4.1: bring the chip to 65 C before measuring. Use the
         // kernel itself if it is hot enough, otherwise pre-heat with a
         // power-hungry load and measure while cooling through 65 C.
         if (!thermal_.settleTo(65.0, run.avgPowerW))
             thermal_.settleTo(72.0, oracle_.config().powerLimitW);
 
+        double repTempC = 65.0;
+        if (chaos && faults_->fires(FaultClass::ThermalRunaway)) {
+            // Throttling excursion: the chip escapes the 65 C setpoint
+            // for this repetition set; leakage rises exponentially and
+            // the quorum's outlier rejection has to catch it.
+            thermal_.disturb(4.0 +
+                             12.0 * faults_->uniform(
+                                        FaultClass::ThermalRunaway));
+            repTempC = thermal_.temperatureC();
+        }
+
         double sum = 0;
+        int kept = 0;
+        double prevReading = 0;
         for (int s = 0; s < samplesPerRep; ++s) {
+            if (chaos && faults_->fires(FaultClass::DriverReset)) {
+                // Device fell off the bus mid-measurement: the whole
+                // repetition set is lost, and so is the clock lock.
+                reg.counter("hw.nvml.driver_resets").add(1);
+                thermal_.coolToAmbient();
+                lockedFreqGhz_ = 0;
+                return MeasureError{
+                    FailCause::DriverReset,
+                    strprintf("driver reset while measuring %s "
+                              "(repetition %d, sample %d)",
+                              desc.name.c_str(), rep, s)};
+            }
             // Readings are taken while the chip sits at the controlled
             // 65 C (the settle/pre-heat above guarantees it), removing
             // the exponential temperature dependence of leakage from
-            // the measurements (Section 4.1).
-            cond.tempC = 65.0;
+            // the measurements (Section 4.1) — unless an injected
+            // excursion knocked this repetition off the setpoint.
+            cond.tempC = repTempC;
             double truth =
                 oracle_.truePower(aggregate, cond, nullptr, dynFactor);
             double reading =
                 truth *
                 (1.0 + rng_.gaussian(0.0, oracle_.truth().measurementNoise));
+            if (chaos && faults_->fires(FaultClass::NvmlDropout)) {
+                // Half the dropouts lose the sample outright; the other
+                // half poison it with NaN, which the reader must filter.
+                if (faults_->uniform(FaultClass::NvmlDropout) < 0.5)
+                    continue;
+                reading = std::nan("");
+            } else if (chaos && faults_->fires(FaultClass::StaleSample)) {
+                if (kept == 0)
+                    continue; // nothing to repeat yet: reading lost
+                reading = prevReading;
+            }
+            if (!std::isfinite(reading)) {
+                reg.counter("hw.nvml.nan_samples").add(1);
+                continue;
+            }
             double t = rep * 10.0 + s / samplingHz();
             lastReadings_.push_back({t, reading});
             sum += reading;
+            prevReading = reading;
+            ++kept;
         }
-        repMeans.push_back(sum / samplesPerRep);
         // Let the chip cool back to idle between repetitions.
         thermal_.coolToAmbient();
+        if (kept >= samplesPerRep / 2) {
+            repMeans.push_back(sum / kept);
+        } else {
+            reg.counter("hw.nvml.reps_lost").add(1);
+            AW_DEBUGF("hw", "NVML %s: repetition %d lost %d/%d samples; "
+                      "re-measuring",
+                      desc.name.c_str(), rep, samplesPerRep - kept,
+                      samplesPerRep);
+        }
     }
 
-    double result = mean(repMeans);
-    auto &reg = obs::metrics();
+    const int quorum =
+        std::min(repetitions, std::max(2, repetitions / 2 + 1));
+    if (static_cast<int>(repMeans.size()) < quorum)
+        return MeasureError{
+            FailCause::SampleLoss,
+            strprintf("only %zu of %d repetitions of %s survived sample "
+                      "dropouts (quorum %d)",
+                      repMeans.size(), repetitions, desc.name.c_str(),
+                      quorum)};
+
+    // Quorum mean with MAD-based outlier rejection: a repetition taken
+    // during a thermal excursion (or otherwise perturbed) sits far from
+    // the median and is discarded. The rejection only engages under an
+    // active fault stream — with faults off the result is the plain
+    // mean of all repetitions, bit-identical to the historical
+    // behaviour.
+    double result;
+    if (chaos && repMeans.size() >= 3) {
+        double med = median(repMeans);
+        double sigma = 1.4826 * mad(repMeans, med);
+        // Floor the acceptance band well above the noise-driven spread
+        // of a clean repetition mean (~0.1%), so MAD never rejects
+        // healthy data even when most repetitions are identical.
+        double band = std::max(6.0 * sigma, 0.01 * std::abs(med));
+        std::vector<double> inliers;
+        for (double v : repMeans)
+            if (std::abs(v - med) <= band)
+                inliers.push_back(v);
+        size_t rejected = repMeans.size() - inliers.size();
+        if (rejected > 0)
+            reg.counter("hw.nvml.reps_rejected")
+                .add(static_cast<double>(rejected));
+        if (static_cast<int>(inliers.size()) < quorum)
+            return MeasureError{
+                FailCause::QuorumFailed,
+                strprintf("outlier rejection left %zu of %zu repetitions "
+                          "of %s (quorum %d)",
+                          inliers.size(), repMeans.size(),
+                          desc.name.c_str(), quorum)};
+        result = mean(inliers);
+    } else {
+        result = mean(repMeans);
+    }
+
     reg.counter("hw.nvml.measurements").add(1);
     reg.counter("hw.nvml.samples")
         .add(static_cast<double>(lastReadings_.size()));
@@ -78,6 +185,15 @@ NvmlEmu::measureAveragePowerW(const KernelDescriptor &desc, int repetitions)
               desc.name.c_str(), result, lastReadings_.size(),
               100.0 * lastRelativeVariance());
     return result;
+}
+
+double
+NvmlEmu::measureAveragePowerW(const KernelDescriptor &desc, int repetitions)
+{
+    Result<double> r = tryMeasureAveragePowerW(desc, repetitions);
+    if (!r)
+        fatal("%s", r.error().message.c_str());
+    return *r;
 }
 
 double

@@ -11,9 +11,19 @@
  *  - kernels launched repeatedly so each run covers the NVML sampling
  *    period; kernels shorter than ~2 us per launch are rejected the way
  *    the paper excludes them from its suites.
+ *
+ * Fallible measurement: tryMeasureAveragePowerW returns a structured
+ * Result instead of crashing — short kernels yield KernelTooShort, and
+ * when a FaultStream is attached the session survives injected sample
+ * dropouts / stale / NaN readings, aborts on driver resets, and rejects
+ * thermal-runaway repetitions through a MAD-based quorum. With no fault
+ * stream (or all rates zero) the measurement is bit-identical to the
+ * historical single-shot mean.
  */
 #pragma once
 
+#include "common/retry.hpp"
+#include "hw/fault_injector.hpp"
 #include "hw/silicon_model.hpp"
 #include "hw/thermal.hpp"
 
@@ -44,11 +54,34 @@ class NvmlEmu
     double samplingHz() const { return 62.5; }
 
     /**
+     * Attach a fault source for subsequent measurements (nullptr
+     * detaches). The stream is owned by the caller — typically the
+     * retry loop in tryMeasurePowerCached, so that retries continue the
+     * same deterministic fault sequence.
+     */
+    void setFaultStream(FaultStream *faults) { faults_ = faults; }
+
+    /**
      * Follow the Section 4.1 methodology: heat the chip to 65 C, launch
      * the kernel in a loop long enough to span several NVML samples,
      * take `repetitions` measurement sets, cool down between sets, and
-     * return the mean measured power. fatal() for kernels too short to
-     * measure (< 2 us per launch), mirroring the paper's exclusions.
+     * return the mean measured power.
+     *
+     * Failure modes are structured, never fatal: kernels too short to
+     * measure (< 2 us per launch, the paper's exclusion) return
+     * KernelTooShort; injected driver resets return DriverReset; losing
+     * too many samples or repetitions to faults returns SampleLoss /
+     * QuorumFailed. Under an active fault stream, repetitions lost to
+     * faults are re-measured (up to 3x the requested count) and the
+     * surviving repetition means pass a MAD-based outlier rejection
+     * before averaging.
+     */
+    Result<double> tryMeasureAveragePowerW(const KernelDescriptor &desc,
+                                           int repetitions = 5);
+
+    /**
+     * Legacy convenience for contexts with no skip path (benches,
+     * figure code): tryMeasureAveragePowerW, fatal() on any error.
      */
     double measureAveragePowerW(const KernelDescriptor &desc,
                                 int repetitions = 5);
@@ -70,6 +103,7 @@ class NvmlEmu
     ThermalModel thermal_;
     Rng rng_;
     double lockedFreqGhz_ = 0;
+    FaultStream *faults_ = nullptr;
     std::vector<PowerSample> lastReadings_;
 };
 

@@ -52,4 +52,12 @@ ThermalModel::coolToAmbient()
     tempC_ = ambientC_;
 }
 
+void
+ThermalModel::disturb(double deltaC)
+{
+    tempC_ += deltaC;
+    if (tempC_ < ambientC_)
+        tempC_ = ambientC_;
+}
+
 } // namespace aw

@@ -42,6 +42,15 @@ class ThermalModel
     /** Cool at idle back to ambient. */
     void coolToAmbient();
 
+    /**
+     * Instantaneous temperature disturbance (degrees C, may be
+     * negative): models a throttling excursion — fan stall, paste
+     * hotspot, a neighbouring load — that knocks the chip off the
+     * controlled 65 C setpoint mid-measurement. Used by the fault
+     * injector's thermal_runaway class.
+     */
+    void disturb(double deltaC);
+
   private:
     double ambientC_;
     double cPerWatt_;

@@ -280,6 +280,7 @@ runValidation(AccelWattchCalibrator &calibrator, Variant variant,
         ValidationRow row;
         double totalCycles = 0;
         double elapsedSec = 0;
+        bool usable = true;
     };
     std::vector<Evaluated> evaluated =
         parallelMap<Evaluated>(kernels.size(), [&](size_t i) {
@@ -287,8 +288,20 @@ runValidation(AccelWattchCalibrator &calibrator, Variant variant,
             const ValidationKernel &k = *kernels[i];
             Evaluated e;
             e.row.name = k.kernel.name;
-            e.row.measuredW =
-                measurePowerCached(calibrator.oracle(), k.kernel);
+            Result<double> measured =
+                tryMeasurePowerCached(calibrator.oracle(), k.kernel);
+            if (!measured) {
+                // A validation point lost to faults shrinks the report,
+                // not the campaign.
+                warn("validation: skipping %s: %s", k.kernel.name.c_str(),
+                     measured.error().message.c_str());
+                obs::metrics()
+                    .counter("validation.kernels_skipped")
+                    .add(1);
+                e.usable = false;
+                return e;
+            }
+            e.row.measuredW = *measured;
             KernelActivity act = collectActivityCached(provider, k.kernel);
             e.row.breakdown = model.evaluateKernel(act);
             e.row.modeledW = e.row.breakdown.totalW();
@@ -301,6 +314,8 @@ runValidation(AccelWattchCalibrator &calibrator, Variant variant,
     std::vector<ValidationRow> rows;
     rows.reserve(evaluated.size());
     for (auto &e : evaluated) {
+        if (!e.usable)
+            continue;
         ValidationRow row = std::move(e.row);
         reg.counter("validation.kernels").add(1);
         if (row.measuredW > 0)

@@ -68,6 +68,21 @@ TEST(NvmlDeath, ShortKernelExcluded)
                 "too short");
 }
 
+TEST(Nvml, ShortKernelRejectedStructurally)
+{
+    // The non-fatal entry point reports the same condition as a typed,
+    // non-retryable error the caller can log and skip on.
+    NvmlEmu nvml(sharedVoltaCard());
+    auto k = makeKernel("tiny", {{OpClass::IntAdd, 1.0}}, 1, 1);
+    k.bodyInsts = 8;
+    k.iterations = 1;
+    Result<double> r = nvml.tryMeasureAveragePowerW(k);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().cause, FailCause::KernelTooShort);
+    EXPECT_FALSE(retryableCause(r.error().cause));
+    EXPECT_NE(r.error().message.find("too short"), std::string::npos);
+}
+
 TEST(Nsight, CounterGapsMatchTable1)
 {
     const SiliconOracle &card = sharedVoltaCard();
