@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Overhead of the PowerScope observability layer on the modeling hot
+ * path (simulate a kernel, evaluate its power). Three legs, interleaved
+ * so clock drift hits all of them equally:
+ *
+ *  - baseline: the workload with no record site at all;
+ *  - off:      the workload plus the real guarded record site with
+ *              PowerScope disabled (one relaxed atomic load per rep) —
+ *              must cost < 1%, the "observability is free when off"
+ *              contract;
+ *  - on:       PowerScope enabled, every rep converts its trace into a
+ *              PowerScopeRun and records it — must cost < 5%.
+ *
+ * Emits results/BENCH_obs_overhead.json and exits non-zero on a breach,
+ * so the contract is enforceable in CI alongside the figure benches.
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/power_trace.hpp"
+#include "obs/json.hpp"
+#include "obs/powerscope.hpp"
+#include "sim/gpusim.hpp"
+#include "trace/workload.hpp"
+
+using namespace aw;
+namespace fs = std::filesystem;
+
+namespace {
+
+double
+runLeg(const GpuSimulator &sim, const AccelWattchModel &model,
+       const KernelDescriptor &k, int reps, bool withSite, bool enabled)
+{
+    obs::PowerScope::instance().setEnabled(enabled);
+    obs::PowerScope::instance().clear();
+    auto t0 = std::chrono::steady_clock::now();
+    double checksum = 0;
+    for (int r = 0; r < reps; ++r) {
+        KernelActivity act = sim.runSass(k);
+        PowerBreakdown p = model.evaluateKernel(act);
+        checksum += p.totalW();
+        if (withSite && obs::PowerScope::instance().enabled())
+            obs::PowerScope::instance().record(
+                makePowerScopeRun(k.name, "bench", model, act));
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    obs::PowerScope::instance().clear();
+    obs::PowerScope::instance().setEnabled(false);
+    // Keep the optimizer honest about the workload.
+    if (checksum <= 0)
+        std::printf("unexpected zero power\n");
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Observability overhead - PowerScope record sites",
+                  "modeling hot path (simulate + evaluate) with the "
+                  "PowerScope record site absent / disabled / enabled");
+
+    GpuSimulator sim(voltaGV100());
+    AccelWattchModel model;
+    model.gpu = voltaGV100();
+    model.refVoltage = model.gpu.referenceVoltage();
+    model.constPowerW = 40.0;
+    model.idleSmW = 0.6;
+    model.calibrationSms = model.gpu.numSms;
+    for (auto &d : model.divergence) {
+        d.firstLaneW = 16.0;
+        d.addLaneW = 0.8;
+    }
+    for (size_t c = 0; c < kNumPowerComponents; ++c)
+        model.energyNj[c] = 0.5 + 0.1 * static_cast<double>(c);
+
+    KernelDescriptor k = makeKernel("obs_overhead",
+                                    {{OpClass::FpFma, 0.4},
+                                     {OpClass::IntAdd, 0.2},
+                                     {OpClass::LdGlobal, 0.2},
+                                     {OpClass::LdShared, 0.2}},
+                                    /*ctas=*/320, /*warpsPerCta=*/8);
+    k.memFootprintKb = 1024;
+
+    const int reps = 20;
+    const int passes = 7;
+    // Warm-up: fault streams, allocator pools, branch predictors.
+    runLeg(sim, model, k, 3, true, true);
+
+    std::vector<double> baseline, off, on;
+    for (int p = 0; p < passes; ++p) {
+        baseline.push_back(runLeg(sim, model, k, reps, false, false));
+        off.push_back(runLeg(sim, model, k, reps, true, false));
+        on.push_back(runLeg(sim, model, k, reps, true, true));
+    }
+    auto med = [](std::vector<double> v) {
+        std::sort(v.begin(), v.end());
+        return v[v.size() / 2];
+    };
+    double baseSec = med(baseline);
+    double offSec = med(off);
+    double onSec = med(on);
+    double offPct = (offSec / baseSec - 1.0) * 100.0;
+    double onPct = (onSec / baseSec - 1.0) * 100.0;
+
+    Table t({"leg", "median (s)", "overhead"});
+    t.addRow({"baseline (no site)", Table::num(baseSec, 4), "-"});
+    t.addRow({"site, powerscope off", Table::num(offSec, 4),
+              Table::num(offPct, 2) + "%"});
+    t.addRow({"site, powerscope on", Table::num(onSec, 4),
+              Table::num(onPct, 2) + "%"});
+    std::printf("%s\n", t.render().c_str());
+
+    const double offLimitPct = 1.0;
+    const double onLimitPct = 5.0;
+    bool offOk = offPct < offLimitPct;
+    bool onOk = onPct < onLimitPct;
+    std::printf("powerscope off: %+.2f%% (limit %.0f%%) %s\n", offPct,
+                offLimitPct, offOk ? "OK" : "BREACH");
+    std::printf("powerscope on:  %+.2f%% (limit %.0f%%) %s\n", onPct,
+                onLimitPct, onOk ? "OK" : "BREACH");
+
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"obs_overhead\",\n"
+         << "  \"reps_per_pass\": " << reps << ",\n"
+         << "  \"passes\": " << passes << ",\n"
+         << "  \"baseline_sec\": " << obs::jsonNumber(baseSec) << ",\n"
+         << "  \"off_sec\": " << obs::jsonNumber(offSec) << ",\n"
+         << "  \"on_sec\": " << obs::jsonNumber(onSec) << ",\n"
+         << "  \"off_overhead_pct\": " << obs::jsonNumber(offPct) << ",\n"
+         << "  \"on_overhead_pct\": " << obs::jsonNumber(onPct) << ",\n"
+         << "  \"off_limit_pct\": " << obs::jsonNumber(offLimitPct)
+         << ",\n"
+         << "  \"on_limit_pct\": " << obs::jsonNumber(onLimitPct) << ",\n"
+         << "  \"within_limits\": "
+         << ((offOk && onOk) ? "true" : "false") << "\n}\n";
+    fs::create_directories("results");
+    writeFile("results/BENCH_obs_overhead.json", json.str());
+    std::printf("[json] results/BENCH_obs_overhead.json\n");
+
+    return (offOk && onOk) ? 0 : 1;
+}

@@ -25,6 +25,13 @@
  *     --metrics-out FILE  write run telemetry (metrics registry, zone
  *                         aggregates, per-kernel rows); ".csv" selects CSV
  *     --trace-out FILE    record profiling zones, write Chrome trace JSON
+ *     --powerscope-out BASE  record the power timeline and write the
+ *                         PowerScope triple: BASE.json (residual /
+ *                         attribution report), BASE.trace.json (Chrome
+ *                         trace with component counter tracks),
+ *                         BASE.html (standalone dashboard)
+ *     --validate-json FILE  parse FILE with the strict obs JSON parser
+ *                         and exit (artifact validation for CI)
  *     --log-level LEVEL   debug|inform|warn|fatal                [inform]
  *     --debug TAGS        comma-separated debug tags (sim,tuner,hw,...)
  *     --faults SPEC       inject measurement faults, same grammar as
@@ -36,6 +43,8 @@
  */
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "common/log.hpp"
@@ -43,7 +52,9 @@
 #include "core/model_io.hpp"
 #include "core/power_trace.hpp"
 #include "hw/fault_injector.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/powerscope.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "sim/stats_report.hpp"
@@ -113,8 +124,12 @@ variantFromToken(const std::string &token)
 }
 
 void
-writeSinks(const std::string &metricsOut, const std::string &traceOut)
+writeSinks(const std::string &metricsOut, const std::string &traceOut,
+           const std::string &powerscopeOut)
 {
+    // All three sinks publish through writeFileAtomic, which creates
+    // missing parent directories — a run can no longer die at the finish
+    // line because results/ does not exist yet.
     if (!metricsOut.empty()) {
         if (metricsOut.size() > 4 &&
             metricsOut.compare(metricsOut.size() - 4, 4, ".csv") == 0)
@@ -124,6 +139,25 @@ writeSinks(const std::string &metricsOut, const std::string &traceOut)
     }
     if (!traceOut.empty())
         obs::writeTraceJson(traceOut);
+    if (!powerscopeOut.empty()) {
+        obs::writePowerScope(powerscopeOut);
+        std::printf("powerscope written to %s{.json,.trace.json,.html}\n",
+                    powerscopeOut.c_str());
+    }
+}
+
+/** CI helper: strict-parse a JSON artifact; fatal() on any defect. */
+int
+validateJsonFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open %s", path.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    obs::parseJson(buf.str());
+    std::printf("%s: valid JSON\n", path.c_str());
+    return 0;
 }
 
 /**
@@ -176,6 +210,8 @@ usage()
                 "[--variant sass|ptx|hw|hybrid]\n"
                 "       [--model FILE] [--save-model FILE] [--trace] [--stats]\n"
                 "       [--metrics-out FILE] [--trace-out FILE] "
+                "[--powerscope-out BASE]\n"
+                "       [--validate-json FILE] "
                 "[--log-level LEVEL] [--debug TAGS] [--faults SPEC]\n");
 }
 
@@ -191,7 +227,7 @@ main(int argc, char **argv)
     k.memFootprintKb = 256;
     Variant variant = Variant::SassSim;
     std::string modelFile, saveModelFile;
-    std::string metricsOut, traceOut;
+    std::string metricsOut, traceOut, powerscopeOut;
     double freqGhz = 0;
     bool printTrace = false;
     bool printStats = false;
@@ -233,6 +269,10 @@ main(int argc, char **argv)
             metricsOut = next();
         else if (arg == "--trace-out")
             traceOut = next();
+        else if (arg == "--powerscope-out")
+            powerscopeOut = next();
+        else if (arg == "--validate-json")
+            return validateJsonFile(next());
         else if (arg == "--log-level")
             setLogLevel(parseLogLevel(next()));
         else if (arg == "--debug")
@@ -250,6 +290,10 @@ main(int argc, char **argv)
 
     if (!traceOut.empty())
         obs::Profiler::instance().setEnabled(true);
+    if (!powerscopeOut.empty()) {
+        obs::PowerScope::instance().setEnabled(true);
+        obs::Profiler::instance().setEnabled(true);
+    }
 
     auto &cal = sharedVoltaCalibrator();
     if (!saveModelFile.empty()) {
@@ -258,7 +302,7 @@ main(int argc, char **argv)
                     variantName(variant).c_str(), saveModelFile.c_str());
         if (FaultInjector::enabled())
             printResilienceSummary();
-        writeSinks(metricsOut, traceOut);
+        writeSinks(metricsOut, traceOut, powerscopeOut);
         return 0;
     }
     AccelWattchModel model = modelFile.empty()
@@ -277,6 +321,24 @@ main(int argc, char **argv)
         obs::Telemetry::instance().recordKernel(
             {k.name, "validate", act.totalCycles, act.elapsedSec,
              p.totalW(), /*measuredW=*/0.0});
+    }
+    if (!powerscopeOut.empty()) {
+        // Modeled trace plus the NVML sample stream of the same kernel
+        // at the same clock, so the dashboard shows a real residual.
+        obs::PowerScopeRun run = makePowerScopeRun(k.name, "cli", model,
+                                                   act);
+        double savedLock = cal.nvml().lockedClockGhz();
+        if (freqGhz > 0)
+            cal.nvml().lockClocks(freqGhz);
+        PowerTimeline tl = cal.nvml().samplePowerTimeline(k);
+        if (freqGhz > 0)
+            cal.nvml().lockClocks(savedLock);
+        for (const auto &s : tl.samples)
+            run.measured.push_back({s.timeSec, s.powerW});
+        for (const auto &m : tl.marks)
+            run.marks.push_back({m.timeSec, m.kind});
+        run.measuredAvgW = tl.avgW;
+        obs::PowerScope::instance().record(std::move(run));
     }
 
     std::printf("kernel: %d CTAs x %d warps, %d lanes/warp, mix of %zu "
@@ -312,6 +374,6 @@ main(int argc, char **argv)
     }
     if (FaultInjector::enabled())
         printResilienceSummary();
-    writeSinks(metricsOut, traceOut);
+    writeSinks(metricsOut, traceOut, powerscopeOut);
     return 0;
 }

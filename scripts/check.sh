@@ -5,11 +5,12 @@
 # suite, then a TSan pass that exercises the parallel engine and the
 # result cache with AW_THREADS=4.
 #
-# The address pass finishes with a chaos leg: the resilience suites
-# re-run in the ASan tree with AW_FAULTS set to the documented example
-# rates and a fixed seed, so the retry/abort/fallback paths execute
-# under fire with leak and UB checking on, and any failure replays
-# exactly.
+# The address pass finishes with two extra legs: a chaos leg (the
+# resilience suites re-run in the ASan tree with AW_FAULTS set to the
+# documented example rates and a fixed seed, so the retry/abort/fallback
+# paths execute under fire with leak and UB checking on, and any failure
+# replays exactly) and a powerscope leg (the validation suite re-runs
+# with AW_POWERSCOPE set and every emitted artifact is validated).
 #
 # Usage:
 #   scripts/check.sh [--configure-only] [--build-dir DIR]
@@ -111,17 +112,42 @@ chaos() {
         -R "test_fault_injection|test_smoke"
 }
 
+# PowerScope leg: run the Volta validation suite in an existing build
+# tree with the powerscope sink live, then validate every emitted
+# artifact — both JSON documents through the CLI's strict parser and a
+# complete (non-truncated) HTML dashboard.
+#   $1 = build dir (already built by a sweep)
+powerscope() {
+    local dir=$1
+    local base="${dir}/powerscope_check"
+    echo "== powerscope (AW_POWERSCOPE=${base}) -> ${dir}"
+    rm -f "${base}.json" "${base}.trace.json" "${base}.html"
+    AW_POWERSCOPE="${base}" AW_THREADS=4 \
+        "${dir}/bench/fig07_volta_validation" >/dev/null
+    for artifact in "${base}.json" "${base}.trace.json"; do
+        "${dir}/examples/accelwattch_cli" --validate-json "${artifact}"
+    done
+    grep -q "</html>" "${base}.html"
+    echo "== powerscope artifacts validated (${base}.{json,trace.json,html})"
+}
+
 case "${sanitizer}" in
   address)
     sweep address "${build_dir:-build-asan}"
-    [[ ${configure_only} -eq 1 ]] || chaos "${build_dir:-build-asan}"
+    if [[ ${configure_only} -eq 0 ]]; then
+        chaos "${build_dir:-build-asan}"
+        powerscope "${build_dir:-build-asan}"
+    fi
     ;;
   thread)
     sweep thread "${build_dir:-build-tsan}"
     ;;
   both)
     sweep address "${build_dir:-build-asan}"
-    [[ ${configure_only} -eq 1 ]] || chaos "${build_dir:-build-asan}"
+    if [[ ${configure_only} -eq 0 ]]; then
+        chaos "${build_dir:-build-asan}"
+        powerscope "${build_dir:-build-asan}"
+    fi
     # The TSan pass targets the suites that drive the parallel engine
     # and the cache; the rest of the tree is serial and already covered
     # by the address pass.

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "common/log.hpp"
 
@@ -180,6 +183,42 @@ writeFile(const std::string &path, const std::string &content)
     out << content;
     if (!out)
         fatal("failed writing %s", path.c_str());
+}
+
+void
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    namespace fs = std::filesystem;
+    fs::path target(path);
+    if (target.has_parent_path()) {
+        std::error_code ec;
+        fs::create_directories(target.parent_path(), ec);
+        if (ec)
+            fatal("cannot create directory %s: %s",
+                  target.parent_path().string().c_str(),
+                  ec.message().c_str());
+    }
+    // The pid suffix keeps concurrent processes writing the same target
+    // from clobbering each other's temp file; rename() is atomic on the
+    // same filesystem, so the final path is never observed half-written.
+    fs::path tmp = target;
+    tmp += ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp);
+        if (!out)
+            fatal("cannot open %s for writing", tmp.string().c_str());
+        out << content;
+        out.flush();
+        if (!out)
+            fatal("failed writing %s", tmp.string().c_str());
+    }
+    std::error_code ec;
+    fs::rename(tmp, target, ec);
+    if (ec) {
+        std::error_code ignored;
+        fs::remove(tmp, ignored);
+        fatal("cannot publish %s: %s", path.c_str(), ec.message().c_str());
+    }
 }
 
 } // namespace aw

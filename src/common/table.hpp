@@ -56,4 +56,13 @@ std::string asciiScatter(const std::vector<std::vector<double>> &xs,
 /** Write a string to a file; fatal() on failure. */
 void writeFile(const std::string &path, const std::string &content);
 
+/**
+ * writeFile through a temp file + atomic rename, creating any missing
+ * parent directories first. A reader (or a crash mid-write) can never
+ * observe a torn artifact at `path`: either the old content is intact
+ * or the new content is complete. All observability sinks publish
+ * through this.
+ */
+void writeFileAtomic(const std::string &path, const std::string &content);
+
 } // namespace aw

@@ -4,8 +4,10 @@
 
 #include "common/log.hpp"
 #include "common/parallel.hpp"
+#include "core/power_trace.hpp"
 #include "core/result_cache.hpp"
 #include "obs/metrics.hpp"
+#include "obs/powerscope.hpp"
 #include "obs/trace.hpp"
 #include "ubench/microbench.hpp"
 
@@ -167,6 +169,21 @@ AccelWattchCalibrator::variant(Variant v)
     cal.model.energyNj = cal.tuningFermi.finalEnergyNj;
     cal.modelOnes = partial;
     cal.modelOnes.energyNj = cal.tuningOnes.finalEnergyNj;
+
+    if (obs::PowerScope::instance().enabled()) {
+        // Record the tuned model replayed over each surviving tuning
+        // microbenchmark — the residual the QP left behind, per kernel.
+        // Microbenchmarks are short and homogeneous; 8 merged intervals
+        // keep the trace readable.
+        for (size_t i = 0; i < keep.size(); ++i) {
+            obs::PowerScopeRun run =
+                makePowerScopeRun(suite[keep[i]].kernel.name, "tune",
+                                  cal.model, activities[i],
+                                  /*maxIntervals=*/8);
+            run.measuredAvgW = tunePowers[i];
+            obs::PowerScope::instance().record(std::move(run));
+        }
+    }
 
     inform("tuned AccelWattch %s for %s: training MAPE %.2f%% (Fermi "
            "start) vs %.2f%% (all-ones start)",

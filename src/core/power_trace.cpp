@@ -43,4 +43,127 @@ tracePeakW(const std::vector<TracePoint> &trace)
     return peak;
 }
 
+double
+TraceEnergyLedger::componentSumJ() const
+{
+    double sum = constJ + staticJ + idleSmJ;
+    for (double j : dynamicJ)
+        sum += j;
+    return sum;
+}
+
+TraceEnergyLedger
+traceEnergyLedger(const std::vector<TracePoint> &trace)
+{
+    TraceEnergyLedger ledger;
+    ledger.totalJ = traceEnergyJ(trace);
+    for (const auto &pt : trace) {
+        if (pt.freqGhz <= 0)
+            continue;
+        double dt = pt.cycles / (pt.freqGhz * 1e9);
+        ledger.constJ += pt.power.constW * dt;
+        ledger.staticJ += pt.power.staticW * dt;
+        ledger.idleSmJ += pt.power.idleSmW * dt;
+        for (size_t c = 0; c < kNumPowerComponents; ++c)
+            ledger.dynamicJ[c] += pt.power.dynamicW[c] * dt;
+    }
+    return ledger;
+}
+
+std::vector<std::string>
+powerScopeTrackNames()
+{
+    std::vector<std::string> names;
+    names.reserve(3 + kNumPowerComponents);
+    names.push_back("const");
+    names.push_back("static");
+    names.push_back("idle_sm");
+    for (PowerComponent c : allComponents())
+        names.push_back(componentName(c));
+    return names;
+}
+
+obs::PowerScopeRun
+makePowerScopeRun(const std::string &name, const std::string &phase,
+                  const AccelWattchModel &model,
+                  const KernelActivity &activity, size_t maxIntervals)
+{
+    obs::PowerScopeRun run;
+    run.name = name;
+    run.phase = phase;
+    run.components = powerScopeTrackNames();
+
+    std::vector<TracePoint> trace = powerTrace(model, activity);
+    TraceEnergyLedger ledger = traceEnergyLedger(trace);
+    run.modeledEnergyJ = ledger.totalJ;
+    run.componentEnergyJ = ledger.componentSumJ();
+
+    // Expand each trace point into a wall-clock interval; zero-frequency
+    // intervals have no defined duration and are dropped, matching the
+    // energy accounting above.
+    std::vector<obs::ScopeInterval> raw;
+    raw.reserve(trace.size());
+    double t = 0;
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const TracePoint &pt = trace[i];
+        if (pt.freqGhz <= 0)
+            continue;
+        const ActivitySample &s = activity.samples[i];
+        obs::ScopeInterval iv;
+        iv.startSec = t;
+        iv.durSec = pt.cycles / (pt.freqGhz * 1e9);
+        iv.freqGhz = pt.freqGhz;
+        iv.voltage = s.voltage;
+        iv.activeSms = s.avgActiveSms;
+        iv.totalW = pt.power.totalW();
+        iv.componentW.resize(run.components.size());
+        iv.componentW[0] = pt.power.constW;
+        iv.componentW[1] = pt.power.staticW;
+        iv.componentW[2] = pt.power.idleSmW;
+        for (size_t c = 0; c < kNumPowerComponents; ++c)
+            iv.componentW[3 + c] = pt.power.dynamicW[c];
+        t += iv.durSec;
+        raw.push_back(std::move(iv));
+    }
+
+    if (maxIntervals == 0 || raw.size() <= maxIntervals) {
+        run.intervals = std::move(raw);
+        return run;
+    }
+
+    // Merge adjacent intervals down to the cap: power terms are
+    // energy-weighted (so merged intervals preserve energy exactly),
+    // frequency / voltage / SM occupancy are time-weighted.
+    size_t group = (raw.size() + maxIntervals - 1) / maxIntervals;
+    run.intervals.reserve((raw.size() + group - 1) / group);
+    for (size_t i = 0; i < raw.size(); i += group) {
+        size_t end = std::min(raw.size(), i + group);
+        obs::ScopeInterval merged;
+        merged.startSec = raw[i].startSec;
+        merged.componentW.assign(run.components.size(), 0.0);
+        double dur = 0;
+        for (size_t k = i; k < end; ++k) {
+            const obs::ScopeInterval &iv = raw[k];
+            dur += iv.durSec;
+            merged.totalW += iv.totalW * iv.durSec;
+            merged.freqGhz += iv.freqGhz * iv.durSec;
+            merged.voltage += iv.voltage * iv.durSec;
+            merged.activeSms += iv.activeSms * iv.durSec;
+            for (size_t c = 0; c < iv.componentW.size(); ++c)
+                merged.componentW[c] += iv.componentW[c] * iv.durSec;
+        }
+        merged.durSec = dur;
+        if (dur > 0) {
+            merged.totalW /= dur;
+            merged.freqGhz /= dur;
+            merged.voltage /= dur;
+            merged.activeSms /= dur;
+            for (double &w : merged.componentW)
+                w /= dur;
+        }
+        run.intervals.push_back(std::move(merged));
+    }
+    return run;
+}
+
 } // namespace aw

@@ -8,10 +8,12 @@
  */
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "arch/activity.hpp"
 #include "core/power_model.hpp"
+#include "obs/powerscope.hpp"
 
 namespace aw {
 
@@ -33,5 +35,48 @@ double traceEnergyJ(const std::vector<TracePoint> &trace);
 
 /** Peak interval power (W). */
 double tracePeakW(const std::vector<TracePoint> &trace);
+
+/**
+ * Per-term energy decomposition of a trace: the Eq. 12 power vector
+ * integrated over time. Intervals with freqGhz <= 0 are skipped exactly
+ * as traceEnergyJ skips them, so componentSumJ() must reconcile with
+ * totalJ — a mismatch means a model term leaked out of the breakdown.
+ */
+struct TraceEnergyLedger
+{
+    double totalJ = 0;  ///< traceEnergyJ of the same trace
+    double constJ = 0;
+    double staticJ = 0;
+    double idleSmJ = 0;
+    ComponentArray<double> dynamicJ{};
+
+    /** Component-major sum: const + static + idleSm + sum(dynamic). */
+    double componentSumJ() const;
+};
+
+/** Integrate the per-term decomposition over a trace. */
+TraceEnergyLedger traceEnergyLedger(const std::vector<TracePoint> &trace);
+
+/**
+ * The PowerScope track vocabulary: "const", "static", "idle_sm", then
+ * the 22 Table 1 component names — one counter track per Eq. 12 term.
+ */
+std::vector<std::string> powerScopeTrackNames();
+
+/**
+ * Convert a kernel's modeled power trace into an obs::PowerScopeRun:
+ * per-interval component decomposition on a wall-clock timeline, with
+ * the energy ledger attached for conservation checking. Adjacent
+ * intervals are merged (energy-weighted) down to at most `maxIntervals`
+ * so a million-cycle kernel does not dump a million counter samples
+ * into the trace; the ledger is computed on the unmerged trace. The
+ * caller attaches the measured stream / marks / measuredAvgW before
+ * recording.
+ */
+obs::PowerScopeRun makePowerScopeRun(const std::string &name,
+                                     const std::string &phase,
+                                     const AccelWattchModel &model,
+                                     const KernelActivity &activity,
+                                     size_t maxIntervals = 256);
 
 } // namespace aw

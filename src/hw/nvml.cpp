@@ -187,6 +187,82 @@ NvmlEmu::tryMeasureAveragePowerW(const KernelDescriptor &desc,
     return result;
 }
 
+PowerTimeline
+NvmlEmu::samplePowerTimeline(const KernelDescriptor &desc,
+                             int targetSamples) const
+{
+    AW_PROF_SCOPE("hw/nvml_timeline");
+    PowerTimeline tl;
+    MeasurementConditions cond;
+    cond.freqGhz = lockedFreqGhz_;
+    cond.tempC = 65.0;
+
+    OracleRun run = oracle_.execute(desc, cond);
+    tl.elapsedSec = run.activity.elapsedSec;
+    if (tl.elapsedSec <= 0 || run.activity.samples.empty() ||
+        targetSamples <= 0)
+        return tl;
+
+    // The modeled timeline's clock: cumulative wall time per activity
+    // interval (zero-frequency intervals carry no time, exactly as in
+    // the power trace).
+    std::vector<double> endSec;
+    endSec.reserve(run.activity.samples.size());
+    double t = 0;
+    for (const auto &s : run.activity.samples) {
+        if (s.freqGhz > 0)
+            t += s.cycles / (s.freqGhz * 1e9);
+        endSec.push_back(t);
+    }
+    double span = t > 0 ? t : tl.elapsedSec;
+
+    const double dynFactor = oracle_.dataToggleFactor(desc.name);
+    const double noise = oracle_.truth().measurementNoise;
+    // Local streams only: the member rng_ and the attached fault stream
+    // belong to the measurement path, and consuming their draws here
+    // would shift every later measurement.
+    uint64_t streamSeed =
+        hash64(desc.name.c_str()) ^ oracle_.cacheSalt() ^ 0x5C09EULL;
+    Rng rng(streamSeed);
+    FaultStream faults(FaultInjector::globalConfig(), streamSeed);
+    const bool chaos = faults.active();
+
+    double prevReading = 0;
+    bool havePrev = false;
+    double sum = 0;
+    int finite = 0;
+    for (int s = 0; s < targetSamples; ++s) {
+        double ts = (s + 0.5) / targetSamples * span;
+        size_t idx = 0;
+        while (idx + 1 < endSec.size() && endSec[idx] <= ts)
+            ++idx;
+        double truth = oracle_.truePower(run.activity.samples[idx], cond,
+                                         nullptr, dynFactor);
+        double reading = truth * (1.0 + rng.gaussian(0.0, noise));
+        if (chaos && faults.fires(FaultClass::NvmlDropout)) {
+            if (faults.uniform(FaultClass::NvmlDropout) < 0.5) {
+                tl.marks.push_back({ts, "dropout"});
+                continue; // reading lost: a gap in the stream
+            }
+            tl.samples.push_back({ts, std::nan("")});
+            tl.marks.push_back({ts, "nan"});
+            continue;
+        }
+        if (chaos && faults.fires(FaultClass::StaleSample) && havePrev) {
+            reading = prevReading;
+            tl.marks.push_back({ts, "stale"});
+        }
+        tl.samples.push_back({ts, reading});
+        prevReading = reading;
+        havePrev = true;
+        sum += reading;
+        ++finite;
+    }
+    if (finite > 0)
+        tl.avgW = sum / finite;
+    return tl;
+}
+
 double
 NvmlEmu::measureAveragePowerW(const KernelDescriptor &desc, int repetitions)
 {

@@ -36,6 +36,27 @@ struct PowerSample
     double powerW = 0;
 };
 
+/** Annotation on a sampled timeline (injected fault effects). */
+struct SampleMark
+{
+    double timeSec = 0;
+    std::string kind; ///< "dropout" | "stale" | "nan"
+};
+
+/**
+ * A time-resolved power measurement of one kernel: NVML readings folded
+ * onto the kernel's own [0, elapsedSec] timeline (the looped-launch
+ * methodology means every point of the kernel is eventually sampled),
+ * with fault annotations for PowerScope's timeline.
+ */
+struct PowerTimeline
+{
+    std::vector<PowerSample> samples; ///< NaN powerW = poisoned reading
+    std::vector<SampleMark> marks;
+    double avgW = 0; ///< mean of the finite samples (0 when none)
+    double elapsedSec = 0;
+};
+
 /** Power-measurement session against one oracle ("GPU card"). */
 class NvmlEmu
 {
@@ -85,6 +106,24 @@ class NvmlEmu
      */
     double measureAveragePowerW(const KernelDescriptor &desc,
                                 int repetitions = 5);
+
+    /**
+     * Observability-grade time-resolved measurement for PowerScope: run
+     * the kernel once and fold `targetSamples` NVML readings onto its
+     * [0, elapsedSec] timeline, each reading carrying the true power of
+     * the activity interval it lands in plus measurement noise. Fault
+     * injection (the global config) perturbs the stream — dropouts lose
+     * or NaN-poison readings, stale samples repeat the previous one —
+     * and every perturbation is annotated in `marks`.
+     *
+     * const and side-effect free by design: noise and faults come from
+     * local streams seeded from the kernel name and the card identity,
+     * never from the session's shared Rng / fault stream / thermal
+     * state, so calling this (or not) leaves every subsequent
+     * measurement bit-identical.
+     */
+    PowerTimeline samplePowerTimeline(const KernelDescriptor &desc,
+                                      int targetSamples = 64) const;
 
     /** The individual readings of the last measurement, for variance
      *  checks (the paper reports 0.0018-1.9% variance). */

@@ -1,0 +1,528 @@
+#include "obs/powerscope.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace aw::obs {
+
+namespace {
+
+/** Relative tolerance for the component-sum vs trace-energy ledger. */
+constexpr double kConservationRelTol = 1e-9;
+
+/** Pearson r that tolerates short or constant series (returns 0 rather
+ *  than NaN — an attribution ranking must sort cleanly). */
+double
+safePearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    if (xs.size() < 2 || xs.size() != ys.size())
+        return 0;
+    double mx = 0, my = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        mx += xs[i];
+        my += ys[i];
+    }
+    mx /= static_cast<double>(xs.size());
+    my /= static_cast<double>(xs.size());
+    double cov = 0, vx = 0, vy = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        cov += (xs[i] - mx) * (ys[i] - my);
+        vx += (xs[i] - mx) * (xs[i] - mx);
+        vy += (ys[i] - my) * (ys[i] - my);
+    }
+    if (vx <= 0 || vy <= 0)
+        return 0;
+    return cov / std::sqrt(vx * vy);
+}
+
+/** Linear interpolation of the measured stream at time t. Samples with
+ *  NaN power (fault-injected unreadable values) are treated as absent,
+ *  so interpolation bridges dropout gaps from their valid neighbours. */
+bool
+measuredAt(const std::vector<MeasuredSample> &samples, double t, double *out)
+{
+    const MeasuredSample *before = nullptr, *after = nullptr;
+    for (const auto &s : samples) {
+        if (std::isnan(s.powerW))
+            continue;
+        if (s.timeSec <= t && (!before || s.timeSec > before->timeSec))
+            before = &s;
+        if (s.timeSec >= t && (!after || s.timeSec < after->timeSec))
+            after = &s;
+    }
+    if (!before && !after)
+        return false;
+    if (!before) {
+        *out = after->powerW;
+        return true;
+    }
+    if (!after || after == before) {
+        *out = before->powerW;
+        return true;
+    }
+    double span = after->timeSec - before->timeSec;
+    double frac = span > 0 ? (t - before->timeSec) / span : 0;
+    *out = before->powerW + frac * (after->powerW - before->powerW);
+    return true;
+}
+
+} // namespace
+
+double
+PowerScopeRun::elapsedSec() const
+{
+    if (intervals.empty())
+        return 0;
+    const ScopeInterval &last = intervals.back();
+    return last.startSec + last.durSec;
+}
+
+std::vector<AlignedWindow>
+alignRun(const PowerScopeRun &run, size_t nWindows)
+{
+    std::vector<AlignedWindow> windows;
+    double elapsed = run.elapsedSec();
+    if (run.intervals.empty() || elapsed <= 0)
+        return windows;
+    if (nWindows == 0)
+        nWindows = std::min<size_t>(64, run.intervals.size());
+    nWindows = std::max<size_t>(1, nWindows);
+
+    size_t nComp = run.components.size();
+    windows.resize(nWindows);
+    double dt = elapsed / static_cast<double>(nWindows);
+    for (size_t w = 0; w < nWindows; ++w) {
+        AlignedWindow &win = windows[w];
+        win.t0 = dt * static_cast<double>(w);
+        win.t1 = (w + 1 == nWindows) ? elapsed
+                                     : dt * static_cast<double>(w + 1);
+        win.componentW.assign(nComp, 0.0);
+
+        // Time-weighted integral of the modeled trace over the window.
+        double covered = 0;
+        for (const auto &iv : run.intervals) {
+            double lo = std::max(win.t0, iv.startSec);
+            double hi = std::min(win.t1, iv.startSec + iv.durSec);
+            if (hi <= lo)
+                continue;
+            double overlap = hi - lo;
+            covered += overlap;
+            win.modeledW += iv.totalW * overlap;
+            for (size_t c = 0;
+                 c < nComp && c < iv.componentW.size(); ++c)
+                win.componentW[c] += iv.componentW[c] * overlap;
+        }
+        if (covered > 0) {
+            win.modeledW /= covered;
+            for (double &cw : win.componentW)
+                cw /= covered;
+        }
+
+        // Measured side: average the samples inside the window; bridge
+        // sample-free windows (fault dropouts, coarse sampling) by
+        // interpolating at the window midpoint.
+        if (!run.measured.empty()) {
+            double sum = 0;
+            size_t n = 0;
+            for (const auto &s : run.measured) {
+                if (std::isnan(s.powerW))
+                    continue;
+                if (s.timeSec >= win.t0 && s.timeSec < win.t1) {
+                    sum += s.powerW;
+                    ++n;
+                }
+            }
+            if (n > 0) {
+                win.measuredW = sum / static_cast<double>(n);
+                win.hasMeasured = true;
+            } else {
+                double v;
+                if (measuredAt(run.measured, 0.5 * (win.t0 + win.t1), &v)) {
+                    win.measuredW = v;
+                    win.hasMeasured = true;
+                }
+            }
+        } else if (run.measuredAvgW > 0) {
+            win.measuredW = run.measuredAvgW;
+            win.hasMeasured = true;
+        }
+        if (win.hasMeasured)
+            win.residualW = win.measuredW - win.modeledW;
+    }
+    return windows;
+}
+
+ScopeReport
+analyze(const std::vector<PowerScopeRun> &runs, size_t nWindows)
+{
+    ScopeReport report;
+
+    // Union track list, first-occurrence order, so the attribution table
+    // covers every component any run recorded.
+    for (const auto &run : runs)
+        for (const auto &c : run.components)
+            if (std::find(report.components.begin(), report.components.end(),
+                          c) == report.components.end())
+                report.components.push_back(c);
+
+    std::vector<double> modeledAvgs, measuredAvgs;
+    // Pooled per-component series across all measured windows, aligned
+    // with the pooled residual series.
+    std::vector<std::vector<double>> compSeries(report.components.size());
+    std::vector<double> residualSeries;
+    std::vector<double> compEnergy(report.components.size(), 0.0);
+    std::vector<double> compWeightedW(report.components.size(), 0.0);
+    double totalWindowSec = 0;
+
+    for (const auto &run : runs) {
+        RunReport rr;
+        rr.name = run.name;
+        rr.phase = run.phase;
+        rr.elapsedSec = run.elapsedSec();
+        rr.modeledEnergyJ = run.modeledEnergyJ;
+        rr.componentEnergyJ = run.componentEnergyJ;
+        rr.measuredAvgW = run.measuredAvgW;
+        rr.markCount = run.marks.size();
+        rr.windows = alignRun(run, nWindows);
+        if (rr.elapsedSec > 0)
+            rr.modeledAvgW = run.modeledEnergyJ / rr.elapsedSec;
+        if (run.measuredAvgW > 0) {
+            rr.apePct = std::fabs(rr.modeledAvgW - run.measuredAvgW) /
+                        run.measuredAvgW * 100.0;
+            rr.measuredEnergyJ = run.measuredAvgW * rr.elapsedSec;
+            modeledAvgs.push_back(rr.modeledAvgW);
+            measuredAvgs.push_back(run.measuredAvgW);
+        }
+
+        // Energy-conservation ledger: the component decomposition must
+        // sum back to the trace energy (Eq. 10 is additive).
+        double scale = std::max(std::fabs(rr.modeledEnergyJ),
+                                std::fabs(rr.componentEnergyJ));
+        rr.conservationRelErr =
+            scale > 0
+                ? std::fabs(rr.componentEnergyJ - rr.modeledEnergyJ) / scale
+                : 0;
+        rr.energyConserved = rr.conservationRelErr <= kConservationRelTol;
+        if (!rr.energyConserved)
+            ++report.energyViolations;
+
+        // Map this run's tracks onto the union index space once.
+        std::vector<size_t> toUnion(run.components.size());
+        for (size_t c = 0; c < run.components.size(); ++c)
+            toUnion[c] = static_cast<size_t>(
+                std::find(report.components.begin(), report.components.end(),
+                          run.components[c]) -
+                report.components.begin());
+
+        double residualMean = 0, residualSq = 0;
+        size_t measuredWindows = 0;
+        for (const auto &win : rr.windows) {
+            double winSec = win.t1 - win.t0;
+            totalWindowSec += winSec;
+            for (size_t c = 0; c < win.componentW.size(); ++c)
+                compWeightedW[toUnion[c]] += win.componentW[c] * winSec;
+            if (!win.hasMeasured)
+                continue;
+            ++measuredWindows;
+            residualMean += win.residualW;
+            residualSq += win.residualW * win.residualW;
+            residualSeries.push_back(win.residualW);
+            for (size_t c = 0; c < report.components.size(); ++c)
+                compSeries[c].push_back(0.0);
+            for (size_t c = 0; c < win.componentW.size(); ++c)
+                compSeries[toUnion[c]].back() = win.componentW[c];
+        }
+        if (measuredWindows > 0) {
+            rr.residualMeanW =
+                residualMean / static_cast<double>(measuredWindows);
+            rr.residualRmsW = std::sqrt(
+                residualSq / static_cast<double>(measuredWindows));
+            ++report.runsWithMeasured;
+        }
+
+        for (const auto &iv : run.intervals)
+            for (size_t c = 0; c < iv.componentW.size(); ++c)
+                compEnergy[toUnion[c]] += iv.componentW[c] * iv.durSec;
+
+        report.runs.push_back(std::move(rr));
+    }
+
+    if (!measuredAvgs.empty()) {
+        double sumApe = 0;
+        for (size_t i = 0; i < measuredAvgs.size(); ++i)
+            sumApe += std::fabs(modeledAvgs[i] - measuredAvgs[i]) /
+                      measuredAvgs[i] * 100.0;
+        report.mapePct = sumApe / static_cast<double>(measuredAvgs.size());
+        report.pearsonR = safePearson(modeledAvgs, measuredAvgs);
+    }
+
+    for (size_t c = 0; c < report.components.size(); ++c) {
+        ComponentAttribution attr;
+        attr.component = report.components[c];
+        attr.energyJ = compEnergy[c];
+        attr.meanW =
+            totalWindowSec > 0 ? compWeightedW[c] / totalWindowSec : 0;
+        attr.residualCorr = safePearson(compSeries[c], residualSeries);
+        attr.windows = residualSeries.size();
+        report.attribution.push_back(std::move(attr));
+    }
+    std::stable_sort(report.attribution.begin(), report.attribution.end(),
+                     [](const ComponentAttribution &a,
+                        const ComponentAttribution &b) {
+                         return std::fabs(a.residualCorr) >
+                                std::fabs(b.residualCorr);
+                     });
+
+    return report;
+}
+
+// --- collector ----------------------------------------------------------
+
+PowerScope &
+PowerScope::instance()
+{
+    static PowerScope scope;
+    return scope;
+}
+
+void
+PowerScope::record(PowerScopeRun run)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    runs_.push_back(std::move(run));
+}
+
+std::vector<PowerScopeRun>
+PowerScope::runs() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return runs_;
+}
+
+void
+PowerScope::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    runs_.clear();
+}
+
+// --- report JSON --------------------------------------------------------
+
+std::string
+powerScopeReportJson(const ScopeReport &report)
+{
+    std::ostringstream out;
+    out << "{\n  \"schema\": \"aw.powerscope.v1\",\n";
+
+    out << "  \"components\": [";
+    for (size_t c = 0; c < report.components.size(); ++c)
+        out << (c ? ", " : "") << '"' << jsonEscape(report.components[c])
+            << '"';
+    out << "],\n";
+
+    out << "  \"summary\": {\"runs\": " << report.runs.size()
+        << ", \"runs_with_measured\": " << report.runsWithMeasured
+        << ", \"mape_pct\": " << jsonNumber(report.mapePct)
+        << ", \"pearson_r\": " << jsonNumber(report.pearsonR)
+        << ", \"energy_violations\": " << report.energyViolations << "},\n";
+
+    out << "  \"attribution\": [\n";
+    for (size_t i = 0; i < report.attribution.size(); ++i) {
+        const auto &a = report.attribution[i];
+        out << "    {\"component\": \"" << jsonEscape(a.component)
+            << "\", \"mean_w\": " << jsonNumber(a.meanW)
+            << ", \"energy_j\": " << jsonNumber(a.energyJ)
+            << ", \"residual_corr\": " << jsonNumber(a.residualCorr)
+            << ", \"windows\": " << a.windows << "}"
+            << (i + 1 < report.attribution.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+
+    out << "  \"runs\": [\n";
+    for (size_t r = 0; r < report.runs.size(); ++r) {
+        const auto &rr = report.runs[r];
+        out << "    {\"name\": \"" << jsonEscape(rr.name)
+            << "\", \"phase\": \"" << jsonEscape(rr.phase)
+            << "\", \"elapsed_sec\": " << jsonNumber(rr.elapsedSec)
+            << ", \"modeled_avg_w\": " << jsonNumber(rr.modeledAvgW)
+            << ", \"measured_avg_w\": " << jsonNumber(rr.measuredAvgW)
+            << ", \"ape_pct\": " << jsonNumber(rr.apePct)
+            << ", \"residual_mean_w\": " << jsonNumber(rr.residualMeanW)
+            << ", \"residual_rms_w\": " << jsonNumber(rr.residualRmsW)
+            << ", \"modeled_energy_j\": " << jsonNumber(rr.modeledEnergyJ)
+            << ", \"component_energy_j\": "
+            << jsonNumber(rr.componentEnergyJ)
+            << ", \"measured_energy_j\": " << jsonNumber(rr.measuredEnergyJ)
+            << ", \"energy_conserved\": "
+            << (rr.energyConserved ? "true" : "false")
+            << ", \"conservation_rel_err\": "
+            << jsonNumber(rr.conservationRelErr)
+            << ", \"marks\": " << rr.markCount << ",\n     \"windows\": [";
+        for (size_t w = 0; w < rr.windows.size(); ++w) {
+            const auto &win = rr.windows[w];
+            out << (w ? ", " : "") << "{\"t0\": " << jsonNumber(win.t0)
+                << ", \"t1\": " << jsonNumber(win.t1)
+                << ", \"modeled_w\": " << jsonNumber(win.modeledW)
+                << ", \"measured_w\": " << jsonNumber(win.measuredW)
+                << ", \"residual_w\": " << jsonNumber(win.residualW)
+                << ", \"has_measured\": "
+                << (win.hasMeasured ? "true" : "false")
+                << ", \"component_w\": [";
+            for (size_t c = 0; c < win.componentW.size(); ++c)
+                out << (c ? ", " : "") << jsonNumber(win.componentW[c]);
+            out << "]}";
+        }
+        out << "]}" << (r + 1 < report.runs.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.str();
+}
+
+std::string
+PowerScope::reportJson() const
+{
+    return powerScopeReportJson(analyze(runs()));
+}
+
+// --- Chrome trace export ------------------------------------------------
+
+namespace {
+
+void
+emitCounter(std::ostringstream &out, bool &first, const std::string &name,
+            double tsUs, double value)
+{
+    out << (first ? "" : ",") << "\n    {\"name\": \"" << jsonEscape(name)
+        << "\", \"ph\": \"C\", \"ts\": " << jsonNumber(tsUs)
+        << ", \"pid\": 2, \"tid\": 0, \"args\": {\"value\": "
+        << jsonNumber(value) << "}}";
+    first = false;
+}
+
+void
+emitInstant(std::ostringstream &out, bool &first, const std::string &name,
+            double tsUs)
+{
+    out << (first ? "" : ",") << "\n    {\"name\": \"" << jsonEscape(name)
+        << "\", \"ph\": \"i\", \"ts\": " << jsonNumber(tsUs)
+        << ", \"pid\": 2, \"tid\": 0, \"s\": \"p\"}";
+    first = false;
+}
+
+} // namespace
+
+std::string
+PowerScope::chromeTraceJson() const
+{
+    std::vector<PowerScopeRun> snapshot = runs();
+    std::ostringstream out;
+    out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+    bool first = true;
+
+    auto emitProcessName = [&](int pid, const char *name) {
+        out << (first ? "" : ",") << "\n    {\"name\": \"process_name\", "
+            << "\"ph\": \"M\", \"pid\": " << pid
+            << ", \"tid\": 0, \"args\": {\"name\": \"" << name << "\"}}";
+        first = false;
+    };
+    emitProcessName(1, "aw.profiler");
+    emitProcessName(2, "aw.powerscope");
+
+    // Profiler zone events (pid 1) — same document, so one Perfetto load
+    // shows where the wall clock went next to where the watts went.
+    for (const auto &ev : Profiler::instance().events()) {
+        out << (first ? "" : ",") << "\n    {\"name\": \""
+            << jsonEscape(ev.name) << "\", \"ph\": \"X\", \"ts\": "
+            << jsonNumber(ev.tsUs) << ", \"dur\": " << jsonNumber(ev.durUs)
+            << ", \"pid\": 1, \"tid\": " << ev.tid
+            << ", \"cat\": \"aw\", \"args\": {\"depth\": " << ev.depth
+            << "}}";
+        first = false;
+    }
+
+    // Counter tracks (pid 2). Runs are laid out sequentially on a shared
+    // virtual timeline — each kernel's trace is its own stretch, with a
+    // 5% gap so run boundaries are visible.
+    double offsetSec = 0;
+    for (const auto &run : snapshot) {
+        double elapsed = run.elapsedSec();
+        for (const auto &s : run.measured)
+            elapsed = std::max(elapsed, s.timeSec);
+        if (elapsed <= 0)
+            continue;
+
+        emitInstant(out, first, run.phase + ":" + run.name,
+                    offsetSec * 1e6);
+
+        // Skip tracks that are zero across the whole run — 25 always-on
+        // counter tracks would bury the informative ones.
+        std::vector<bool> active(run.components.size(), false);
+        for (const auto &iv : run.intervals)
+            for (size_t c = 0; c < iv.componentW.size(); ++c)
+                if (iv.componentW[c] != 0)
+                    active[c] = true;
+
+        for (const auto &iv : run.intervals) {
+            double tsUs = (offsetSec + iv.startSec) * 1e6;
+            emitCounter(out, first, "modeled_total_w", tsUs, iv.totalW);
+            emitCounter(out, first, "freq_ghz", tsUs, iv.freqGhz);
+            emitCounter(out, first, "voltage_v", tsUs, iv.voltage);
+            emitCounter(out, first, "active_sms", tsUs, iv.activeSms);
+            for (size_t c = 0; c < iv.componentW.size(); ++c)
+                if (active[c])
+                    emitCounter(out, first, run.components[c], tsUs,
+                                iv.componentW[c]);
+        }
+        if (!run.intervals.empty()) {
+            // Close each track at the end of the trace so the last
+            // interval renders with its true width.
+            double endUs = (offsetSec + run.elapsedSec()) * 1e6;
+            const ScopeInterval &last = run.intervals.back();
+            emitCounter(out, first, "modeled_total_w", endUs, last.totalW);
+            emitCounter(out, first, "freq_ghz", endUs, last.freqGhz);
+            emitCounter(out, first, "voltage_v", endUs, last.voltage);
+            emitCounter(out, first, "active_sms", endUs, last.activeSms);
+        }
+
+        for (const auto &s : run.measured) {
+            if (std::isnan(s.powerW))
+                continue;
+            emitCounter(out, first, "measured_w",
+                        (offsetSec + s.timeSec) * 1e6, s.powerW);
+        }
+        for (const auto &m : run.marks)
+            emitInstant(out, first, "fault:" + m.kind,
+                        (offsetSec + m.timeSec) * 1e6);
+
+        offsetSec += elapsed * 1.05;
+    }
+
+    out << "\n  ]\n}\n";
+    return out.str();
+}
+
+std::string
+PowerScope::dashboardHtml() const
+{
+    return renderPowerScopeHtml(analyze(runs()));
+}
+
+void
+writePowerScope(const std::string &basePath)
+{
+    PowerScope &scope = PowerScope::instance();
+    ScopeReport report = analyze(scope.runs());
+    writeFileAtomic(basePath + ".json", powerScopeReportJson(report));
+    writeFileAtomic(basePath + ".trace.json", scope.chromeTraceJson());
+    writeFileAtomic(basePath + ".html", renderPowerScopeHtml(report));
+}
+
+} // namespace aw::obs

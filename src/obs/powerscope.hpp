@@ -1,0 +1,229 @@
+/**
+ * @file
+ * PowerScope: power-domain observability. Where the profiler (obs/trace)
+ * answers "where did the wall clock go", PowerScope answers "where did
+ * the watts go, and where does the model disagree with the card":
+ *
+ *  - recorders stream per-interval modeled power decompositions
+ *    (component tracks) together with timestamped measured samples and
+ *    fault annotations onto one shared timeline, one PowerScopeRun per
+ *    kernel / wave stream;
+ *  - the analyzer time-aligns the model trace against the measured
+ *    stream (both resampled onto a common window grid), computes a
+ *    per-window residual ledger, ranks components by their correlation
+ *    with the residual, and flags energy-conservation violations
+ *    (sum of component energies vs the trace energy vs measured energy);
+ *  - exporters render the runs as Chrome-trace counter tracks (merged
+ *    with the profiler's zone events), a machine-readable JSON report
+ *    (schema aw.powerscope.v1), and a self-contained single-file HTML
+ *    dashboard (stacked component timeline, residual strip, error
+ *    histogram — an interactive Figure 10/11).
+ *
+ * Layering: this header is deliberately model-agnostic — tracks are
+ * named series of doubles, so obs keeps its no-upward-dependency rule.
+ * core/power_trace.hpp provides makePowerScopeRun() which converts an
+ * AccelWattch trace into a run; hw/nvml.hpp provides the timestamped
+ * measured stream.
+ *
+ * Cost model: collection is off by default. Every recorder must check
+ * PowerScope::instance().enabled() before building a run, so a disabled
+ * PowerScope costs one relaxed atomic load per record site and the
+ * pipeline's outputs stay bit-identical (bench/perf_obs_overhead holds
+ * the off path under 1% and the on path under 5%).
+ */
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace aw::obs {
+
+/** One timestamped measured power sample (an NVML reading folded onto
+ *  the run's own timeline). */
+struct MeasuredSample
+{
+    double timeSec = 0;
+    double powerW = 0;
+};
+
+/** Annotation pinned to the measured stream: injected fault effects
+ *  ("dropout", "stale", "nan") or run-level marks. */
+struct TimelineMark
+{
+    double timeSec = 0;
+    std::string kind;
+};
+
+/** One modeled sampling interval with its component decomposition.
+ *  componentW is aligned with PowerScopeRun::components. */
+struct ScopeInterval
+{
+    double startSec = 0;
+    double durSec = 0;
+    double freqGhz = 0;
+    double voltage = 0;
+    double activeSms = 0;
+    double totalW = 0; ///< modeled total power over the interval
+    std::vector<double> componentW;
+};
+
+/** One recorded run: a modeled power trace plus (optionally) the
+ *  measured sample stream over the same timeline. */
+struct PowerScopeRun
+{
+    std::string name;
+    std::string phase; ///< "validate" | "tune" | "deepbench" | "cli" | ...
+    std::vector<std::string> components;  ///< track names, shared by intervals
+    std::vector<ScopeInterval> intervals; ///< modeled timeline
+    std::vector<MeasuredSample> measured; ///< empty = no sample stream
+    std::vector<TimelineMark> marks;      ///< fault / context annotations
+
+    /** Campaign-average measured power (the number validation reports);
+     *  0 = unavailable. Used for APE so the report reconciles with the
+     *  suite's MAPE even when the sample stream carries its own noise. */
+    double measuredAvgW = 0;
+
+    double modeledEnergyJ = 0;   ///< trace energy as the recorder computed it
+    double componentEnergyJ = 0; ///< sum of per-component interval energies
+
+    /** End of the modeled timeline (start + duration of the last
+     *  interval); 0 when empty. */
+    double elapsedSec() const;
+};
+
+// --- alignment & residual analysis --------------------------------------
+
+/** One window of the common resampling grid. */
+struct AlignedWindow
+{
+    double t0 = 0, t1 = 0;
+    double modeledW = 0;
+    double measuredW = 0;
+    double residualW = 0; ///< measured - modeled (0 when !hasMeasured)
+    bool hasMeasured = false;
+    std::vector<double> componentW; ///< time-weighted modeled decomposition
+};
+
+/** Pooled per-component residual attribution. */
+struct ComponentAttribution
+{
+    std::string component;
+    double meanW = 0;        ///< mean modeled power across analyzed windows
+    double energyJ = 0;      ///< summed interval energy across runs
+    double residualCorr = 0; ///< Pearson r of component power vs residual
+    size_t windows = 0;      ///< windows that entered the correlation
+};
+
+/** Per-run analysis result. */
+struct RunReport
+{
+    std::string name;
+    std::string phase;
+    double elapsedSec = 0;
+    double modeledAvgW = 0;  ///< energy / elapsed over the modeled trace
+    double measuredAvgW = 0; ///< campaign average (0 = none)
+    double apePct = 0;       ///< |modeled - measured| / measured * 100
+    double residualMeanW = 0;
+    double residualRmsW = 0;
+    double modeledEnergyJ = 0;
+    double componentEnergyJ = 0;
+    double measuredEnergyJ = 0;
+    bool energyConserved = true; ///< component sum vs trace energy, 1e-9 rel
+    double conservationRelErr = 0;
+    std::vector<AlignedWindow> windows;
+    size_t markCount = 0;
+};
+
+/** Whole-campaign analysis result. */
+struct ScopeReport
+{
+    std::vector<std::string> components; ///< union track list
+    std::vector<RunReport> runs;
+    std::vector<ComponentAttribution> attribution; ///< ranked by |corr|
+    size_t runsWithMeasured = 0;
+    double mapePct = 0;  ///< over runs with a measured average
+    double pearsonR = 0; ///< modeled vs measured averages across runs
+    size_t energyViolations = 0;
+};
+
+/**
+ * Resample one run onto a common grid of `nWindows` equal-width windows
+ * spanning its timeline. The modeled side is integrated time-weighted
+ * over each window; the measured side is averaged from the samples that
+ * fall inside it (gaps — e.g. fault dropouts — are bridged by linear
+ * interpolation between neighbouring samples; a run with only a
+ * campaign average gets a flat measured series). nWindows = 0 picks
+ * min(64, interval count).
+ */
+std::vector<AlignedWindow> alignRun(const PowerScopeRun &run,
+                                    size_t nWindows = 0);
+
+/** Full residual / attribution / conservation analysis. */
+ScopeReport analyze(const std::vector<PowerScopeRun> &runs,
+                    size_t nWindows = 0);
+
+// --- collector ----------------------------------------------------------
+
+/** Process-wide run collector. Off by default; record() while disabled
+ *  is a cheap no-op so wired call sites cost one atomic load. */
+class PowerScope
+{
+  public:
+    static PowerScope &instance();
+
+    void setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Append one run (thread-safe; no-op while disabled). */
+    void record(PowerScopeRun run);
+
+    std::vector<PowerScopeRun> runs() const;
+
+    /** Drop recorded runs (keeps enabled state; test support). */
+    void clear();
+
+    /** The aw.powerscope.v1 JSON report (runs, residual windows,
+     *  attribution ranking, energy ledger). */
+    std::string reportJson() const;
+
+    /** Chrome trace-event JSON: the profiler's zone events (pid 1)
+     *  merged with PowerScope counter tracks (pid 2, one counter per
+     *  power component plus modeled/measured totals, frequency,
+     *  voltage, and active-SM count; runs laid out sequentially). */
+    std::string chromeTraceJson() const;
+
+    /** Self-contained single-file HTML dashboard. */
+    std::string dashboardHtml() const;
+
+  private:
+    PowerScope() = default;
+
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mu_;
+    std::vector<PowerScopeRun> runs_;
+};
+
+/**
+ * Write the three PowerScope artifacts atomically (temp file + rename,
+ * parent directories created): <base>.json (report), <base>.trace.json
+ * (Chrome trace), <base>.html (dashboard).
+ */
+void writePowerScope(const std::string &basePath);
+
+/** Render the dashboard for an externally-built report (test support
+ *  and writePowerScope's implementation detail). */
+std::string renderPowerScopeHtml(const ScopeReport &report);
+
+/** Serialize a report to the aw.powerscope.v1 JSON document. */
+std::string powerScopeReportJson(const ScopeReport &report);
+
+} // namespace aw::obs

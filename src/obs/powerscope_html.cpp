@@ -1,0 +1,543 @@
+/**
+ * @file
+ * PowerScope HTML dashboard renderer: a self-contained single-file page
+ * (no network fetches, no external scripts) embedding the
+ * aw.powerscope.v1 report JSON and rendering, per run, a stacked
+ * component timeline with the measured overlay, a diverging residual
+ * strip, a residual histogram across all runs, and the attribution
+ * ranking — an interactive counterpart to the paper's Figs. 10/11.
+ */
+#include "obs/powerscope.hpp"
+
+#include <string>
+
+namespace aw::obs {
+
+namespace {
+
+/** Escape "</" so arbitrary strings in the report (kernel names) can
+ *  never terminate the embedding <script> element early. */
+std::string
+embedJson(const std::string &json)
+{
+    std::string out;
+    out.reserve(json.size());
+    for (size_t i = 0; i < json.size(); ++i) {
+        if (json[i] == '<' && i + 1 < json.size() && json[i + 1] == '/') {
+            out += "<\\/";
+            ++i;
+        } else {
+            out += json[i];
+        }
+    }
+    return out;
+}
+
+const char *kHtmlHead = R"HTML(<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>PowerScope — AccelWattch power-timeline dashboard</title>
+<style>
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --gridline: #e1e0d9;
+  --baseline: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --series-3: #1baf7a;
+  --series-4: #eda100;
+  --series-5: #e87ba4;
+  --series-6: #008300;
+  --series-7: #4a3aa7;
+  --series-8: #e34948;
+  --div-neg: #2a78d6;
+  --div-pos: #e34948;
+  --div-mid: #f0efec;
+  --seq: #2a78d6;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --gridline: #2c2c2a;
+    --baseline: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+    --series-4: #c98500;
+    --series-5: #d55181;
+    --series-6: #008300;
+    --series-7: #9085e9;
+    --series-8: #e66767;
+    --div-neg: #3987e5;
+    --div-pos: #e66767;
+    --div-mid: #383835;
+    --seq: #3987e5;
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --surface-1: #1a1a19;
+  --page: #0d0d0d;
+  --text-primary: #ffffff;
+  --text-secondary: #c3c2b7;
+  --text-muted: #898781;
+  --gridline: #2c2c2a;
+  --baseline: #383835;
+  --border: rgba(255,255,255,0.10);
+  --series-1: #3987e5;
+  --series-2: #d95926;
+  --series-3: #199e70;
+  --series-4: #c98500;
+  --series-5: #d55181;
+  --series-6: #008300;
+  --series-7: #9085e9;
+  --series-8: #e66767;
+  --div-neg: #3987e5;
+  --div-pos: #e66767;
+  --div-mid: #383835;
+  --seq: #3987e5;
+}
+.viz-root {
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page);
+  color: var(--text-primary);
+  margin: 0;
+  padding: 24px;
+}
+.viz-root h1 { font-size: 20px; font-weight: 600; margin: 0 0 4px; }
+.viz-root .subtitle { color: var(--text-secondary); font-size: 13px; margin: 0 0 20px; }
+.viz-root .stat-row { display: flex; gap: 16px; flex-wrap: wrap; margin-bottom: 20px; }
+.viz-root .stat-tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 18px; min-width: 120px;
+}
+.viz-root .stat-tile .label { color: var(--text-secondary); font-size: 12px; }
+.viz-root .stat-tile .value { font-size: 26px; font-weight: 600; }
+.viz-root .card {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px; margin-bottom: 20px;
+}
+.viz-root .card h2 { font-size: 14px; font-weight: 600; margin: 0 0 2px; }
+.viz-root .card .desc { color: var(--text-secondary); font-size: 12px; margin: 0 0 12px; }
+.viz-root .controls { margin-bottom: 16px; }
+.viz-root select {
+  font: inherit; color: var(--text-primary); background: var(--surface-1);
+  border: 1px solid var(--baseline); border-radius: 6px; padding: 4px 8px;
+}
+.viz-root .legend { display: flex; flex-wrap: wrap; gap: 12px; margin-top: 8px; font-size: 12px; color: var(--text-secondary); }
+.viz-root .legend .key { display: inline-flex; align-items: center; gap: 6px; }
+.viz-root .legend .swatch { width: 10px; height: 10px; border-radius: 3px; display: inline-block; }
+.viz-root .legend .line-swatch { width: 14px; height: 2px; display: inline-block; }
+.viz-root svg text { fill: var(--text-muted); font-size: 11px; font-family: inherit; }
+.viz-root svg .axis-label { fill: var(--text-secondary); }
+.viz-root table { border-collapse: collapse; font-size: 12px; width: 100%; }
+.viz-root th { text-align: left; color: var(--text-secondary); font-weight: 600; border-bottom: 1px solid var(--baseline); padding: 4px 10px 4px 0; }
+.viz-root td { border-bottom: 1px solid var(--gridline); padding: 4px 10px 4px 0; font-variant-numeric: tabular-nums; }
+.viz-root details summary { cursor: pointer; color: var(--text-secondary); font-size: 13px; }
+.viz-root .tooltip {
+  position: fixed; pointer-events: none; background: var(--surface-1);
+  border: 1px solid var(--border); border-radius: 6px; padding: 8px 10px;
+  font-size: 12px; color: var(--text-primary); display: none; z-index: 10;
+  box-shadow: 0 2px 8px rgba(0,0,0,0.15); max-width: 280px;
+}
+.viz-root .tooltip .t-head { font-weight: 600; margin-bottom: 4px; }
+.viz-root .tooltip .t-row { display: flex; justify-content: space-between; gap: 12px; color: var(--text-secondary); }
+.viz-root .tooltip .t-row b { color: var(--text-primary); font-weight: 500; font-variant-numeric: tabular-nums; }
+.viz-root .bar-list .bar-row { display: grid; grid-template-columns: 130px 1fr 60px; gap: 8px; align-items: center; font-size: 12px; margin: 3px 0; }
+.viz-root .bar-list .bar-name { color: var(--text-secondary); overflow: hidden; text-overflow: ellipsis; white-space: nowrap; }
+.viz-root .bar-list .bar-track { position: relative; height: 12px; }
+.viz-root .bar-list .bar-mid { position: absolute; left: 50%; top: -2px; bottom: -2px; width: 1px; background: var(--baseline); }
+.viz-root .bar-list .bar-fill { position: absolute; top: 1px; height: 10px; border-radius: 3px; }
+.viz-root .bar-list .bar-val { text-align: right; font-variant-numeric: tabular-nums; color: var(--text-primary); }
+.viz-root .flag-bad { color: var(--div-pos); font-weight: 600; }
+</style>
+</head>
+<body class="viz-root">
+<h1>PowerScope</h1>
+<p class="subtitle">Modeled per-component power timeline vs measured stream, residual attribution &mdash; schema aw.powerscope.v1</p>
+<div class="stat-row" id="stats"></div>
+<div class="card">
+  <h2>Component power timeline</h2>
+  <p class="desc">Stacked modeled decomposition per alignment window; measured overlay in primary ink. Top components by energy; the rest fold into &ldquo;Other&rdquo;.</p>
+  <div class="controls"><label>Run <select id="runSel"></select></label></div>
+  <svg id="stackSvg" width="100%" height="300" viewBox="0 0 900 300" preserveAspectRatio="none"></svg>
+  <div class="legend" id="stackLegend"></div>
+</div>
+<div class="card">
+  <h2>Residual strip</h2>
+  <p class="desc">Per-window residual (measured &minus; modeled) for the selected run. Red: model under-predicts; blue: over-predicts.</p>
+  <svg id="residSvg" width="100%" height="120" viewBox="0 0 900 120" preserveAspectRatio="none"></svg>
+</div>
+<div class="card">
+  <h2>Residual histogram</h2>
+  <p class="desc">Window residuals pooled across all runs with a measured stream.</p>
+  <svg id="histSvg" width="100%" height="160" viewBox="0 0 900 160" preserveAspectRatio="none"></svg>
+</div>
+<div class="card">
+  <h2>Residual attribution</h2>
+  <p class="desc">Components ranked by Pearson correlation of their modeled power with the residual across all measured windows. A large |r| marks the component model the residual follows.</p>
+  <div class="bar-list" id="attr"></div>
+</div>
+<div class="card">
+  <details><summary>Per-run table</summary><div id="runTable"></div></details>
+</div>
+<div class="tooltip" id="tip"></div>
+)HTML";
+
+const char *kHtmlScript = R"HTML(<script>
+(function () {
+  "use strict";
+  var report = JSON.parse(document.getElementById("aw-report").textContent);
+  var NS = "http://www.w3.org/2000/svg";
+  var SERIES = ["--series-1","--series-2","--series-3","--series-4",
+                "--series-5","--series-6","--series-7","--series-8"];
+  function cssVar(name) {
+    return getComputedStyle(document.body).getPropertyValue(name).trim();
+  }
+  function el(tag, attrs) {
+    var e = document.createElementNS(NS, tag);
+    for (var k in attrs) e.setAttribute(k, attrs[k]);
+    return e;
+  }
+  function fmt(v, d) {
+    return Number(v).toFixed(d === undefined ? 1 : d);
+  }
+  var tip = document.getElementById("tip");
+  function showTip(evt, html) {
+    tip.innerHTML = html;
+    tip.style.display = "block";
+    tip.style.left = Math.min(evt.clientX + 14, window.innerWidth - 300) + "px";
+    tip.style.top = (evt.clientY + 14) + "px";
+  }
+  function hideTip() { tip.style.display = "none"; }
+
+  // Summary tiles.
+  var s = report.summary;
+  var stats = document.getElementById("stats");
+  [["Runs", s.runs, 0], ["Measured", s.runs_with_measured, 0],
+   ["MAPE", fmt(s.mape_pct, 2) + "%", null],
+   ["Pearson r", fmt(s.pearson_r, 3), null],
+   ["Energy violations", s.energy_violations, 0]].forEach(function (t) {
+    var d = document.createElement("div");
+    d.className = "stat-tile";
+    var bad = t[0] === "Energy violations" && t[1] > 0;
+    d.innerHTML = '<div class="label">' + t[0] + '</div><div class="value' +
+      (bad ? ' flag-bad' : '') + '">' + t[1] + "</div>";
+    stats.appendChild(d);
+  });
+
+  // Pick the stacked series: top 7 components by report-wide energy,
+  // everything else folds into "Other" (8 adjacent series max).
+  var byEnergy = report.attribution.slice().sort(function (a, b) {
+    return b.energy_j - a.energy_j;
+  });
+  var topNames = byEnergy.slice(0, 7).map(function (a) { return a.component; })
+    .filter(function (n) {
+      return report.components.indexOf(n) >= 0;
+    });
+  var topIdx = topNames.map(function (n) { return report.components.indexOf(n); });
+  var hasOther = report.components.length > topNames.length;
+
+  var runSel = document.getElementById("runSel");
+  report.runs.forEach(function (r, i) {
+    var o = document.createElement("option");
+    o.value = i;
+    o.textContent = r.phase + ":" + r.name;
+    runSel.appendChild(o);
+  });
+  runSel.addEventListener("change", render);
+
+  function legendFor(container, withMeasured) {
+    container.innerHTML = "";
+    topNames.concat(hasOther ? ["Other"] : []).forEach(function (n, i) {
+      var k = document.createElement("span");
+      k.className = "key";
+      k.innerHTML = '<span class="swatch" style="background:' +
+        cssVar(SERIES[i]) + '"></span>' + n;
+      container.appendChild(k);
+    });
+    if (withMeasured) {
+      var k = document.createElement("span");
+      k.className = "key";
+      k.innerHTML = '<span class="line-swatch" style="background:' +
+        cssVar("--text-primary") + '"></span>measured';
+      container.appendChild(k);
+    }
+  }
+
+  function drawStack(run) {
+    var svg = document.getElementById("stackSvg");
+    svg.innerHTML = "";
+    var W = 900, H = 300, padL = 46, padR = 8, padT = 8, padB = 22;
+    var wins = run.windows;
+    if (!wins.length) {
+      var t = el("text", { x: W / 2, y: H / 2, "text-anchor": "middle" });
+      t.textContent = "(no windows)";
+      svg.appendChild(t);
+      return;
+    }
+    var tMax = run.elapsed_sec || wins[wins.length - 1].t1;
+    var yMax = 0;
+    wins.forEach(function (w) {
+      var total = w.component_w.reduce(function (a, b) { return a + b; }, 0);
+      yMax = Math.max(yMax, total, w.has_measured ? w.measured_w : 0, w.modeled_w);
+    });
+    yMax = yMax > 0 ? yMax * 1.08 : 1;
+    function X(t) { return padL + (t / tMax) * (W - padL - padR); }
+    function Y(v) { return H - padB - (v / yMax) * (H - padT - padB); }
+
+    // Gridlines + y ticks.
+    for (var g = 0; g <= 4; ++g) {
+      var v = yMax * g / 4, y = Y(v);
+      svg.appendChild(el("line", { x1: padL, x2: W - padR, y1: y, y2: y,
+        stroke: cssVar("--gridline"), "stroke-width": 1 }));
+      var lbl = el("text", { x: padL - 6, y: y + 4, "text-anchor": "end" });
+      lbl.textContent = fmt(v, 0);
+      svg.appendChild(lbl);
+    }
+    var yAxis = el("text", { x: 4, y: padT + 10, class: "axis-label" });
+    yAxis.textContent = "W";
+    svg.appendChild(yAxis);
+    var xAxis = el("text", { x: W - padR, y: H - 6, "text-anchor": "end" });
+    xAxis.textContent = fmt(tMax * 1e3, 2) + " ms";
+    svg.appendChild(xAxis);
+
+    // Stacked bands: per window, stack top components then Other. A 2px
+    // surface gap between windows keeps fills separable.
+    var nW = wins.length;
+    wins.forEach(function (w, i) {
+      var x0 = X(w.t0), x1 = X(w.t1);
+      var gap = nW > 60 ? 0.5 : 1;
+      x0 += gap; x1 -= gap;
+      if (x1 <= x0) x1 = x0 + 0.5;
+      var acc = 0;
+      var vals = topIdx.map(function (ci) { return w.component_w[ci] || 0; });
+      if (hasOther) {
+        var total = w.component_w.reduce(function (a, b) { return a + b; }, 0);
+        var topSum = vals.reduce(function (a, b) { return a + b; }, 0);
+        vals.push(Math.max(0, total - topSum));
+      }
+      vals.forEach(function (v, si) {
+        if (v <= 0) return;
+        var y1 = Y(acc), y0 = Y(acc + v);
+        var r = el("rect", { x: x0, y: y0, width: x1 - x0,
+          height: Math.max(0.5, y1 - y0), fill: cssVar(SERIES[si]) });
+        svg.appendChild(r);
+        acc += v;
+      });
+      // Transparent hover target over the full window column.
+      var hit = el("rect", { x: X(w.t0), y: padT, width: X(w.t1) - X(w.t0),
+        height: H - padT - padB, fill: "transparent" });
+      hit.addEventListener("mousemove", function (evt) {
+        var rows = topNames.map(function (n, si) {
+          return '<div class="t-row"><span>' + n + '</span><b>' +
+            fmt(vals[si], 2) + ' W</b></div>';
+        }).join("");
+        if (hasOther)
+          rows += '<div class="t-row"><span>Other</span><b>' +
+            fmt(vals[vals.length - 1], 2) + ' W</b></div>';
+        showTip(evt, '<div class="t-head">' + fmt(w.t0 * 1e3, 3) + "&ndash;" +
+          fmt(w.t1 * 1e3, 3) + ' ms</div>' +
+          '<div class="t-row"><span>modeled</span><b>' + fmt(w.modeled_w, 2) +
+          ' W</b></div>' +
+          (w.has_measured ? '<div class="t-row"><span>measured</span><b>' +
+            fmt(w.measured_w, 2) + ' W</b></div>' : "") + rows);
+      });
+      hit.addEventListener("mouseleave", hideTip);
+      svg.appendChild(hit);
+    });
+
+    // Measured overlay: 2px primary-ink line across measured windows.
+    var d = "", pen = false;
+    wins.forEach(function (w) {
+      if (!w.has_measured) { pen = false; return; }
+      var x = (X(w.t0) + X(w.t1)) / 2, y = Y(w.measured_w);
+      d += (pen ? "L" : "M") + fmt(x, 1) + "," + fmt(y, 1);
+      pen = true;
+    });
+    if (d)
+      svg.appendChild(el("path", { d: d, fill: "none",
+        stroke: cssVar("--text-primary"), "stroke-width": 2 }));
+
+    svg.appendChild(el("line", { x1: padL, x2: W - padR, y1: Y(0), y2: Y(0),
+      stroke: cssVar("--baseline"), "stroke-width": 1 }));
+  }
+
+  function drawResiduals(run) {
+    var svg = document.getElementById("residSvg");
+    svg.innerHTML = "";
+    var W = 900, H = 120, padL = 46, padR = 8, padT = 8, padB = 14;
+    var wins = run.windows.filter(function (w) { return w.has_measured; });
+    if (!wins.length) {
+      var t = el("text", { x: W / 2, y: H / 2, "text-anchor": "middle" });
+      t.textContent = "(no measured stream)";
+      svg.appendChild(t);
+      return;
+    }
+    var tMax = run.elapsed_sec || run.windows[run.windows.length - 1].t1;
+    var rMax = 0;
+    wins.forEach(function (w) { rMax = Math.max(rMax, Math.abs(w.residual_w)); });
+    rMax = rMax > 0 ? rMax * 1.1 : 1;
+    function X(t) { return padL + (t / tMax) * (W - padL - padR); }
+    var y0 = H / 2;
+    function Y(v) { return y0 - (v / rMax) * (H / 2 - padT); }
+    svg.appendChild(el("line", { x1: padL, x2: W - padR, y1: y0, y2: y0,
+      stroke: cssVar("--baseline"), "stroke-width": 1 }));
+    [rMax, -rMax].forEach(function (v) {
+      var lbl = el("text", { x: padL - 6, y: Y(v) + 4, "text-anchor": "end" });
+      lbl.textContent = (v > 0 ? "+" : "") + fmt(v, 1);
+      svg.appendChild(lbl);
+    });
+    wins.forEach(function (w) {
+      var x0 = X(w.t0) + 1, x1 = X(w.t1) - 1;
+      if (x1 <= x0) x1 = x0 + 0.5;
+      var yv = Y(w.residual_w);
+      var rect = el("rect", {
+        x: x0, y: Math.min(y0, yv), width: x1 - x0,
+        height: Math.max(0.5, Math.abs(yv - y0)),
+        fill: cssVar(w.residual_w >= 0 ? "--div-pos" : "--div-neg")
+      });
+      rect.addEventListener("mousemove", function (evt) {
+        showTip(evt, '<div class="t-head">' + fmt(w.t0 * 1e3, 3) + "&ndash;" +
+          fmt(w.t1 * 1e3, 3) + ' ms</div><div class="t-row">' +
+          '<span>residual</span><b>' + fmt(w.residual_w, 2) + ' W</b></div>');
+      });
+      rect.addEventListener("mouseleave", hideTip);
+      svg.appendChild(rect);
+    });
+  }
+
+  function drawHistogram() {
+    var svg = document.getElementById("histSvg");
+    svg.innerHTML = "";
+    var W = 900, H = 160, padL = 46, padR = 8, padT = 8, padB = 22;
+    var residuals = [];
+    report.runs.forEach(function (r) {
+      r.windows.forEach(function (w) {
+        if (w.has_measured) residuals.push(w.residual_w);
+      });
+    });
+    if (!residuals.length) {
+      var t = el("text", { x: W / 2, y: H / 2, "text-anchor": "middle" });
+      t.textContent = "(no measured windows)";
+      svg.appendChild(t);
+      return;
+    }
+    var lo = Math.min.apply(null, residuals), hi = Math.max.apply(null, residuals);
+    if (hi <= lo) { hi = lo + 1; }
+    var nBins = Math.min(31, Math.max(7, Math.round(Math.sqrt(residuals.length))));
+    var bins = new Array(nBins).fill(0);
+    residuals.forEach(function (r) {
+      var b = Math.min(nBins - 1, Math.floor((r - lo) / (hi - lo) * nBins));
+      bins[b]++;
+    });
+    var maxBin = Math.max.apply(null, bins);
+    function X(b) { return padL + b / nBins * (W - padL - padR); }
+    function Y(c) { return H - padB - c / maxBin * (H - padT - padB); }
+    svg.appendChild(el("line", { x1: padL, x2: W - padR, y1: H - padB,
+      y2: H - padB, stroke: cssVar("--baseline"), "stroke-width": 1 }));
+    bins.forEach(function (c, b) {
+      if (!c) return;
+      var rect = el("rect", { x: X(b) + 1, y: Y(c), width: X(b + 1) - X(b) - 2,
+        height: H - padB - Y(c), fill: cssVar("--seq"), rx: 2 });
+      var b0 = lo + (hi - lo) * b / nBins, b1 = lo + (hi - lo) * (b + 1) / nBins;
+      rect.addEventListener("mousemove", function (evt) {
+        showTip(evt, '<div class="t-row"><span>' + fmt(b0, 2) + "&ndash;" +
+          fmt(b1, 2) + ' W</span><b>' + c + '</b></div>');
+      });
+      rect.addEventListener("mouseleave", hideTip);
+      svg.appendChild(rect);
+    });
+    [[lo, padL, "start"], [hi, W - padR, "end"]].forEach(function (tick) {
+      var lbl = el("text", { x: tick[1], y: H - 6, "text-anchor": tick[2] });
+      lbl.textContent = fmt(tick[0], 1) + " W";
+      svg.appendChild(lbl);
+    });
+  }
+
+  function drawAttribution() {
+    var box = document.getElementById("attr");
+    box.innerHTML = "";
+    report.attribution.slice(0, 12).forEach(function (a) {
+      var row = document.createElement("div");
+      row.className = "bar-row";
+      var r = Math.max(-1, Math.min(1, a.residual_corr));
+      var fillLeft = r >= 0 ? 50 : 50 + r * 50;
+      var fillW = Math.abs(r) * 50;
+      row.innerHTML = '<span class="bar-name" title="' + a.component + '">' +
+        a.component + '</span>' +
+        '<span class="bar-track"><span class="bar-mid"></span>' +
+        '<span class="bar-fill" style="left:' + fillLeft + '%;width:' +
+        fillW + '%;background:' +
+        cssVar(r >= 0 ? "--div-pos" : "--div-neg") + '"></span></span>' +
+        '<span class="bar-val">' + fmt(a.residual_corr, 3) + '</span>';
+      box.appendChild(row);
+    });
+  }
+
+  function drawTable() {
+    var box = document.getElementById("runTable");
+    var html = "<table><tr><th>run</th><th>phase</th><th>modeled W</th>" +
+      "<th>measured W</th><th>APE %</th><th>residual RMS W</th>" +
+      "<th>energy J</th><th>conserved</th><th>marks</th></tr>";
+    report.runs.forEach(function (r) {
+      html += "<tr><td>" + r.name + "</td><td>" + r.phase + "</td><td>" +
+        fmt(r.modeled_avg_w, 2) + "</td><td>" +
+        (r.measured_avg_w > 0 ? fmt(r.measured_avg_w, 2) : "&mdash;") +
+        "</td><td>" + (r.measured_avg_w > 0 ? fmt(r.ape_pct, 2) : "&mdash;") +
+        "</td><td>" + fmt(r.residual_rms_w, 2) + "</td><td>" +
+        fmt(r.modeled_energy_j, 4) + "</td><td>" +
+        (r.energy_conserved ? "yes" : '<span class="flag-bad">NO</span>') +
+        "</td><td>" + r.marks + "</td></tr>";
+    });
+    box.innerHTML = html + "</table>";
+  }
+
+  function render() {
+    var run = report.runs[Number(runSel.value) || 0];
+    if (!run) return;
+    drawStack(run);
+    drawResiduals(run);
+    legendFor(document.getElementById("stackLegend"), true);
+  }
+
+  if (report.runs.length) {
+    render();
+  }
+  drawHistogram();
+  drawAttribution();
+  drawTable();
+})();
+</script>
+</body>
+</html>
+)HTML";
+
+} // namespace
+
+std::string
+renderPowerScopeHtml(const ScopeReport &report)
+{
+    std::string html = kHtmlHead;
+    html += "<script type=\"application/json\" id=\"aw-report\">\n";
+    html += embedJson(powerScopeReportJson(report));
+    html += "</script>\n";
+    html += kHtmlScript;
+    return html;
+}
+
+} // namespace aw::obs

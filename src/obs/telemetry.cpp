@@ -8,6 +8,7 @@
 #include "common/table.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/powerscope.hpp"
 #include "obs/trace.hpp"
 
 namespace aw::obs {
@@ -94,21 +95,21 @@ Telemetry::toCsv() const
 void
 writeMetricsJson(const std::string &path)
 {
-    writeFile(path, Telemetry::instance().toJson());
+    writeFileAtomic(path, Telemetry::instance().toJson());
     inform("telemetry written to %s", path.c_str());
 }
 
 void
 writeMetricsCsv(const std::string &path)
 {
-    writeFile(path, Telemetry::instance().toCsv());
+    writeFileAtomic(path, Telemetry::instance().toCsv());
     inform("telemetry written to %s", path.c_str());
 }
 
 void
 writeTraceJson(const std::string &path)
 {
-    writeFile(path, Profiler::instance().chromeTraceJson());
+    writeFileAtomic(path, Profiler::instance().chromeTraceJson());
     inform("trace written to %s (open in chrome://tracing or "
            "ui.perfetto.dev)",
            path.c_str());
@@ -118,6 +119,7 @@ namespace {
 
 std::string g_envMetricsOut;
 std::string g_envTraceOut;
+std::string g_envPowerScopeOut;
 
 void
 flushEnvSinks()
@@ -132,6 +134,11 @@ flushEnvSinks()
     }
     if (!g_envTraceOut.empty())
         writeTraceJson(g_envTraceOut);
+    if (!g_envPowerScopeOut.empty()) {
+        writePowerScope(g_envPowerScopeOut);
+        inform("powerscope written to %s{.json,.trace.json,.html}",
+               g_envPowerScopeOut.c_str());
+    }
 }
 
 } // namespace
@@ -149,13 +156,22 @@ initSinksFromEnv()
     metrics();
     (void)Profiler::instance().events(); // also constructs the buffer list
     Telemetry::instance();
+    PowerScope::instance();
     if (const char *env = std::getenv("AW_METRICS_OUT"); env && *env)
         g_envMetricsOut = env;
     if (const char *env = std::getenv("AW_TRACE_OUT"); env && *env) {
         g_envTraceOut = env;
         Profiler::instance().setEnabled(true);
     }
-    if (!g_envMetricsOut.empty() || !g_envTraceOut.empty())
+    if (const char *env = std::getenv("AW_POWERSCOPE"); env && *env) {
+        g_envPowerScopeOut = env;
+        PowerScope::instance().setEnabled(true);
+        // The merged trace is only useful with zone events alongside the
+        // counter tracks, so the powerscope knob implies the profiler.
+        Profiler::instance().setEnabled(true);
+    }
+    if (!g_envMetricsOut.empty() || !g_envTraceOut.empty() ||
+        !g_envPowerScopeOut.empty())
         std::atexit(&flushEnvSinks);
 }
 

@@ -74,9 +74,12 @@ void writeTraceJson(const std::string &path);
 
 /**
  * Arrange end-of-process sinks from the environment: AW_METRICS_OUT
- * (telemetry JSON; a ".csv" suffix selects CSV) and AW_TRACE_OUT
- * (Chrome trace JSON, also enables the profiler now). Safe to call
- * more than once; the flush registers only once.
+ * (telemetry JSON; a ".csv" suffix selects CSV), AW_TRACE_OUT (Chrome
+ * trace JSON, also enables the profiler now), and AW_POWERSCOPE (base
+ * path for the powerscope report/trace/dashboard triple; enables the
+ * PowerScope collector and the profiler now). All sinks publish via
+ * temp-file + atomic rename. Safe to call more than once; the flush
+ * registers only once.
  */
 void initSinksFromEnv();
 

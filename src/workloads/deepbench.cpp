@@ -5,7 +5,9 @@
 #include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "core/power_trace.hpp"
 #include "core/result_cache.hpp"
+#include "obs/powerscope.hpp"
 
 namespace aw {
 
@@ -77,6 +79,11 @@ struct KernelCost
     double dynEnergyJ = 0;
     double staticPerSmW = 0;
     int sms = 0;
+    // PowerScope extras (filled unconditionally — cheap copies of data
+    // the evaluation already computed).
+    ComponentArray<double> dynCompW{}; ///< per-component dynamic watts
+    double freqGhz = 0;
+    double voltage = 0;
 };
 
 KernelCost
@@ -92,33 +99,88 @@ modelKernelCost(const AccelWattchModel &model, const GpuSimulator &sim,
     c.sms = std::max(1, static_cast<int>(agg.avgActiveSms));
     c.staticPerSmW = model.staticPerActiveSmW(agg.mixCategory(),
                                               agg.avgActiveLanesPerWarp);
+    c.dynCompW = b.dynamicW;
+    c.freqGhz = agg.freqGhz;
+    c.voltage = agg.voltage;
     return c;
 }
 
 DeepBenchEstimate
 evaluateSchedule(const AccelWattchModel &model,
                  const std::vector<KernelCost> &costs,
-                 const std::vector<ConcurrentWave> &schedule)
+                 const std::vector<ConcurrentWave> &schedule,
+                 const std::string &scopeName, const char *scopePhase)
 {
     const int numSms = model.gpu.numSms;
+    const bool scope = obs::PowerScope::instance().enabled();
+    obs::PowerScopeRun run;
+    if (scope) {
+        run.name = scopeName;
+        run.phase = scopePhase;
+        run.components = powerScopeTrackNames();
+    }
     double totalSec = 0, totalJ = 0;
     for (const auto &wave : schedule) {
         double waveSec = 0;
         double smSeconds = 0, dynJ = 0, staticJ = 0;
+        ComponentArray<double> dynCompJ{};
+        double freqSec = 0, voltSec = 0;
         for (size_t idx : wave.kernelIdx) {
             const KernelCost &c = costs[idx];
             waveSec = std::max(waveSec, c.durationSec);
             smSeconds += static_cast<double>(c.sms) * c.durationSec;
             dynJ += c.dynEnergyJ;
             staticJ += c.staticPerSmW * c.sms * c.durationSec;
+            if (scope) {
+                for (size_t comp = 0; comp < kNumPowerComponents; ++comp)
+                    dynCompJ[comp] += c.dynCompW[comp] * c.durationSec;
+                freqSec += c.freqGhz * c.durationSec;
+                voltSec += c.voltage * c.durationSec;
+            }
         }
         if (waveSec <= 0)
             continue;
         double idleSmSeconds =
             std::max(0.0, numSms * waveSec - smSeconds);
+        if (scope) {
+            // One timeline interval per concurrent wave: the schedule's
+            // resolution (per-kernel traces would overlap in time).
+            obs::ScopeInterval iv;
+            iv.startSec = totalSec;
+            iv.durSec = waveSec;
+            iv.componentW.assign(run.components.size(), 0.0);
+            iv.componentW[0] = model.constPowerW;
+            iv.componentW[1] = staticJ / waveSec;
+            iv.componentW[2] = model.idleSmW * idleSmSeconds / waveSec;
+            for (size_t comp = 0; comp < kNumPowerComponents; ++comp)
+                iv.componentW[3 + comp] = dynCompJ[comp] / waveSec;
+            double kernelSec = 0;
+            for (size_t idx : wave.kernelIdx)
+                kernelSec += costs[idx].durationSec;
+            iv.freqGhz = kernelSec > 0 ? freqSec / kernelSec : 0;
+            iv.voltage = kernelSec > 0 ? voltSec / kernelSec : 0;
+            iv.activeSms = smSeconds / waveSec;
+            iv.totalW = (dynJ + staticJ +
+                         model.idleSmW * idleSmSeconds +
+                         model.constPowerW * waveSec) /
+                        waveSec;
+            run.intervals.push_back(std::move(iv));
+        }
         totalJ += dynJ + staticJ + model.idleSmW * idleSmSeconds +
                   model.constPowerW * waveSec;
         totalSec += waveSec;
+    }
+    if (scope) {
+        run.modeledEnergyJ = totalJ;
+        // Component-major resum for the conservation ledger.
+        std::vector<double> perComp(run.components.size(), 0.0);
+        for (const auto &iv : run.intervals)
+            for (size_t comp = 0; comp < iv.componentW.size(); ++comp)
+                perComp[comp] += iv.componentW[comp] * iv.durSec;
+        run.componentEnergyJ = 0;
+        for (double j : perComp)
+            run.componentEnergyJ += j;
+        obs::PowerScope::instance().record(std::move(run));
     }
     DeepBenchEstimate out;
     out.elapsedSec = totalSec;
@@ -172,7 +234,8 @@ estimateDeepBenchPower(const AccelWattchModel &model,
             return modelKernelCost(model, sim, workload.kernels[i]);
         });
     auto schedule = buildConcurrentSchedule(workload, model.gpu.numSms);
-    return evaluateSchedule(model, costs, schedule);
+    return evaluateSchedule(model, costs, schedule, workload.name,
+                            "deepbench");
 }
 
 DeepBenchEstimate
@@ -187,7 +250,8 @@ estimateSequentialPower(const AccelWattchModel &model,
     std::vector<ConcurrentWave> schedule;
     for (size_t i = 0; i < costs.size(); ++i)
         schedule.push_back({{i}});
-    return evaluateSchedule(model, costs, schedule);
+    return evaluateSchedule(model, costs, schedule, workload.name,
+                            "deepbench_seq");
 }
 
 } // namespace aw

@@ -4,8 +4,10 @@
 
 #include "common/log.hpp"
 #include "common/parallel.hpp"
+#include "core/power_trace.hpp"
 #include "core/result_cache.hpp"
 #include "obs/metrics.hpp"
+#include "obs/powerscope.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
@@ -281,7 +283,10 @@ runValidation(AccelWattchCalibrator &calibrator, Variant variant,
         double totalCycles = 0;
         double elapsedSec = 0;
         bool usable = true;
+        bool hasScope = false;
+        obs::PowerScopeRun scope;
     };
+    const bool powerscope = obs::PowerScope::instance().enabled();
     std::vector<Evaluated> evaluated =
         parallelMap<Evaluated>(kernels.size(), [&](size_t i) {
             AW_PROF_SCOPE("validate/kernel");
@@ -307,6 +312,22 @@ runValidation(AccelWattchCalibrator &calibrator, Variant variant,
             e.row.modeledW = e.row.breakdown.totalW();
             e.totalCycles = act.totalCycles;
             e.elapsedSec = act.elapsedSec;
+            if (powerscope) {
+                // Time-resolved view of the same comparison: modeled
+                // trace + NVML sample stream. measuredAvgW is the
+                // campaign average the row reports, so the powerscope
+                // MAPE reconciles with the suite's.
+                e.scope = makePowerScopeRun(k.kernel.name, "validate",
+                                            model, act);
+                PowerTimeline tl =
+                    calibrator.nvml().samplePowerTimeline(k.kernel);
+                for (const auto &s : tl.samples)
+                    e.scope.measured.push_back({s.timeSec, s.powerW});
+                for (const auto &m : tl.marks)
+                    e.scope.marks.push_back({m.timeSec, m.kind});
+                e.scope.measuredAvgW = *measured;
+                e.hasScope = true;
+            }
             return e;
         });
 
@@ -326,6 +347,8 @@ runValidation(AccelWattchCalibrator &calibrator, Variant variant,
         obs::Telemetry::instance().recordKernel(
             {row.name, "validate", e.totalCycles, e.elapsedSec,
              row.modeledW, row.measuredW});
+        if (e.hasScope)
+            obs::PowerScope::instance().record(std::move(e.scope));
         AW_DEBUGF("validate", "%s: modeled %.1f W vs measured %.1f W",
                   row.name.c_str(), row.modeledW, row.measuredW);
         rows.push_back(std::move(row));

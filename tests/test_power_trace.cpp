@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests of the cycle-level power trace and its energy accounting: the
+ * per-term energy ledger must reconcile with traceEnergyJ to 1e-9
+ * relative across DVFS transitions and gated-SM intervals, and
+ * makePowerScopeRun must carry the same energies into PowerScope
+ * (including through the interval-merging path).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/power_trace.hpp"
+
+using namespace aw;
+
+namespace {
+
+AccelWattchModel
+handModel()
+{
+    AccelWattchModel m;
+    m.gpu = voltaGV100();
+    m.refVoltage = m.gpu.referenceVoltage();
+    m.constPowerW = 30.0;
+    m.idleSmW = 0.1;
+    m.calibrationSms = 80;
+    for (auto &d : m.divergence) {
+        d.firstLaneW = 16.0;
+        d.addLaneW = 0.8;
+        d.halfWarp = false;
+    }
+    m.energyNj = {};
+    m.energyNj[componentIndex(PowerComponent::IntAdd)] = 2.0;
+    m.energyNj[componentIndex(PowerComponent::FpMul)] = 1.5;
+    m.energyNj[componentIndex(PowerComponent::DramMc)] = 8.0;
+    return m;
+}
+
+ActivitySample
+busySample(double freqGhz, double activeSms)
+{
+    ActivitySample s;
+    s.cycles = 5e5;
+    s.freqGhz = freqGhz;
+    s.voltage = voltaGV100().vf.voltageAt(freqGhz);
+    s.avgActiveSms = activeSms;
+    s.avgActiveLanesPerWarp = 32;
+    s.accesses[componentIndex(PowerComponent::IntAdd)] = 3e6;
+    s.accesses[componentIndex(PowerComponent::FpMul)] = 2e6;
+    s.accesses[componentIndex(PowerComponent::DramMc)] = 4e5;
+    s.unitInsts[static_cast<size_t>(UnitKind::Int)] = 3e6;
+    s.intAddInsts = 3e6;
+    return s;
+}
+
+/** A kernel that sweeps DVFS states and gates SMs off mid-run: the
+ *  stress case for per-interval energy accounting. */
+KernelActivity
+dvfsGatedKernel()
+{
+    KernelActivity k;
+    k.kernelName = "dvfs_gated";
+    for (double f : {1.417, 1.2, 0.9, 0.7, 1.417}) {
+        k.samples.push_back(busySample(f, 80));
+        // A gated phase at the same clock: most SMs powered down, no
+        // dynamic activity on the idle ones.
+        ActivitySample gated = busySample(f, 12);
+        gated.cycles = 2.5e5;
+        k.samples.push_back(gated);
+    }
+    // A fully-idle interval (zero frequency): carries no wall time and
+    // must be skipped by every energy integral identically.
+    ActivitySample off;
+    off.cycles = 1e5;
+    off.freqGhz = 0;
+    k.samples.push_back(off);
+    k.totalCycles = 0;
+    for (const auto &s : k.samples)
+        k.totalCycles += s.cycles;
+    return k;
+}
+
+double
+relErr(double a, double b)
+{
+    double scale = std::max(std::abs(a), std::abs(b));
+    return scale > 0 ? std::abs(a - b) / scale : 0.0;
+}
+
+} // namespace
+
+TEST(PowerTrace, OnePointPerActivitySample)
+{
+    auto m = handModel();
+    auto k = dvfsGatedKernel();
+    auto trace = powerTrace(m, k);
+    ASSERT_EQ(trace.size(), k.samples.size());
+    for (size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_DOUBLE_EQ(trace[i].cycles, k.samples[i].cycles);
+        EXPECT_DOUBLE_EQ(trace[i].freqGhz, k.samples[i].freqGhz);
+    }
+}
+
+TEST(PowerTrace, LedgerTotalMatchesTraceEnergyExactly)
+{
+    auto m = handModel();
+    auto trace = powerTrace(m, dvfsGatedKernel());
+    TraceEnergyLedger ledger = traceEnergyLedger(trace);
+    // Same integral, same skip rule: bitwise identical.
+    EXPECT_DOUBLE_EQ(ledger.totalJ, traceEnergyJ(trace));
+    EXPECT_GT(ledger.totalJ, 0.0);
+}
+
+TEST(PowerTrace, ComponentEnergiesSumToTraceEnergy)
+{
+    auto m = handModel();
+    auto trace = powerTrace(m, dvfsGatedKernel());
+    TraceEnergyLedger ledger = traceEnergyLedger(trace);
+    // The conservation contract: integrating each Eq. 12 term and
+    // summing must equal integrating the total, to 1e-9 relative, even
+    // across DVFS transitions and gated-SM intervals.
+    EXPECT_LE(relErr(ledger.componentSumJ(), ledger.totalJ), 1e-9);
+    // Every term contributes: a gated-SM phase has idle-SM energy.
+    EXPECT_GT(ledger.constJ, 0.0);
+    EXPECT_GT(ledger.staticJ, 0.0);
+    EXPECT_GT(ledger.idleSmJ, 0.0);
+    EXPECT_GT(ledger.dynamicJ[componentIndex(PowerComponent::IntAdd)],
+              0.0);
+}
+
+TEST(PowerTrace, ZeroFrequencyIntervalsCarryNoEnergy)
+{
+    auto m = handModel();
+    auto k = dvfsGatedKernel();
+    auto withOff = powerTrace(m, k);
+    k.samples.pop_back(); // drop the zero-frequency interval
+    auto without = powerTrace(m, k);
+    EXPECT_DOUBLE_EQ(traceEnergyJ(withOff), traceEnergyJ(without));
+    EXPECT_DOUBLE_EQ(traceEnergyLedger(withOff).componentSumJ(),
+                     traceEnergyLedger(without).componentSumJ());
+}
+
+TEST(PowerTrace, TrackNamesCoverEveryEq12Term)
+{
+    auto names = powerScopeTrackNames();
+    ASSERT_EQ(names.size(), 3 + kNumPowerComponents);
+    EXPECT_EQ(names[0], "const");
+    EXPECT_EQ(names[1], "static");
+    EXPECT_EQ(names[2], "idle_sm");
+    for (PowerComponent c : allComponents())
+        EXPECT_EQ(names[3 + componentIndex(c)], componentName(c));
+}
+
+TEST(PowerTrace, MakePowerScopeRunCarriesTheLedger)
+{
+    auto m = handModel();
+    auto k = dvfsGatedKernel();
+    auto trace = powerTrace(m, k);
+    TraceEnergyLedger ledger = traceEnergyLedger(trace);
+
+    obs::PowerScopeRun run = makePowerScopeRun("k", "test", m, k);
+    EXPECT_EQ(run.name, "k");
+    EXPECT_EQ(run.phase, "test");
+    EXPECT_EQ(run.components, powerScopeTrackNames());
+    EXPECT_DOUBLE_EQ(run.modeledEnergyJ, ledger.totalJ);
+    EXPECT_DOUBLE_EQ(run.componentEnergyJ, ledger.componentSumJ());
+    EXPECT_LE(relErr(run.componentEnergyJ, run.modeledEnergyJ), 1e-9);
+
+    // Zero-frequency interval dropped; the rest map 1:1 (11 samples, 10
+    // with wall time, below the merge cap).
+    ASSERT_EQ(run.intervals.size(), k.samples.size() - 1);
+    double resumJ = 0;
+    for (const auto &iv : run.intervals) {
+        ASSERT_EQ(iv.componentW.size(), run.components.size());
+        double sumW = 0;
+        for (double w : iv.componentW)
+            sumW += w;
+        // Per-interval additivity of the component tracks.
+        EXPECT_LE(relErr(sumW, iv.totalW), 1e-9);
+        resumJ += iv.totalW * iv.durSec;
+    }
+    EXPECT_LE(relErr(resumJ, run.modeledEnergyJ), 1e-9);
+    EXPECT_GT(run.elapsedSec(), 0.0);
+}
+
+TEST(PowerTrace, IntervalMergePreservesEnergy)
+{
+    auto m = handModel();
+    KernelActivity k;
+    k.kernelName = "long";
+    // 40 intervals alternating DVFS states and SM gating; cap at 7 so
+    // the merge path (non-divisible group size) is exercised.
+    for (int i = 0; i < 40; ++i)
+        k.samples.push_back(
+            busySample(i % 3 == 0 ? 1.417 : 0.9, i % 2 ? 80 : 16));
+
+    obs::PowerScopeRun full = makePowerScopeRun("long", "test", m, k, 0);
+    obs::PowerScopeRun merged =
+        makePowerScopeRun("long", "test", m, k, /*maxIntervals=*/7);
+    ASSERT_EQ(full.intervals.size(), 40u);
+    ASSERT_LE(merged.intervals.size(), 7u);
+
+    // The ledger is computed on the unmerged trace: identical.
+    EXPECT_DOUBLE_EQ(merged.modeledEnergyJ, full.modeledEnergyJ);
+    EXPECT_DOUBLE_EQ(merged.componentEnergyJ, full.componentEnergyJ);
+
+    // Energy-weighted merging preserves every component's energy.
+    for (size_t c = 0; c < merged.components.size(); ++c) {
+        double fullJ = 0, mergedJ = 0;
+        for (const auto &iv : full.intervals)
+            fullJ += iv.componentW[c] * iv.durSec;
+        for (const auto &iv : merged.intervals)
+            mergedJ += iv.componentW[c] * iv.durSec;
+        EXPECT_LE(relErr(mergedJ, fullJ), 1e-9)
+            << "component " << merged.components[c];
+    }
+    // And the timeline is contiguous: same total duration.
+    EXPECT_NEAR(merged.elapsedSec(), full.elapsedSec(),
+                1e-9 * full.elapsedSec());
+}

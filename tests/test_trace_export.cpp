@@ -7,13 +7,19 @@
  */
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
+#include "common/table.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/powerscope.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
@@ -201,6 +207,120 @@ TEST(TelemetryTest, CsvHasMetricsAndKernelSections)
               std::string::npos);
     EXPECT_NE(csv.find("csv_kernel,tune,"), std::string::npos);
     Telemetry::instance().clear();
+}
+
+// --- file sinks: atomic publication and strict round-trips ---------------
+
+namespace fs = std::filesystem;
+
+class SinkFileTest : public testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("aw_sink_test_" + std::to_string(::getpid()));
+        fs::remove_all(dir_);
+    }
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::string path(const std::string &leaf) const
+    {
+        return (dir_ / leaf).string();
+    }
+
+    static std::string slurp(const std::string &p)
+    {
+        std::ifstream in(p);
+        EXPECT_TRUE(in) << p;
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        return buf.str();
+    }
+
+    /** Atomic publication: no half-written temp files left beside the
+     *  artifact. */
+    void expectNoTempFiles() const
+    {
+        for (const auto &e : fs::recursive_directory_iterator(dir_))
+            EXPECT_EQ(e.path().string().find(".tmp."), std::string::npos)
+                << e.path();
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(SinkFileTest, WriteFileAtomicCreatesParentsAndPublishes)
+{
+    std::string p = path("deep/nested/out.txt");
+    writeFileAtomic(p, "payload");
+    EXPECT_EQ(slurp(p), "payload");
+    expectNoTempFiles();
+    // Overwrite through the same path: the rename replaces atomically.
+    writeFileAtomic(p, "payload2");
+    EXPECT_EQ(slurp(p), "payload2");
+    expectNoTempFiles();
+}
+
+TEST_F(SinkFileTest, MetricsAndTraceSinksRoundTripThroughStrictParser)
+{
+    metrics().counter("sink_file_test.count").add(2);
+    Profiler::instance().clear();
+    Profiler::instance().setEnabled(true);
+    {
+        AW_PROF_SCOPE("sink/zone");
+    }
+
+    std::string mp = path("results/metrics.json");
+    std::string tp = path("results/trace.json");
+    writeMetricsJson(mp);
+    writeTraceJson(tp);
+    Profiler::instance().setEnabled(false);
+    Profiler::instance().clear();
+
+    expectNoTempFiles();
+    JsonValue m = parseJson(slurp(mp));
+    EXPECT_EQ(m.at("schema").asString(), "aw.telemetry.v1");
+    EXPECT_TRUE(m.at("metrics").find("sink_file_test.count") != nullptr);
+    JsonValue t = parseJson(slurp(tp));
+    EXPECT_TRUE(t.at("traceEvents").isArray());
+}
+
+TEST_F(SinkFileTest, PowerScopeArtifactsRoundTripThroughStrictParser)
+{
+    PowerScope::instance().clear();
+    PowerScope::instance().setEnabled(true);
+    PowerScopeRun run;
+    run.name = "sink_kernel";
+    run.phase = "test";
+    run.components = {"const", "alu"};
+    ScopeInterval iv;
+    iv.durSec = 1;
+    iv.totalW = 75;
+    iv.componentW = {50, 25};
+    run.intervals.push_back(iv);
+    run.modeledEnergyJ = run.componentEnergyJ = 75;
+    run.measured = {{0.5, 80}};
+    run.measuredAvgW = 80;
+    PowerScope::instance().record(run);
+
+    std::string base = path("results/powerscope");
+    writePowerScope(base);
+    PowerScope::instance().setEnabled(false);
+    PowerScope::instance().clear();
+    expectNoTempFiles();
+
+    // Every emitted artifact parses strictly; the two JSON documents
+    // carry their expected top-level shapes, the dashboard is complete.
+    JsonValue report = parseJson(slurp(base + ".json"));
+    EXPECT_EQ(report.at("schema").asString(), "aw.powerscope.v1");
+    EXPECT_EQ(report.at("runs").array.size(), 1u);
+    JsonValue trace = parseJson(slurp(base + ".trace.json"));
+    EXPECT_TRUE(trace.at("traceEvents").isArray());
+    EXPECT_GT(trace.at("traceEvents").array.size(), 2u);
+    std::string html = slurp(base + ".html");
+    EXPECT_NE(html.find("</html>"), std::string::npos);
+    EXPECT_NE(html.find("sink_kernel"), std::string::npos);
 }
 
 } // namespace
