@@ -15,6 +15,7 @@
 
 #include "bench_util.hpp"
 #include "core/calibration.hpp"
+#include "perflab/perflab.hpp"
 #include "ubench/microbench.hpp"
 
 using namespace aw;
@@ -54,10 +55,8 @@ policyStatic(const AccelWattchModel &model, MixCategory cat, double y,
     return 0;
 }
 
-} // namespace
-
-int
-main()
+void
+run(perflab::BenchContext &ctx)
 {
     bench::banner("Ablation - divergence static-power policy",
                   "total-power MAPE over divergence sweeps (y = 1..32, "
@@ -104,8 +103,11 @@ main()
     }
 
     Table t({"policy", "MAPE", "max err"});
+    const char *extraKeys[] = {"per_mix_mape_pct", "linear_mape_pct",
+                               "half_warp_mape_pct", "blend_mape_pct"};
     for (size_t p = 0; p < 4; ++p) {
         auto s = summarizeErrors(meas, modeled[p]);
+        ctx.setExtra(extraKeys[p], s.mapePct);
         t.addRow({policyNames[p], Table::pct(s.mapePct, 2),
                   Table::pct(s.maxErrPct, 1)});
     }
@@ -114,5 +116,22 @@ main()
     std::printf("expected: per-mix selection beats either single model; "
                 "the blend is competitive (it generalizes Section 4.5's "
                 "observation).\n");
-    return 0;
 }
+
+[[maybe_unused]] const bool reg = perflab::registerBench({
+    .name = "ablation_divergence",
+    .description = "divergence static-power policy ablation (4 policies)",
+    .defaultRounds = 1,
+    .defaultWarmup = 0,
+    .round = run,
+});
+
+} // namespace
+
+#ifndef AW_PERFLAB_HARNESS
+int
+main(int argc, char **argv)
+{
+    return aw::perflab::runMain(argc, argv);
+}
+#endif

@@ -12,13 +12,16 @@
 
 #include "bench_util.hpp"
 #include "core/calibration.hpp"
+#include "perflab/perflab.hpp"
 #include "solver/polyfit.hpp"
 #include "ubench/microbench.hpp"
 
 using namespace aw;
 
-int
-main()
+namespace {
+
+void
+run(perflab::BenchContext &ctx)
 {
     bench::banner("Ablation - DVFS curve family for constant power",
                   "y-intercepts per curve family vs the card's true "
@@ -65,5 +68,25 @@ main()
                 "adds a free quadratic term that absorbs noise without "
                 "physical meaning (V ~ k f makes the quadratic term "
                 "vanish, Eq. 3).\n");
-    return 0;
+    ctx.setExtra("eq3_intercept_err_w", mean(e3) - truth);
+    ctx.setExtra("linear_intercept_err_w", mean(lin) - truth);
+    ctx.setExtra("full_cubic_intercept_err_w", mean(fc) - truth);
 }
+
+[[maybe_unused]] const bool reg = perflab::registerBench({
+    .name = "ablation_dvfs_model",
+    .description = "DVFS curve-family ablation for constant power",
+    .defaultRounds = 1,
+    .defaultWarmup = 0,
+    .round = run,
+});
+
+} // namespace
+
+#ifndef AW_PERFLAB_HARNESS
+int
+main(int argc, char **argv)
+{
+    return aw::perflab::runMain(argc, argv);
+}
+#endif

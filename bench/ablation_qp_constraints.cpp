@@ -12,6 +12,7 @@
 
 #include "bench_util.hpp"
 #include "core/tuner.hpp"
+#include "perflab/perflab.hpp"
 #include "solver/qp.hpp"
 
 using namespace aw;
@@ -40,10 +41,8 @@ retune(AccelWattchCalibrator &cal, bool withOrderings)
                             initialEnergyEstimates(), opts);
 }
 
-} // namespace
-
-int
-main()
+void
+run(perflab::BenchContext &ctx)
 {
     bench::banner("Ablation - Eq. 14 ordering constraints",
                   "tuning with vs without the per-unit energy ordering "
@@ -137,5 +136,24 @@ main()
                 "(constraints exist exactly to prevent these "
                 "unrealistic estimates)\n",
                 violationsC, violationsU);
-    return 0;
+    ctx.setExtra("constrained_violations", violationsC);
+    ctx.setExtra("unconstrained_violations", violationsU);
 }
+
+[[maybe_unused]] const bool reg = perflab::registerBench({
+    .name = "ablation_qp_constraints",
+    .description = "Eq. 14 ordering-constraint ablation on the tuner",
+    .defaultRounds = 1,
+    .defaultWarmup = 0,
+    .round = run,
+});
+
+} // namespace
+
+#ifndef AW_PERFLAB_HARNESS
+int
+main(int argc, char **argv)
+{
+    return aw::perflab::runMain(argc, argv);
+}
+#endif

@@ -7,12 +7,14 @@
  * the finest-grained trace, resampled on a common grid) and (b) the
  * invariance of average power.
  */
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "core/calibration.hpp"
 #include "core/power_trace.hpp"
+#include "perflab/perflab.hpp"
 
 using namespace aw;
 
@@ -28,10 +30,8 @@ powerAt(const std::vector<TracePoint> &trace, double cycle)
     return trace.empty() ? 0 : trace.back().power.totalW();
 }
 
-} // namespace
-
-int
-main()
+void
+run(perflab::BenchContext &ctx)
 {
     bench::banner("Ablation - activity sampling interval",
                   "power-trace fidelity and average-power invariance vs "
@@ -61,6 +61,7 @@ main()
 
     Table t({"interval (cycles)", "#samples", "avg power (W)",
              "trace RMS dev vs 125cyc (W)", "peak (W)"});
+    double avgPowerSpreadW = 0, firstAvgW = 0;
     for (int interval : {125, 250, 500, 2000, 1 << 30}) {
         SimOptions opts;
         opts.sampleIntervalCycles = interval;
@@ -75,10 +76,15 @@ main()
         }
         rms = points ? std::sqrt(rms / points) : 0;
 
+        double avgW = model.averagePowerW(act);
+        if (interval == 125)
+            firstAvgW = avgW;
+        avgPowerSpreadW =
+            std::max(avgPowerSpreadW, std::abs(avgW - firstAvgW));
         t.addRow({interval >= (1 << 30) ? "whole kernel"
                                         : std::to_string(interval),
                   std::to_string(trace.size()),
-                  Table::num(model.averagePowerW(act), 2),
+                  Table::num(avgW, 2),
                   Table::num(rms, 2), Table::num(tracePeakW(trace), 1)});
     }
     std::printf("%s\n", t.render().c_str());
@@ -86,5 +92,23 @@ main()
     std::printf("average power is interval-invariant; coarse sampling "
                 "flattens the trace (lower peak, higher RMS deviation), "
                 "which is what DVFS research cares about.\n");
-    return 0;
+    ctx.setExtra("avg_power_spread_w", avgPowerSpreadW);
 }
+
+[[maybe_unused]] const bool reg = perflab::registerBench({
+    .name = "ablation_sampling_interval",
+    .description = "activity sampling-interval fidelity ablation",
+    .defaultRounds = 1,
+    .defaultWarmup = 0,
+    .round = run,
+});
+
+} // namespace
+
+#ifndef AW_PERFLAB_HARNESS
+int
+main(int argc, char **argv)
+{
+    return aw::perflab::runMain(argc, argv);
+}
+#endif

@@ -12,11 +12,14 @@
 #include "bench_util.hpp"
 #include "common/parallel.hpp"
 #include "core/result_cache.hpp"
+#include "perflab/perflab.hpp"
 
 using namespace aw;
 
-int
-main()
+namespace {
+
+void
+run(perflab::BenchContext &ctx)
 {
     bench::banner("Ablation - warp scheduler policy (GTO vs round-robin)",
                   "validation-suite power estimates under each "
@@ -77,5 +80,25 @@ main()
                 "swaps shift per-kernel runtimes and therefore power "
                 "(Eq. 11), showing why the paper pins its performance "
                 "model before tuning.\n");
-    return 0;
+    ctx.setExtra("gto_mape_pct", sg.mapePct);
+    ctx.setExtra("rr_mape_pct", sr.mapePct);
+    ctx.setExtra("rr_over_gto_runtime", cycleRatioSum / meas.size());
 }
+
+[[maybe_unused]] const bool reg = perflab::registerBench({
+    .name = "ablation_scheduler",
+    .description = "GTO vs round-robin scheduler power-estimate ablation",
+    .defaultRounds = 1,
+    .defaultWarmup = 0,
+    .round = run,
+});
+
+} // namespace
+
+#ifndef AW_PERFLAB_HARNESS
+int
+main(int argc, char **argv)
+{
+    return aw::perflab::runMain(argc, argv);
+}
+#endif

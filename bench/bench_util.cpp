@@ -59,7 +59,7 @@ writeResultsCsv(const std::string &name, const Table &table)
 {
     std::filesystem::create_directories("results");
     std::string path = "results/" + name + ".csv";
-    writeFile(path, table.renderCsv());
+    writeFileAtomic(path, table.renderCsv());
     std::printf("[csv] %s\n", path.c_str());
 }
 

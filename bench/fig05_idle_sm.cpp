@@ -9,12 +9,15 @@
 
 #include "bench_util.hpp"
 #include "core/calibration.hpp"
+#include "perflab/perflab.hpp"
 #include "ubench/microbench.hpp"
 
 using namespace aw;
 
-int
-main()
+namespace {
+
+void
+run(perflab::BenchContext &ctx)
 {
     bench::banner("Figure 5 - idle-SM static power model validation",
                   "INT_MUL with varying active SMs; measured vs "
@@ -54,5 +57,25 @@ main()
     std::printf("measured power decreases monotonically with idle SMs: "
                 "%s\n",
                 monotone ? "yes" : "NO");
-    return 0;
+    ctx.setExtra("mape_pct", s.mapePct);
+    ctx.setExtra("idle_sm_w", model.idleSmW);
+    ctx.setExtra("monotone", monotone ? 1 : 0);
 }
+
+[[maybe_unused]] const bool reg = perflab::registerBench({
+    .name = "fig05_idle_sm",
+    .description = "Figure 5 idle-SM static power validation sweep",
+    .defaultRounds = 1,
+    .defaultWarmup = 0,
+    .round = run,
+});
+
+} // namespace
+
+#ifndef AW_PERFLAB_HARNESS
+int
+main(int argc, char **argv)
+{
+    return aw::perflab::runMain(argc, argv);
+}
+#endif

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * The unified PerfLab runner: every bench source in this target is
+ * compiled with AW_PERFLAB_HARNESS (dropping standalone mains), so one
+ * binary can list, filter, run, and perf-gate the whole registry.
+ */
+#include "perflab/perflab.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return aw::perflab::runMain(argc, argv);
+}

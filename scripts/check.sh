@@ -12,9 +12,16 @@
 # replays exactly) and a powerscope leg (the validation suite re-runs
 # with AW_POWERSCOPE set and every emitted artifact is validated).
 #
+# The default sweep ends with a perf-gate leg: a plain (unsanitized)
+# build of the PerfLab harness runs every bench that has a committed
+# baseline under results/baselines and fails on a median regression
+# past the baseline's per-bench tolerance; a negative control with
+# AW_BENCH_SLOWDOWN=2 proves the gate can actually fail.
+#
 # Usage:
 #   scripts/check.sh [--configure-only] [--build-dir DIR]
 #                    [--sanitizer address|thread]
+#                    [--perf-gate] [--update-baselines]
 #
 #   --configure-only        stop after the CMake configure step (this is
 #                           what the `lint` CTest label runs, so plain
@@ -22,6 +29,10 @@
 #   --build-dir DIR         sanitizer build tree [build-asan / build-tsan]
 #   --sanitizer MODE        run only one mode: address (ASan+UBSan) or
 #                           thread (TSan) [both]
+#   --perf-gate             run only the perf-regression gate (plain
+#                           build, no sanitizers)
+#   --update-baselines      rewrite results/baselines from a fresh run
+#                           on this machine instead of gating against it
 #
 # The test step excludes the lint label itself (-LE lint) so the check
 # does not recurse into another configure of the same tree.
@@ -32,11 +43,22 @@ cd "$(dirname "$0")/.."
 build_dir=
 configure_only=0
 sanitizer=both
+perf_gate_only=0
+update_baselines=0
 
 while [[ $# -gt 0 ]]; do
     case "$1" in
       --configure-only)
         configure_only=1
+        shift
+        ;;
+      --perf-gate)
+        perf_gate_only=1
+        shift
+        ;;
+      --update-baselines)
+        perf_gate_only=1
+        update_baselines=1
         shift
         ;;
       --build-dir)
@@ -54,7 +76,7 @@ while [[ $# -gt 0 ]]; do
         shift 2
         ;;
       -h|--help)
-        sed -n '2,20p' "$0"
+        sed -n '2,32p' "$0"
         exit 0
         ;;
       *)
@@ -131,6 +153,51 @@ powerscope() {
     echo "== powerscope artifacts validated (${base}.{json,trace.json,html})"
 }
 
+# Perf-regression gate: a plain build (sanitizers would swamp the
+# timings) of the PerfLab harness, gated median-vs-median against the
+# committed baselines. Each baseline carries its own tolerance_pct, so
+# noisy benches can be given more headroom without loosening the rest.
+# Ends with a negative control: a synthetic 2x slowdown on a cheap bench
+# MUST trip the gate, proving the failure path works before we trust
+# the pass.
+perfgate() {
+    local dir=build-perf
+    echo "== perf gate: configure + build (plain) -> ${dir}"
+    cmake -B "${dir}" -S . >/dev/null
+    cmake --build "${dir}" -j --target aw_bench accelwattch_cli >/dev/null
+
+    if [[ ${update_baselines} -eq 1 ]]; then
+        echo "== perf gate: rewriting results/baselines"
+        "${dir}/bench/aw_bench" --baseline-dir results/baselines \
+            --update-baselines --out-dir "${dir}/perf-gate-results"
+        echo "== baselines updated (commit results/baselines/*.json)"
+        return 0
+    fi
+
+    echo "== perf gate: run benches with committed baselines"
+    "${dir}/bench/aw_bench" --baseline-dir results/baselines \
+        --out-dir "${dir}/perf-gate-results"
+
+    echo "== perf gate: validate artifact schema"
+    local artifact
+    artifact=$(ls "${dir}"/perf-gate-results/BENCH_*.json | head -1)
+    "${dir}/examples/accelwattch_cli" --validate-json "${artifact}"
+
+    echo "== perf gate: negative control (2x synthetic slowdown must fail)"
+    if AW_BENCH_SLOWDOWN=2 "${dir}/bench/aw_bench" \
+        --baseline-dir results/baselines --filter solver_polyfit \
+        --out-dir "${dir}/perf-gate-negative" >/dev/null 2>&1; then
+        echo "error: perf gate passed under a 2x synthetic slowdown" >&2
+        return 1
+    fi
+    echo "== perf gate passed (and the negative control failed as required)"
+}
+
+if [[ ${perf_gate_only} -eq 1 ]]; then
+    perfgate
+    exit 0
+fi
+
 case "${sanitizer}" in
   address)
     sweep address "${build_dir:-build-asan}"
@@ -154,6 +221,9 @@ case "${sanitizer}" in
     tsan_dir=${build_dir:+${build_dir}-tsan}
     sweep thread "${tsan_dir:-build-tsan}" \
         "-R test_parallel|test_result_cache|test_calibration|test_integration"
+    if [[ ${configure_only} -eq 0 ]]; then
+        perfgate
+    fi
     ;;
 esac
 

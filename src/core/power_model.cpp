@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/phase_timer.hpp"
 
 namespace aw {
 
@@ -73,6 +74,7 @@ AccelWattchModel::evaluate(const ActivitySample &sample) const
 PowerBreakdown
 AccelWattchModel::evaluateKernel(const KernelActivity &activity) const
 {
+    obs::PhaseScope evaluatePhase(obs::SimPhase::Evaluate);
     if (activity.samples.empty())
         fatal("evaluateKernel: kernel %s has no activity samples",
               activity.kernelName.c_str());

@@ -28,8 +28,8 @@
  * Cost model: collection is off by default. Every recorder must check
  * PowerScope::instance().enabled() before building a run, so a disabled
  * PowerScope costs one relaxed atomic load per record site and the
- * pipeline's outputs stay bit-identical (bench/perf_obs_overhead holds
- * the off path under 1% and the on path under 5%).
+ * pipeline's outputs stay bit-identical (the `obs_overhead` PerfLab
+ * bench holds the off path under 1% and the on path under 5%).
  */
 #pragma once
 

@@ -8,6 +8,7 @@
 #include "common/table.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/phase_timer.hpp"
 #include "obs/powerscope.hpp"
 #include "obs/trace.hpp"
 
@@ -124,6 +125,9 @@ std::string g_envPowerScopeOut;
 void
 flushEnvSinks()
 {
+    // Phase gauges first, so AW_METRICS_OUT telemetry carries the
+    // breakdown; a no-op (no gauges created) when AW_PHASES is off.
+    PhaseTimers::instance().publish();
     if (!g_envMetricsOut.empty()) {
         if (g_envMetricsOut.size() > 4 &&
             g_envMetricsOut.compare(g_envMetricsOut.size() - 4, 4,
@@ -163,6 +167,7 @@ initSinksFromEnv()
         g_envTraceOut = env;
         Profiler::instance().setEnabled(true);
     }
+    initPhaseTimersFromEnv();
     if (const char *env = std::getenv("AW_POWERSCOPE"); env && *env) {
         g_envPowerScopeOut = env;
         PowerScope::instance().setEnabled(true);

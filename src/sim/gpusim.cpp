@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include <optional>
+
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/phase_timer.hpp"
 #include "obs/trace.hpp"
 
 namespace aw {
@@ -37,6 +40,8 @@ GpuSimulator::run(const KernelDescriptor &desc, const WarpProgram &program,
                   const SimOptions &opts) const
 {
     AW_PROF_SCOPE("sim/kernel");
+    std::optional<obs::PhaseScope> setupPhase;
+    setupPhase.emplace(obs::SimPhase::Setup);
     const double f = opts.freqGhz > 0 ? opts.freqGhz : gpu_.defaultClockGhz;
     LaunchShape shape = launchShape(desc);
 
@@ -49,12 +54,17 @@ GpuSimulator::run(const KernelDescriptor &desc, const WarpProgram &program,
 
     KernelActivity out;
     out.kernelName = desc.name;
+    setupPhase.reset();
 
     const double interval = opts.sampleIntervalCycles;
     double now = 0;
     double sampleStart = 0;
     {
         AW_PROF_SCOPE("sim/wave");
+        // The issue phase owns the whole wave loop; the memory scopes
+        // opened inside SmCore::memoryLatency and the sampling scope
+        // below subtract themselves, leaving scheduling + issue time.
+        obs::PhaseScope issuePhase(obs::SimPhase::Issue);
         while (!sm.done() && now < static_cast<double>(opts.maxCycles)) {
             double next = sm.step(now);
             // Close any sample intervals the clock passes over. All the
@@ -64,6 +74,7 @@ GpuSimulator::run(const KernelDescriptor &desc, const WarpProgram &program,
             // collapse that run of all-idle intervals into one sample
             // instead of allocating one zero sample per interval.
             if (next >= sampleStart + interval) {
+                obs::PhaseScope samplingPhase(obs::SimPhase::Sampling);
                 ActivitySample s = sm.drainActivity();
                 s.cycles = interval;
                 out.samples.push_back(std::move(s));
@@ -80,6 +91,7 @@ GpuSimulator::run(const KernelDescriptor &desc, const WarpProgram &program,
             now = next;
         }
     }
+    obs::PhaseScope finalizePhase(obs::SimPhase::Finalize);
     if (!sm.done())
         warn("simulation of %s hit the cycle cap (%ld)", desc.name.c_str(),
              opts.maxCycles);
@@ -140,14 +152,24 @@ KernelActivity
 GpuSimulator::runSass(const KernelDescriptor &desc,
                       const SimOptions &opts) const
 {
-    return run(desc, generateSassProgram(desc), opts);
+    WarpProgram program;
+    {
+        obs::PhaseScope tracegenPhase(obs::SimPhase::Tracegen);
+        program = generateSassProgram(desc);
+    }
+    return run(desc, program, opts);
 }
 
 KernelActivity
 GpuSimulator::runPtx(const KernelDescriptor &desc,
                      const SimOptions &opts) const
 {
-    return run(desc, generatePtxProgram(desc), opts);
+    WarpProgram program;
+    {
+        obs::PhaseScope tracegenPhase(obs::SimPhase::Tracegen);
+        program = generatePtxProgram(desc);
+    }
+    return run(desc, program, opts);
 }
 
 } // namespace aw

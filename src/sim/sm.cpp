@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "obs/phase_timer.hpp"
 
 namespace aw {
 
@@ -98,6 +99,9 @@ double
 SmCore::memoryLatency(Warp &w, const TraceInst &inst, double now,
                       double &occupancy)
 {
+    // Nested under the wave loop's issue scope: memory-instruction
+    // modeling time lands here, exclusively.
+    obs::PhaseScope memoryPhase(obs::SimPhase::Memory);
     const int txns = std::max<int>(1, inst.transactions);
     const double baseII = effII_[static_cast<size_t>(inst.op)];
     double worst = 0;
