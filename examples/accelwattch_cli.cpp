@@ -17,6 +17,12 @@
  *     --footprint-kb N    global-memory working set      [256]
  *     --chase             pointer-chasing access pattern
  *     --freq GHZ          locked core clock              [default clock]
+ *     --sim-threads N     worker threads for the sharded simulator
+ *                         (AW_SIM_THREADS; results are identical at any
+ *                         setting)                       [1]
+ *     --sim-detail N      detailed SM groups; N>1 simulates N distinct
+ *                         SM groups instead of scaling one
+ *                         representative (AW_SIM_DETAIL)  [1]
  *     --variant NAME      sass|ptx|hw|hybrid             [sass]
  *     --model FILE        load an AccelWattch config file instead of
  *                         calibrating in-process
@@ -48,6 +54,7 @@
 #include <string>
 
 #include "common/log.hpp"
+#include "common/parallel.hpp"
 #include "core/calibration.hpp"
 #include "core/model_io.hpp"
 #include "core/power_trace.hpp"
@@ -210,7 +217,8 @@ usage()
     std::printf("usage: accelwattch_cli --mix CLASS:W[,CLASS:W...] "
                 "[--ctas N] [--warps N] [--lanes N] [--ilp N]\n"
                 "       [--footprint-kb N] [--chase] [--freq GHZ] "
-                "[--variant sass|ptx|hw|hybrid]\n"
+                "[--sim-threads N] [--sim-detail N]\n"
+                "       [--variant sass|ptx|hw|hybrid]\n"
                 "       [--model FILE] [--save-model FILE] [--trace] [--stats]\n"
                 "       [--metrics-out FILE] [--trace-out FILE] "
                 "[--powerscope-out BASE]\n"
@@ -259,6 +267,10 @@ main(int argc, char **argv)
             k.pointerChase = true;
         else if (arg == "--freq")
             freqGhz = std::stod(next());
+        else if (arg == "--sim-threads")
+            setSimThreadCount(std::stoi(next()));
+        else if (arg == "--sim-detail")
+            setSimDetail(std::stoi(next()));
         else if (arg == "--variant")
             variant = variantFromToken(next());
         else if (arg == "--model")

@@ -18,10 +18,16 @@
 # past the baseline's per-bench tolerance; a negative control with
 # AW_BENCH_SLOWDOWN=2 proves the gate can actually fail.
 #
+# The default sweep also runs a simpar leg: the sharded-simulator
+# determinism suite (test_sim_parallel) re-runs in the TSan tree with
+# AW_SIM_THREADS=4, then the plain build runs the sim_scaling bench at
+# 1 and 8 simulator threads and fails if the 8-thread watts checksum
+# diverges from the 1-thread one.
+#
 # Usage:
 #   scripts/check.sh [--configure-only] [--build-dir DIR]
 #                    [--sanitizer address|thread]
-#                    [--perf-gate] [--update-baselines]
+#                    [--perf-gate] [--update-baselines] [--simpar]
 #
 #   --configure-only        stop after the CMake configure step (this is
 #                           what the `lint` CTest label runs, so plain
@@ -33,6 +39,8 @@
 #                           build, no sanitizers)
 #   --update-baselines      rewrite results/baselines from a fresh run
 #                           on this machine instead of gating against it
+#   --simpar                run only the sharded-simulator determinism
+#                           leg (TSan test + cross-thread checksum)
 #
 # The test step excludes the lint label itself (-LE lint) so the check
 # does not recurse into another configure of the same tree.
@@ -45,6 +53,7 @@ configure_only=0
 sanitizer=both
 perf_gate_only=0
 update_baselines=0
+simpar_only=0
 
 while [[ $# -gt 0 ]]; do
     case "$1" in
@@ -59,6 +68,10 @@ while [[ $# -gt 0 ]]; do
       --update-baselines)
         perf_gate_only=1
         update_baselines=1
+        shift
+        ;;
+      --simpar)
+        simpar_only=1
         shift
         ;;
       --build-dir)
@@ -76,7 +89,7 @@ while [[ $# -gt 0 ]]; do
         shift 2
         ;;
       -h|--help)
-        sed -n '2,32p' "$0"
+        sed -n '2,45p' "$0"
         exit 0
         ;;
       *)
@@ -193,6 +206,50 @@ perfgate() {
     echo "== perf gate passed (and the negative control failed as required)"
 }
 
+# Sharded-simulator determinism leg.
+#   $1 = TSan build dir holding test_sim_parallel (built here if absent)
+# Part 1 re-runs the determinism suite under TSan with AW_SIM_THREADS=4
+# so the epoch loop's cross-thread handoffs are raced for real; part 2
+# runs the sim_scaling bench in the plain tree at 1 and 8 simulator
+# threads and fails when the watts checksums differ — the end-to-end
+# proof that thread count cannot reach the power numbers.
+simpar() {
+    local tsan_dir=$1
+    local dir=build-perf
+    if [[ ! -x "${tsan_dir}/tests/test_sim_parallel" ]]; then
+        echo "== simpar: configure + build (AW_SANITIZE=thread) -> ${tsan_dir}"
+        cmake -B "${tsan_dir}" -S . -DAW_SANITIZE=thread >/dev/null
+        cmake --build "${tsan_dir}" -j --target test_sim_parallel >/dev/null
+    fi
+    echo "== simpar: determinism suite under TSan (AW_SIM_THREADS=4)"
+    AW_SIM_THREADS=4 ctest --test-dir "${tsan_dir}" --output-on-failure \
+        -R test_sim_parallel
+
+    echo "== simpar: sim_scaling at 1 and 8 simulator threads -> ${dir}"
+    cmake -B "${dir}" -S . >/dev/null
+    cmake --build "${dir}" -j --target aw_bench >/dev/null
+    AW_SIM_THREADS=1 "${dir}/bench/aw_bench" --filter sim_scaling \
+        --out-dir "${dir}/simpar-t1"
+    AW_SIM_THREADS=8 "${dir}/bench/aw_bench" --filter sim_scaling \
+        --out-dir "${dir}/simpar-t8"
+    local c1 c8
+    c1=$(grep -o '"watts_checksum": [^,}]*' \
+        "${dir}/simpar-t1/BENCH_sim_scaling.json" | head -1)
+    c8=$(grep -o '"watts_checksum": [^,}]*' \
+        "${dir}/simpar-t8/BENCH_sim_scaling.json" | head -1)
+    if [[ -z "${c1}" || "${c1}" != "${c8}" ]]; then
+        echo "error: sim_scaling watts checksum diverges across" \
+             "AW_SIM_THREADS (t1: '${c1}', t8: '${c8}')" >&2
+        return 1
+    fi
+    echo "== simpar passed (1- and 8-thread checksums identical: ${c1})"
+}
+
+if [[ ${simpar_only} -eq 1 ]]; then
+    simpar "${build_dir:-build-tsan}"
+    exit 0
+fi
+
 if [[ ${perf_gate_only} -eq 1 ]]; then
     perfgate
     exit 0
@@ -220,8 +277,9 @@ case "${sanitizer}" in
     # by the address pass.
     tsan_dir=${build_dir:+${build_dir}-tsan}
     sweep thread "${tsan_dir:-build-tsan}" \
-        "-R test_parallel|test_result_cache|test_calibration|test_integration"
+        "-R test_parallel|test_sim_parallel|test_result_cache|test_calibration|test_integration"
     if [[ ${configure_only} -eq 0 ]]; then
+        simpar "${tsan_dir:-build-tsan}"
         perfgate
     fi
     ;;

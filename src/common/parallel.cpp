@@ -17,6 +17,7 @@ namespace {
 thread_local bool tlInWorker = false;
 
 std::atomic<int> gThreadOverride{0};
+std::atomic<int> gSimThreadOverride{0};
 
 int
 threadsFromEnvironment()
@@ -34,6 +35,23 @@ threadsFromEnvironment()
              "using hardware concurrency (%d)",
              env, hw);
         return hw;
+    }
+    return static_cast<int>(v);
+}
+
+int
+simThreadsFromEnvironment()
+{
+    const char *env = std::getenv("AW_SIM_THREADS");
+    if (!env || !*env)
+        return 1;
+    char *end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v < 1 || v > 1024) {
+        warn("AW_SIM_THREADS='%s' is not a thread count in [1, 1024]; "
+             "using 1 (serial simulator)",
+             env);
+        return 1;
     }
     return static_cast<int>(v);
 }
@@ -190,6 +208,24 @@ setParallelThreadCount(int n)
     gThreadOverride.store(n, std::memory_order_relaxed);
 }
 
+int
+simThreadCount()
+{
+    int v = gSimThreadOverride.load(std::memory_order_relaxed);
+    if (v > 0)
+        return v;
+    static const int fromEnv = simThreadsFromEnvironment();
+    return fromEnv;
+}
+
+void
+setSimThreadCount(int n)
+{
+    if (n < 0)
+        fatal("setSimThreadCount: %d is not a valid count", n);
+    gSimThreadOverride.store(n, std::memory_order_relaxed);
+}
+
 bool
 inParallelWorker()
 {
@@ -197,11 +233,11 @@ inParallelWorker()
 }
 
 void
-parallelFor(size_t n, const std::function<void(size_t)> &body)
+parallelForWith(int threads, size_t n,
+                const std::function<void(size_t)> &body)
 {
     if (n == 0)
         return;
-    size_t threads = static_cast<size_t>(parallelThreadCount());
     if (threads <= 1 || n == 1 || tlInWorker) {
         // Exact serial fallback: index order, caller's thread. Also the
         // nested-call path, so pool workers can never deadlock waiting
@@ -214,7 +250,7 @@ parallelFor(size_t n, const std::function<void(size_t)> &body)
     auto job = std::make_shared<Job>();
     job->body = &body;
     job->n = n;
-    job->maxParticipants = std::min(threads, n);
+    job->maxParticipants = std::min(static_cast<size_t>(threads), n);
     // The caller takes one participant slot and works alongside the
     // pool, so a saturated pool degrades to serial instead of stalling.
     job->participants.store(1, std::memory_order_relaxed);
@@ -227,6 +263,12 @@ parallelFor(size_t n, const std::function<void(size_t)> &body)
     });
     if (job->error)
         std::rethrow_exception(job->error);
+}
+
+void
+parallelFor(size_t n, const std::function<void(size_t)> &body)
+{
+    parallelForWith(parallelThreadCount(), n, body);
 }
 
 } // namespace aw

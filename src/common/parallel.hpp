@@ -46,12 +46,38 @@ int parallelThreadCount();
  */
 void setParallelThreadCount(int n);
 
+/**
+ * Worker threads the sharded simulator uses (AW_SIM_THREADS, default
+ * 1). Distinct from parallelThreadCount(): the pipeline-level knob
+ * defaults to hardware concurrency because pipeline tasks are
+ * independent, while the simulator-level knob defaults to serial so an
+ * unconfigured run is byte-identical to the historical single-threaded
+ * simulator. Never affects simulation results — only which threads
+ * advance the shards (see src/sim/shard.hpp).
+ */
+int simThreadCount();
+
+/** Override simThreadCount() for subsequent runs (0 reverts to the
+ *  AW_SIM_THREADS / serial default). */
+void setSimThreadCount(int n);
+
 /** True when the calling thread is a pool worker running a task. */
 bool inParallelWorker();
 
 /** Run body(0) .. body(n-1), potentially concurrently. Returns after
  *  every task finished; rethrows the first (lowest-index) exception. */
 void parallelFor(size_t n, const std::function<void(size_t)> &body);
+
+/**
+ * parallelFor with an explicit participant cap instead of
+ * parallelThreadCount(): at most `threads` threads (the caller plus
+ * pool helpers) run the body. `threads <= 1` — and any call from
+ * inside a pool worker — is the exact serial inline path. Used by the
+ * sharded simulator, whose thread count (simThreadCount()) is
+ * deliberately independent of the pipeline-level knob.
+ */
+void parallelForWith(int threads, size_t n,
+                     const std::function<void(size_t)> &body);
 
 /** parallelFor that collects return values in input order. */
 template <typename T, typename Fn>

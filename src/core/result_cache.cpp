@@ -208,7 +208,15 @@ describeSimOptions(const SimOptions &o)
     std::ostringstream os;
     os << "sim{freq=" << num(o.freqGhz) << ";interval="
        << o.sampleIntervalCycles << ";max=" << o.maxCycles << ";sched="
-       << static_cast<int>(o.scheduler) << "}";
+       << static_cast<int>(o.scheduler);
+    // Detail groups change simulation *results* (distinct SM groups
+    // with decorrelated address streams) and therefore the key; thread
+    // count never does and must stay out so warm caches survive any
+    // AW_SIM_THREADS setting. The default detail (1) is omitted so
+    // existing cache entries and golden keys stay byte-identical.
+    if (int detail = effectiveSimDetail(o); detail > 1)
+        os << ";detail=" << detail;
+    os << "}";
     return os.str();
 }
 

@@ -18,6 +18,7 @@ simPhaseName(SimPhase phase)
       case SimPhase::Finalize: return "finalize";
       case SimPhase::Evaluate: return "evaluate";
       case SimPhase::Tune:     return "tune";
+      case SimPhase::Sync:     return "sync";
     }
     return "unknown";
 }

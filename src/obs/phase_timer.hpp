@@ -13,7 +13,15 @@
  * parent, so the per-phase seconds sum to the wall time of the outermost
  * scopes instead of double-counting nesting. Nesting is tracked with a
  * thread_local stack; each thread attributes independently into the
- * shared atomic accumulators.
+ * shared atomic accumulators. That makes the layer correct under the
+ * sharded simulator (src/sim/shard.cpp) with one caveat the sharded
+ * epoch loop honors: a coordinator must NOT hold an outer scope that
+ * spans a parallel region whose workers open their own scopes — the
+ * workers' time would land twice (once in their scopes, once in the
+ * coordinator's, since cross-thread scopes are not parent/child).
+ * The epoch loop therefore opens Issue/Memory/Sampling scopes inside
+ * each worker task and accounts its own serial work (ledger drains,
+ * the ordered sample merge) under the dedicated Sync phase.
  *
  * Cost model: disabled (the default — AW_PHASES unset), a PhaseScope is
  * one relaxed atomic load and no clock reads, and simulator output is
@@ -50,9 +58,10 @@ enum class SimPhase : uint8_t
     Finalize, ///< trailing sample, chip-wide scaling, metrics flush
     Evaluate, ///< AccelWattch power evaluation of an activity stream
     Tune,     ///< Eq. 14 dynamic-power tuning (QP assembly + solve)
+    Sync,     ///< sharded-run epoch barrier: ledger drain + sample merge
 };
 
-inline constexpr size_t kNumSimPhases = 8;
+inline constexpr size_t kNumSimPhases = 9;
 
 /** Lowercase stable name ("tracegen", "issue", ...). */
 const char *simPhaseName(SimPhase phase);

@@ -240,9 +240,10 @@ namespace {
 
 /** Env knobs worth recording when set: they change what a number means. */
 const char *const kRecordedEnv[] = {
-    "AW_THREADS",       "AW_CACHE",         "AW_FAULTS",
-    "AW_POWERSCOPE",    "AW_PHASES",        "AW_BENCH_ROUNDS",
-    "AW_BENCH_FILTER",  "AW_BENCH_SLOWDOWN"};
+    "AW_THREADS",       "AW_SIM_THREADS",   "AW_SIM_DETAIL",
+    "AW_CACHE",         "AW_FAULTS",        "AW_POWERSCOPE",
+    "AW_PHASES",        "AW_BENCH_ROUNDS",  "AW_BENCH_FILTER",
+    "AW_BENCH_SLOWDOWN"};
 
 } // namespace
 
@@ -282,7 +283,11 @@ benchJson(const BenchSpec &spec, const BenchContext &ctx, int roundsRun,
         << "\", \"cpus\": " << m.cpus << "},\n"
         << "  \"git_rev\": \"" << obs::jsonEscape(gitRevision())
         << "\",\n"
-        << "  \"threads\": " << parallelThreadCount() << ",\n";
+        // The effective worker-thread count a bench round could have
+        // used: the pipeline pool (AW_THREADS) or the sharded
+        // simulator's pool (AW_SIM_THREADS), whichever is wider.
+        << "  \"threads\": "
+        << std::max(parallelThreadCount(), simThreadCount()) << ",\n";
 
     out << "  \"env\": {";
     bool first = true;

@@ -1,7 +1,10 @@
 #include "sim/gpusim.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 
 #include <optional>
 
@@ -9,8 +12,89 @@
 #include "obs/metrics.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/trace.hpp"
+#include "sim/shard.hpp"
 
 namespace aw {
+
+namespace {
+
+/** The calling thread's most recent run statistics (thread-local so
+ *  concurrent pipeline tasks cannot race on it). */
+thread_local SimRunStats t_lastStats;
+
+int
+simDetailFromEnvironment()
+{
+    const char *env = std::getenv("AW_SIM_DETAIL");
+    if (!env || !*env)
+        return 1;
+    char *end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v < 1 || v > 1024) {
+        warn("AW_SIM_DETAIL='%s' is not a detail-group count in "
+             "[1, 1024]; using 1 (single representative SM)",
+             env);
+        return 1;
+    }
+    return static_cast<int>(v);
+}
+
+/** Per-kernel flush of the SM counters into the registry (static
+ *  references: one name lookup per process, then lock-free). */
+void
+flushSimMetrics(double cycles, size_t sampleCount, int waves,
+                long issued, long issueCycles, long stallCycles)
+{
+    using obs::metrics;
+    static obs::Counter &kernelsC = metrics().counter("sim.kernels");
+    static obs::Counter &cyclesC =
+        metrics().counter("sim.cycles_simulated");
+    static obs::Counter &samplesC = metrics().counter("sim.samples");
+    static obs::Counter &wavesC = metrics().counter("sim.waves");
+    static obs::Counter &instsC =
+        metrics().counter("sim.sm.insts_issued");
+    static obs::Counter &issueCyclesC =
+        metrics().counter("sim.sm.issue_cycles");
+    static obs::Counter &stallsC =
+        metrics().counter("sim.sm.issue_stalls");
+    kernelsC.add(1);
+    cyclesC.add(cycles);
+    samplesC.add(static_cast<double>(sampleCount));
+    wavesC.add(waves);
+    instsC.add(static_cast<double>(issued));
+    issueCyclesC.add(static_cast<double>(issueCycles));
+    stallsC.add(static_cast<double>(stallCycles));
+}
+
+} // namespace
+
+static std::atomic<int> gSimDetailOverride{0};
+
+int
+effectiveSimDetail(const SimOptions &opts)
+{
+    if (opts.detailSms > 0)
+        return opts.detailSms;
+    int v = gSimDetailOverride.load(std::memory_order_relaxed);
+    if (v > 0)
+        return v;
+    static const int fromEnv = simDetailFromEnvironment();
+    return fromEnv;
+}
+
+void
+setSimDetail(int n)
+{
+    if (n < 0)
+        fatal("setSimDetail: %d is not a valid detail-group count", n);
+    gSimDetailOverride.store(n, std::memory_order_relaxed);
+}
+
+const SimRunStats &
+lastSimRunStats()
+{
+    return t_lastStats;
+}
 
 LaunchShape
 GpuSimulator::launchShape(const KernelDescriptor &desc) const
@@ -45,6 +129,27 @@ GpuSimulator::run(const KernelDescriptor &desc, const WarpProgram &program,
     const double f = opts.freqGhz > 0 ? opts.freqGhz : gpu_.defaultClockGhz;
     LaunchShape shape = launchShape(desc);
 
+    const int detail = std::min(effectiveSimDetail(opts), shape.activeSms);
+    if (detail > 1) {
+        // Sharded engine: distinct detailed SM groups on worker
+        // threads, epoch-synced at the memory boundary. It opens its
+        // own phase scopes (workers attribute their own time).
+        setupPhase.reset();
+        t_lastStats = SimRunStats{};
+        KernelActivity out = runShardedSim(gpu_, desc, program, opts,
+                                           shape, f, detail, t_lastStats);
+        flushSimMetrics(out.totalCycles / shape.waves, out.samples.size(),
+                        shape.waves, t_lastStats.issuedInsts,
+                        t_lastStats.issueCycles, t_lastStats.stallCycles);
+        AW_DEBUGF("sim",
+                  "%s: %.0f cycles, %zu samples, %d waves, %ld insts "
+                  "(%d shards, %d threads, %d epochs)",
+                  desc.name.c_str(), out.totalCycles, out.samples.size(),
+                  shape.waves, t_lastStats.issuedInsts, t_lastStats.shards,
+                  t_lastStats.threads, t_lastStats.epochs);
+        return out;
+    }
+
     // The emulation (PTX) path carries the legacy idealized memory
     // model; the trace-driven (SASS) path models bandwidth contention.
     MemorySystem mem(gpu_, shape.activeSms, f,
@@ -59,6 +164,7 @@ GpuSimulator::run(const KernelDescriptor &desc, const WarpProgram &program,
     const double interval = opts.sampleIntervalCycles;
     double now = 0;
     double sampleStart = 0;
+    const auto simStart = std::chrono::steady_clock::now();
     {
         AW_PROF_SCOPE("sim/wave");
         // The issue phase owns the whole wave loop; the memory scopes
@@ -92,6 +198,15 @@ GpuSimulator::run(const KernelDescriptor &desc, const WarpProgram &program,
         }
     }
     obs::PhaseScope finalizePhase(obs::SimPhase::Finalize);
+    t_lastStats = SimRunStats{};
+    t_lastStats.simulateSec = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() -
+                                  simStart)
+                                  .count();
+    t_lastStats.shardBusySec = {t_lastStats.simulateSec};
+    t_lastStats.issuedInsts = sm.issuedInsts();
+    t_lastStats.issueCycles = sm.issueCycles();
+    t_lastStats.stallCycles = sm.stallCycles();
     if (!sm.done())
         warn("simulation of %s hit the cycle cap (%ld)", desc.name.c_str(),
              opts.maxCycles);
@@ -117,29 +232,8 @@ GpuSimulator::run(const KernelDescriptor &desc, const WarpProgram &program,
     out.totalCycles = now * shape.waves;
     out.elapsedSec = out.totalCycles / (f * 1e9);
 
-    // Per-kernel flush of the SM's plain counters into the registry
-    // (static references: one name lookup per process, then lock-free).
-    {
-        using obs::metrics;
-        static obs::Counter &kernels = metrics().counter("sim.kernels");
-        static obs::Counter &cycles =
-            metrics().counter("sim.cycles_simulated");
-        static obs::Counter &samples = metrics().counter("sim.samples");
-        static obs::Counter &waves = metrics().counter("sim.waves");
-        static obs::Counter &insts =
-            metrics().counter("sim.sm.insts_issued");
-        static obs::Counter &issueCycles =
-            metrics().counter("sim.sm.issue_cycles");
-        static obs::Counter &stalls =
-            metrics().counter("sim.sm.issue_stalls");
-        kernels.add(1);
-        cycles.add(now);
-        samples.add(static_cast<double>(out.samples.size()));
-        waves.add(shape.waves);
-        insts.add(static_cast<double>(sm.issuedInsts()));
-        issueCycles.add(static_cast<double>(sm.issueCycles()));
-        stalls.add(static_cast<double>(sm.stallCycles()));
-    }
+    flushSimMetrics(now, out.samples.size(), shape.waves,
+                    sm.issuedInsts(), sm.issueCycles(), sm.stallCycles());
     AW_DEBUGF("sim",
               "%s: %.0f cycles, %zu samples, %d waves, %ld insts, "
               "%ld stall cycles",

@@ -34,7 +34,74 @@ struct SimOptions
     int sampleIntervalCycles = 500; ///< paper's sampling period
     long maxCycles = 20'000'000;    ///< runaway guard per wave
     SchedulerPolicy scheduler = SchedulerPolicy::Gto;
+
+    /**
+     * Detailed SM groups (model-fidelity knob, AW_SIM_DETAIL when 0).
+     * 1 = the historical single-representative model (Eq. 6: one SM is
+     * simulated and its activity scaled chip-wide). N > 1 = the sharded
+     * engine simulates N distinct SM groups with decorrelated address
+     * streams and merges their activity with an ordered reduction —
+     * relaxing the all-SMs-identical assumption, which is why (and only
+     * why) it enters result-cache keys. Clamped to the launch's active
+     * SMs at run time. Changing the *thread* count never changes
+     * results; changing detail does.
+     */
+    int detailSms = 0;
+
+    /**
+     * Sample intervals per shard epoch (the synchronization quantum of
+     * the sharded engine). Shards advance independently inside an
+     * epoch; the memory ledgers drain at the boundary. Provably does
+     * not affect simulation results (shard state persists across
+     * epochs), only barrier frequency.
+     */
+    int epochIntervals = 16;
+
+    /** Worker threads for the sharded engine; 0 = simThreadCount()
+     *  (AW_SIM_THREADS, default 1). Never affects results. */
+    int simThreads = 0;
 };
+
+/**
+ * The detail-group count `opts` resolves to before run-time clamping:
+ * opts.detailSms when set, else the setSimDetail override, else
+ * AW_SIM_DETAIL, else 1. Result-cache keys use this unclamped value (a
+ * cache hit must not depend on the kernel's launch shape).
+ */
+int effectiveSimDetail(const SimOptions &opts);
+
+/** Override the AW_SIM_DETAIL default for options that leave
+ *  detailSms at 0 (0 reverts to the environment). The CLI's
+ *  --sim-detail flag. */
+void setSimDetail(int n);
+
+/**
+ * Execution statistics of the most recent GpuSimulator::run on the
+ * calling thread (thread-local, so concurrent pipeline tasks cannot
+ * race): shard/thread/epoch shape, per-shard busy time, and the
+ * chip-wide memory traffic drained at the epoch barriers. PerfLab's
+ * `sim_scaling` bench turns epochShardSec into a modeled critical-path
+ * makespan per thread count.
+ */
+struct SimRunStats
+{
+    int detail = 1;  ///< effective (clamped) detail groups
+    int shards = 1;  ///< shards actually run
+    int threads = 1; ///< worker-thread cap used
+    int epochs = 0;  ///< epoch barriers crossed (0 = legacy path)
+    double simulateSec = 0; ///< wall seconds of the wave/epoch loop
+    double barrierSec = 0;  ///< wall seconds draining + merging
+    long issuedInsts = 0;   ///< summed over shards, in SM-index order
+    long issueCycles = 0;
+    long stallCycles = 0;
+    MemTraffic memTraffic;  ///< epoch-drained chip totals (sharded path)
+    std::vector<double> shardBusySec;  ///< total busy seconds per shard
+    /** Busy seconds per epoch per shard: [epoch][shard]. */
+    std::vector<std::vector<double>> epochShardSec;
+};
+
+/** Stats of the calling thread's most recent run (see SimRunStats). */
+const SimRunStats &lastSimRunStats();
 
 /** How a launch maps onto the chip. */
 struct LaunchShape

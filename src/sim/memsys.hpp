@@ -31,6 +31,21 @@ struct MemAccessOutcome
     int dramAccesses = 0;     ///< DRAM+MC events generated
 };
 
+/**
+ * Memory traffic accumulated by one MemorySystem since the last drain.
+ * The sharded simulator (src/sim/shard.hpp) drains every shard's
+ * ledger at each epoch boundary, in SM-index order, into the chip-wide
+ * totals — the ordered reduction that keeps the merged memory-system
+ * statistics independent of how shards interleave across threads.
+ */
+struct MemTraffic
+{
+    uint64_t l2Accesses = 0;   ///< L2+NoC events serviced
+    uint64_t dramAccesses = 0; ///< DRAM+MC events serviced
+    double l2BusyCycles = 0;   ///< L2 port service time consumed
+    double dramBusyCycles = 0; ///< DRAM channel service time consumed
+};
+
 /** L2 slice + DRAM for one simulated SM. */
 class MemorySystem
 {
@@ -59,9 +74,13 @@ class MemorySystem
 
     const CacheModel &l2() const { return l2_; }
 
+    /** Traffic since the last drain; resets the ledger. */
+    MemTraffic drainTraffic();
+
   private:
     const GpuConfig &gpu_;
     CacheModel l2_;
+    MemTraffic traffic_;
     double cycleScale_;     ///< f / f_default: converts base cycles
     bool idealizedBandwidth_;
     double l2BytesPerCycle_;

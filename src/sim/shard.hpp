@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Sharded cycle simulation: the detailed SM groups of a launch advance
+ * on worker threads inside fixed cycle epochs, synchronizing at the
+ * epoch boundary where the coordinator drains each shard's memory
+ * ledger in SM-index order.
+ *
+ * Determinism argument (DESIGN.md §9): shards share no mutable state —
+ * each owns a private SmCore and a private MemorySystem carrying the
+ * same 1/k capacity and bandwidth shares the legacy single-SM model
+ * used — so a shard's cycle-by-cycle evolution depends only on its own
+ * state, never on scheduling. The two reductions that cross shards are
+ * both ordered: the epoch-boundary ledger drain walks shards in
+ * SM-index order, and the final activity merge folds per-shard samples
+ * onto the 500-cycle interval grid in the same order. Thread count
+ * therefore cannot change any output bit; it only changes which thread
+ * advances which shard.
+ */
+#pragma once
+
+#include "sim/gpusim.hpp"
+
+namespace aw {
+
+/** How a launch's active SMs partition into detailed shard groups. */
+struct ShardPlan
+{
+    /** SMs represented by each shard (contiguous, sums to activeSms). */
+    std::vector<int> smCounts;
+    /** First chip SM index of each shard (decorrelation offset). */
+    std::vector<int> firstSmIndex;
+};
+
+/** Partition `activeSms` SMs into min(detail, activeSms) contiguous
+ *  groups, sizes differing by at most one, larger groups first. */
+ShardPlan planShards(int activeSms, int detail);
+
+/**
+ * Run one kernel on `detail` shards with the epoch-synced engine and
+ * return the ordered-merged activity stream. `shape`/`freqGhz` are the
+ * resolved launch mapping and clock; `stats` receives the execution
+ * statistics (shape, per-epoch per-shard busy time, drained traffic).
+ * Requires detail >= 2 (the detail == 1 path is GpuSimulator::run's
+ * legacy loop, kept byte-identical to the pre-shard simulator).
+ */
+KernelActivity runShardedSim(const GpuConfig &gpu,
+                             const KernelDescriptor &desc,
+                             const WarpProgram &program,
+                             const SimOptions &opts,
+                             const LaunchShape &shape, double freqGhz,
+                             int detail, SimRunStats &stats);
+
+} // namespace aw

@@ -8,33 +8,59 @@
 
 namespace aw {
 
+namespace {
+
+/** Decorrelates the address streams of distinct SM groups while group 0
+ *  keeps the legacy representative's stream (x ^ 0 == x). */
+constexpr uint64_t kSmSeedSalt = 0x9E3779B97F4A7C15ULL;
+
+} // namespace
+
 SmCore::SmCore(const GpuConfig &gpu, const KernelDescriptor &desc,
                const WarpProgram &program, int residentWarps,
-               MemorySystem &mem, double freqGhz, bool roundRobin)
+               MemorySystem &mem, double freqGhz, bool roundRobin,
+               int smIndex)
     : gpu_(gpu), desc_(desc), program_(program), mem_(mem),
       freqGhz_(freqGhz), cycleScale_(freqGhz / gpu.defaultClockGhz),
       roundRobin_(roundRobin), l1d_(gpu.l1d),
-      addrRng_(desc.seed ^ 0xabcdULL)
+      addrRng_(desc.seed ^ 0xabcdULL ^
+               (static_cast<uint64_t>(smIndex) * kSmSeedSalt))
 {
     AW_ASSERT(residentWarps >= 1);
     AW_ASSERT(!program.body.empty());
+    AW_ASSERT(smIndex >= 0);
 
-    warps_.resize(static_cast<size_t>(residentWarps));
+    numWarps_ = static_cast<size_t>(residentWarps);
+    bodySize_ = program.body.size();
+
+    wNextIssue_.assign(numWarps_, 0.0);
+    wReady_.assign(numWarps_ * kScoreboard, 0.0);
+    wBodyIdx_.assign(numWarps_, 0);
+    wItersLeft_.assign(numWarps_, program.iterations);
+    wIssued_.assign(numWarps_, 0);
+    wMemCursor_.assign(numWarps_, 0);
+    wCta_.assign(numWarps_, 0);
+    wFinished_.assign(numWarps_, 0);
+
     subcoreWarps_.resize(static_cast<size_t>(gpu.subcoresPerSm));
     lastIssued_.assign(static_cast<size_t>(gpu.subcoresPerSm), -1);
     unitFreeAt_.assign(static_cast<size_t>(gpu.subcoresPerSm), {});
     const int warpsPerCta = std::max(1, desc.warpsPerCta);
     barriers_.resize(static_cast<size_t>(residentWarps + warpsPerCta - 1) /
                      static_cast<size_t>(warpsPerCta));
-    for (size_t w = 0; w < warps_.size(); ++w) {
-        warps_[w].subcore = static_cast<int>(w % subcoreWarps_.size());
-        warps_[w].cta = static_cast<int>(w) / warpsPerCta;
-        ++barriers_[static_cast<size_t>(warps_[w].cta)].warps;
-        warps_[w].itersLeft = program.iterations;
+    ctaWarps_.resize(barriers_.size());
+    for (size_t w = 0; w < numWarps_; ++w) {
+        int subcore = static_cast<int>(w % subcoreWarps_.size());
+        int cta = static_cast<int>(w) / warpsPerCta;
+        wCta_[w] = cta;
+        ++barriers_[static_cast<size_t>(cta)].warps;
+        ctaWarps_[static_cast<size_t>(cta)].push_back(w);
         // Spread warps across the footprint so they share cache lines the
-        // way neighbouring CTAs do.
-        warps_[w].memCursor = w * 8191;
-        subcoreWarps_[static_cast<size_t>(warps_[w].subcore)].push_back(w);
+        // way neighbouring CTAs do; SM groups past the first continue the
+        // stride pattern where the previous group's warps left off.
+        wMemCursor_[w] =
+            (w + static_cast<uint64_t>(smIndex) * numWarps_) * 8191;
+        subcoreWarps_[static_cast<size_t>(subcore)].push_back(w);
     }
 
     // Instruction-fetch locality: a loop body that fits in the L0
@@ -48,13 +74,56 @@ SmCore::SmCore(const GpuConfig &gpu, const KernelDescriptor &desc,
                                  gpu.l1d.lineBytes));
 
     const double y = std::clamp(desc.activeLanes, 1, gpu.lanesPerSm);
+    laneFrac_ = y / gpu.warpSize;
+    std::array<double, kNumOpClasses> effII{};
+    std::array<double, kNumOpClasses> latency{};
     for (size_t c = 0; c < kNumOpClasses; ++c) {
         OpClass op = static_cast<OpClass>(c);
         double ii = gpu.opInitiationInterval(op);
         // Half-warp execution: a warp with y active lanes needs only
         // ceil(II * y / warpSize) issue slots on the unit.
-        effII_[c] = std::max(1.0, std::ceil(ii * y / gpu.warpSize));
-        latency_[c] = gpu.opLatency(op);
+        effII[c] = std::max(1.0, std::ceil(ii * y / gpu.warpSize));
+        latency[c] = gpu.opLatency(op);
+    }
+
+    decoded_.resize(bodySize_);
+    for (size_t i = 0; i < bodySize_; ++i) {
+        const TraceInst &inst = program.body[i];
+        DecodedInst &d = decoded_[i];
+        const size_t c = static_cast<size_t>(inst.op);
+        d.effII = effII[c];
+        d.latency = latency[c];
+        d.regWeight = (inst.regReads + inst.regWrites) * laneFrac_;
+        d.depDist = inst.depDist;
+        d.unit = static_cast<uint8_t>(opClassUnit(inst.op));
+        d.unitKind = static_cast<uint8_t>(opClassUnitKind(inst.op));
+        if (isMemoryOp(inst.op))
+            d.kind = kKindMemory;
+        else if (inst.op == OpClass::NanoSleep)
+            d.kind = kKindNanoSleep;
+        else if (inst.op == OpClass::Bar)
+            d.kind = kKindBar;
+        else
+            d.kind = kKindAlu;
+        switch (inst.op) {
+          case OpClass::IntAdd:
+          case OpClass::IntLogic:
+          case OpClass::Mov:
+            d.intClass = 1;
+            break;
+          case OpClass::IntMul:
+          case OpClass::IntMad:
+            d.intClass = 2;
+            break;
+          default:
+            d.intClass = 0;
+            break;
+        }
+        d.powerCompIdx = kNoPowerComp;
+        if (!isMemoryOp(inst.op) &&
+            inst.powerComp != PowerComponent::SmPipeline)
+            d.powerCompIdx =
+                static_cast<uint8_t>(componentIndex(inst.powerComp));
     }
 
     activity_ = ActivitySample{};
@@ -64,29 +133,26 @@ SmCore::SmCore(const GpuConfig &gpu, const KernelDescriptor &desc,
 }
 
 bool
-SmCore::warpReady(const Warp &w, double now, double &wakeTime) const
+SmCore::warpReady(size_t w, int subcore, double now,
+                  double &wakeTime) const
 {
-    if (w.finished)
-        return false;
-    if (w.nextIssue > now) {
-        wakeTime = std::min(wakeTime, w.nextIssue);
+    if (wNextIssue_[w] > now) {
+        wakeTime = std::min(wakeTime, wNextIssue_[w]);
         return false;
     }
-    const TraceInst &inst = program_.body[w.bodyIdx];
-    if (inst.depDist > 0 && w.issuedCount >= inst.depDist) {
-        long producer = w.issuedCount - inst.depDist;
-        double ready = w.readyCycle[static_cast<size_t>(producer) %
-                                    kScoreboard];
+    const DecodedInst &dec = decoded_[wBodyIdx_[w]];
+    if (dec.depDist > 0 && wIssued_[w] >= dec.depDist) {
+        int64_t producer = wIssued_[w] - dec.depDist;
+        double ready = wReady_[w * kScoreboard +
+                               static_cast<size_t>(producer) % kScoreboard];
         if (ready > now) {
             wakeTime = std::min(wakeTime, ready);
             return false;
         }
     }
-    ExecUnit unit = opClassUnit(inst.op);
-    if (unit != ExecUnit::None) {
-        double freeAt =
-            unitFreeAt_[static_cast<size_t>(w.subcore)]
-                       [static_cast<size_t>(unit)];
+    if (dec.unit != static_cast<uint8_t>(ExecUnit::None)) {
+        double freeAt = unitFreeAt_[static_cast<size_t>(subcore)]
+                                   [dec.unit];
         if (freeAt > now) {
             wakeTime = std::min(wakeTime, freeAt);
             return false;
@@ -96,14 +162,15 @@ SmCore::warpReady(const Warp &w, double now, double &wakeTime) const
 }
 
 double
-SmCore::memoryLatency(Warp &w, const TraceInst &inst, double now,
+SmCore::memoryLatency(size_t w, const TraceInst &inst,
+                      const DecodedInst &dec, double now,
                       double &occupancy)
 {
     // Nested under the wave loop's issue scope: memory-instruction
     // modeling time lands here, exclusively.
     obs::PhaseScope memoryPhase(obs::SimPhase::Memory);
     const int txns = std::max<int>(1, inst.transactions);
-    const double baseII = effII_[static_cast<size_t>(inst.op)];
+    const double baseII = dec.effII;
     double worst = 0;
     switch (inst.op) {
       case OpClass::LdShared:
@@ -112,12 +179,11 @@ SmCore::memoryLatency(Warp &w, const TraceInst &inst, double now,
             txns;
         // Bank conflicts serialize the access through the LSU.
         occupancy = baseII * txns;
-        return latency_[static_cast<size_t>(inst.op)] +
-               2.0 * (txns - 1);
+        return dec.latency + 2.0 * (txns - 1);
       case OpClass::LdConst:
         activity_.accesses[componentIndex(PowerComponent::ConstCache)] += 1;
         occupancy = baseII;
-        return latency_[static_cast<size_t>(inst.op)];
+        return dec.latency;
       case OpClass::LdGlobal:
       case OpClass::StGlobal: {
         const bool isWrite = inst.op == OpClass::StGlobal;
@@ -133,13 +199,13 @@ SmCore::memoryLatency(Warp &w, const TraceInst &inst, double now,
             if (desc_.pointerChase) {
                 line = addrRng_.below(footprintLines_);
             } else {
-                line = w.memCursor % footprintLines_;
-                ++w.memCursor;
+                line = wMemCursor_[w] % footprintLines_;
+                ++wMemCursor_[w];
             }
             uint64_t addr =
                 line * static_cast<uint64_t>(gpu_.l1d.lineBytes);
             l1dAccesses += 1;
-            double lat = latency_[static_cast<size_t>(inst.op)];
+            double lat = dec.latency;
             auto l1res = l1d_.access(addr, isWrite);
             // Write-through L1: stores always propagate to the L2.
             if (!l1res.hit || isWrite) {
@@ -164,53 +230,60 @@ SmCore::memoryLatency(Warp &w, const TraceInst &inst, double now,
 }
 
 void
-SmCore::arriveAtBarrier(Warp &w, double now)
+SmCore::arriveAtBarrier(size_t w, double now)
 {
-    CtaBarrier &bar = barriers_[static_cast<size_t>(w.cta)];
+    const int cta = wCta_[w];
+    CtaBarrier &bar = barriers_[static_cast<size_t>(cta)];
     if (++bar.arrived >= bar.warps) {
         // Last arrival releases the whole CTA.
         bar.arrived = 0;
-        for (auto &other : warps_) {
-            if (other.cta == w.cta && !other.finished)
-                other.nextIssue = std::min(other.nextIssue, now + 1.0);
+        for (size_t other : ctaWarps_[static_cast<size_t>(cta)]) {
+            if (!wFinished_[other])
+                wNextIssue_[other] =
+                    std::min(wNextIssue_[other], now + 1.0);
         }
         return;
     }
     // Block until the rest of the CTA arrives.
-    w.nextIssue = 1e300;
+    wNextIssue_[w] = 1e300;
 }
 
 void
-SmCore::issue(Warp &w, double now)
+SmCore::issue(size_t w, int subcore, double now)
 {
-    const TraceInst &inst = program_.body[w.bodyIdx];
-    const double y = activity_.avgActiveLanesPerWarp;
-    const double laneFrac = y / gpu_.warpSize;
+    const size_t bodyIdx = wBodyIdx_[w];
+    const TraceInst &inst = program_.body[bodyIdx];
+    const DecodedInst &dec = decoded_[bodyIdx];
 
     // --- timing ---------------------------------------------------------
     double completion;
-    ExecUnit unit = opClassUnit(inst.op);
-    double unitBusy = effII_[static_cast<size_t>(inst.op)];
-    if (isMemoryOp(inst.op)) {
+    double unitBusy = dec.effII;
+    switch (dec.kind) {
+      case kKindMemory: {
         double occupancy = unitBusy;
-        completion = now + memoryLatency(w, inst, now, occupancy);
+        completion = now + memoryLatency(w, inst, dec, now, occupancy);
         unitBusy = std::max(unitBusy, occupancy);
-    } else if (inst.op == OpClass::NanoSleep) {
-        completion = now + latency_[static_cast<size_t>(inst.op)];
-        w.nextIssue = completion; // nanosleep blocks the warp
-    } else if (inst.op == OpClass::Bar) {
+        break;
+      }
+      case kKindNanoSleep:
+        completion = now + dec.latency;
+        wNextIssue_[w] = completion; // nanosleep blocks the warp
+        break;
+      case kKindBar:
         completion = now + 1.0;
         arriveAtBarrier(w, now);
-    } else {
-        completion = now + latency_[static_cast<size_t>(inst.op)];
+        break;
+      default:
+        completion = now + dec.latency;
+        break;
     }
-    if (unit != ExecUnit::None) {
-        unitFreeAt_[static_cast<size_t>(w.subcore)]
-                   [static_cast<size_t>(unit)] = now + unitBusy;
+    if (dec.unit != static_cast<uint8_t>(ExecUnit::None)) {
+        unitFreeAt_[static_cast<size_t>(subcore)][dec.unit] =
+            now + unitBusy;
     }
-    w.readyCycle[static_cast<size_t>(w.issuedCount) % kScoreboard] =
-        completion;
-    ++w.issuedCount;
+    wReady_[w * kScoreboard +
+            static_cast<size_t>(wIssued_[w]) % kScoreboard] = completion;
+    ++wIssued_[w];
     ++issuedInsts_;
 
     // --- power activity (Table 1) ----------------------------------------
@@ -219,41 +292,26 @@ SmCore::issue(Warp &w, double now)
     acc[componentIndex(PowerComponent::InstCache)] += l1iPerIssue_;
     acc[componentIndex(PowerComponent::Scheduler)] += 1;
     acc[componentIndex(PowerComponent::SmPipeline)] += 1;
-    acc[componentIndex(PowerComponent::RegFile)] +=
-        (inst.regReads + inst.regWrites) * laneFrac;
-    if (!isMemoryOp(inst.op)) {
-        PowerComponent pc = inst.powerComp;
-        if (pc != PowerComponent::SmPipeline)
-            acc[componentIndex(pc)] += laneFrac;
-    }
+    acc[componentIndex(PowerComponent::RegFile)] += dec.regWeight;
+    if (dec.powerCompIdx != kNoPowerComp)
+        acc[dec.powerCompIdx] += laneFrac_;
 
-    UnitKind kind = opClassUnitKind(inst.op);
-    activity_.unitInsts[static_cast<size_t>(kind)] += 1;
-    if (kind == UnitKind::Int) {
-        switch (inst.op) {
-          case OpClass::IntAdd:
-          case OpClass::IntLogic:
-          case OpClass::Mov:
-            activity_.intAddInsts += 1;
-            break;
-          case OpClass::IntMul:
-          case OpClass::IntMad:
-            activity_.intMulInsts += 1;
-            break;
-          default:
-            break;
-        }
-    }
+    activity_.unitInsts[dec.unitKind] += 1;
+    if (dec.intClass == 1)
+        activity_.intAddInsts += 1;
+    else if (dec.intClass == 2)
+        activity_.intMulInsts += 1;
 
     // --- program counter --------------------------------------------------
-    ++w.bodyIdx;
-    if (w.bodyIdx == program_.body.size()) {
-        w.bodyIdx = 0;
-        if (--w.itersLeft <= 0) {
-            w.finished = true;
+    uint32_t next = wBodyIdx_[w] + 1;
+    if (next == bodySize_) {
+        next = 0;
+        if (--wItersLeft_[w] <= 0) {
+            wFinished_[w] = 1;
             ++warpsDone_;
         }
     }
+    wBodyIdx_[w] = next;
 }
 
 bool
@@ -263,34 +321,52 @@ SmCore::tryIssueSubcore(int subcore, double now, double &nextEvent)
     if (ids.empty())
         return false;
 
-    const int last = lastIssued_[static_cast<size_t>(subcore)];
+    int &last = lastIssued_[static_cast<size_t>(subcore)];
     const int n = static_cast<int>(ids.size());
+    int issuedAt = -1;
     if (roundRobin_) {
         // Round-robin: resume scanning after the last issued warp.
         for (int off = 1; off <= n; ++off) {
             int i = (last + off + n) % n;
-            Warp &w = warps_[ids[static_cast<size_t>(i)]];
-            if (warpReady(w, now, nextEvent)) {
-                issue(w, now);
-                lastIssued_[static_cast<size_t>(subcore)] = i;
-                return true;
+            size_t w = ids[static_cast<size_t>(i)];
+            if (warpReady(w, subcore, now, nextEvent)) {
+                issue(w, subcore, now);
+                last = i;
+                issuedAt = i;
+                break;
             }
         }
-        return false;
-    }
-    // GTO: greedy on the last issued warp, then oldest-first.
-    for (int rank = (last >= 0 ? -1 : 0); rank < n; ++rank) {
-        int i = rank < 0 ? last : rank;
-        if (rank >= 0 && i == last)
-            continue; // already tried greedily
-        Warp &w = warps_[ids[static_cast<size_t>(i)]];
-        if (warpReady(w, now, nextEvent)) {
-            issue(w, now);
-            lastIssued_[static_cast<size_t>(subcore)] = i;
-            return true;
+    } else {
+        // GTO: greedy on the last issued warp, then oldest-first.
+        for (int rank = (last >= 0 ? -1 : 0); rank < n; ++rank) {
+            int i = rank < 0 ? last : rank;
+            if (rank >= 0 && i == last)
+                continue; // already tried greedily
+            size_t w = ids[static_cast<size_t>(i)];
+            if (warpReady(w, subcore, now, nextEvent)) {
+                issue(w, subcore, now);
+                last = i;
+                issuedAt = i;
+                break;
+            }
         }
     }
-    return false;
+    if (issuedAt < 0)
+        return false;
+
+    // Prune a warp that just retired from the live list so future scans
+    // skip it. The circular-order successor of the erased slot keeps
+    // the round-robin rotation intact; GTO resets its greedy pointer
+    // (scanning oldest-first next cycle, exactly what the unpruned
+    // scan would have resolved to).
+    if (wFinished_[ids[static_cast<size_t>(issuedAt)]]) {
+        ids.erase(ids.begin() + issuedAt);
+        if (roundRobin_)
+            last = issuedAt - 1;
+        else
+            last = -1;
+    }
+    return true;
 }
 
 double

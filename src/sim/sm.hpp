@@ -9,9 +9,30 @@
  * The SM records per-component activity (Table 1) with cycle stamps so
  * the simulator can emit the 500-cycle ActivitySamples AccelWattch
  * consumes (Section 5.2).
+ *
+ * Layout: the per-warp scheduler state lives in structure-of-arrays
+ * form (one flat vector per field, indexed by warp id) instead of an
+ * array of Warp structs. The issue loop touches `nextIssue`, the
+ * scoreboard and the decoded instruction stream for every resident
+ * warp every cycle, so keeping each field contiguous is what the
+ * per-cycle scan's cache behaviour lives or dies on. The per-body
+ * instruction stream is decoded once at construction (latencies,
+ * initiation intervals, unit and power-component indices) so the hot
+ * path never re-derives them from OpClass switches. Retired warps are
+ * pruned from the per-subcore scheduler lists, shrinking the scan as
+ * the tail of a kernel drains. All of this is bit-exact with the
+ * original array-of-structs implementation: same arithmetic on the
+ * same values in the same order.
+ *
+ * Sharding: an SmCore can stand for one *group* of the chip's SMs (see
+ * src/sim/shard.hpp). `smIndex` decorrelates the group's address
+ * streams — the RNG seed and the per-warp memory cursors are offset by
+ * the group's first SM index — while `smIndex == 0` reproduces the
+ * legacy single-representative behaviour bit for bit.
  */
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "arch/activity.hpp"
@@ -34,13 +55,17 @@ class SmCore
      * @param residentWarps warps resident on this SM (all subcores)
      * @param mem           chip-level memory system (L2 slice + DRAM)
      * @param freqGhz       core clock for this run
+     * @param roundRobin    RR scheduling instead of greedy-then-oldest
+     * @param smIndex       first SM index of the group this core stands
+     *                      for (0 = the legacy representative; offsets
+     *                      the address-RNG seed and memory cursors)
      */
     SmCore(const GpuConfig &gpu, const KernelDescriptor &desc,
            const WarpProgram &program, int residentWarps, MemorySystem &mem,
-           double freqGhz, bool roundRobin = false);
+           double freqGhz, bool roundRobin = false, int smIndex = 0);
 
     /** True when every resident warp has retired its program. */
-    bool done() const { return warpsDone_ == warps_.size(); }
+    bool done() const { return warpsDone_ == numWarps_; }
 
     /**
      * Advance the SM by one cycle at time `now`; returns the earliest
@@ -64,20 +89,6 @@ class SmCore
     long stallCycles() const { return stallCycles_; }    ///< no issue
 
   private:
-    struct Warp
-    {
-        int subcore = 0;
-        int cta = 0; ///< CTA this warp belongs to (barrier scope)
-        size_t bodyIdx = 0;
-        int itersLeft = 0;
-        long issuedCount = 0;
-        double nextIssue = 0;  ///< earliest cycle this warp may issue
-        bool finished = false;
-        uint64_t memCursor = 0;
-        /** Completion times of the last kScoreboard issued insts. */
-        std::array<double, 64> readyCycle{};
-    };
-
     /** Barrier bookkeeping for one resident CTA. */
     struct CtaBarrier
     {
@@ -85,19 +96,48 @@ class SmCore
         int arrived = 0; ///< warps currently waiting at the barrier
     };
 
+    /**
+     * The per-body-instruction facts the issue loop needs, decoded once
+     * at construction so the hot path is lookups, not OpClass switches.
+     */
+    struct DecodedInst
+    {
+        double effII = 1;      ///< effective initiation interval
+        double latency = 0;    ///< completion latency (cycles)
+        double regWeight = 0;  ///< (regReads + regWrites) * laneFrac
+        uint16_t depDist = 0;  ///< scoreboard producer distance
+        uint8_t unit = 0;      ///< ExecUnit
+        uint8_t unitKind = 0;  ///< UnitKind (mix classification)
+        uint8_t kind = 0;      ///< Kind below
+        uint8_t intClass = 0;  ///< 0 none, 1 add-like, 2 mul-like
+        /** componentIndex(powerComp), or kNoPowerComp for memory ops
+         *  and the pipeline component (no extra access recorded). */
+        uint8_t powerCompIdx = 0;
+    };
+
+    enum : uint8_t
+    {
+        kKindAlu = 0,
+        kKindMemory,
+        kKindNanoSleep,
+        kKindBar
+    };
+    static constexpr uint8_t kNoPowerComp = 0xff;
+
     static constexpr size_t kScoreboard = 64;
 
     /** Attempt to issue for one subcore; returns true if issued. */
     bool tryIssueSubcore(int subcore, double now, double &nextEvent);
 
-    /** Can this warp issue its next instruction at `now`? */
-    bool warpReady(const Warp &w, double now, double &wakeTime) const;
+    /** Can warp `w` issue its next instruction at `now`? */
+    bool warpReady(size_t w, int subcore, double now,
+                   double &wakeTime) const;
 
-    /** Issue the warp's next instruction; updates all state. */
-    void issue(Warp &w, double now);
+    /** Issue warp `w`'s next instruction; updates all state. */
+    void issue(size_t w, int subcore, double now);
 
     /** Handle a BAR.SYNC: block the warp or release its whole CTA. */
-    void arriveAtBarrier(Warp &w, double now);
+    void arriveAtBarrier(size_t w, double now);
 
     /**
      * Timing + traffic of a memory instruction's transactions.
@@ -105,7 +145,8 @@ class SmCore
      * (serialized transactions, L2/DRAM bandwidth shares) so issue()
      * can backpressure subsequent memory instructions.
      */
-    double memoryLatency(Warp &w, const TraceInst &inst, double now,
+    double memoryLatency(size_t w, const TraceInst &inst,
+                         const DecodedInst &dec, double now,
                          double &occupancy);
 
     const GpuConfig &gpu_;
@@ -115,23 +156,38 @@ class SmCore
     double freqGhz_;
     double cycleScale_; ///< f / f_default for wall-time-constant latencies
 
-    std::vector<Warp> warps_;
+    size_t numWarps_ = 0;
+    size_t bodySize_ = 0;
+    std::vector<DecodedInst> decoded_; ///< one per body instruction
+
+    // --- per-warp state, structure-of-arrays (indexed by warp id) ------
+    std::vector<double> wNextIssue_;   ///< earliest cycle warp may issue
+    std::vector<double> wReady_;       ///< scoreboard, kScoreboard/warp
+    std::vector<uint32_t> wBodyIdx_;   ///< next body instruction
+    std::vector<int32_t> wItersLeft_;  ///< loop trips remaining
+    std::vector<int64_t> wIssued_;     ///< instructions issued so far
+    std::vector<uint64_t> wMemCursor_; ///< strided-address cursor
+    std::vector<int32_t> wCta_;        ///< CTA id (barrier scope)
+    std::vector<uint8_t> wFinished_;   ///< warp retired its program
+
     std::vector<CtaBarrier> barriers_;
+    std::vector<std::vector<size_t>> ctaWarps_; ///< warp ids per CTA
     size_t warpsDone_ = 0;
-    std::vector<std::vector<size_t>> subcoreWarps_; ///< warp ids per block
-    std::vector<int> lastIssued_; ///< GTO greedy pointer per subcore
+
+    /** Live (unretired) warp ids per processing block, in warp-id
+     *  (oldest-first) order; retired warps are pruned. */
+    std::vector<std::vector<size_t>> subcoreWarps_;
+    std::vector<int> lastIssued_; ///< GTO/RR pointer into the live list
     bool roundRobin_ = false;     ///< RR instead of greedy-then-oldest
     std::vector<std::array<double, kNumExecUnits>> unitFreeAt_;
 
     CacheModel l1d_;
     Rng addrRng_;
+    double laneFrac_;    ///< y / warpSize
     double l1iPerIssue_; ///< L1i accesses per issued instruction
     uint64_t footprintLines_;
 
     ActivitySample activity_;
-    /** Precomputed per-opclass effective initiation intervals. */
-    std::array<double, kNumOpClasses> effII_{};
-    std::array<double, kNumOpClasses> latency_{};
 
     long issuedInsts_ = 0;
     long issueCycles_ = 0;
