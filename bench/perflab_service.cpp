@@ -1,0 +1,242 @@
+/**
+ * @file
+ * PerfLab bench for the awd daemon: an in-process server on an
+ * ephemeral loopback port, hammered open-loop by a small fleet of
+ * client threads. One round = a fixed batch of mixed estimation
+ * requests (a handful of distinct kernels, so steady state exercises
+ * the reactor + memo path that dominates production traffic); at the
+ * default 50 rounds the bench pushes 10^5 requests through the full
+ * socket/frame/admission path. The artifact records throughput
+ * (req/s), latency quantiles (p50/p99 ms), and shed/error counts.
+ *
+ * fini runs the chaos leg — deterministic slow-loris / malformed-frame
+ * / disconnect faults injected into client traffic — and then asserts
+ * the daemon still answers a clean ping and drains cleanly on stop.
+ * Zero crashes/hangs under chaos is a gate, not a metric.
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/result_cache.hpp"
+#include "hw/fault_injector.hpp"
+#include "perflab/perflab.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "trace/workload.hpp"
+
+using namespace aw;
+namespace fs = std::filesystem;
+
+namespace {
+
+const char *const kCacheDir = "results/perf_service_cache";
+constexpr int kClientThreads = 4;
+constexpr int kRequestsPerRound = 2000; // x 50 default rounds = 1e5
+constexpr int kDistinctKernels = 8;
+constexpr int kChaosRequests = 200;
+
+std::unique_ptr<service::AwdServer> g_server;
+
+// Accumulated across rounds, reported in fini.
+std::mutex g_mu;
+std::vector<double> g_latencyMs;
+long g_ok = 0, g_shed = 0, g_errors = 0;
+double g_busySec = 0;
+
+service::EstimateRequest
+mixedRequest(int i)
+{
+    static const std::vector<MixEntry> mixes[] = {
+        {{OpClass::FpFma, 0.6}, {OpClass::LdGlobal, 0.4}},
+        {{OpClass::IntMad, 0.7}, {OpClass::LdShared, 0.3}},
+        {{OpClass::DpFma, 0.5}, {OpClass::StGlobal, 0.5}},
+        {{OpClass::Tensor, 0.4}, {OpClass::IntAdd, 0.6}},
+    };
+    const int k = i % kDistinctKernels;
+    service::EstimateRequest req;
+    req.hasKernel = true;
+    req.kernel = makeKernel("svc_bench_k" + std::to_string(k),
+                            mixes[k % 4], /*ctas=*/80, /*warpsPerCta=*/4);
+    req.kernel.iterations = 4;
+    req.kernel.bodyInsts = 32;
+    req.kernel.seed = static_cast<uint64_t>(k) + 1;
+    return req;
+}
+
+service::ClientOptions
+benchClientOptions()
+{
+    service::ClientOptions opts;
+    opts.port = g_server->port();
+    opts.retry.maxAttempts = 2;
+    opts.retry.initialBackoffSec = 0.002;
+    opts.retry.maxBackoffSec = 0.02;
+    opts.retry.backoffBudgetSec = 0.5;
+    return opts;
+}
+
+void
+serviceInit(perflab::BenchContext &ctx)
+{
+    ResultCache::instance().configure(kCacheDir);
+    ResultCache::instance().setEnabled(true);
+    g_latencyMs.clear();
+    g_ok = g_shed = g_errors = 0;
+    g_busySec = 0;
+
+    service::ServerOptions opts;
+    opts.port = 0;
+    opts.threads = 2;
+    opts.maxQueue = 128;
+    opts.defaultDeadlineMs = 30e3;
+    g_server = std::make_unique<service::AwdServer>(opts);
+    std::string error;
+    if (!g_server->start(error)) {
+        ctx.fail("awd start failed: " + error);
+        return;
+    }
+    // Pre-resolve the distinct kernels once so the timed rounds measure
+    // the serving path (reactor + memo), not first-touch simulation.
+    service::AwdClient warm(benchClientOptions());
+    for (int i = 0; i < kDistinctKernels; ++i)
+        warm.estimate(mixedRequest(i));
+}
+
+void
+serviceRound(perflab::BenchContext &)
+{
+    using Clock = std::chrono::steady_clock;
+    std::vector<std::thread> fleet;
+    fleet.reserve(kClientThreads);
+    const auto t0 = Clock::now();
+    for (int t = 0; t < kClientThreads; ++t)
+        fleet.emplace_back([t] {
+            service::AwdClient client(benchClientOptions());
+            std::vector<double> lat;
+            lat.reserve(kRequestsPerRound / kClientThreads);
+            long ok = 0, shed = 0, errors = 0;
+            for (int i = t; i < kRequestsPerRound; i += kClientThreads) {
+                const auto s = Clock::now();
+                Result<service::EstimateResponse> r =
+                    client.estimate(mixedRequest(i));
+                lat.push_back(std::chrono::duration<double, std::milli>(
+                                  Clock::now() - s)
+                                  .count());
+                if (r)
+                    ++ok;
+                else if (r.error().message.find("retry_after_ms") !=
+                         std::string::npos)
+                    ++shed;
+                else
+                    ++errors;
+            }
+            std::lock_guard<std::mutex> lock(g_mu);
+            g_latencyMs.insert(g_latencyMs.end(), lat.begin(), lat.end());
+            g_ok += ok;
+            g_shed += shed;
+            g_errors += errors;
+        });
+    for (std::thread &t : fleet)
+        t.join();
+    g_busySec += std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double
+quantileMs(double q)
+{
+    if (g_latencyMs.empty())
+        return 0;
+    std::vector<double> v = g_latencyMs;
+    const size_t idx = std::min(
+        v.size() - 1, static_cast<size_t>(q * (v.size() - 1) + 0.5));
+    std::nth_element(v.begin(), v.begin() + idx, v.end());
+    return v[idx];
+}
+
+void
+serviceFini(perflab::BenchContext &ctx)
+{
+    // --- chaos leg: deterministic client-side fault injection --------
+    FaultConfig cfg;
+    cfg.rates[static_cast<size_t>(FaultClass::SlowLoris)] = 0.2;
+    cfg.rates[static_cast<size_t>(FaultClass::MalformedFrame)] = 0.2;
+    cfg.rates[static_cast<size_t>(FaultClass::Disconnect)] = 0.2;
+    cfg.seed = 11;
+    FaultStream faults(cfg, cfg.seed ^ 0xa3d);
+    service::AwdClient chaosClient(benchClientOptions());
+    chaosClient.setFaultStream(&faults);
+    long chaosOk = 0, chaosFailed = 0;
+    for (int i = 0; i < kChaosRequests; ++i) {
+        if (chaosClient.estimate(mixedRequest(i)))
+            ++chaosOk;
+        else
+            ++chaosFailed;
+    }
+    chaosClient.setFaultStream(nullptr);
+    const bool survived = bool(chaosClient.ping());
+
+    g_server->requestStop();
+    const int drainRc = g_server->wait();
+    g_server.reset();
+
+    const long total = g_ok + g_shed + g_errors;
+    const double reqps = g_busySec > 0 ? total / g_busySec : 0;
+    ctx.setExtra("requests", static_cast<double>(total));
+    ctx.setExtra("reqps", reqps);
+    ctx.setExtra("p50_ms", quantileMs(0.50));
+    ctx.setExtra("p99_ms", quantileMs(0.99));
+    ctx.setExtra("ok", static_cast<double>(g_ok));
+    ctx.setExtra("shed", static_cast<double>(g_shed));
+    ctx.setExtra("errors", static_cast<double>(g_errors));
+    ctx.setExtra("chaos_ok", static_cast<double>(chaosOk));
+    ctx.setExtra("chaos_failed", static_cast<double>(chaosFailed));
+    ctx.setExtra("chaos_survived", survived ? 1 : 0);
+    ctx.setExtra("clean_drain", drainRc == 0 ? 1 : 0);
+
+    std::printf("  %ld req, %.0f req/s, p50 %.3f ms, p99 %.3f ms, "
+                "%ld shed, %ld errors\n",
+                total, reqps, quantileMs(0.50), quantileMs(0.99), g_shed,
+                g_errors);
+    std::printf("  chaos: %ld/%d ok, daemon %s, drain %s\n", chaosOk,
+                kChaosRequests, survived ? "survived" : "DEAD",
+                drainRc == 0 ? "clean" : "FORCED");
+
+    if (g_errors > 0)
+        ctx.fail("clean traffic produced " + std::to_string(g_errors) +
+                 " hard errors");
+    if (!survived)
+        ctx.fail("daemon unresponsive after chaos");
+    if (drainRc != 0)
+        ctx.fail("drain was forced");
+
+    g_latencyMs.clear();
+    fs::remove_all(kCacheDir);
+}
+
+[[maybe_unused]] const bool regService = perflab::registerBench({
+    .name = "service",
+    .description = "awd daemon open-loop soak: socket round-trips, "
+                   "admission, chaos leg, clean drain",
+    .defaultRounds = 50,
+    .defaultWarmup = 1,
+    .init = serviceInit,
+    .round = serviceRound,
+    .fini = serviceFini,
+});
+
+} // namespace
+
+#ifndef AW_PERFLAB_HARNESS
+int
+main(int argc, char **argv)
+{
+    return aw::perflab::runMain(argc, argv);
+}
+#endif

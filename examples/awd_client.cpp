@@ -1,0 +1,203 @@
+/**
+ * @file
+ * awd_client — command-line client (and chaos driver) for awd.
+ *
+ * Default mode sends a deterministic set of mixed estimation requests
+ * and prints each answer; exit 0 only if every request succeeded.
+ * `--chaos` attaches the AW_FAULTS fault stream to the client's own
+ * traffic (slow-loris, malformed frames, mid-request disconnects) and
+ * instead asserts the *daemon* survives: individual requests may fail
+ * with structured causes, but the final clean ping must succeed and
+ * nothing may crash or hang.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "common/log.hpp"
+#include "hw/fault_injector.hpp"
+#include "service/client.hpp"
+
+using namespace aw;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::printf(
+        "usage: awd_client [options]\n"
+        "  --port N          daemon port\n"
+        "  --port-file PATH  read the port from PATH (waits up to 10 s)\n"
+        "  --count N         estimation requests to send (default 8)\n"
+        "  --deadline-ms MS  per-request deadline\n"
+        "  --card NAME       card model (default volta)\n"
+        "  --variant V       sass|ptx|hw|hybrid (default sass)\n"
+        "  --detail N        sim detail groups\n"
+        "  --ids             tag requests with idempotency keys\n"
+        "  --ping            single liveness probe and exit\n"
+        "  --stats           print daemon stats and exit\n"
+        "  --chaos           inject AW_FAULTS into the client traffic\n");
+    std::exit(2);
+}
+
+int
+readPortFile(const std::string &path)
+{
+    for (int attempt = 0; attempt < 200; ++attempt) {
+        std::ifstream in(path);
+        if (in) {
+            int port = 0;
+            if (in >> port && port > 0 && port <= 65535)
+                return port;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    fatal("awd_client: no port in %s after 10 s", path.c_str());
+}
+
+/** Deterministic mixed workload set (kept small — the daemon's answer,
+ *  not its latency, is under test here). */
+service::EstimateRequest
+makeRequest(int i)
+{
+    service::EstimateRequest req;
+    static const std::vector<MixEntry> mixes[] = {
+        {{OpClass::FpFma, 0.6}, {OpClass::LdGlobal, 0.2},
+         {OpClass::IntAdd, 0.2}},
+        {{OpClass::IntMad, 0.7}, {OpClass::LdShared, 0.3}},
+        {{OpClass::DpFma, 0.5}, {OpClass::LdGlobal, 0.3},
+         {OpClass::StGlobal, 0.2}},
+        {{OpClass::Tensor, 0.4}, {OpClass::LdShared, 0.4},
+         {OpClass::IntAdd, 0.2}},
+    };
+    const int m = i % 4;
+    req.hasKernel = true;
+    req.kernel = makeKernel("awd_client_k" + std::to_string(m),
+                            mixes[m], /*ctas=*/80, /*warpsPerCta=*/4);
+    req.kernel.iterations = 4;
+    req.kernel.bodyInsts = 32;
+    req.kernel.seed = static_cast<uint64_t>(m) + 1;
+    return req;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    service::ClientOptions opts;
+    int count = 8;
+    double deadlineMs = 0;
+    int detail = 0;
+    std::string card = "volta", variant = "sass", portFile;
+    bool ids = false, doPing = false, doStats = false, chaos = false;
+
+    auto nextArg = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--port")
+            opts.port = std::atoi(nextArg(i));
+        else if (arg == "--port-file")
+            portFile = nextArg(i);
+        else if (arg == "--count")
+            count = std::atoi(nextArg(i));
+        else if (arg == "--deadline-ms")
+            deadlineMs = std::atof(nextArg(i));
+        else if (arg == "--card")
+            card = nextArg(i);
+        else if (arg == "--variant")
+            variant = nextArg(i);
+        else if (arg == "--detail")
+            detail = std::atoi(nextArg(i));
+        else if (arg == "--ids")
+            ids = true;
+        else if (arg == "--ping")
+            doPing = true;
+        else if (arg == "--stats")
+            doStats = true;
+        else if (arg == "--chaos")
+            chaos = true;
+        else
+            usage();
+    }
+    if (!portFile.empty())
+        opts.port = readPortFile(portFile);
+    if (opts.port <= 0)
+        usage();
+
+    service::AwdClient client(opts);
+
+    if (doPing) {
+        Result<service::EstimateResponse> r = client.ping();
+        if (!r)
+            fatal("ping failed: %s", r.error().message.c_str());
+        std::printf("pong\n");
+        return 0;
+    }
+    if (doStats) {
+        Result<std::string> r = client.stats();
+        if (!r)
+            fatal("stats failed: %s", r.error().message.c_str());
+        std::printf("%s\n", r->c_str());
+        return 0;
+    }
+
+    FaultStream faults;
+    if (chaos) {
+        const FaultConfig cfg = FaultInjector::globalConfig();
+        if (!cfg.enabled())
+            fatal("--chaos needs AW_FAULTS to be set");
+        faults = FaultStream(cfg, cfg.seed ^ 0xa3d);
+        client.setFaultStream(&faults);
+        std::printf("chaos: %s\n", cfg.describe().c_str());
+    }
+
+    int ok = 0, failed = 0;
+    for (int i = 0; i < count; ++i) {
+        service::EstimateRequest req = makeRequest(i);
+        req.card = card;
+        req.variant = variant;
+        req.deadlineMs = deadlineMs;
+        req.detail = detail;
+        if (ids)
+            req.id = "awd-client-" + std::to_string(i);
+        Result<service::EstimateResponse> r = client.estimate(req);
+        if (r) {
+            ++ok;
+            std::printf("%-14s %7.1f W  %.3e J%s%s\n",
+                        req.kernel.name.c_str(), r->powerW, r->energyJ,
+                        r->degraded != "none"
+                            ? (" [" + r->degraded + "]").c_str()
+                            : "",
+                        r->replayed ? " [replayed]" : "");
+        } else {
+            ++failed;
+            std::printf("%-14s FAILED (%s: %s)\n",
+                        req.kernel.name.c_str(),
+                        failCauseName(r.error().cause),
+                        r.error().message.c_str());
+        }
+    }
+    std::printf("%d ok, %d failed\n", ok, failed);
+
+    if (chaos) {
+        // The point of the chaos leg: after all that abuse, a clean
+        // client must still get immediate service.
+        client.setFaultStream(nullptr);
+        Result<service::EstimateResponse> r = client.ping();
+        if (!r)
+            fatal("daemon unresponsive after chaos: %s",
+                  r.error().message.c_str());
+        std::printf("daemon survived chaos (final ping ok)\n");
+        return 0;
+    }
+    return failed == 0 ? 0 : 1;
+}

@@ -28,6 +28,7 @@
 #   scripts/check.sh [--configure-only] [--build-dir DIR]
 #                    [--sanitizer address|thread]
 #                    [--perf-gate] [--update-baselines] [--simpar]
+#                    [--service]
 #
 #   --configure-only        stop after the CMake configure step (this is
 #                           what the `lint` CTest label runs, so plain
@@ -41,6 +42,9 @@
 #                           on this machine instead of gating against it
 #   --simpar                run only the sharded-simulator determinism
 #                           leg (TSan test + cross-thread checksum)
+#   --service               run only the awd daemon leg (smoke client,
+#                           chaos client under AW_FAULTS, clean SIGTERM
+#                           drain)
 #
 # The test step excludes the lint label itself (-LE lint) so the check
 # does not recurse into another configure of the same tree.
@@ -54,6 +58,7 @@ sanitizer=both
 perf_gate_only=0
 update_baselines=0
 simpar_only=0
+service_only=0
 
 while [[ $# -gt 0 ]]; do
     case "$1" in
@@ -72,6 +77,10 @@ while [[ $# -gt 0 ]]; do
         ;;
       --simpar)
         simpar_only=1
+        shift
+        ;;
+      --service)
+        service_only=1
         shift
         ;;
       --build-dir)
@@ -206,6 +215,44 @@ perfgate() {
     echo "== perf gate passed (and the negative control failed as required)"
 }
 
+# awd service leg: plain build of the daemon + client, exercised over a
+# real loopback socket. A smoke run must answer every request, a chaos
+# run (the documented service fault rates on a fixed seed, injected into
+# the client's own traffic) must leave the daemon alive and answering a
+# clean final ping, and SIGTERM must drain cleanly (daemon exit 0).
+service_chaos_spec="slow_loris:0.3,malformed_frame:0.2,disconnect:0.2,seed:11"
+service_leg() {
+    local dir=build-perf
+    echo "== service: configure + build (plain) -> ${dir}"
+    cmake -B "${dir}" -S . >/dev/null
+    cmake --build "${dir}" -j --target awd awd_client >/dev/null
+
+    local portfile="${dir}/awd.port"
+    rm -f "${portfile}"
+    echo "== service: start awd (ephemeral port -> ${portfile})"
+    "${dir}/examples/awd" --port-file "${portfile}" --threads 2 &
+    local awd_pid=$!
+    # Never leave a daemon behind, whatever fails below.
+    trap 'kill "${awd_pid}" 2>/dev/null || true' RETURN
+
+    echo "== service: smoke client (8 mixed requests, all must succeed)"
+    "${dir}/examples/awd_client" --port-file "${portfile}" --count 8 --ids
+
+    echo "== service: chaos client (AW_FAULTS=${service_chaos_spec})"
+    AW_FAULTS="${service_chaos_spec}" "${dir}/examples/awd_client" \
+        --port-file "${portfile}" --count 20 --chaos
+
+    echo "== service: SIGTERM -> clean drain"
+    kill -TERM "${awd_pid}"
+    local rc=0
+    wait "${awd_pid}" || rc=$?
+    if [[ ${rc} -ne 0 ]]; then
+        echo "error: awd drain exited ${rc} (expected clean 0)" >&2
+        return 1
+    fi
+    echo "== service leg passed (daemon survived chaos, drained cleanly)"
+}
+
 # Sharded-simulator determinism leg.
 #   $1 = TSan build dir holding test_sim_parallel (built here if absent)
 # Part 1 re-runs the determinism suite under TSan with AW_SIM_THREADS=4
@@ -250,6 +297,11 @@ if [[ ${simpar_only} -eq 1 ]]; then
     exit 0
 fi
 
+if [[ ${service_only} -eq 1 ]]; then
+    service_leg
+    exit 0
+fi
+
 if [[ ${perf_gate_only} -eq 1 ]]; then
     perfgate
     exit 0
@@ -281,6 +333,7 @@ case "${sanitizer}" in
     if [[ ${configure_only} -eq 0 ]]; then
         simpar "${tsan_dir:-build-tsan}"
         perfgate
+        service_leg
     fi
     ;;
 esac

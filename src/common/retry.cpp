@@ -1,6 +1,10 @@
 #include "common/retry.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "common/log.hpp"
+#include "common/rng.hpp"
 #include "obs/metrics.hpp"
 
 namespace aw {
@@ -25,6 +29,14 @@ failCauseName(FailCause cause)
         return "counter_unavailable";
       case FailCause::RetriesExhausted:
         return "retries_exhausted";
+      case FailCause::ServiceUnavailable:
+        return "service_unavailable";
+      case FailCause::ServiceShed:
+        return "service_shed";
+      case FailCause::ServiceDeadline:
+        return "service_deadline";
+      case FailCause::ProtocolError:
+        return "protocol_error";
     }
     return "unknown";
 }
@@ -37,11 +49,15 @@ retryableCause(FailCause cause)
       case FailCause::SampleLoss:
       case FailCause::QuorumFailed:
       case FailCause::CounterFailure:
+      case FailCause::ServiceUnavailable:
+      case FailCause::ServiceShed:
         return true;
       case FailCause::None:
       case FailCause::KernelTooShort:
       case FailCause::CounterUnavailable:
       case FailCause::RetriesExhausted:
+      case FailCause::ServiceDeadline:
+      case FailCause::ProtocolError:
         return false;
     }
     return false;
@@ -54,19 +70,54 @@ defaultRetryPolicy()
     return policy;
 }
 
+double
+retryBackoffFor(const RetryPolicy &policy, int attempt)
+{
+    double backoff = policy.initialBackoffSec;
+    for (int i = 0; i < attempt; ++i) {
+        backoff *= policy.backoffMultiplier;
+        if (backoff >= policy.maxBackoffSec)
+            break;
+    }
+    if (backoff > policy.maxBackoffSec)
+        backoff = policy.maxBackoffSec;
+    if (policy.jitterFrac > 0) {
+        // One deterministic uniform per (seed, attempt): a client that
+        // replays its retry loop sees the identical jitter sequence,
+        // while differently-seeded clients decorrelate.
+        Rng rng(splitmix64(policy.jitterSeed ^
+                           (0x9E3779B97F4A7C15ULL *
+                            static_cast<uint64_t>(attempt + 1))));
+        double j = policy.jitterFrac;
+        backoff *= 1.0 - j + 2.0 * j * rng.uniform();
+    }
+    return backoff;
+}
+
+void
+retryWait(const RetryPolicy &policy, double seconds)
+{
+    if (!policy.wallClock || seconds <= 0)
+        return;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
 void
 noteRetry(const char *what, const MeasureError &err, double backoffSec,
-          int attempt)
+          int attempt, bool wallClock)
 {
     auto &reg = obs::metrics();
     reg.counter("retry.attempts").add(1);
-    reg.counter("retry.backoff_sim_seconds").add(backoffSec);
+    reg.counter(wallClock ? "retry.backoff_wall_seconds"
+                          : "retry.backoff_sim_seconds")
+        .add(backoffSec);
     reg.counter(std::string("retry.cause.") + failCauseName(err.cause))
         .add(1);
     AW_DEBUGF("retry", "%s attempt %d failed (%s): %s; backing off %.1fs "
-              "(simulated)",
+              "(%s)",
               what, attempt + 1, failCauseName(err.cause),
-              err.message.c_str(), backoffSec);
+              err.message.c_str(), backoffSec,
+              wallClock ? "wall clock" : "simulated");
 }
 
 void

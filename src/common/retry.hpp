@@ -10,13 +10,21 @@
  * and callers decide: retry (transient causes), fall back to a software
  * model, or skip the data point with a warning.
  *
- * Retries use exponential backoff in *simulated* time: no thread ever
- * sleeps; the virtual seconds a real harness would have waited are
- * accumulated in the `retry.backoff_sim_seconds` metrics counter so
- * chaos runs report how long the campaign would have stalled.
+ * Retries use exponential backoff in *simulated* time by default: no
+ * thread ever sleeps; the virtual seconds a real harness would have
+ * waited are accumulated in the `retry.backoff_sim_seconds` metrics
+ * counter so chaos runs report how long the campaign would have
+ * stalled. A policy can opt into *wall-clock* mode (`wallClock`),
+ * where the thread really sleeps — the service client uses this — and
+ * into deterministic jitter (`jitterFrac` / `jitterSeed`): each
+ * backoff is scaled by a uniform drawn from a seedable RNG stream, so
+ * a fleet of clients decorrelates its retries without losing
+ * reproducibility. `backoffBudgetSec` caps the cumulative backoff a
+ * single retry loop may spend before giving up early.
  */
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <utility>
 
@@ -33,6 +41,12 @@ enum class FailCause : uint8_t
     CounterFailure,     ///< Nsight collection failed this profile (transient)
     CounterUnavailable, ///< counter persistently broken (permanent)
     RetriesExhausted,   ///< retry policy gave up on a transient cause
+
+    // --- service-layer causes (awd daemon / awd_client) ---------------
+    ServiceUnavailable, ///< connect/send/recv failed (transient)
+    ServiceShed,        ///< server load-shed the request (transient)
+    ServiceDeadline,    ///< request deadline exceeded (permanent)
+    ProtocolError,      ///< malformed frame or response (permanent)
 };
 
 /** Short stable name, e.g. "driver_reset". */
@@ -77,25 +91,59 @@ template <typename T> class Result
     MeasureError err_;
 };
 
-/** Bounded-attempt retry controls (backoff is in simulated seconds). */
+/** Bounded-attempt retry controls (backoff in seconds — simulated by
+ *  default, real wall-clock sleeps when `wallClock` is set). */
 struct RetryPolicy
 {
     int maxAttempts = 4;
     double initialBackoffSec = 0.5;
     double backoffMultiplier = 2.0;
     double maxBackoffSec = 30.0;
+
+    /**
+     * Fraction of each backoff that is randomized: with jitter j and a
+     * uniform draw u in [0,1), the exponential backoff b becomes
+     * b * (1 - j + 2*j*u) — full decorrelation at j=1, the historical
+     * deterministic schedule at j=0 (the default, so every existing
+     * simulated-time caller is bit-identical).
+     */
+    double jitterFrac = 0.0;
+
+    /** Seed of the deterministic jitter stream; attempt n always draws
+     *  the same uniform for a given seed. */
+    uint64_t jitterSeed = 0;
+
+    /** Sleep for real between attempts instead of only accounting the
+     *  backoff in simulated time. */
+    bool wallClock = false;
+
+    /**
+     * Cap on cumulative backoff seconds one retry loop may spend
+     * (0 = unlimited). When the next backoff would cross the budget the
+     * loop gives up immediately with RetriesExhausted — the
+     * budget-capped retries of the service client.
+     */
+    double backoffBudgetSec = 0.0;
 };
 
 /** The harness-wide default policy for measurement retries. */
 const RetryPolicy &defaultRetryPolicy();
 
+/** The backoff before attempt `attempt + 1`: exponential with clamp,
+ *  deterministically jittered per the policy. */
+double retryBackoffFor(const RetryPolicy &policy, int attempt);
+
+/** Sleep `seconds` iff the policy is wall-clock; no-op otherwise. */
+void retryWait(const RetryPolicy &policy, double seconds);
+
 /**
  * Metrics/log bookkeeping for one failed attempt that will be retried:
- * counts retry.attempts, accumulates the simulated backoff, and emits a
- * debug line. Split out of the template so it compiles once.
+ * counts retry.attempts, accumulates the backoff (simulated or wall),
+ * and emits a debug line. Split out of the template so it compiles
+ * once.
  */
 void noteRetry(const char *what, const MeasureError &err,
-               double backoffSec, int attempt);
+               double backoffSec, int attempt, bool wallClock = false);
 
 /** Bookkeeping for a retry loop that gave up (retry.exhausted). */
 void noteRetriesExhausted(const char *what, const MeasureError &err,
@@ -103,18 +151,19 @@ void noteRetriesExhausted(const char *what, const MeasureError &err,
 
 /**
  * Run `attemptFn(attempt)` (attempt = 0, 1, ...) until it succeeds, its
- * error is not retryable, or the policy's attempts are exhausted.
- * Backoff between attempts is exponential in simulated time (recorded,
- * never slept). On exhaustion the last error is returned with cause
- * RetriesExhausted so callers can distinguish "gave up" from "cannot
- * ever work".
+ * error is not retryable, the policy's attempts are exhausted, or the
+ * backoff budget runs out. Backoff between attempts is exponential —
+ * recorded in simulated time by default, really slept in wall-clock
+ * mode — and deterministically jittered when the policy asks for it.
+ * On exhaustion the last error is returned with cause RetriesExhausted
+ * so callers can distinguish "gave up" from "cannot ever work".
  */
 template <typename T, typename Fn>
 Result<T>
 retryWithPolicy(const RetryPolicy &policy, const char *what, Fn &&attemptFn)
 {
-    double backoff = policy.initialBackoffSec;
     MeasureError last;
+    double spentSec = 0;
     for (int attempt = 0; attempt < policy.maxAttempts; ++attempt) {
         Result<T> r = attemptFn(attempt);
         if (r.ok())
@@ -123,10 +172,18 @@ retryWithPolicy(const RetryPolicy &policy, const char *what, Fn &&attemptFn)
         if (!retryableCause(last.cause))
             return r;
         if (attempt + 1 < policy.maxAttempts) {
-            noteRetry(what, last, backoff, attempt);
-            backoff = backoff * policy.backoffMultiplier;
-            if (backoff > policy.maxBackoffSec)
-                backoff = policy.maxBackoffSec;
+            double backoff = retryBackoffFor(policy, attempt);
+            if (policy.backoffBudgetSec > 0 &&
+                spentSec + backoff > policy.backoffBudgetSec) {
+                noteRetriesExhausted(what, last, attempt + 1);
+                return MeasureError{
+                    FailCause::RetriesExhausted,
+                    last.message + " (retry budget spent after " +
+                        std::to_string(attempt + 1) + " attempts)"};
+            }
+            noteRetry(what, last, backoff, attempt, policy.wallClock);
+            retryWait(policy, backoff);
+            spentSec += backoff;
         }
     }
     noteRetriesExhausted(what, last, policy.maxAttempts);

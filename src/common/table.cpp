@@ -177,12 +177,26 @@ asciiScatter(const std::vector<std::vector<double>> &xs,
 void
 writeFile(const std::string &path, const std::string &content)
 {
-    std::ofstream out(path);
-    if (!out)
-        fatal("cannot open %s for writing", path.c_str());
-    out << content;
-    if (!out)
-        fatal("failed writing %s", path.c_str());
+    // Same temp + rename publish as writeFileAtomic, minus the
+    // parent-directory creation: a missing directory stays an error.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp);
+        if (!out)
+            fatal("cannot open %s for writing", path.c_str());
+        out << content;
+        out.flush();
+        if (!out)
+            fatal("failed writing %s", tmp.c_str());
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::error_code ignored;
+        std::filesystem::remove(tmp, ignored);
+        fatal("cannot publish %s: %s", path.c_str(), ec.message().c_str());
+    }
 }
 
 void

@@ -1,10 +1,14 @@
 #include "core/result_cache.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <fcntl.h>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <unistd.h>
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
@@ -65,6 +69,8 @@ appendSampleJson(std::ostringstream &os, const ActivitySample &s)
        << ",\"intMulInsts\":" << num(s.intMulInsts) << "}";
 }
 
+} // namespace
+
 std::string
 activityToJson(const KernelActivity &a)
 {
@@ -80,6 +86,8 @@ activityToJson(const KernelActivity &a)
     os << "]}";
     return os.str();
 }
+
+namespace {
 
 bool
 getNumber(const obs::JsonValue &obj, const char *key, double &out)
@@ -123,6 +131,8 @@ sampleFromJson(const obs::JsonValue &v, ActivitySample &out)
            getNumber(v, "intMulInsts", out.intMulInsts);
 }
 
+} // namespace
+
 bool
 activityFromJson(const obs::JsonValue &v, KernelActivity &out)
 {
@@ -146,8 +156,6 @@ activityFromJson(const obs::JsonValue &v, KernelActivity &out)
     }
     return true;
 }
-
-} // namespace
 
 uint64_t
 fnv1a64(const std::string &s)
@@ -369,6 +377,70 @@ fetchEntry(const ResultCache &cache, const std::string &key,
     return true;
 }
 
+/**
+ * Per-entry multi-process write lock: a `.lock` file taken with
+ * O_CREAT|O_EXCL, the only primitive POSIX guarantees to be atomic on
+ * every filesystem. Two awd daemon workers (separate *processes*, so
+ * the in-process atomic temp counter cannot disambiguate them) racing
+ * the same key serialize here instead of interleaving temp bytes or
+ * renames. A lock older than kStaleLockSec is stolen — its owner
+ * crashed mid-store — so a killed daemon can never wedge the cache.
+ * Acquisition failure is not an error: entries are content-addressed,
+ * so whoever holds the lock is writing the identical bytes and the
+ * loser simply skips its redundant store.
+ */
+class EntryWriteLock
+{
+  public:
+    static constexpr double kStaleLockSec = 10.0;
+
+    bool tryAcquire(const std::string &lockPath)
+    {
+        path_ = lockPath;
+        for (int attempt = 0; attempt < 50; ++attempt) {
+            fd_ = ::open(lockPath.c_str(), O_CREAT | O_EXCL | O_WRONLY,
+                         0644);
+            if (fd_ >= 0)
+                return true;
+            if (errno != EEXIST)
+                return false;
+            if (attempt == 0)
+                obs::metrics().counter("cache.lock_contended").add(1);
+            // Steal a stale lock left by a crashed writer.
+            std::error_code ec;
+            auto mtime = fs::last_write_time(lockPath, ec);
+            if (!ec) {
+                auto age = std::chrono::duration<double>(
+                               fs::file_time_type::clock::now() - mtime)
+                               .count();
+                if (age > kStaleLockSec) {
+                    warn("result cache: stealing stale lock %s "
+                         "(%.0fs old)",
+                         lockPath.c_str(), age);
+                    fs::remove(lockPath, ec);
+                    continue;
+                }
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        obs::metrics().counter("cache.lock_skipped").add(1);
+        return false;
+    }
+
+    ~EntryWriteLock()
+    {
+        if (fd_ >= 0) {
+            ::close(fd_);
+            std::error_code ec;
+            fs::remove(path_, ec);
+        }
+    }
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+};
+
 void
 storeEntry(const ResultCache &cache, const std::string &key,
            const char *kind, const std::string &valueJson)
@@ -376,9 +448,17 @@ storeEntry(const ResultCache &cache, const std::string &key,
     std::error_code ec;
     fs::create_directories(cache.directory(), ec);
     std::string path = cache.pathFor(key);
+    EntryWriteLock lock;
+    if (!lock.tryAcquire(path + ".lock")) {
+        AW_DEBUGF("core", "result cache: store of %s skipped (lock held "
+                  "by a concurrent writer)", path.c_str());
+        return;
+    }
+    // The pid makes the temp name unique across *processes*; the
+    // counter keeps it unique across threads within one process.
     static std::atomic<uint64_t> tmpId{0};
-    std::string tmp =
-        path + ".tmp" + std::to_string(tmpId.fetch_add(1) + 1);
+    std::string tmp = path + ".tmp" + std::to_string(::getpid()) + "." +
+                      std::to_string(tmpId.fetch_add(1) + 1);
     // `value` is the last member on purpose: a truncated file loses the
     // payload first, and the vcrc checksum (FNV-1a of the raw value
     // text) convicts any remains that still happen to parse.
@@ -669,7 +749,11 @@ runSassCached(const GpuSimulator &sim, const KernelDescriptor &desc,
     if (cache.fetchActivity(key, act))
         return act;
     act = sim.runSass(desc, opts);
-    cache.storeActivity(key, act);
+    // A deadline-cancelled run produced a partial activity stream —
+    // return it (the caller is about to discard it anyway) but never
+    // let it poison the cache.
+    if (!lastSimRunStats().cancelled)
+        cache.storeActivity(key, act);
     return act;
 }
 

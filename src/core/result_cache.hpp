@@ -17,7 +17,12 @@
  * $AW_CACHE_DIR (default `results/cache/`). Files carry the full
  * human-readable key string, so hash collisions are detected (not just
  * assumed away) and entries are self-describing. Writes go through a
- * temp file + rename, so readers never observe a torn entry; on top of
+ * pid-unique temp file + rename under a per-entry `.lock` file
+ * (O_CREAT|O_EXCL, stolen when stale), so two `awd` workers — or two
+ * whole daemon processes sharing one cache directory — can never
+ * interleave bytes of the same entry; a writer that cannot take the
+ * lock skips the store (entries are content-addressed, so the winner
+ * wrote the same bytes). Readers never observe a torn entry; on top of
  * the schema check, each entry stores an FNV-1a checksum of its value
  * payload (`vcrc`) and a truncated or bit-flipped payload — e.g. a
  * torn write that survived a crash mid-rename on a non-atomic
@@ -51,6 +56,7 @@
 #include "arch/gpu_config.hpp"
 #include "core/variants.hpp"
 #include "hw/silicon_model.hpp"
+#include "obs/json.hpp"
 #include "sim/gpusim.hpp"
 #include "trace/workload.hpp"
 
@@ -62,6 +68,15 @@ constexpr int kResultCacheSchemaVersion = 2;
 
 /** FNV-1a 64-bit hash of a byte string (the cache's content address). */
 uint64_t fnv1a64(const std::string &s);
+
+/**
+ * KernelActivity <-> JSON, the cache entry payload format. Exposed
+ * because the awd service protocol reuses it verbatim as the
+ * activity-blob encoding (a client posts a trace, the daemon evaluates
+ * the power model on it). Doubles are jsonNumber round-trippable.
+ */
+std::string activityToJson(const KernelActivity &a);
+bool activityFromJson(const obs::JsonValue &v, KernelActivity &out);
 
 /** Canonical one-line key fragments; every field that can change a
  *  result appears here, so the hash covers the full input content. */

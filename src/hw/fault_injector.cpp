@@ -18,7 +18,7 @@ faultClassName(FaultClass c)
     static const std::string names[] = {
         "nvml_dropout", "stale_sample",    "driver_reset",
         "counter_mux_noise", "counter_fail", "thermal_runaway",
-        "cache_corrupt",
+        "cache_corrupt", "slow_loris", "malformed_frame", "disconnect",
     };
     size_t i = static_cast<size_t>(c);
     AW_ASSERT(i < kNumFaultClasses);
@@ -92,7 +92,8 @@ parseFaultSpec(const std::string &spec)
             if (!known)
                 fatal("unknown AW_FAULTS class '%s' (known: nvml_dropout "
                       "stale_sample driver_reset counter_mux_noise "
-                      "counter_fail thermal_runaway cache_corrupt seed)",
+                      "counter_fail thermal_runaway cache_corrupt "
+                      "slow_loris malformed_frame disconnect seed)",
                       name.c_str());
         }
         if (comma == std::string::npos)

@@ -47,6 +47,11 @@ enum class FaultClass : uint8_t
     CounterFail,     ///< counter collection fails / counter broken
     ThermalRunaway,  ///< throttling excursion above the 65 C setpoint
     CacheCorrupt,    ///< torn/truncated result-cache entry write
+
+    // --- service-facing classes (awd daemon chaos clients) ------------
+    SlowLoris,       ///< client trickles a frame byte-by-byte with stalls
+    MalformedFrame,  ///< client sends a corrupt length prefix or payload
+    Disconnect,      ///< client drops the connection mid-request
     NumClasses
 };
 

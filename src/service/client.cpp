@@ -1,0 +1,217 @@
+#include "service/client.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/log.hpp"
+#include "obs/json.hpp"
+
+namespace aw::service {
+
+namespace {
+
+MeasureError
+unavailable(std::string message)
+{
+    return MeasureError{FailCause::ServiceUnavailable,
+                        std::move(message)};
+}
+
+/** RAII socket close. */
+struct Sock
+{
+    int fd = -1;
+    ~Sock()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+};
+
+void
+setTimeout(int fd, int opt, double sec)
+{
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(sec);
+    tv.tv_usec = static_cast<suseconds_t>((sec - tv.tv_sec) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof tv);
+}
+
+bool
+sendAll(int fd, const char *data, size_t len)
+{
+    size_t sent = 0;
+    while (sent < len) {
+        ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+ClientOptions::ClientOptions()
+{
+    retry.maxAttempts = 4;
+    retry.initialBackoffSec = 0.05;
+    retry.backoffMultiplier = 2.0;
+    retry.maxBackoffSec = 1.0;
+    retry.jitterFrac = 0.25;
+    retry.jitterSeed = 1;
+    retry.wallClock = true;
+    retry.backoffBudgetSec = 5.0;
+}
+
+AwdClient::AwdClient(ClientOptions opts) : opts_(std::move(opts)) {}
+
+Result<std::string>
+AwdClient::attemptOnce(const std::string &payload)
+{
+    Sock sock;
+    sock.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (sock.fd < 0)
+        return unavailable(std::string("socket: ") +
+                           std::strerror(errno));
+    setTimeout(sock.fd, SO_SNDTIMEO, opts_.ioTimeoutSec);
+    setTimeout(sock.fd, SO_RCVTIMEO, opts_.ioTimeoutSec);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(opts_.port));
+    if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1)
+        return MeasureError{FailCause::ProtocolError,
+                            "bad host '" + opts_.host + "'"};
+    if (::connect(sock.fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0)
+        return unavailable(std::string("connect: ") +
+                           std::strerror(errno));
+
+    std::string frame = encodeFrame(payload);
+
+    // --- chaos injection (deterministic, client-side) -----------------
+    if (faults_ && faults_->fires(FaultClass::MalformedFrame)) {
+        // Corrupt the length prefix to an over-bound value; the daemon
+        // must answer a structured framing error and close.
+        frame[0] = static_cast<char>(0xff);
+    }
+    if (faults_ && faults_->fires(FaultClass::SlowLoris)) {
+        // Trickle half the frame, stall, abandon: the daemon is left
+        // holding a partial frame it must eventually idle-reap.
+        const size_t half = frame.size() / 2;
+        if (!sendAll(sock.fd, frame.data(), half))
+            return unavailable("slow-loris send failed");
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return unavailable("slow-loris fault injected (abandoned)");
+    }
+    if (!sendAll(sock.fd, frame.data(), frame.size()))
+        return unavailable(std::string("send: ") + std::strerror(errno));
+    if (faults_ && faults_->fires(FaultClass::Disconnect))
+        // Vanish mid-request: the daemon must cancel the orphaned job
+        // and survive the dead session.
+        return unavailable("disconnect fault injected");
+
+    FrameDecoder dec;
+    std::string respFrame, derr;
+    char buf[16384];
+    while (true) {
+        FrameDecoder::Status st = dec.poll(respFrame, derr);
+        if (st == FrameDecoder::Status::Frame)
+            return respFrame;
+        if (st == FrameDecoder::Status::Error)
+            return MeasureError{FailCause::ProtocolError,
+                                "response framing: " + derr};
+        ssize_t n = ::recv(sock.fd, buf, sizeof buf, 0);
+        if (n == 0)
+            return unavailable("server closed the connection");
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return unavailable("response timed out");
+            return unavailable(std::string("recv: ") +
+                               std::strerror(errno));
+        }
+        dec.feed(buf, static_cast<size_t>(n));
+    }
+}
+
+Result<std::string>
+AwdClient::roundTrip(const std::string &payload)
+{
+    return retryWithPolicy<std::string>(
+        opts_.retry, "awd round-trip",
+        [&](int) { return attemptOnce(payload); });
+}
+
+Result<EstimateResponse>
+AwdClient::estimate(const EstimateRequest &req)
+{
+    const std::string payload = requestToJson(req);
+    return retryWithPolicy<EstimateResponse>(
+        opts_.retry, "awd estimate",
+        [&](int) -> Result<EstimateResponse> {
+            Result<std::string> raw = attemptOnce(payload);
+            if (!raw)
+                return raw.error();
+            obs::JsonValue v;
+            if (!obs::tryParseJson(*raw, v))
+                return MeasureError{FailCause::ProtocolError,
+                                    "malformed response JSON"};
+            EstimateResponse resp;
+            std::string perr;
+            if (!parseResponse(v, resp, perr))
+                return MeasureError{FailCause::ProtocolError, perr};
+            if (resp.status == "shed") {
+                // Honor the server's structured backpressure before the
+                // policy's own backoff kicks in.
+                const double waitSec = std::min(
+                    resp.retryAfterMs / 1e3, opts_.ioTimeoutSec);
+                if (opts_.retry.wallClock && waitSec > 0)
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(waitSec));
+                return MeasureError{
+                    FailCause::ServiceShed,
+                    "server shed the request (retry_after_ms=" +
+                        std::to_string(resp.retryAfterMs) + ")"};
+            }
+            if (resp.status == "deadline")
+                return MeasureError{FailCause::ServiceDeadline,
+                                    "request deadline exceeded"};
+            if (resp.status == "error")
+                return MeasureError{FailCause::ProtocolError,
+                                    resp.errorCause + ": " +
+                                        resp.errorMessage};
+            return resp;
+        });
+}
+
+Result<EstimateResponse>
+AwdClient::ping()
+{
+    EstimateRequest req;
+    req.type = "ping";
+    return estimate(req);
+}
+
+Result<std::string>
+AwdClient::stats()
+{
+    EstimateRequest req;
+    req.type = "stats";
+    return roundTrip(requestToJson(req));
+}
+
+} // namespace aw::service

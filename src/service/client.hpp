@@ -1,0 +1,74 @@
+/**
+ * @file
+ * awd_client — the retrying client library of the awd daemon.
+ *
+ * One estimate() call layers common/retry's retryWithPolicy over a
+ * single-connection attempt: connect, send one frame, read one frame.
+ * Failures map onto the service FailCauses — connect/send/recv errors
+ * and timeouts are ServiceUnavailable (retryable), a shed response is
+ * ServiceShed (retryable, after honoring the server's retry_after_ms),
+ * a deadline response is ServiceDeadline (permanent for this request),
+ * and a malformed response is ProtocolError (permanent). The default
+ * policy is wall-clock with deterministic seeded jitter and a backoff
+ * budget, so a fleet of clients decorrelates its retries while each
+ * client's schedule stays replayable.
+ *
+ * Chaos mode: setFaultStream attaches a deterministic FaultStream; the
+ * client then injects the service fault classes into its *own* traffic
+ * (slow-loris trickled sends, malformed length prefixes, mid-request
+ * disconnects), which is how check.sh's chaos leg and the bench's
+ * chaos soak attack a live daemon reproducibly.
+ */
+#pragma once
+
+#include <string>
+
+#include "common/retry.hpp"
+#include "hw/fault_injector.hpp"
+#include "service/protocol.hpp"
+
+namespace aw::service {
+
+/** Client configuration. */
+struct ClientOptions
+{
+    std::string host = "127.0.0.1";
+    int port = 0;
+    double connectTimeoutSec = 2.0;
+    double ioTimeoutSec = 10.0;
+
+    /** Retry schedule; see makeDefaultPolicy() in client.cpp: wall
+     *  clock, 4 attempts, 25% jitter, 5 s backoff budget. */
+    RetryPolicy retry;
+
+    ClientOptions();
+};
+
+class AwdClient
+{
+  public:
+    explicit AwdClient(ClientOptions opts);
+
+    /** Attach a chaos stream (not owned; may be null). The client
+     *  draws one fault decision per attempt per class. */
+    void setFaultStream(FaultStream *faults) { faults_ = faults; }
+
+    /** Estimate with retries. The error cause on failure is the last
+     *  attempt's classified cause (or RetriesExhausted). */
+    Result<EstimateResponse> estimate(const EstimateRequest &req);
+
+    /** Liveness probe (single round trip, retried like estimate). */
+    Result<EstimateResponse> ping();
+
+    /** Raw stats payload from the daemon. */
+    Result<std::string> stats();
+
+  private:
+    Result<std::string> roundTrip(const std::string &payload);
+    Result<std::string> attemptOnce(const std::string &payload);
+
+    ClientOptions opts_;
+    FaultStream *faults_ = nullptr;
+};
+
+} // namespace aw::service

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The awd daemon's estimation engine: calibrated model registry plus
+ * the request -> power/energy evaluation path.
+ *
+ * One Estimator owns an AccelWattchCalibrator per served card (volta /
+ * pascal / turing). Calibration is lazy and cached inside the
+ * calibrator; warmup() pre-runs the default variant for every card so
+ * the first client request does not absorb a whole calibration
+ * campaign. Calibrator access is serialized per card (its lazy caches
+ * are not thread-safe); model *evaluation* is const and runs fully
+ * parallel across workers.
+ *
+ * Activity sourcing: a kernel-descriptor request runs the software
+ * performance simulator (SASS trace-driven for the sass/hw/hybrid
+ * variants, PTX emulation for ptx) with the job's cancellation flag in
+ * SimOptions — the daemon has no live silicon, so the HW/HYBRID
+ * variants pair their calibrated energies with simulated activity. An
+ * activity-blob request skips simulation and evaluates the model
+ * directly on the posted trace.
+ *
+ * The memo table is content-addressed (requestContentKey) and bounded
+ * (FIFO eviction): it serves repeat requests inline from the reactor
+ * and doubles as the cached-fallback tier of graceful degradation —
+ * under overload, a request whose answer is memoized is served stale
+ * (`degraded: "cached"`) instead of shed.
+ */
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "service/request_queue.hpp"
+
+namespace aw::service {
+
+/** Bound on memoized responses (FIFO-evicted beyond this). */
+constexpr size_t kMemoCapacity = 4096;
+
+class Estimator
+{
+  public:
+    /** @param cards card names to serve; unknown names are fatal()
+     *  (configuration error, not client input). */
+    explicit Estimator(const std::vector<std::string> &cards);
+
+    const std::vector<std::string> &cards() const { return cardNames_; }
+    bool hasCard(const std::string &name) const;
+
+    /** Pre-calibrate the default (SASS SIM) variant of every card so
+     *  the first request is served at steady-state latency. */
+    void warmup();
+
+    /**
+     * Evaluate one admitted job. Never throws and never fatal()s on
+     * client-controlled input: every failure becomes a structured
+     * error / deadline response.
+     */
+    EstimateResponse run(const Job &job);
+
+    /** Memo lookup by content key; true on hit (a *copy* is returned —
+     *  callers patch per-request fields like id). */
+    bool memoLookup(const std::string &key, EstimateResponse &out);
+
+    /** Memoize a served ok-response under its content key. */
+    void memoStore(const std::string &key, const EstimateResponse &resp);
+
+  private:
+    struct Card
+    {
+        std::string name;
+        const SiliconOracle *oracle = nullptr;
+        std::unique_ptr<AccelWattchCalibrator> cal;
+        std::mutex mu; ///< guards the calibrator's lazy caches
+    };
+
+    Card *findCard(const std::string &name);
+
+    std::vector<std::string> cardNames_;
+    std::vector<std::unique_ptr<Card>> cards_;
+
+    std::mutex memoMu_;
+    std::unordered_map<std::string, EstimateResponse> memo_;
+    std::deque<std::string> memoOrder_;
+};
+
+} // namespace aw::service

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Bounded admission-controlled run queue of the awd daemon.
+ *
+ * The queue is the server's backpressure point: the reactor classifies
+ * every estimate against the current depth *before* enqueueing —
+ * Accept below the soft limit, Degrade (forced reduced fidelity)
+ * between the soft and hard limits, Shed at the hard limit — so the
+ * daemon's memory footprint and queueing delay stay bounded no matter
+ * the offered load. Shedding is a structured response with a
+ * retry-after hint, never a dropped connection.
+ *
+ * close() drains: pending jobs keep flowing to workers, pop() returns
+ * false only once the queue is both closed and empty. That is the
+ * SIGTERM story — stop admitting, finish what was admitted.
+ */
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "service/protocol.hpp"
+
+namespace aw::service {
+
+/** Admission decision for one estimate at the current queue depth. */
+enum class Admission : uint8_t
+{
+    Accept,  ///< run at requested fidelity
+    Degrade, ///< run at reduced fidelity (soft limit crossed)
+    Shed     ///< reject with retry_after_ms (hard limit reached)
+};
+
+/** One admitted request on its way to a worker. */
+struct Job
+{
+    uint64_t tag = 0;        ///< in-flight registry key (watchdog)
+    uint64_t sessionId = 0;  ///< reactor session to deliver the reply to
+    EstimateRequest req;
+    std::string contentKey;  ///< requestContentKey(req)
+    std::chrono::steady_clock::time_point arrival;
+    std::chrono::steady_clock::time_point deadline;
+    /** Deadline-cancellation flag, shared with the watchdog and
+     *  propagated into SimOptions::cancel. */
+    std::shared_ptr<std::atomic<bool>> cancel;
+    bool degrade = false;    ///< admitted under the soft limit: detail 1
+};
+
+/** Bounded MPMC queue with the admission ladder above. */
+class RequestQueue
+{
+  public:
+    /** softLimit < hardLimit; both >= 1. */
+    RequestQueue(size_t softLimit, size_t hardLimit);
+
+    /** Classify a would-be push against the current depth. */
+    Admission classify() const;
+
+    /** Enqueue; false when the hard limit is reached or the queue is
+     *  closed (callers then shed). */
+    bool push(Job job);
+
+    /** Blocking dequeue; false once closed *and* empty (worker exit). */
+    bool pop(Job &out);
+
+    /** Stop admitting; wake every waiter. Pending jobs still drain. */
+    void close();
+
+    size_t depth() const;
+    bool closed() const;
+
+  private:
+    const size_t soft_;
+    const size_t hard_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Job> jobs_;
+    bool closed_ = false;
+};
+
+} // namespace aw::service

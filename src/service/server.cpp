@@ -1,0 +1,782 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/log.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace aw::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+long
+envLong(const char *name, long def, long lo, long hi)
+{
+    const char *env = std::getenv(name);
+    if (!env || !*env)
+        return def;
+    char *end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v < lo || v > hi) {
+        warn("%s='%s' is not an integer in [%ld, %ld]; using %ld", name,
+             env, lo, hi, def);
+        return def;
+    }
+    return v;
+}
+
+double
+envDouble(const char *name, double def, double lo, double hi)
+{
+    const char *env = std::getenv(name);
+    if (!env || !*env)
+        return def;
+    char *end = nullptr;
+    double v = std::strtod(env, &end);
+    if (end == env || *end != '\0' || !(v >= lo) || !(v <= hi)) {
+        warn("%s='%s' is not a number in [%g, %g]; using %g", name, env,
+             lo, hi, def);
+        return def;
+    }
+    return v;
+}
+
+bool
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/** One client connection; owned exclusively by the reactor thread. */
+struct Session
+{
+    int fd = -1;
+    FrameDecoder dec;
+    std::string out;        ///< encoded frames awaiting send
+    bool wantClose = false; ///< close once `out` is flushed
+    Clock::time_point lastActivity;
+    int inflight = 0; ///< admitted jobs whose reply this session awaits
+};
+
+struct Completion
+{
+    uint64_t sessionId = 0;
+    std::string payload;
+};
+
+/** Watchdog view of one admitted-but-unfinished job. */
+struct InflightEntry
+{
+    uint64_t sessionId = 0;
+    Clock::time_point deadline;
+    std::shared_ptr<std::atomic<bool>> cancel;
+    bool warned = false;
+};
+
+} // namespace
+
+ServerOptions
+ServerOptions::fromEnvironment()
+{
+    ServerOptions opts;
+    opts.port = static_cast<int>(
+        envLong("AW_SERVICE_PORT", opts.port, 0, 65535));
+    opts.threads = static_cast<int>(
+        envLong("AW_SERVICE_THREADS", opts.threads, 1, 256));
+    opts.maxQueue = static_cast<int>(
+        envLong("AW_SERVICE_MAX_QUEUE", opts.maxQueue, 2, 1 << 20));
+    opts.defaultDeadlineMs = envDouble(
+        "AW_SERVICE_DEADLINE_MS", opts.defaultDeadlineMs, 1, 86400e3);
+    opts.idleTimeoutMs =
+        envDouble("AW_SERVICE_IDLE_MS", opts.idleTimeoutMs, 10, 86400e3);
+    if (const char *cards = std::getenv("AW_SERVICE_CARDS");
+        cards && *cards) {
+        opts.cards.clear();
+        std::string spec = cards;
+        size_t pos = 0;
+        while (pos <= spec.size()) {
+            size_t comma = spec.find(',', pos);
+            if (comma == std::string::npos)
+                comma = spec.size();
+            if (comma > pos)
+                opts.cards.push_back(spec.substr(pos, comma - pos));
+            pos = comma + 1;
+        }
+        if (opts.cards.empty())
+            opts.cards.push_back("volta");
+    }
+    return opts;
+}
+
+struct AwdServer::Impl
+{
+    explicit Impl(ServerOptions o)
+        : opts(std::move(o)), estimator(opts.cards),
+          queue(std::max<size_t>(
+                    1, static_cast<size_t>(opts.maxQueue) * 3 / 4),
+                static_cast<size_t>(opts.maxQueue))
+    {}
+
+    ServerOptions opts;
+    Estimator estimator;
+    RequestQueue queue;
+
+    int listenFd = -1;
+    int wakeRead = -1;
+    int wakeWrite = -1;
+
+    std::atomic<bool> running{false};
+    std::atomic<bool> stopping{false};
+    std::atomic<bool> forced{false};
+    std::atomic<int64_t> drainDeadlineNs{0};
+
+    std::thread reactor;
+    std::vector<std::thread> workers;
+    std::thread watchdog;
+    std::atomic<bool> watchdogStop{false};
+
+    std::mutex completionsMu;
+    std::vector<Completion> completions;
+
+    std::mutex inflightMu;
+    std::unordered_map<uint64_t, InflightEntry> inflight;
+    std::atomic<uint64_t> nextTag{1};
+    std::atomic<int> inflightCount{0};
+
+    std::mutex idemMu;
+    std::unordered_map<std::string, EstimateResponse> idem;
+    std::deque<std::string> idemOrder;
+
+    std::atomic<long> statServed{0};
+    std::atomic<long> statShed{0};
+    std::atomic<long> statReplayed{0};
+    std::atomic<long> statMemoHits{0};
+    std::atomic<long> statAdmitted{0};
+    std::atomic<long> statProtocolErrors{0};
+    std::atomic<long> statSessions{0};
+
+    // --- worker / watchdog side ---------------------------------------
+
+    void postCompletion(uint64_t sessionId, std::string payload)
+    {
+        {
+            std::lock_guard<std::mutex> lock(completionsMu);
+            completions.push_back({sessionId, std::move(payload)});
+        }
+        inflightCount.fetch_sub(1, std::memory_order_acq_rel);
+        wake('C');
+    }
+
+    void wake(char tagByte)
+    {
+        // Async-signal-safe: one write on a pre-opened pipe. EAGAIN is
+        // fine — the pipe already has wake bytes pending.
+        [[maybe_unused]] ssize_t n = ::write(wakeWrite, &tagByte, 1);
+    }
+
+    void registerInflight(const Job &job)
+    {
+        std::lock_guard<std::mutex> lock(inflightMu);
+        inflight[job.tag] =
+            InflightEntry{job.sessionId, job.deadline, job.cancel, false};
+    }
+
+    void unregisterInflight(uint64_t tag)
+    {
+        std::lock_guard<std::mutex> lock(inflightMu);
+        inflight.erase(tag);
+    }
+
+    void cancelSessionJobs(uint64_t sessionId)
+    {
+        std::lock_guard<std::mutex> lock(inflightMu);
+        for (auto &[tag, e] : inflight)
+            if (e.sessionId == sessionId)
+                e.cancel->store(true, std::memory_order_relaxed);
+    }
+
+    void idemStore(const std::string &id, const EstimateResponse &resp)
+    {
+        std::lock_guard<std::mutex> lock(idemMu);
+        if (idem.count(id))
+            return;
+        idem.emplace(id, resp);
+        idemOrder.push_back(id);
+        while (idemOrder.size() > kMemoCapacity) {
+            idem.erase(idemOrder.front());
+            idemOrder.pop_front();
+        }
+    }
+
+    bool idemLookup(const std::string &id, EstimateResponse &out)
+    {
+        std::lock_guard<std::mutex> lock(idemMu);
+        auto it = idem.find(id);
+        if (it == idem.end())
+            return false;
+        out = it->second;
+        return true;
+    }
+
+    void workerLoop()
+    {
+        Job job;
+        while (queue.pop(job)) {
+            EstimateResponse resp = estimator.run(job);
+            if (resp.status == "ok") {
+                estimator.memoStore(job.contentKey, resp);
+                if (!job.req.id.empty())
+                    idemStore(job.req.id, resp);
+                statServed.fetch_add(1, std::memory_order_relaxed);
+            }
+            unregisterInflight(job.tag);
+            postCompletion(job.sessionId, responseToJson(resp));
+        }
+    }
+
+    void watchdogLoop()
+    {
+        while (!watchdogStop.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(25));
+            const Clock::time_point now = Clock::now();
+            {
+                std::lock_guard<std::mutex> lock(inflightMu);
+                for (auto &[tag, e] : inflight) {
+                    if (now >= e.deadline)
+                        e.cancel->store(true, std::memory_order_relaxed);
+                    if (!e.warned &&
+                        now > e.deadline + std::chrono::seconds(5)) {
+                        e.warned = true;
+                        warn("awd: request is %ld ms past its deadline "
+                             "and still running (cancellation not yet "
+                             "honored)",
+                             static_cast<long>(
+                                 std::chrono::duration_cast<
+                                     std::chrono::milliseconds>(
+                                     now - e.deadline)
+                                     .count()));
+                    }
+                }
+            }
+            const int64_t drainNs =
+                drainDeadlineNs.load(std::memory_order_acquire);
+            if (drainNs != 0 && !forced.load(std::memory_order_relaxed) &&
+                now.time_since_epoch().count() > drainNs) {
+                forced.store(true, std::memory_order_release);
+                std::lock_guard<std::mutex> lock(inflightMu);
+                if (!inflight.empty())
+                    warn("awd: drain timeout — cancelling %zu in-flight "
+                         "request(s)",
+                         inflight.size());
+                for (auto &[tag, e] : inflight)
+                    e.cancel->store(true, std::memory_order_relaxed);
+                wake('C');
+            }
+        }
+    }
+
+    // --- reactor side --------------------------------------------------
+
+    std::string statsPayload() const
+    {
+        std::string out = "{\"status\":\"ok\",\"stats\":{";
+        out += "\"queue_depth\":" + std::to_string(queue.depth());
+        out += ",\"inflight\":" +
+               std::to_string(inflightCount.load(std::memory_order_relaxed));
+        out += ",\"admitted\":" +
+               std::to_string(statAdmitted.load(std::memory_order_relaxed));
+        out += ",\"served\":" +
+               std::to_string(statServed.load(std::memory_order_relaxed));
+        out += ",\"shed\":" +
+               std::to_string(statShed.load(std::memory_order_relaxed));
+        out += ",\"replayed\":" +
+               std::to_string(statReplayed.load(std::memory_order_relaxed));
+        out += ",\"memo_hits\":" +
+               std::to_string(statMemoHits.load(std::memory_order_relaxed));
+        out += ",\"protocol_errors\":" +
+               std::to_string(
+                   statProtocolErrors.load(std::memory_order_relaxed));
+        out += ",\"sessions\":" +
+               std::to_string(statSessions.load(std::memory_order_relaxed));
+        out += ",\"draining\":";
+        out += stopping.load(std::memory_order_relaxed) ? "true" : "false";
+        out += "}}";
+        return out;
+    }
+
+    double retryAfterMs() const
+    {
+        const double perJobMs = 50.0;
+        const double est = perJobMs *
+                           static_cast<double>(queue.depth() + 1) /
+                           std::max(1, opts.threads);
+        return std::clamp(est, 50.0, 2000.0);
+    }
+
+    void sendPayload(Session &sess, const std::string &payload)
+    {
+        sess.out += encodeFrame(payload);
+    }
+
+    void sendShed(Session &sess, const std::string &id)
+    {
+        EstimateResponse resp;
+        resp.status = "shed";
+        resp.id = id;
+        resp.retryAfterMs = retryAfterMs();
+        statShed.fetch_add(1, std::memory_order_relaxed);
+        obs::metrics().counter("service.shed").add(1);
+        sendPayload(sess, responseToJson(resp));
+    }
+
+    void sendError(Session &sess, const std::string &id,
+                   const std::string &message)
+    {
+        EstimateResponse resp;
+        resp.status = "error";
+        resp.id = id;
+        resp.errorCause = "protocol_error";
+        resp.errorMessage = message;
+        statProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+        obs::metrics().counter("service.protocol_errors").add(1);
+        sendPayload(sess, responseToJson(resp));
+    }
+
+    void handleFrame(uint64_t sessionId, Session &sess,
+                     const std::string &payload)
+    {
+        obs::JsonValue v;
+        if (!obs::tryParseJson(payload, v)) {
+            sendError(sess, "", "malformed JSON payload");
+            return;
+        }
+        EstimateRequest req;
+        std::string perr;
+        if (!parseRequest(v, req, perr)) {
+            sendError(sess, req.id, perr);
+            return;
+        }
+        if (req.type == "ping") {
+            std::string pong = "{\"status\":\"ok\"";
+            if (!req.id.empty())
+                pong += ",\"id\":\"" + obs::jsonEscape(req.id) + "\"";
+            pong += ",\"pong\":true}";
+            sendPayload(sess, pong);
+            return;
+        }
+        if (req.type == "stats") {
+            sendPayload(sess, statsPayload());
+            return;
+        }
+
+        // Idempotent replay: a client retrying after a lost response
+        // gets the recorded answer, no recompute.
+        if (!req.id.empty()) {
+            EstimateResponse replay;
+            if (idemLookup(req.id, replay)) {
+                replay.replayed = true;
+                statReplayed.fetch_add(1, std::memory_order_relaxed);
+                sendPayload(sess, responseToJson(replay));
+                return;
+            }
+        }
+
+        const std::string contentKey = requestContentKey(req);
+        EstimateResponse memo;
+        if (estimator.memoLookup(contentKey, memo)) {
+            // Served from the daemon's memo, not freshly computed
+            // (exact for these deterministic models) — this is also the
+            // cached-fallback tier: a memoized answer is never shed.
+            memo.id = req.id;
+            memo.degraded = "cached";
+            memo.replayed = false;
+            statMemoHits.fetch_add(1, std::memory_order_relaxed);
+            sendPayload(sess, responseToJson(memo));
+            return;
+        }
+
+        if (stopping.load(std::memory_order_relaxed)) {
+            sendShed(sess, req.id);
+            return;
+        }
+        Admission admission = queue.classify();
+        if (admission == Admission::Shed) {
+            sendShed(sess, req.id);
+            return;
+        }
+
+        Job job;
+        job.tag = nextTag.fetch_add(1, std::memory_order_relaxed);
+        job.sessionId = sessionId;
+        job.req = std::move(req);
+        job.contentKey = contentKey;
+        job.arrival = Clock::now();
+        const double deadlineMs = job.req.deadlineMs > 0
+                                      ? job.req.deadlineMs
+                                      : opts.defaultDeadlineMs;
+        job.deadline =
+            job.arrival + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double, std::milli>(
+                                  deadlineMs));
+        job.cancel = std::make_shared<std::atomic<bool>>(false);
+        job.degrade = admission == Admission::Degrade;
+
+        registerInflight(job);
+        const uint64_t tag = job.tag;
+        if (!queue.push(std::move(job))) {
+            unregisterInflight(tag);
+            sendShed(sess, req.id);
+            return;
+        }
+        inflightCount.fetch_add(1, std::memory_order_acq_rel);
+        sess.inflight += 1;
+        statAdmitted.fetch_add(1, std::memory_order_relaxed);
+        obs::metrics().counter("service.admitted").add(1);
+    }
+
+    void reactorLoop()
+    {
+        std::unordered_map<uint64_t, Session> sessions;
+        uint64_t nextSession = 1;
+        std::vector<pollfd> pfds;
+        std::vector<uint64_t> pfdSession;
+
+        auto closeSession = [&](uint64_t id) {
+            auto it = sessions.find(id);
+            if (it == sessions.end())
+                return;
+            cancelSessionJobs(id);
+            ::close(it->second.fd);
+            sessions.erase(it);
+        };
+
+        while (true) {
+            pfds.clear();
+            pfdSession.clear();
+            pfds.push_back({wakeRead, POLLIN, 0});
+            pfdSession.push_back(0);
+            const bool accepting =
+                listenFd >= 0 && !stopping.load(std::memory_order_relaxed);
+            if (accepting) {
+                pfds.push_back({listenFd, POLLIN, 0});
+                pfdSession.push_back(0);
+            }
+            for (auto &[id, sess] : sessions) {
+                short events = 0;
+                if (!stopping.load(std::memory_order_relaxed) &&
+                    !sess.wantClose)
+                    events |= POLLIN;
+                if (!sess.out.empty())
+                    events |= POLLOUT;
+                pfds.push_back({sess.fd, events, 0});
+                pfdSession.push_back(id);
+            }
+
+            ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 50);
+
+            // Wake pipe: 'S' begins the drain, 'C' just wakes us for
+            // the completion sweep below.
+            if (pfds[0].revents & POLLIN) {
+                char buf[256];
+                ssize_t n;
+                bool sawStop = false;
+                while ((n = ::read(wakeRead, buf, sizeof buf)) > 0)
+                    for (ssize_t i = 0; i < n; ++i)
+                        sawStop |= buf[i] == 'S';
+                if (sawStop &&
+                    !stopping.exchange(true, std::memory_order_acq_rel)) {
+                    AW_DEBUGF("service", "drain started (%zu sessions, "
+                                         "%d in flight)",
+                              sessions.size(),
+                              inflightCount.load(
+                                  std::memory_order_relaxed));
+                    queue.close();
+                    drainDeadlineNs.store(
+                        (Clock::now() +
+                         std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 opts.drainTimeoutMs)))
+                            .time_since_epoch()
+                            .count(),
+                        std::memory_order_release);
+                }
+            }
+
+            // Completions -> session out-buffers.
+            {
+                std::vector<Completion> done;
+                {
+                    std::lock_guard<std::mutex> lock(completionsMu);
+                    done.swap(completions);
+                }
+                for (Completion &c : done) {
+                    auto it = sessions.find(c.sessionId);
+                    if (it == sessions.end())
+                        continue; // client vanished mid-request
+                    it->second.inflight -= 1;
+                    it->second.out += encodeFrame(c.payload);
+                }
+            }
+
+            // New connections.
+            if (accepting) {
+                for (size_t i = 0; i < pfds.size(); ++i) {
+                    if (pfds[i].fd != listenFd || !(pfds[i].revents & POLLIN))
+                        continue;
+                    while (true) {
+                        int fd = ::accept(listenFd, nullptr, nullptr);
+                        if (fd < 0)
+                            break;
+                        if (!setNonBlocking(fd)) {
+                            ::close(fd);
+                            continue;
+                        }
+                        Session sess;
+                        sess.fd = fd;
+                        sess.lastActivity = Clock::now();
+                        sessions.emplace(nextSession++, std::move(sess));
+                        statSessions.fetch_add(1,
+                                               std::memory_order_relaxed);
+                    }
+                    break;
+                }
+            }
+
+            // Session I/O.
+            std::vector<uint64_t> toClose;
+            for (size_t i = 0; i < pfds.size(); ++i) {
+                const uint64_t id = pfdSession[i];
+                if (id == 0)
+                    continue;
+                auto it = sessions.find(id);
+                if (it == sessions.end())
+                    continue;
+                Session &sess = it->second;
+                if (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+                    toClose.push_back(id);
+                    continue;
+                }
+                if (pfds[i].revents & POLLIN) {
+                    char buf[16384];
+                    ssize_t n;
+                    bool peerClosed = false;
+                    while ((n = ::recv(sess.fd, buf, sizeof buf, 0)) > 0) {
+                        sess.dec.feed(buf, static_cast<size_t>(n));
+                        sess.lastActivity = Clock::now();
+                    }
+                    if (n == 0)
+                        peerClosed = true;
+                    std::string frame, derr;
+                    FrameDecoder::Status st;
+                    while ((st = sess.dec.poll(frame, derr)) ==
+                           FrameDecoder::Status::Frame)
+                        handleFrame(id, sess, frame);
+                    if (st == FrameDecoder::Status::Error) {
+                        // Framing is unrecoverable: answer once, flush,
+                        // close.
+                        sendError(sess, "", derr);
+                        sess.wantClose = true;
+                    }
+                    if (peerClosed) {
+                        if (sess.out.empty() && sess.inflight == 0) {
+                            toClose.push_back(id);
+                            continue;
+                        }
+                        sess.wantClose = true;
+                    }
+                }
+                if (!sess.out.empty()) {
+                    ssize_t n = ::send(sess.fd, sess.out.data(),
+                                       sess.out.size(), MSG_NOSIGNAL);
+                    if (n > 0) {
+                        sess.out.erase(0, static_cast<size_t>(n));
+                        sess.lastActivity = Clock::now();
+                    } else if (n < 0 && errno != EAGAIN &&
+                               errno != EWOULDBLOCK) {
+                        toClose.push_back(id);
+                        continue;
+                    }
+                }
+                if (sess.wantClose && sess.out.empty() &&
+                    sess.inflight == 0)
+                    toClose.push_back(id);
+            }
+            for (uint64_t id : toClose)
+                closeSession(id);
+
+            // Slow-loris / idle reap: a session with nothing pending
+            // that has not made byte progress within the idle window is
+            // dropped.
+            {
+                const Clock::time_point now = Clock::now();
+                const auto idle =
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            opts.idleTimeoutMs));
+                std::vector<uint64_t> idleOut;
+                for (auto &[id, sess] : sessions)
+                    if (sess.inflight == 0 && sess.out.empty() &&
+                        now - sess.lastActivity > idle)
+                        idleOut.push_back(id);
+                for (uint64_t id : idleOut) {
+                    AW_DEBUGF("service", "reaping idle session %llu",
+                              static_cast<unsigned long long>(id));
+                    obs::metrics().counter("service.idle_reaped").add(1);
+                    closeSession(id);
+                }
+            }
+
+            if (stopping.load(std::memory_order_relaxed)) {
+                const bool drained =
+                    inflightCount.load(std::memory_order_acquire) == 0 &&
+                    queue.depth() == 0;
+                bool flushed = true;
+                for (auto &[id, sess] : sessions)
+                    if (!sess.out.empty())
+                        flushed = false;
+                if ((drained && flushed) ||
+                    (forced.load(std::memory_order_acquire) && flushed))
+                    break;
+            }
+        }
+
+        for (auto &[id, sess] : sessions)
+            ::close(sess.fd);
+        if (listenFd >= 0) {
+            ::close(listenFd);
+            listenFd = -1;
+        }
+    }
+};
+
+AwdServer::AwdServer(ServerOptions opts)
+    : impl_(std::make_unique<Impl>(std::move(opts)))
+{}
+
+AwdServer::~AwdServer()
+{
+    if (impl_->running.load(std::memory_order_acquire)) {
+        requestStop();
+        wait();
+    }
+    if (impl_->wakeRead >= 0)
+        ::close(impl_->wakeRead);
+    if (impl_->wakeWrite >= 0)
+        ::close(impl_->wakeWrite);
+    if (impl_->listenFd >= 0)
+        ::close(impl_->listenFd);
+}
+
+bool
+AwdServer::start(std::string &error)
+{
+    Impl &im = *impl_;
+    AW_ASSERT(!im.running.load());
+
+    int pipeFds[2];
+    if (::pipe(pipeFds) != 0) {
+        error = std::string("pipe: ") + std::strerror(errno);
+        return false;
+    }
+    im.wakeRead = pipeFds[0];
+    im.wakeWrite = pipeFds[1];
+    setNonBlocking(im.wakeRead);
+    setNonBlocking(im.wakeWrite);
+
+    im.listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (im.listenFd < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(im.listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(im.opts.port));
+    if (::bind(im.listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        error = std::string("bind: ") + std::strerror(errno);
+        return false;
+    }
+    if (::listen(im.listenFd, 128) != 0) {
+        error = std::string("listen: ") + std::strerror(errno);
+        return false;
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(im.listenFd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0) {
+        error = std::string("getsockname: ") + std::strerror(errno);
+        return false;
+    }
+    port_ = ntohs(addr.sin_port);
+    setNonBlocking(im.listenFd);
+
+    if (im.opts.warmup)
+        im.estimator.warmup();
+
+    im.running.store(true, std::memory_order_release);
+    im.reactor = std::thread([this] { impl_->reactorLoop(); });
+    for (int i = 0; i < im.opts.threads; ++i)
+        im.workers.emplace_back([this] { impl_->workerLoop(); });
+    im.watchdog = std::thread([this] { impl_->watchdogLoop(); });
+    AW_DEBUGF("service", "awd listening on 127.0.0.1:%d (%d workers, "
+                         "queue %d)",
+              port_, im.opts.threads, im.opts.maxQueue);
+    return true;
+}
+
+void
+AwdServer::requestStop()
+{
+    if (!impl_->running.load(std::memory_order_acquire))
+        return;
+    impl_->wake('S');
+}
+
+int
+AwdServer::wait()
+{
+    Impl &im = *impl_;
+    if (!im.running.load(std::memory_order_acquire))
+        return 0;
+    if (im.reactor.joinable())
+        im.reactor.join();
+    // The reactor only exits once the queue is closed and drained, so
+    // the workers are already on their way out.
+    for (std::thread &w : im.workers)
+        if (w.joinable())
+            w.join();
+    im.workers.clear();
+    im.watchdogStop.store(true, std::memory_order_release);
+    if (im.watchdog.joinable())
+        im.watchdog.join();
+    im.running.store(false, std::memory_order_release);
+    return im.forced.load(std::memory_order_acquire) ? 1 : 0;
+}
+
+std::string
+AwdServer::statsJson() const
+{
+    return impl_->statsPayload();
+}
+
+} // namespace aw::service

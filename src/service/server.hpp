@@ -1,0 +1,102 @@
+/**
+ * @file
+ * awd — the fault-hardened power-estimation daemon.
+ *
+ * Architecture: one poll()-based reactor thread owns every socket (the
+ * loopback listener plus all client sessions) and does all framing; a
+ * pool of worker threads runs the estimation jobs; a watchdog thread
+ * enforces per-request deadlines by flipping each job's cooperative
+ * cancellation flag and polices stuck workers and the shutdown drain.
+ * Workers hand finished responses back to the reactor through a
+ * completion queue and a self-pipe, so socket state is never touched
+ * off the reactor thread.
+ *
+ * Robustness properties (DESIGN.md §10):
+ *  - Bounded everything: frame size, per-session input buffer, run
+ *    queue, memo table. Overload answers `shed` with `retry_after_ms`
+ *    (structured backpressure) instead of stalling or OOMing.
+ *  - Admission ladder: Accept -> Degrade (forced --sim-detail 1 above
+ *    the soft watermark, flagged `reduced_fidelity`) -> cached memo
+ *    fallback (flagged `cached`) -> Shed.
+ *  - Deadlines: every estimate carries one (client's or the server
+ *    default); the watchdog propagates expiry into SimOptions::cancel,
+ *    so a deadline can interrupt a simulation mid-flight.
+ *  - Idempotency: a request `id` replays its recorded response
+ *    (`replayed: true`) instead of recomputing — a client retrying
+ *    after a lost response cannot double-spend compute.
+ *  - Chaos tolerance: malformed frames get structured errors (then the
+ *    connection closes — framing errors are unrecoverable), slow-loris
+ *    sessions are idle-reaped, mid-request disconnects cancel the
+ *    orphaned job.
+ *  - Clean drain: requestStop() (async-signal-safe, callable from a
+ *    SIGTERM handler) stops admission, finishes every admitted job,
+ *    flushes every socket, and wait() returns 0; a drain that exceeds
+ *    its timeout cancels the stragglers and returns 1.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/estimator.hpp"
+#include "service/request_queue.hpp"
+
+namespace aw::service {
+
+/** Daemon configuration (defaults match the README knob table). */
+struct ServerOptions
+{
+    int port = 0;                   ///< TCP port on 127.0.0.1; 0 = ephemeral
+    int threads = 2;                ///< estimation worker threads
+    int maxQueue = 128;             ///< hard run-queue bound (shed beyond)
+    double defaultDeadlineMs = 2000;///< per-request default deadline
+    double idleTimeoutMs = 10000;   ///< slow-loris session reap
+    double drainTimeoutMs = 10000;  ///< max graceful-drain time on stop
+    std::vector<std::string> cards{"volta"}; ///< served card models
+    bool warmup = true;             ///< pre-calibrate before serving
+
+    /** Defaults overridden by AW_SERVICE_PORT / _THREADS / _MAX_QUEUE /
+     *  _DEADLINE_MS / _CARDS / _IDLE_MS (invalid values warn + keep the
+     *  default). */
+    static ServerOptions fromEnvironment();
+};
+
+class AwdServer
+{
+  public:
+    explicit AwdServer(ServerOptions opts);
+    ~AwdServer();
+
+    AwdServer(const AwdServer &) = delete;
+    AwdServer &operator=(const AwdServer &) = delete;
+
+    /** Bind, listen, calibrate (warmup), spawn threads. False with
+     *  `error` set when the socket setup fails. */
+    bool start(std::string &error);
+
+    /** Bound port (the ephemeral one when options.port was 0). */
+    int port() const { return port_; }
+
+    /**
+     * Begin a graceful drain. Async-signal-safe (one write() on a
+     * pre-opened pipe) — install it directly in a SIGTERM handler.
+     */
+    void requestStop();
+
+    /** Join everything. 0 = clean drain; 1 = drain timeout forced. */
+    int wait();
+
+    /** Counter snapshot, already shaped as a stats response payload. */
+    std::string statsJson() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+    int port_ = 0;
+};
+
+} // namespace aw::service

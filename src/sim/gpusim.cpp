@@ -164,6 +164,7 @@ GpuSimulator::run(const KernelDescriptor &desc, const WarpProgram &program,
     const double interval = opts.sampleIntervalCycles;
     double now = 0;
     double sampleStart = 0;
+    bool cancelled = false;
     const auto simStart = std::chrono::steady_clock::now();
     {
         AW_PROF_SCOPE("sim/wave");
@@ -172,6 +173,11 @@ GpuSimulator::run(const KernelDescriptor &desc, const WarpProgram &program,
         // below subtract themselves, leaving scheduling + issue time.
         obs::PhaseScope issuePhase(obs::SimPhase::Issue);
         while (!sm.done() && now < static_cast<double>(opts.maxCycles)) {
+            if (opts.cancel &&
+                opts.cancel->load(std::memory_order_relaxed)) {
+                cancelled = true;
+                break;
+            }
             double next = sm.step(now);
             // Close any sample intervals the clock passes over. All the
             // activity of the boundary-crossing step lands in the first
@@ -199,6 +205,7 @@ GpuSimulator::run(const KernelDescriptor &desc, const WarpProgram &program,
     }
     obs::PhaseScope finalizePhase(obs::SimPhase::Finalize);
     t_lastStats = SimRunStats{};
+    t_lastStats.cancelled = cancelled;
     t_lastStats.simulateSec = std::chrono::duration<double>(
                                   std::chrono::steady_clock::now() -
                                   simStart)
@@ -207,7 +214,9 @@ GpuSimulator::run(const KernelDescriptor &desc, const WarpProgram &program,
     t_lastStats.issuedInsts = sm.issuedInsts();
     t_lastStats.issueCycles = sm.issueCycles();
     t_lastStats.stallCycles = sm.stallCycles();
-    if (!sm.done())
+    if (cancelled)
+        obs::metrics().counter("sim.cancelled").add(1);
+    else if (!sm.done())
         warn("simulation of %s hit the cycle cap (%ld)", desc.name.c_str(),
              opts.maxCycles);
     if (now > sampleStart) {

@@ -12,6 +12,8 @@
  */
 #pragma once
 
+#include <atomic>
+
 #include "arch/activity.hpp"
 #include "arch/gpu_config.hpp"
 #include "sim/sm.hpp"
@@ -60,6 +62,18 @@ struct SimOptions
     /** Worker threads for the sharded engine; 0 = simThreadCount()
      *  (AW_SIM_THREADS, default 1). Never affects results. */
     int simThreads = 0;
+
+    /**
+     * Cooperative cancellation (the awd service's per-request deadline
+     * propagated into the estimation path): when non-null and it flips
+     * to true, the simulation stops at the next step (legacy path) or
+     * epoch boundary (sharded path), returns the partial activity, and
+     * flags lastSimRunStats().cancelled. Callers must treat a
+     * cancelled result as garbage — the cached helpers never store it.
+     * Null (the default) is branch-predicted away and bit-identical to
+     * a build without the field; never part of cache keys.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /**
@@ -89,6 +103,7 @@ struct SimRunStats
     int shards = 1;  ///< shards actually run
     int threads = 1; ///< worker-thread cap used
     int epochs = 0;  ///< epoch barriers crossed (0 = legacy path)
+    bool cancelled = false; ///< run stopped early on SimOptions::cancel
     double simulateSec = 0; ///< wall seconds of the wave/epoch loop
     double barrierSec = 0;  ///< wall seconds draining + merging
     long issuedInsts = 0;   ///< summed over shards, in SM-index order

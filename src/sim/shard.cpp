@@ -7,6 +7,7 @@
 
 #include "common/log.hpp"
 #include "common/parallel.hpp"
+#include "obs/metrics.hpp"
 #include "obs/phase_timer.hpp"
 
 namespace aw {
@@ -114,6 +115,16 @@ runShardedSim(const GpuConfig &gpu, const KernelDescriptor &desc,
     const Clock::time_point simStart = Clock::now();
     double epochEnd = 0;
     while (true) {
+        // Cooperative cancellation (service deadlines): the check sits
+        // at the epoch boundary so no worker is ever interrupted
+        // mid-epoch — the partial activity merged below is still
+        // deterministic, it is just flagged unusable via
+        // stats.cancelled.
+        if (opts.cancel && opts.cancel->load(std::memory_order_relaxed)) {
+            stats.cancelled = true;
+            obs::metrics().counter("sim.cancelled").add(1);
+            break;
+        }
         bool anyRunnable = false;
         for (const Shard &sh : shards) {
             if (!sh.sm->done() && sh.now < cap) {

@@ -7,8 +7,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "common/parallel.hpp"
 #include "core/result_cache.hpp"
@@ -293,5 +295,61 @@ TEST_F(ResultCacheTest, CollectActivityColdVsWarmBitIdentical)
         for (size_t i = 0; i < cold.samples[s].accesses.size(); ++i)
             EXPECT_EQ(cold.samples[s].accesses[i],
                       warm.samples[s].accesses[i]);
+    }
+}
+
+TEST_F(ResultCacheTest, ConcurrentSameKeyWritersNeverCorruptAnEntry)
+{
+    // Regression test for the multi-process write hazard: two writers
+    // publishing the same key used to race their renames over a shared
+    // temp name. With the per-entry .lock file one writer publishes and
+    // the loser skips (same content either way); readers must only ever
+    // observe a miss or a complete, bit-exact entry — never a torn one.
+    auto &cache = ResultCache::instance();
+    const std::string key = "hammer/same-key";
+    const KernelActivity golden = sampleActivity();
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> torn{0};
+    auto writer = [&] {
+        for (int i = 0; i < 400; ++i)
+            cache.storeActivity(key, golden);
+    };
+    auto reader = [&] {
+        KernelActivity got;
+        while (!stop.load()) {
+            if (!cache.fetchActivity(key, got))
+                continue; // miss is fine; torn data is not
+            if (got.samples.size() != golden.samples.size() ||
+                got.totalCycles != golden.totalCycles ||
+                got.elapsedSec != golden.elapsedSec) {
+                ++torn;
+                continue;
+            }
+            for (size_t s = 0; s < golden.samples.size(); ++s)
+                if (got.samples[s].cycles != golden.samples[s].cycles ||
+                    got.samples[s].accesses != golden.samples[s].accesses)
+                    ++torn;
+        }
+    };
+
+    std::thread r(reader);
+    std::thread w1(writer), w2(writer);
+    w1.join();
+    w2.join();
+    stop.store(true);
+    r.join();
+    EXPECT_EQ(torn.load(), 0);
+
+    // The winning rename published the entry...
+    KernelActivity fin;
+    ASSERT_TRUE(cache.fetchActivity(key, fin));
+    EXPECT_EQ(fin.elapsedSec, golden.elapsedSec);
+
+    // ...and nothing leaked: no lock files, no orphaned temp files.
+    for (const auto &e : fs::recursive_directory_iterator(dir_)) {
+        const std::string name = e.path().filename().string();
+        EXPECT_EQ(name.find(".lock"), std::string::npos) << name;
+        EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
     }
 }

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * End-to-end tests of the awd daemon: a real server on an ephemeral
+ * loopback port, driven through the real retrying client. Covers the
+ * issue's acceptance points — correct answers (vs the in-process
+ * model), memo / idempotency semantics, deadlines, admission control
+ * with structured shedding, dead-peer retry exhaustion, and a clean
+ * SIGTERM-style drain.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/result_cache.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "trace/workload.hpp"
+
+using namespace aw;
+
+namespace {
+
+/** A deterministic kernel with a unique name (so tests never collide in
+ *  the daemon's memo table or the on-disk result cache). */
+KernelDescriptor
+testKernel(const std::string &name, int iterations = 4)
+{
+    KernelDescriptor k = makeKernel(
+        name,
+        {{OpClass::FpFma, 0.5}, {OpClass::LdGlobal, 0.3},
+         {OpClass::IntAdd, 0.2}},
+        /*ctas=*/80, /*warpsPerCta=*/4);
+    k.iterations = iterations;
+    k.bodyInsts = 32;
+    k.seed = 7;
+    return k;
+}
+
+service::EstimateRequest
+estimateOf(const KernelDescriptor &k)
+{
+    service::EstimateRequest req;
+    req.hasKernel = true;
+    req.kernel = k;
+    return req;
+}
+
+/** Fast-failing client for tests that expect errors. */
+service::ClientOptions
+quickClientOptions(int port, int maxAttempts = 1)
+{
+    service::ClientOptions opts;
+    opts.port = port;
+    opts.retry.maxAttempts = maxAttempts;
+    opts.retry.initialBackoffSec = 0.01;
+    opts.retry.maxBackoffSec = 0.05;
+    opts.retry.backoffBudgetSec = 0.5;
+    return opts;
+}
+
+} // namespace
+
+/** One warmed shared daemon for the happy-path tests; the overload,
+ *  drain and dead-port tests build their own. */
+class ServiceE2E : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        service::ServerOptions opts;
+        opts.port = 0;
+        opts.threads = 2;
+        opts.maxQueue = 64;
+        opts.defaultDeadlineMs = 60e3; // tests set tight ones explicitly
+        server_ = std::make_unique<service::AwdServer>(opts);
+        std::string error;
+        if (!server_->start(error))
+            FAIL() << "server start: " << error;
+    }
+
+    static void TearDownTestSuite()
+    {
+        server_->requestStop();
+        EXPECT_EQ(server_->wait(), 0) << "shared daemon drain was forced";
+        server_.reset();
+    }
+
+    static service::AwdClient client()
+    {
+        service::ClientOptions opts;
+        opts.port = server_->port();
+        return service::AwdClient(opts);
+    }
+
+    static std::unique_ptr<service::AwdServer> server_;
+};
+
+std::unique_ptr<service::AwdServer> ServiceE2E::server_;
+
+TEST_F(ServiceE2E, PingAndStats)
+{
+    service::AwdClient c = client();
+    Result<service::EstimateResponse> pong = c.ping();
+    ASSERT_TRUE(pong) << pong.error().message;
+    EXPECT_EQ(pong->status, "ok");
+
+    Result<std::string> stats = c.stats();
+    ASSERT_TRUE(stats) << stats.error().message;
+    EXPECT_NE(stats->find("\"queue_depth\""), std::string::npos);
+    EXPECT_NE(stats->find("\"served\""), std::string::npos);
+}
+
+TEST_F(ServiceE2E, EstimateMatchesDirectModelEvaluation)
+{
+    const KernelDescriptor k = testKernel("svc_e2e_direct");
+    service::AwdClient c = client();
+    Result<service::EstimateResponse> r = c.estimate(estimateOf(k));
+    ASSERT_TRUE(r) << r.error().message;
+    EXPECT_EQ(r->status, "ok");
+    EXPECT_EQ(r->degraded, "none");
+    EXPECT_GT(r->powerW, 0);
+    EXPECT_GT(r->energyJ, 0);
+
+    // The daemon must agree with an in-process run of the same model
+    // on the same activity (both sides share the on-disk result cache
+    // and the deterministic calibration).
+    AccelWattchCalibrator &cal = sharedVoltaCalibrator();
+    const AccelWattchModel &model = cal.variant(Variant::SassSim).model;
+    SimOptions opts;
+    const KernelActivity act = runSassCached(cal.simulator(), k, opts);
+    const double direct = model.evaluateKernel(act).totalW();
+    EXPECT_NEAR(r->powerW, direct, 1e-6 * direct);
+    EXPECT_NEAR(r->elapsedSec, act.elapsedSec, 1e-12);
+    EXPECT_NEAR(r->energyJ, direct * act.elapsedSec,
+                1e-6 * r->energyJ);
+    // Breakdown adds up to the total.
+    EXPECT_NEAR(r->constW + r->staticW + r->idleSmW + r->dynamicW,
+                r->powerW, 1e-6 * r->powerW);
+}
+
+TEST_F(ServiceE2E, ActivityBlobSkipsSimulation)
+{
+    const KernelDescriptor k = testKernel("svc_e2e_blob");
+    AccelWattchCalibrator &cal = sharedVoltaCalibrator();
+    SimOptions opts;
+    const KernelActivity act = runSassCached(cal.simulator(), k, opts);
+
+    service::EstimateRequest req;
+    req.hasActivity = true;
+    req.activity = act;
+    service::AwdClient c = client();
+    Result<service::EstimateResponse> r = c.estimate(req);
+    ASSERT_TRUE(r) << r.error().message;
+
+    const AccelWattchModel &model = cal.variant(Variant::SassSim).model;
+    const double direct = model.evaluateKernel(act).totalW();
+    EXPECT_NEAR(r->powerW, direct, 1e-6 * direct);
+}
+
+TEST_F(ServiceE2E, RepeatRequestIsServedFromMemo)
+{
+    const service::EstimateRequest req =
+        estimateOf(testKernel("svc_e2e_memo"));
+    service::AwdClient c = client();
+    Result<service::EstimateResponse> first = c.estimate(req);
+    ASSERT_TRUE(first) << first.error().message;
+    EXPECT_EQ(first->degraded, "none");
+
+    Result<service::EstimateResponse> second = c.estimate(req);
+    ASSERT_TRUE(second) << second.error().message;
+    EXPECT_EQ(second->degraded, "cached");
+    EXPECT_NEAR(second->powerW, first->powerW, 1e-12);
+}
+
+TEST_F(ServiceE2E, IdempotencyKeyReplaysTheRecordedResponse)
+{
+    service::EstimateRequest req =
+        estimateOf(testKernel("svc_e2e_idem"));
+    req.id = "svc-e2e-idem-1";
+    service::AwdClient c = client();
+    Result<service::EstimateResponse> first = c.estimate(req);
+    ASSERT_TRUE(first) << first.error().message;
+    EXPECT_FALSE(first->replayed);
+
+    Result<service::EstimateResponse> second = c.estimate(req);
+    ASSERT_TRUE(second) << second.error().message;
+    EXPECT_TRUE(second->replayed);
+    EXPECT_EQ(second->id, req.id);
+    EXPECT_NEAR(second->powerW, first->powerW, 1e-12);
+}
+
+TEST_F(ServiceE2E, ImpossibleDeadlineIsAStructuredDeadlineFailure)
+{
+    // Unique heavy kernel: never memoized, never in the result cache,
+    // so the 1 ms deadline always expires before the answer exists.
+    service::EstimateRequest req =
+        estimateOf(testKernel("svc_e2e_deadline", /*iterations=*/64));
+    req.deadlineMs = 1;
+    service::AwdClient c(quickClientOptions(server_->port()));
+    Result<service::EstimateResponse> r = c.estimate(req);
+    ASSERT_FALSE(r);
+    EXPECT_EQ(r.error().cause, FailCause::ServiceDeadline);
+}
+
+TEST_F(ServiceE2E, UnknownCardIsAStructuredProtocolError)
+{
+    service::EstimateRequest req =
+        estimateOf(testKernel("svc_e2e_badcard"));
+    req.card = "fermi";
+    service::AwdClient c(quickClientOptions(server_->port()));
+    Result<service::EstimateResponse> r = c.estimate(req);
+    ASSERT_FALSE(r);
+    EXPECT_EQ(r.error().cause, FailCause::ProtocolError);
+    EXPECT_NE(r.error().message.find("unknown card"), std::string::npos);
+}
+
+TEST(ServiceClient, DeadPortExhaustsRetriesWithoutHanging)
+{
+    // Nothing listens on port 1 of the loopback; every attempt must
+    // fail fast as ServiceUnavailable and the policy must give up with
+    // RetriesExhausted after its 3 attempts.
+    service::ClientOptions opts;
+    opts.port = 1;
+    opts.retry.maxAttempts = 3;
+    opts.retry.initialBackoffSec = 0.005;
+    opts.retry.maxBackoffSec = 0.01;
+    opts.retry.backoffBudgetSec = 0.1;
+    service::AwdClient c(opts);
+    Result<service::EstimateResponse> r = c.ping();
+    ASSERT_FALSE(r);
+    EXPECT_EQ(r.error().cause, FailCause::RetriesExhausted);
+}
+
+TEST(ServiceOverload, HardLimitShedsWithRetryAfter)
+{
+    // One worker, queue of 2 (soft limit 1): a burst of slow unique
+    // kernels must produce at least one structured shed, and sheds
+    // must carry the retry-after hint in the client-visible message.
+    service::ServerOptions sopts;
+    sopts.threads = 1;
+    sopts.maxQueue = 2;
+    sopts.defaultDeadlineMs = 120e3;
+    sopts.warmup = true; // calibration is disk-cached by the suite above
+    service::AwdServer server(sopts);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    constexpr int kBurst = 8;
+    std::atomic<int> ok{0}, shed{0}, other{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kBurst);
+    for (int i = 0; i < kBurst; ++i)
+        clients.emplace_back([&, i] {
+            service::ClientOptions copts =
+                quickClientOptions(server.port(), /*maxAttempts=*/1);
+            copts.ioTimeoutSec = 120; // queued behind slow unique sims
+            service::AwdClient c(copts);
+            service::EstimateRequest req = estimateOf(testKernel(
+                "svc_overload_" + std::to_string(i), /*iterations=*/64));
+            Result<service::EstimateResponse> r = c.estimate(req);
+            if (r) {
+                ++ok;
+            } else if (r.error().message.find("retry_after_ms") !=
+                       std::string::npos) {
+                // maxAttempts=1 wraps the retryable shed as exhausted;
+                // the structured retry-after hint must survive that.
+                ++shed;
+            } else {
+                ADD_FAILURE() << "unexpected failure: "
+                              << r.error().message;
+                ++other;
+            }
+        });
+    for (std::thread &t : clients)
+        t.join();
+
+    EXPECT_GE(shed.load(), 1) << "hard limit never shed";
+    EXPECT_GE(ok.load(), 1) << "admission starved everything";
+    EXPECT_EQ(other.load(), 0);
+    EXPECT_EQ(ok.load() + shed.load(), kBurst);
+
+    server.requestStop();
+    EXPECT_EQ(server.wait(), 0);
+}
+
+TEST(ServiceDrain, StopWithoutTrafficExitsCleanly)
+{
+    service::ServerOptions sopts;
+    sopts.warmup = false; // ping-only: no calibration needed
+    service::AwdServer server(sopts);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+    ASSERT_GT(server.port(), 0);
+
+    service::AwdClient c(quickClientOptions(server.port(), 2));
+    Result<service::EstimateResponse> pong = c.ping();
+    ASSERT_TRUE(pong) << pong.error().message;
+
+    server.requestStop();
+    EXPECT_EQ(server.wait(), 0);
+
+    // And the port is actually released: a fresh client can't connect.
+    Result<service::EstimateResponse> dead = c.ping();
+    EXPECT_FALSE(dead);
+}
+
+TEST(ServiceQueue, AdmissionLadderIsDeterministic)
+{
+    service::RequestQueue q(/*softLimit=*/1, /*hardLimit=*/2);
+    auto jobAt = [](uint64_t tag) {
+        service::Job j;
+        j.tag = tag;
+        return j;
+    };
+
+    EXPECT_EQ(q.classify(), service::Admission::Accept);
+    EXPECT_TRUE(q.push(jobAt(1)));
+    EXPECT_EQ(q.classify(), service::Admission::Degrade);
+    EXPECT_TRUE(q.push(jobAt(2)));
+    EXPECT_EQ(q.classify(), service::Admission::Shed);
+    EXPECT_FALSE(q.push(jobAt(3))) << "push past the hard limit";
+
+    // close() drains: the two admitted jobs still come out, then pop
+    // reports exhaustion, and nothing new is admitted.
+    q.close();
+    EXPECT_FALSE(q.push(jobAt(4)));
+    service::Job out;
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out.tag, 1u);
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out.tag, 2u);
+    EXPECT_FALSE(q.pop(out));
+}
