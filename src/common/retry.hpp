@@ -60,6 +60,15 @@ struct MeasureError
 {
     FailCause cause = FailCause::None;
     std::string message;
+
+    /**
+     * Server-suggested minimum wait in seconds before the next attempt
+     * (e.g. a shed response's retry_after_ms). retryWithPolicy folds it
+     * into the next backoff — raising, never lowering it — so the wait
+     * is counted against backoffBudgetSec instead of being slept on the
+     * side. 0 = no hint.
+     */
+    double retryAfterSec = 0;
 };
 
 /**
@@ -173,6 +182,11 @@ retryWithPolicy(const RetryPolicy &policy, const char *what, Fn &&attemptFn)
             return r;
         if (attempt + 1 < policy.maxAttempts) {
             double backoff = retryBackoffFor(policy, attempt);
+            // A server-suggested retry-after raises the wait and is
+            // accounted like any other backoff, so structured
+            // backpressure cannot wall-block past the budget.
+            if (last.retryAfterSec > backoff)
+                backoff = last.retryAfterSec;
             if (policy.backoffBudgetSec > 0 &&
                 spentSec + backoff > policy.backoffBudgetSec) {
                 noteRetriesExhausted(what, last, attempt + 1);

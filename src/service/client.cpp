@@ -175,17 +175,17 @@ AwdClient::estimate(const EstimateRequest &req)
             if (!parseResponse(v, resp, perr))
                 return MeasureError{FailCause::ProtocolError, perr};
             if (resp.status == "shed") {
-                // Honor the server's structured backpressure before the
-                // policy's own backoff kicks in.
-                const double waitSec = std::min(
-                    resp.retryAfterMs / 1e3, opts_.ioTimeoutSec);
-                if (opts_.retry.wallClock && waitSec > 0)
-                    std::this_thread::sleep_for(
-                        std::chrono::duration<double>(waitSec));
-                return MeasureError{
+                // Honor the server's structured backpressure through
+                // the retry policy: the hint is folded into the next
+                // backoff and counted against the backoff budget, not
+                // slept here on the side.
+                MeasureError err{
                     FailCause::ServiceShed,
                     "server shed the request (retry_after_ms=" +
                         std::to_string(resp.retryAfterMs) + ")"};
+                err.retryAfterSec = std::clamp(
+                    resp.retryAfterMs / 1e3, 0.0, opts_.ioTimeoutSec);
+                return err;
             }
             if (resp.status == "deadline")
                 return MeasureError{FailCause::ServiceDeadline,

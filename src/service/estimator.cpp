@@ -46,6 +46,12 @@ errorResponse(const std::string &id, const char *cause,
     resp.status = "error";
     resp.id = id;
     resp.errorCause = cause;
+    // Messages embed client strings (card/variant names) whose length
+    // the protocol does not bound; keep the reply within frame budget.
+    if (message.size() > 512) {
+        message.resize(512);
+        message += "... (truncated)";
+    }
     resp.errorMessage = std::move(message);
     obs::metrics().counter("service.errors").add(1);
     return resp;

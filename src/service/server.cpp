@@ -26,6 +26,19 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/** Longest slice of a client-supplied field (id, message fragment)
+ *  echoed back in an error reply. A legal 4 MiB frame can carry a
+ *  multi-MiB id before validation rejects it; echoing it raw (with
+ *  jsonEscape expansion on top) would push the reply past the frame
+ *  bound. */
+constexpr size_t kMaxEchoBytes = 256;
+
+/** Per-session out-buffer cap (a couple of max-size frames). A client
+ *  that pipelines requests but never reads its replies is dropped at
+ *  this bound instead of growing daemon memory without limit. */
+constexpr size_t kMaxSessionOutBytes =
+    2 * (kFrameHeaderBytes + kMaxFrameBytes);
+
 long
 envLong(const char *name, long def, long lo, long hi)
 {
@@ -81,6 +94,27 @@ struct Completion
     uint64_t sessionId = 0;
     std::string payload;
 };
+
+/**
+ * encodeFrame that can never kill the daemon: a reply that somehow
+ * overflows the frame bound (responses embed derived strings) is
+ * replaced by a minimal structured error instead of hitting
+ * encodeFrame's fatal(). Every server-side send goes through this.
+ */
+std::string
+safeFrame(const std::string &payload)
+{
+    if (payload.size() <= kMaxFrameBytes)
+        return encodeFrame(payload);
+    warn("awd: replacing a %zu-byte response that exceeds the %zu-byte "
+         "frame bound with a structured error",
+         payload.size(), kMaxFrameBytes);
+    EstimateResponse resp;
+    resp.status = "error";
+    resp.errorCause = "internal_error";
+    resp.errorMessage = "response exceeded the frame bound";
+    return encodeFrame(responseToJson(resp));
+}
 
 /** Watchdog view of one admitted-but-unfinished job. */
 struct InflightEntry
@@ -242,7 +276,12 @@ struct AwdServer::Impl
         while (queue.pop(job)) {
             EstimateResponse resp = estimator.run(job);
             if (resp.status == "ok") {
-                estimator.memoStore(job.contentKey, resp);
+                // A Degrade-admitted job ran at detail 1, not the
+                // fidelity its content key encodes — memoizing it would
+                // serve reduced-fidelity answers to later full-fidelity
+                // requests for the same key.
+                if (!job.degrade)
+                    estimator.memoStore(job.contentKey, resp);
                 if (!job.req.id.empty())
                     idemStore(job.req.id, resp);
                 statServed.fetch_add(1, std::memory_order_relaxed);
@@ -333,7 +372,7 @@ struct AwdServer::Impl
 
     void sendPayload(Session &sess, const std::string &payload)
     {
-        sess.out += encodeFrame(payload);
+        sess.out += safeFrame(payload);
     }
 
     void sendShed(Session &sess, const std::string &id)
@@ -352,9 +391,15 @@ struct AwdServer::Impl
     {
         EstimateResponse resp;
         resp.status = "error";
-        resp.id = id;
+        // Both fields may carry client bytes that failed validation
+        // precisely because they were oversized — never echo them
+        // unbounded.
+        resp.id = id.substr(0, kMaxEchoBytes);
         resp.errorCause = "protocol_error";
-        resp.errorMessage = message;
+        resp.errorMessage =
+            message.size() > 2 * kMaxEchoBytes
+                ? message.substr(0, 2 * kMaxEchoBytes) + "... (truncated)"
+                : message;
         statProtocolErrors.fetch_add(1, std::memory_order_relaxed);
         obs::metrics().counter("service.protocol_errors").add(1);
         sendPayload(sess, responseToJson(resp));
@@ -532,7 +577,7 @@ struct AwdServer::Impl
                     if (it == sessions.end())
                         continue; // client vanished mid-request
                     it->second.inflight -= 1;
-                    it->second.out += encodeFrame(c.payload);
+                    it->second.out += safeFrame(c.payload);
                 }
             }
 
@@ -615,6 +660,15 @@ struct AwdServer::Impl
                         continue;
                     }
                 }
+                if (sess.out.size() > kMaxSessionOutBytes) {
+                    // The peer is not reading: drop it rather than
+                    // buffering output without bound.
+                    obs::metrics()
+                        .counter("service.out_overflow_dropped")
+                        .add(1);
+                    toClose.push_back(id);
+                    continue;
+                }
                 if (sess.wantClose && sess.out.empty() &&
                     sess.inflight == 0)
                     toClose.push_back(id);
@@ -622,9 +676,11 @@ struct AwdServer::Impl
             for (uint64_t id : toClose)
                 closeSession(id);
 
-            // Slow-loris / idle reap: a session with nothing pending
-            // that has not made byte progress within the idle window is
-            // dropped.
+            // Slow-loris / idle reap: a session that has made no byte
+            // progress in either direction within the idle window is
+            // dropped — including one sitting on unflushed output it
+            // never reads (pending output must not exempt it, or a
+            // slow-reader pins its buffers forever).
             {
                 const Clock::time_point now = Clock::now();
                 const auto idle =
@@ -633,7 +689,7 @@ struct AwdServer::Impl
                             opts.idleTimeoutMs));
                 std::vector<uint64_t> idleOut;
                 for (auto &[id, sess] : sessions)
-                    if (sess.inflight == 0 && sess.out.empty() &&
+                    if (sess.inflight == 0 &&
                         now - sess.lastActivity > idle)
                         idleOut.push_back(id);
                 for (uint64_t id : idleOut) {
@@ -652,8 +708,12 @@ struct AwdServer::Impl
                 for (auto &[id, sess] : sessions)
                     if (!sess.out.empty())
                         flushed = false;
+                // The forced arm must not wait for flushed: a client
+                // that never reads its responses keeps its out-buffer
+                // non-empty forever and would hang the drain past its
+                // own timeout.
                 if ((drained && flushed) ||
-                    (forced.load(std::memory_order_acquire) && flushed))
+                    forced.load(std::memory_order_acquire))
                     break;
             }
         }

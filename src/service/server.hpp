@@ -12,11 +12,16 @@
  * off the reactor thread.
  *
  * Robustness properties (DESIGN.md §10):
- *  - Bounded everything: frame size, per-session input buffer, run
- *    queue, memo table. Overload answers `shed` with `retry_after_ms`
- *    (structured backpressure) instead of stalling or OOMing.
+ *  - Bounded everything: frame size, per-session input AND output
+ *    buffers (a client that never reads its replies is dropped at the
+ *    out-buffer cap), run queue, memo table, and the echo of client
+ *    fields in error replies (truncated, so a multi-MiB id can never
+ *    push a reply past the frame bound). Overload answers `shed` with
+ *    `retry_after_ms` (structured backpressure) instead of stalling or
+ *    OOMing.
  *  - Admission ladder: Accept -> Degrade (forced --sim-detail 1 above
- *    the soft watermark, flagged `reduced_fidelity`) -> cached memo
+ *    the soft watermark, flagged `reduced_fidelity`; never memoized,
+ *    since the memo key encodes the requested fidelity) -> cached memo
  *    fallback (flagged `cached`) -> Shed.
  *  - Deadlines: every estimate carries one (client's or the server
  *    default); the watchdog propagates expiry into SimOptions::cancel,
@@ -31,7 +36,9 @@
  *  - Clean drain: requestStop() (async-signal-safe, callable from a
  *    SIGTERM handler) stops admission, finishes every admitted job,
  *    flushes every socket, and wait() returns 0; a drain that exceeds
- *    its timeout cancels the stragglers and returns 1.
+ *    its timeout cancels the stragglers, force-closes sessions that
+ *    still hold unflushed output (a peer that never reads cannot hang
+ *    the drain), and returns 1.
  */
 #pragma once
 

@@ -231,6 +231,31 @@ TEST(RetryPolicyTest, ExhaustionIsClassified)
               std::string::npos);
 }
 
+TEST(RetryPolicyTest, RetryAfterHintIsCountedAgainstTheBackoffBudget)
+{
+    // A server-suggested retry-after (shed backpressure) must be folded
+    // into the policy's backoff accounting, not waited on the side: two
+    // 0.3 s hints cross a 0.5 s budget, so the loop gives up after the
+    // second attempt instead of burning all ten.
+    RetryPolicy policy;
+    policy.maxAttempts = 10;
+    policy.initialBackoffSec = 0.001;
+    policy.backoffMultiplier = 1.0;
+    policy.maxBackoffSec = 0.001;
+    policy.backoffBudgetSec = 0.5; // simulated time: no real sleeps
+    int calls = 0;
+    auto r = retryWithPolicy<int>(policy, "unit", [&](int) -> Result<int> {
+        ++calls;
+        MeasureError err{FailCause::ServiceShed, "shed"};
+        err.retryAfterSec = 0.3; // dominates the 1 ms backoff
+        return err;
+    });
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().cause, FailCause::RetriesExhausted);
+    EXPECT_EQ(calls, 2);
+    EXPECT_NE(r.error().message.find("retry budget"), std::string::npos);
+}
+
 TEST(RetryPolicyTest, CauseTaxonomy)
 {
     EXPECT_TRUE(retryableCause(FailCause::DriverReset));

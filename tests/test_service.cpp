@@ -10,13 +10,21 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "core/calibration.hpp"
 #include "core/result_cache.hpp"
+#include "obs/json.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
 #include "trace/workload.hpp"
@@ -49,6 +57,74 @@ estimateOf(const KernelDescriptor &k)
     req.kernel = k;
     return req;
 }
+
+/** Minimal blocking raw-socket client for protocol-level tests the
+ *  retrying AwdClient cannot express (frame pipelining, clients that
+ *  never read their replies). */
+struct RawConn
+{
+    int fd = -1;
+
+    ~RawConn()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    bool connectTo(int port, int rcvbufBytes = 0)
+    {
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            return false;
+        if (rcvbufBytes > 0)
+            ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbufBytes,
+                         sizeof rcvbufBytes);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<uint16_t>(port));
+        ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        return ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                         sizeof addr) == 0;
+    }
+
+    bool sendAll(const std::string &bytes)
+    {
+        size_t off = 0;
+        while (off < bytes.size()) {
+            ssize_t n = ::send(fd, bytes.data() + off,
+                               bytes.size() - off, MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            off += static_cast<size_t>(n);
+        }
+        return true;
+    }
+
+    /** Blocking-read `count` response frames (raw JSON payloads). */
+    bool readResponses(size_t count, std::vector<std::string> &out)
+    {
+        service::FrameDecoder dec;
+        char buf[16384];
+        std::string frame, err;
+        while (out.size() < count) {
+            service::FrameDecoder::Status st = dec.poll(frame, err);
+            if (st == service::FrameDecoder::Status::Frame) {
+                out.push_back(frame);
+                continue;
+            }
+            if (st == service::FrameDecoder::Status::Error)
+                return false;
+            ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+            if (n <= 0)
+                return false;
+            dec.feed(buf, static_cast<size_t>(n));
+        }
+        return true;
+    }
+};
 
 /** Fast-failing client for tests that expect errors. */
 service::ClientOptions
@@ -219,6 +295,27 @@ TEST_F(ServiceE2E, UnknownCardIsAStructuredProtocolError)
     EXPECT_NE(r.error().message.find("unknown card"), std::string::npos);
 }
 
+TEST_F(ServiceE2E, OversizedIdIsRejectedWithoutKillingTheDaemon)
+{
+    // A legal sub-4MiB frame can carry a multi-MiB id. Validation
+    // rejects it, but the error reply must truncate the echo — echoing
+    // it raw would overflow the frame bound and (pre-fix) hit
+    // encodeFrame's fatal(), letting one malformed request kill the
+    // daemon.
+    service::EstimateRequest req =
+        estimateOf(testKernel("svc_e2e_bigid"));
+    req.id = std::string(3u << 20, 'x');
+    service::AwdClient c(quickClientOptions(server_->port()));
+    Result<service::EstimateResponse> r = c.estimate(req);
+    ASSERT_FALSE(r);
+    EXPECT_EQ(r.error().cause, FailCause::ProtocolError);
+    EXPECT_NE(r.error().message.find("id longer"), std::string::npos);
+
+    // The daemon survives to serve the next request.
+    Result<service::EstimateResponse> pong = client().ping();
+    ASSERT_TRUE(pong) << pong.error().message;
+}
+
 TEST(ServiceClient, DeadPortExhaustsRetriesWithoutHanging)
 {
     // Nothing listens on port 1 of the loopback; every attempt must
@@ -286,6 +383,119 @@ TEST(ServiceOverload, HardLimitShedsWithRetryAfter)
 
     server.requestStop();
     EXPECT_EQ(server.wait(), 0);
+}
+
+TEST(ServiceOverload, DegradeAdmittedResultIsNotMemoized)
+{
+    // One worker, queue of 5 (soft limit 3): a single pipelined burst
+    // lands the probe in the Degrade band whether or not the worker
+    // already popped the head job — the probe classifies at depth 3 or
+    // 4, both >= soft and < hard.
+    service::ServerOptions sopts;
+    sopts.threads = 1;
+    sopts.maxQueue = 5;
+    sopts.defaultDeadlineMs = 120e3;
+    sopts.warmup = true;
+    service::AwdServer server(sopts);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    // The head job is unique per run so a warm on-disk result cache can
+    // never make it finish while the burst is still being classified.
+    const std::string runTag = std::to_string(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    const KernelDescriptor probe = testKernel("svc_degrade_probe");
+    auto requestFrame = [](const std::string &id,
+                           const KernelDescriptor &k, int detail) {
+        service::EstimateRequest req = estimateOf(k);
+        req.id = id;
+        req.detail = detail;
+        return service::encodeFrame(service::requestToJson(req));
+    };
+    std::string burst;
+    burst += requestFrame(
+        "busy", testKernel("svc_degrade_busy_" + runTag, 64), 0);
+    burst += requestFrame("f1", testKernel("svc_degrade_f1"), 0);
+    burst += requestFrame("f2", testKernel("svc_degrade_f2"), 0);
+    burst += requestFrame("f3", testKernel("svc_degrade_f3"), 0);
+    burst += requestFrame("probe", probe, /*detail=*/4);
+
+    RawConn conn;
+    ASSERT_TRUE(conn.connectTo(server.port()));
+    ASSERT_TRUE(conn.sendAll(burst));
+    std::vector<std::string> frames;
+    ASSERT_TRUE(conn.readResponses(5, frames));
+
+    std::string probeDegraded = "missing";
+    for (const std::string &f : frames) {
+        obs::JsonValue v;
+        ASSERT_TRUE(obs::tryParseJson(f, v)) << f;
+        service::EstimateResponse resp;
+        std::string perr;
+        ASSERT_TRUE(service::parseResponse(v, resp, perr)) << perr;
+        EXPECT_EQ(resp.status, "ok") << resp.errorMessage;
+        if (resp.id == "probe")
+            probeDegraded = resp.degraded;
+    }
+    ASSERT_EQ(probeDegraded, "reduced_fidelity")
+        << "probe was not Degrade-admitted; queue choreography broke";
+
+    // The reduced-fidelity answer ran at detail 1, not the detail-4
+    // fidelity its content key encodes — it must not be memoized. A
+    // fresh identical request (no id, so no idempotent replay) gets a
+    // fresh full-fidelity run, not a relabeled 'cached' serve.
+    service::ClientOptions copts = quickClientOptions(server.port());
+    copts.ioTimeoutSec = 120;
+    service::AwdClient c(copts);
+    service::EstimateRequest again = estimateOf(probe);
+    again.detail = 4;
+    Result<service::EstimateResponse> r = c.estimate(again);
+    ASSERT_TRUE(r) << r.error().message;
+    EXPECT_FALSE(r->replayed);
+    EXPECT_EQ(r->degraded, "none")
+        << "reduced-fidelity result was served from the memo";
+
+    server.requestStop();
+    EXPECT_EQ(server.wait(), 0);
+}
+
+TEST(ServiceDrain, NeverReadingClientCannotHangTheForcedDrain)
+{
+    service::ServerOptions sopts;
+    sopts.warmup = false;
+    sopts.drainTimeoutMs = 300;
+    sopts.idleTimeoutMs = 60e3; // keep the idle reaper out of the way
+    service::AwdServer server(sopts);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    // Pipeline thousands of stats requests and never read a byte of
+    // the replies: once the kernel socket buffers fill, the session's
+    // out-buffer stays non-empty across the whole drain. Pre-fix the
+    // shutdown condition demanded empty out-buffers even in the forced
+    // arm, so this hung wait() forever.
+    RawConn conn;
+    ASSERT_TRUE(conn.connectTo(server.port(), /*rcvbufBytes=*/4096));
+    const std::string statsFrame =
+        service::encodeFrame("{\"type\":\"stats\"}");
+    std::string chunk;
+    for (int i = 0; i < 1000; ++i)
+        chunk += statsFrame;
+    for (int i = 0; i < 20; ++i)
+        ASSERT_TRUE(conn.sendAll(chunk));
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    server.requestStop();
+    const int rc = server.wait();
+    const double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    EXPECT_LT(sec, 5.0) << "drain did not honor its timeout";
+    // Forced (1) when replies are still stuck in the out-buffer; clean
+    // (0) only if the kernel buffers swallowed everything.
+    EXPECT_TRUE(rc == 0 || rc == 1) << rc;
 }
 
 TEST(ServiceDrain, StopWithoutTrafficExitsCleanly)
