@@ -250,7 +250,43 @@ service_leg() {
         echo "error: awd drain exited ${rc} (expected clean 0)" >&2
         return 1
     fi
-    echo "== service leg passed (daemon survived chaos, drained cleanly)"
+
+    # Duplicate-work eliminator under chaos: two daemons share one
+    # cross-process memo directory with the micro-batch window on. The
+    # same seeded fault traffic hits both — the second largely serves
+    # from entries the first published — and both must survive it and
+    # drain cleanly on SIGTERM, exactly like the plain-config daemon.
+    echo "== service: eliminator leg (batching + shared memo, 2 daemons)"
+    local memodir="${dir}/awd.shared-memo"
+    local port_a="${dir}/awd-a.port" port_b="${dir}/awd-b.port"
+    rm -rf "${memodir}"
+    rm -f "${port_a}" "${port_b}"
+    AW_SERVICE_BATCH_WINDOW_US=200 AW_SERVICE_SHARED_MEMO_DIR="${memodir}" \
+        "${dir}/examples/awd" --port-file "${port_a}" --threads 2 &
+    local pid_a=$!
+    AW_SERVICE_BATCH_WINDOW_US=200 AW_SERVICE_SHARED_MEMO_DIR="${memodir}" \
+        "${dir}/examples/awd" --port-file "${port_b}" --threads 2 &
+    local pid_b=$!
+    trap 'kill "${pid_a}" "${pid_b}" 2>/dev/null || true' RETURN
+
+    "${dir}/examples/awd_client" --port-file "${port_a}" --count 8 --ids
+    AW_FAULTS="${service_chaos_spec}" "${dir}/examples/awd_client" \
+        --port-file "${port_a}" --count 20 --chaos
+    AW_FAULTS="${service_chaos_spec}" "${dir}/examples/awd_client" \
+        --port-file "${port_b}" --count 20 --chaos
+
+    echo "== service: SIGTERM -> clean drain (both daemons)"
+    kill -TERM "${pid_a}" "${pid_b}"
+    local rc_a=0 rc_b=0
+    wait "${pid_a}" || rc_a=$?
+    wait "${pid_b}" || rc_b=$?
+    if [[ ${rc_a} -ne 0 || ${rc_b} -ne 0 ]]; then
+        echo "error: eliminator-leg drains exited ${rc_a}/${rc_b}" \
+             "(expected clean 0/0)" >&2
+        return 1
+    fi
+    rm -rf "${memodir}"
+    echo "== service leg passed (daemons survived chaos, drained cleanly)"
 }
 
 # Sharded-simulator determinism leg.

@@ -263,21 +263,34 @@ ResultCache::configure(std::string directory)
     dir_ = std::move(directory);
 }
 
+namespace {
+
+std::string
+entryPathIn(const std::string &dir, const std::string &key)
+{
+    return dir + "/" + hex16(fnv1a64(key)) + ".json";
+}
+
+} // namespace
+
 std::string
 ResultCache::pathFor(const std::string &key) const
 {
-    return dir_ + "/" + hex16(fnv1a64(key)) + ".json";
+    return entryPathIn(dir_, key);
 }
 
 namespace {
 
-/** Shared fetch: on success `value` holds the entry's "value" member. */
+/** Shared fetch: on success `value` holds the entry's "value" member
+ *  and, when `rawValueOut` is non-null, the exact value text as stored
+ *  (already checksum-verified — byte-identical to what was written). */
 bool
-fetchEntry(const ResultCache &cache, const std::string &key,
-           const char *kind, obs::JsonValue &value)
+fetchEntryIn(const std::string &dir, const std::string &key,
+             const char *kind, obs::JsonValue &value,
+             std::string *rawValueOut = nullptr)
 {
     auto &reg = obs::metrics();
-    std::string path = cache.pathFor(key);
+    std::string path = entryPathIn(dir, key);
     std::ifstream in(path, std::ios::binary);
     if (!in) {
         reg.counter("cache.misses").add(1);
@@ -373,6 +386,8 @@ fetchEntry(const ResultCache &cache, const std::string &key,
         return false;
     }
     value = *val;
+    if (rawValueOut)
+        *rawValueOut = std::move(rawValue);
     reg.counter("cache.hits").add(1);
     return true;
 }
@@ -442,12 +457,12 @@ class EntryWriteLock
 };
 
 void
-storeEntry(const ResultCache &cache, const std::string &key,
-           const char *kind, const std::string &valueJson)
+storeEntryIn(const std::string &dir, const std::string &key,
+             const char *kind, const std::string &valueJson)
 {
     std::error_code ec;
-    fs::create_directories(cache.directory(), ec);
-    std::string path = cache.pathFor(key);
+    fs::create_directories(dir, ec);
+    std::string path = entryPathIn(dir, key);
     EntryWriteLock lock;
     if (!lock.tryAcquire(path + ".lock")) {
         AW_DEBUGF("core", "result cache: store of %s skipped (lock held "
@@ -519,13 +534,35 @@ storeEntry(const ResultCache &cache, const std::string &key,
 
 } // namespace
 
+std::string
+FileEntryStore::pathFor(const std::string &key) const
+{
+    return entryPathIn(dir_, key);
+}
+
+bool
+FileEntryStore::fetchText(const std::string &key, const char *kind,
+                          std::string &valueOut)
+{
+    obs::JsonValue value;
+    return fetchEntryIn(dir_, key, kind, value, &valueOut);
+}
+
+void
+FileEntryStore::storeText(const std::string &key, const char *kind,
+                          const std::string &valueJson)
+{
+    storeEntryIn(dir_, key, kind, valueJson);
+}
+
 bool
 ResultCache::fetchPower(const std::string &key, double &out)
 {
     if (!enabled_)
         return false;
     obs::JsonValue value;
-    if (!fetchEntry(*this, key, "power", value) || !value.isNumber())
+    if (!fetchEntryIn(directory(), key, "power", value) ||
+        !value.isNumber())
         return false;
     out = value.number;
     return true;
@@ -536,7 +573,7 @@ ResultCache::storePower(const std::string &key, double value)
 {
     if (!enabled_)
         return;
-    storeEntry(*this, key, "power", num(value));
+    storeEntryIn(directory(), key, "power", num(value));
 }
 
 bool
@@ -545,7 +582,7 @@ ResultCache::fetchActivity(const std::string &key, KernelActivity &out)
     if (!enabled_)
         return false;
     obs::JsonValue value;
-    if (!fetchEntry(*this, key, "activity", value))
+    if (!fetchEntryIn(directory(), key, "activity", value))
         return false;
     KernelActivity parsed;
     if (!activityFromJson(value, parsed)) {
@@ -565,7 +602,7 @@ ResultCache::storeActivity(const std::string &key, const KernelActivity &act)
 {
     if (!enabled_)
         return;
-    storeEntry(*this, key, "activity", activityToJson(act));
+    storeEntryIn(directory(), key, "activity", activityToJson(act));
 }
 
 namespace {

@@ -118,6 +118,46 @@ class ResultCache
 };
 
 /**
+ * A standalone file-per-entry store sharing the result cache's on-disk
+ * machinery — `<fnv1a64-hex16>.json` naming, per-entry `.lock` files,
+ * pid-unique temp + atomic rename publish, schema / key-collision /
+ * vcrc torn-write checks — but rooted at an arbitrary directory and
+ * carrying opaque value text instead of typed payloads. This is the
+ * cross-process tier of the awd estimator memo: K daemons pointed at
+ * one directory converge to a single cache, and a reader can never
+ * observe a torn entry (it is detected, removed, and recomputed).
+ * Fault injection (cache_corrupt) applies to stores here too.
+ */
+class FileEntryStore
+{
+  public:
+    explicit FileEntryStore(std::string directory)
+        : dir_(std::move(directory))
+    {}
+
+    const std::string &directory() const { return dir_; }
+
+    /** File the given key maps to (for tests and diagnostics). */
+    std::string pathFor(const std::string &key) const;
+
+    /** Fetch the raw value text stored under `key`; false on miss
+     *  (absent, corrupt, torn, schema mismatch, kind mismatch, or hash
+     *  collision). The returned text is the exact bytes a prior
+     *  storeText published, so round-trips are byte-identical. */
+    bool fetchText(const std::string &key, const char *kind,
+                   std::string &valueOut);
+
+    /** Publish `valueJson` (must be a complete JSON value) under
+     *  `key`. Lock-contended stores are skipped (the holder is writing
+     *  the same content-addressed bytes). */
+    void storeText(const std::string &key, const char *kind,
+                   const std::string &valueJson);
+
+  private:
+    std::string dir_;
+};
+
+/**
  * Cache keys for the two expensive primitives. Exposed so tests can
  * assert stability; normal code goes through the *Cached helpers.
  */

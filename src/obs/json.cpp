@@ -19,10 +19,12 @@ struct ParseError
 };
 
 /** Cursor over the document. Errors throw ParseError; parseJson turns
- *  that into a fatal(), tryParseJson into a false return. */
+ *  that into a fatal(), tryParseJson into a false return. The document
+ *  is a string_view so callers can parse borrowed bytes (e.g. a frame
+ *  decoded in place inside a session buffer) without a copy. */
 struct Parser
 {
-    const std::string &text;
+    std::string_view text;
     size_t pos = 0;
 
     [[noreturn]] void die(const char *what) const
@@ -191,15 +193,28 @@ struct Parser
         }
         if (consumeLiteral("null"))
             return v;
-        // Number: defer to strtod, then validate it consumed something.
-        const char *start = text.c_str() + pos;
+        // Number: copy the number-shaped prefix into a bounded,
+        // NUL-terminated buffer, then defer to strtod. The view is not
+        // NUL-terminated (it may be a slice of a larger buffer), so
+        // strtod must never see the raw pointer.
+        char numBuf[64];
+        size_t n = 0;
+        while (pos + n < text.size() && n < sizeof numBuf - 1) {
+            const char ch = text[pos + n];
+            if ((ch >= '0' && ch <= '9') || ch == '+' || ch == '-' ||
+                ch == '.' || ch == 'e' || ch == 'E')
+                numBuf[n++] = ch;
+            else
+                break;
+        }
+        numBuf[n] = '\0';
         char *end = nullptr;
-        double num = std::strtod(start, &end);
-        if (end == start)
+        double num = std::strtod(numBuf, &end);
+        if (end == numBuf)
             die("expected a JSON value");
         v.kind = JsonValue::Kind::Number;
         v.number = num;
-        pos += static_cast<size_t>(end - start);
+        pos += static_cast<size_t>(end - numBuf);
         return v;
     }
 };
@@ -258,7 +273,7 @@ parseJson(const std::string &text)
 }
 
 bool
-tryParseJson(const std::string &text, JsonValue &out)
+tryParseJson(std::string_view text, JsonValue &out)
 {
     try {
         Parser p{text};

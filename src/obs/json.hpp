@@ -13,6 +13,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -58,7 +59,7 @@ JsonValue parseJson(const std::string &text);
  * corrupt document — e.g. the result cache recovering from a torn
  * cache file — where the strict parseJson would take the process down.
  */
-bool tryParseJson(const std::string &text, JsonValue &out);
+bool tryParseJson(std::string_view text, JsonValue &out);
 
 /** Escape a string for embedding in a JSON document (no quotes). */
 std::string jsonEscape(const std::string &s);

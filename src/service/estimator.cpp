@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "core/result_cache.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 
 namespace aw::service {
@@ -67,6 +68,28 @@ deadlineResponse(const std::string &id)
     return resp;
 }
 
+double
+unixNowSec()
+{
+    return std::chrono::duration<double>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Approximate heap footprint of one L1 memo entry. */
+size_t
+memoEntryBytes(const std::string &key, const EstimateResponse &resp)
+{
+    return key.size() + sizeof(EstimateResponse) + resp.id.size() +
+           resp.status.size() + resp.degraded.size() +
+           resp.errorCause.size() + resp.errorMessage.size();
+}
+
+/** Entry kind tag in the shared store. One kind for both positive and
+ *  negative entries: the store maps a key to exactly one file, and the
+ *  recorded response's own status distinguishes them. */
+constexpr const char *kSharedMemoKind = "awd_memo";
+
 } // namespace
 
 Estimator::Estimator(const std::vector<std::string> &cards)
@@ -88,6 +111,8 @@ Estimator::Estimator(const std::vector<std::string> &cards)
     if (cards_.empty())
         fatal("awd: no cards configured");
 }
+
+Estimator::~Estimator() = default;
 
 bool
 Estimator::hasCard(const std::string &name) const
@@ -118,13 +143,62 @@ Estimator::warmup()
 }
 
 EstimateResponse
+Estimator::evaluateWith(Card &card, Variant variant,
+                        const AccelWattchModel &model, const Job &job)
+{
+    using Clock = std::chrono::steady_clock;
+    const EstimateRequest &req = job.req;
+
+    KernelActivity act;
+    if (req.hasActivity) {
+        act = req.activity;
+    } else {
+        SimOptions opts;
+        opts.freqGhz = req.freqGhz;
+        const int detail = job.degrade ? 1 : req.detail;
+        if (detail > 0)
+            opts.detailSms = detail;
+        opts.cancel = job.cancel.get();
+        const GpuSimulator &sim = card.cal->simulator();
+        act = variant == Variant::PtxSim
+                  ? sim.runPtx(req.kernel, opts)
+                  : runSassCached(sim, req.kernel, opts);
+        // The watchdog flips the flag only past the deadline, so a set
+        // flag means this run (or its tail) is already late. Checking
+        // the flag — not lastSimRunStats().cancelled — stays correct on
+        // result-cache hits, where no simulation ran at all.
+        if (job.cancel && job.cancel->load(std::memory_order_relaxed))
+            return deadlineResponse(req.id);
+    }
+
+    const PowerBreakdown b = model.evaluateKernel(act);
+    EstimateResponse resp;
+    resp.id = req.id;
+    resp.powerW = b.totalW();
+    resp.elapsedSec = act.elapsedSec;
+    resp.energyJ = resp.powerW * act.elapsedSec;
+    resp.constW = b.constW;
+    resp.staticW = b.staticW;
+    resp.idleSmW = b.idleSmW;
+    resp.dynamicW = b.dynamicTotalW();
+    if (job.degrade) {
+        resp.degraded = "reduced_fidelity";
+        obs::metrics().counter("service.degraded").add(1);
+    }
+    if (Clock::now() > job.effectiveDeadline())
+        return deadlineResponse(req.id);
+    obs::metrics().counter("service.ok").add(1);
+    return resp;
+}
+
+EstimateResponse
 Estimator::run(const Job &job)
 {
     using Clock = std::chrono::steady_clock;
     const EstimateRequest &req = job.req;
     obs::metrics().counter("service.estimates").add(1);
 
-    if (Clock::now() >= job.deadline ||
+    if (Clock::now() >= job.effectiveDeadline() ||
         (job.cancel && job.cancel->load(std::memory_order_relaxed)))
         return deadlineResponse(req.id);
 
@@ -145,46 +219,54 @@ Estimator::run(const Job &job)
         model = &card->cal->variant(variant).model;
     }
 
-    KernelActivity act;
-    if (req.hasActivity) {
-        act = req.activity;
-    } else {
-        SimOptions opts;
-        opts.freqGhz = req.freqGhz;
-        const int detail = job.degrade ? 1 : req.detail;
-        if (detail > 0)
-            opts.detailSms = detail;
-        opts.cancel = job.cancel.get();
-        const GpuSimulator &sim = card->cal->simulator();
-        act = variant == Variant::PtxSim
-                  ? sim.runPtx(req.kernel, opts)
-                  : runSassCached(sim, req.kernel, opts);
-        // The watchdog flips the flag only past the deadline, so a set
-        // flag means this run (or its tail) is already late. Checking
-        // the flag — not lastSimRunStats().cancelled — stays correct on
-        // result-cache hits, where no simulation ran at all.
-        if (job.cancel && job.cancel->load(std::memory_order_relaxed))
-            return deadlineResponse(req.id);
+    return evaluateWith(*card, variant, *model, job);
+}
+
+void
+Estimator::runBatch(const std::vector<Job> &jobs,
+                    std::vector<EstimateResponse> &out)
+{
+    using Clock = std::chrono::steady_clock;
+    out.clear();
+    if (jobs.empty())
+        return;
+
+    // All jobs are batchCompatible: one card lookup, one variant
+    // resolution, and one calibrated-model fetch (the per-card mutex)
+    // serve the whole batch.
+    const EstimateRequest &head = jobs.front().req;
+    Card *card = findCard(head.card);
+    Variant variant{};
+    const bool variantOk = variantFromToken(head.variant, variant);
+    const AccelWattchModel *model = nullptr;
+    if (card && variantOk) {
+        std::lock_guard<std::mutex> lock(card->mu);
+        model = &card->cal->variant(variant).model;
     }
 
-    const PowerBreakdown b = model->evaluateKernel(act);
-    EstimateResponse resp;
-    resp.id = req.id;
-    resp.powerW = b.totalW();
-    resp.elapsedSec = act.elapsedSec;
-    resp.energyJ = resp.powerW * act.elapsedSec;
-    resp.constW = b.constW;
-    resp.staticW = b.staticW;
-    resp.idleSmW = b.idleSmW;
-    resp.dynamicW = b.dynamicTotalW();
-    if (job.degrade) {
-        resp.degraded = "reduced_fidelity";
-        obs::metrics().counter("service.degraded").add(1);
+    out.reserve(jobs.size());
+    for (const Job &job : jobs) {
+        const EstimateRequest &req = job.req;
+        obs::metrics().counter("service.estimates").add(1);
+        if (Clock::now() >= job.effectiveDeadline() ||
+            (job.cancel && job.cancel->load(std::memory_order_relaxed))) {
+            out.push_back(deadlineResponse(req.id));
+            continue;
+        }
+        if (!card) {
+            out.push_back(errorResponse(req.id, "protocol_error",
+                                        "unknown card '" + req.card +
+                                            "'"));
+            continue;
+        }
+        if (!variantOk) {
+            out.push_back(errorResponse(req.id, "protocol_error",
+                                        "unknown variant '" +
+                                            req.variant + "'"));
+            continue;
+        }
+        out.push_back(evaluateWith(*card, variant, *model, job));
     }
-    if (Clock::now() > job.deadline)
-        return deadlineResponse(req.id);
-    obs::metrics().counter("service.ok").add(1);
-    return resp;
 }
 
 bool
@@ -199,19 +281,119 @@ Estimator::memoLookup(const std::string &key, EstimateResponse &out)
 }
 
 void
-Estimator::memoStore(const std::string &key, const EstimateResponse &resp)
+Estimator::memoStoreLocal(const std::string &key,
+                          const EstimateResponse &resp)
 {
     if (resp.status != "ok")
         return;
     std::lock_guard<std::mutex> lock(memoMu_);
     if (memo_.count(key))
         return;
+    const size_t bytes = memoEntryBytes(key, resp);
     memo_.emplace(key, resp);
-    memoOrder_.push_back(key);
-    while (memoOrder_.size() > kMemoCapacity) {
-        memo_.erase(memoOrder_.front());
+    memoOrder_.emplace_back(key, bytes);
+    memoBytes_ += bytes;
+    while (memoOrder_.size() > kMemoCapacity ||
+           (memoByteLimit_ > 0 && memoBytes_ > memoByteLimit_ &&
+            memoOrder_.size() > 1)) {
+        memoBytes_ -= memoOrder_.front().second;
+        memo_.erase(memoOrder_.front().first);
         memoOrder_.pop_front();
     }
+}
+
+void
+Estimator::memoStore(const std::string &key, const EstimateResponse &resp)
+{
+    if (resp.status != "ok")
+        return;
+    memoStoreLocal(key, resp);
+    sharedStore(key, resp);
+}
+
+void
+Estimator::setMemoByteLimit(size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(memoMu_);
+    memoByteLimit_ = bytes;
+}
+
+void
+Estimator::setSharedMemoDir(const std::string &dir)
+{
+    shared_ = dir.empty() ? nullptr
+                          : std::make_unique<FileEntryStore>(dir);
+}
+
+std::string
+Estimator::sharedPathFor(const std::string &key) const
+{
+    return shared_ ? shared_->pathFor(key) : std::string();
+}
+
+void
+Estimator::sharedStore(const std::string &key, const EstimateResponse &resp)
+{
+    if (!shared_)
+        return;
+    if (resp.status != "ok" && resp.status != "error")
+        return;
+    // Canonical form: strip every per-request field so any daemon that
+    // recomputes this key publishes the identical bytes (the store is
+    // content-addressed and collision-checked on the full key).
+    EstimateResponse canon = resp;
+    canon.id.clear();
+    canon.degraded = "none";
+    canon.replayed = false;
+    canon.retryAfterMs = 0;
+    std::string value = "{\"stored_unix\":" +
+                        obs::jsonNumber(unixNowSec()) + ",\"response\":";
+    appendResponseJson(canon, value);
+    value += "}";
+    shared_->storeText(key, kSharedMemoKind, value);
+    obs::metrics().counter("service.shared_memo_writes").add(1);
+}
+
+void
+Estimator::sharedStoreNegative(const std::string &key,
+                               const EstimateResponse &resp)
+{
+    if (resp.status == "error")
+        sharedStore(key, resp);
+}
+
+Estimator::SharedMemo
+Estimator::sharedLookup(const std::string &key, EstimateResponse &out)
+{
+    if (!shared_)
+        return SharedMemo::Miss;
+    std::string raw;
+    if (!shared_->fetchText(key, kSharedMemoKind, raw))
+        return SharedMemo::Miss;
+    obs::JsonValue doc;
+    if (!obs::tryParseJson(raw, doc) || !doc.isObject())
+        return SharedMemo::Miss;
+    const obs::JsonValue *stored = doc.find("stored_unix");
+    const obs::JsonValue *respV = doc.find("response");
+    if (!stored || !stored->isNumber() || !respV)
+        return SharedMemo::Miss;
+    EstimateResponse resp;
+    std::string err;
+    if (!parseResponse(*respV, resp, err))
+        return SharedMemo::Miss;
+    if (resp.status == "ok") {
+        out = std::move(resp);
+        return SharedMemo::Hit;
+    }
+    if (resp.status == "error") {
+        // Negative entry: honor it only within the TTL — a failure may
+        // be transient, and the fleet should eventually retry.
+        if (unixNowSec() - stored->number <= kSharedMemoNegativeTtlSec) {
+            out = std::move(resp);
+            return SharedMemo::NegativeHit;
+        }
+    }
+    return SharedMemo::Miss;
 }
 
 } // namespace aw::service

@@ -19,11 +19,21 @@
  * activity-blob request skips simulation and evaluates the model
  * directly on the posted trace.
  *
- * The memo table is content-addressed (requestContentKey) and bounded
- * (FIFO eviction): it serves repeat requests inline from the reactor
- * and doubles as the cached-fallback tier of graceful degradation —
- * under overload, a request whose answer is memoized is served stale
- * (`degraded: "cached"`) instead of shed.
+ * The memo is content-addressed (requestContentKey) and two-level.
+ * L1 is the in-process table, bounded by entry count and optionally by
+ * total bytes (FIFO eviction either way): it serves repeat requests
+ * inline from the reactor and doubles as the cached-fallback tier of
+ * graceful degradation — under overload, a request whose answer is
+ * memoized is served stale (`degraded: "cached"`) instead of shed.
+ * L2 (optional, setSharedMemoDir) is a cross-process FileEntryStore:
+ * ok-responses are written through on compute and promoted into L1 on
+ * hit, so a fleet of daemons sharing one directory converges to one
+ * cache and a freshly started daemon answers warm keys without ever
+ * invoking the simulator. Error responses are stored too, with a
+ * short TTL (negative cache), so the fleet does not hammer a key that
+ * deterministically fails. The directory must be private to daemons
+ * with identical card/variant configuration — a key that errors on
+ * one daemon must error on all of them.
  */
 #pragma once
 
@@ -35,6 +45,7 @@
 #include <vector>
 
 #include "core/calibration.hpp"
+#include "core/result_cache.hpp"
 #include "service/request_queue.hpp"
 
 namespace aw::service {
@@ -42,12 +53,26 @@ namespace aw::service {
 /** Bound on memoized responses (FIFO-evicted beyond this). */
 constexpr size_t kMemoCapacity = 4096;
 
+/** Lifetime of a shared-memo *negative* entry (an estimate that
+ *  failed): long enough to absorb a retry storm, short enough that a
+ *  transient cause does not poison the key forever. */
+constexpr double kSharedMemoNegativeTtlSec = 5.0;
+
 class Estimator
 {
   public:
+    /** Outcome of a shared-memo (L2) probe. */
+    enum class SharedMemo : uint8_t
+    {
+        Miss,       ///< disabled, absent, torn, or stale negative
+        Hit,        ///< ok-response recovered (promote + serve)
+        NegativeHit ///< fresh recorded failure (serve the error)
+    };
+
     /** @param cards card names to serve; unknown names are fatal()
      *  (configuration error, not client input). */
     explicit Estimator(const std::vector<std::string> &cards);
+    ~Estimator();
 
     const std::vector<std::string> &cards() const { return cardNames_; }
     bool hasCard(const std::string &name) const;
@@ -63,12 +88,49 @@ class Estimator
      */
     EstimateResponse run(const Job &job);
 
-    /** Memo lookup by content key; true on hit (a *copy* is returned —
-     *  callers patch per-request fields like id). */
+    /**
+     * Evaluate a batch of mutually batchCompatible jobs in one pass:
+     * the card lookup, variant resolution, and calibrated-model fetch
+     * (the per-card mutex) are paid once, then each job's activity is
+     * sourced and evaluated with its own deadline/cancel semantics.
+     * `out[i]` answers `jobs[i]`, bit-identical to run(jobs[i]).
+     */
+    void runBatch(const std::vector<Job> &jobs,
+                  std::vector<EstimateResponse> &out);
+
+    /** L1 memo lookup by content key; true on hit (a *copy* is
+     *  returned — callers patch per-request fields like id). */
     bool memoLookup(const std::string &key, EstimateResponse &out);
 
-    /** Memoize a served ok-response under its content key. */
+    /** Memoize a served ok-response under its content key: into L1,
+     *  and through to the shared L2 store when one is configured. */
     void memoStore(const std::string &key, const EstimateResponse &resp);
+
+    /** L1-only insert — used to promote an L2 hit without immediately
+     *  writing the same bytes back to disk. */
+    void memoStoreLocal(const std::string &key,
+                        const EstimateResponse &resp);
+
+    /** Bound L1 by total approximate bytes on top of the entry-count
+     *  cap; 0 (the default) keeps the entry-count bound only. */
+    void setMemoByteLimit(size_t bytes);
+
+    /** Attach the cross-process L2 store rooted at `dir` (empty
+     *  detaches). Call before serving traffic. */
+    void setSharedMemoDir(const std::string &dir);
+    bool sharedEnabled() const { return shared_ != nullptr; }
+
+    /** Probe L2 for `key`. On Hit, `out` is the canonical recorded
+     *  ok-response; on NegativeHit, the recorded error. */
+    SharedMemo sharedLookup(const std::string &key, EstimateResponse &out);
+
+    /** Record a failed estimate in L2 (negative cache). ok-responses
+     *  flow through memoStore instead. */
+    void sharedStoreNegative(const std::string &key,
+                             const EstimateResponse &resp);
+
+    /** L2 entry path for `key` (tests: crash-mid-write tearing). */
+    std::string sharedPathFor(const std::string &key) const;
 
   private:
     struct Card
@@ -80,13 +142,26 @@ class Estimator
     };
 
     Card *findCard(const std::string &name);
+    void sharedStore(const std::string &key, const EstimateResponse &resp);
+    /** Activity sourcing + model evaluation for one job whose card /
+     *  variant / model are already resolved (run and runBatch share
+     *  this, so batched answers are bit-identical to unbatched). */
+    EstimateResponse evaluateWith(Card &card, Variant variant,
+                                  const AccelWattchModel &model,
+                                  const Job &job);
 
     std::vector<std::string> cardNames_;
     std::vector<std::unique_ptr<Card>> cards_;
 
     std::mutex memoMu_;
     std::unordered_map<std::string, EstimateResponse> memo_;
-    std::deque<std::string> memoOrder_;
+    /** Insertion order with each entry's approximate footprint (the
+     *  byte bound must know what an eviction frees). */
+    std::deque<std::pair<std::string, size_t>> memoOrder_;
+    size_t memoBytes_ = 0;
+    size_t memoByteLimit_ = 0;
+
+    std::unique_ptr<FileEntryStore> shared_;
 };
 
 } // namespace aw::service

@@ -219,22 +219,49 @@ kernelFromJson(const obs::JsonValue &v, KernelDescriptor &out,
 
 } // namespace
 
-std::string
-encodeFrame(const std::string &payload)
+void
+appendFrame(std::string &out, std::string_view payload)
 {
     if (payload.size() > kMaxFrameBytes)
-        fatal("encodeFrame: %zu-byte payload exceeds the %zu-byte frame "
+        fatal("appendFrame: %zu-byte payload exceeds the %zu-byte frame "
               "bound",
               payload.size(), kMaxFrameBytes);
     const uint32_t n = static_cast<uint32_t>(payload.size());
+    const char header[kFrameHeaderBytes] = {
+        static_cast<char>((n >> 24) & 0xff),
+        static_cast<char>((n >> 16) & 0xff),
+        static_cast<char>((n >> 8) & 0xff),
+        static_cast<char>(n & 0xff),
+    };
+    out.append(header, kFrameHeaderBytes);
+    out.append(payload.data(), payload.size());
+}
+
+std::string
+encodeFrame(const std::string &payload)
+{
     std::string out;
     out.reserve(kFrameHeaderBytes + payload.size());
-    out.push_back(static_cast<char>((n >> 24) & 0xff));
-    out.push_back(static_cast<char>((n >> 16) & 0xff));
-    out.push_back(static_cast<char>((n >> 8) & 0xff));
-    out.push_back(static_cast<char>(n & 0xff));
-    out += payload;
+    appendFrame(out, payload);
     return out;
+}
+
+void
+FrameDecoder::discardConsumed()
+{
+    // Frames are decoded in place: pos_ walks over buf_ and the
+    // consumed prefix is dropped lazily — here, once no borrowed view
+    // can still reference it — instead of memmoving the remainder on
+    // every frame.
+    if (pos_ == 0)
+        return;
+    if (pos_ == buf_.size()) {
+        buf_.clear();
+        pos_ = 0;
+    } else {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
 }
 
 void
@@ -242,20 +269,24 @@ FrameDecoder::feed(const char *data, size_t len)
 {
     if (dead_)
         return;
+    discardConsumed();
     buf_.append(data, len);
 }
 
 FrameDecoder::Status
-FrameDecoder::poll(std::string &frame, std::string &error)
+FrameDecoder::poll(std::string_view &frame, std::string &error)
 {
     if (dead_) {
         error = error_;
         return Status::Error;
     }
-    if (buf_.size() < kFrameHeaderBytes)
+    const size_t avail = buf_.size() - pos_;
+    if (avail < kFrameHeaderBytes) {
+        discardConsumed();
         return Status::NeedMore;
+    }
     const unsigned char *p =
-        reinterpret_cast<const unsigned char *>(buf_.data());
+        reinterpret_cast<const unsigned char *>(buf_.data() + pos_);
     const uint32_t n = (static_cast<uint32_t>(p[0]) << 24) |
                        (static_cast<uint32_t>(p[1]) << 16) |
                        (static_cast<uint32_t>(p[2]) << 8) |
@@ -268,13 +299,26 @@ FrameDecoder::poll(std::string &frame, std::string &error)
         error = error_;
         buf_.clear();
         buf_.shrink_to_fit();
+        pos_ = 0;
         return Status::Error;
     }
-    if (buf_.size() < kFrameHeaderBytes + n)
+    if (avail < kFrameHeaderBytes + n) {
+        discardConsumed();
         return Status::NeedMore;
-    frame.assign(buf_, kFrameHeaderBytes, n);
-    buf_.erase(0, kFrameHeaderBytes + n);
+    }
+    frame = std::string_view(buf_.data() + pos_ + kFrameHeaderBytes, n);
+    pos_ += kFrameHeaderBytes + n;
     return Status::Frame;
+}
+
+FrameDecoder::Status
+FrameDecoder::poll(std::string &frame, std::string &error)
+{
+    std::string_view view;
+    const Status st = poll(view, error);
+    if (st == Status::Frame)
+        frame.assign(view.data(), view.size());
+    return st;
 }
 
 std::string
@@ -381,10 +425,10 @@ parseRequest(const obs::JsonValue &v, EstimateRequest &out,
     return true;
 }
 
-std::string
-responseToJson(const EstimateResponse &resp)
+void
+appendResponseJson(const EstimateResponse &resp, std::string &out)
 {
-    std::string out = "{";
+    out += "{";
     out += "\"status\":\"" + obs::jsonEscape(resp.status) + "\"";
     if (!resp.id.empty())
         out += ",\"id\":\"" + obs::jsonEscape(resp.id) + "\"";
@@ -410,6 +454,13 @@ responseToJson(const EstimateResponse &resp)
                obs::jsonEscape(resp.errorMessage) + "\"";
     }
     out += "}";
+}
+
+std::string
+responseToJson(const EstimateResponse &resp)
+{
+    std::string out;
+    appendResponseJson(resp, out);
     return out;
 }
 

@@ -29,6 +29,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "arch/activity.hpp"
 #include "obs/json.hpp"
@@ -45,6 +46,11 @@ constexpr size_t kFrameHeaderBytes = 4;
 /** Wrap a payload in a length-prefixed frame. fatal() past the bound
  *  (callers build payloads, not attackers). */
 std::string encodeFrame(const std::string &payload);
+
+/** encodeFrame into an existing buffer (appends header + payload) —
+ *  the server's send path reuses one per-session buffer instead of
+ *  allocating a fresh string per reply. */
+void appendFrame(std::string &out, std::string_view payload);
 
 /**
  * Incremental frame decoder. Feed bytes as they arrive; poll for
@@ -74,13 +80,24 @@ class FrameDecoder
      */
     Status poll(std::string &frame, std::string &error);
 
-    /** Bytes currently buffered (bounded by header + kMaxFrameBytes). */
-    size_t buffered() const { return buf_.size(); }
+    /**
+     * Zero-copy poll: on Frame, `frame` is a borrowed view into the
+     * decoder's buffer, valid only until the next feed()/poll() call.
+     * The copying overload above wraps this one.
+     */
+    Status poll(std::string_view &frame, std::string &error);
+
+    /** Unconsumed bytes currently buffered (bounded by header +
+     *  kMaxFrameBytes). */
+    size_t buffered() const { return buf_.size() - pos_; }
 
     bool dead() const { return dead_; }
 
   private:
+    void discardConsumed();
+
     std::string buf_;
+    size_t pos_ = 0; ///< consumed prefix of buf_ (borrowed frames live there)
     bool dead_ = false;
     std::string error_;
 };
@@ -134,6 +151,10 @@ bool parseRequest(const obs::JsonValue &v, EstimateRequest &out,
 
 /** Response -> JSON payload (the server's encoder). */
 std::string responseToJson(const EstimateResponse &resp);
+
+/** responseToJson appended into an existing buffer — the server builds
+ *  replies into a reused per-session scratch string. */
+void appendResponseJson(const EstimateResponse &resp, std::string &out);
 
 /** JSON -> response (the client's decoder). False on malformed. */
 bool parseResponse(const obs::JsonValue &v, EstimateResponse &out,

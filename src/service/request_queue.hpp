@@ -23,6 +23,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "service/protocol.hpp"
 
@@ -44,12 +45,39 @@ struct Job
     EstimateRequest req;
     std::string contentKey;  ///< requestContentKey(req)
     std::chrono::steady_clock::time_point arrival;
-    std::chrono::steady_clock::time_point deadline;
+    /**
+     * Effective deadline in steady_clock ticks since epoch, shared
+     * between the reactor, the watchdog, and the estimator. An atomic
+     * behind a shared_ptr (not a plain time_point) because singleflight
+     * coalescing extends it while the job is already running: a
+     * follower with a later deadline attaches to this computation, and
+     * the watchdog must not cancel the leader before the *latest*
+     * subscriber's deadline. With a single subscriber it never changes.
+     */
+    std::shared_ptr<std::atomic<int64_t>> deadlineNs;
     /** Deadline-cancellation flag, shared with the watchdog and
      *  propagated into SimOptions::cancel. */
     std::shared_ptr<std::atomic<bool>> cancel;
     bool degrade = false;    ///< admitted under the soft limit: detail 1
+
+    /** Current effective deadline; max() when none was attached (only
+     *  hand-built jobs in tests lack one). */
+    std::chrono::steady_clock::time_point effectiveDeadline() const
+    {
+        using TimePoint = std::chrono::steady_clock::time_point;
+        if (!deadlineNs)
+            return TimePoint::max();
+        return TimePoint(TimePoint::duration(
+            deadlineNs->load(std::memory_order_acquire)));
+    }
 };
+
+/** True when two queued jobs may share one estimator pass: same card,
+ *  variant, clock, fidelity (requested detail AND degrade decision),
+ *  and both kernel-descriptor requests (activity blobs skip simulation
+ *  — there is nothing to share). Per-request results still split out
+ *  individually, so batching never changes any answer. */
+bool batchCompatible(const Job &a, const Job &b);
 
 /** Bounded MPMC queue with the admission ladder above. */
 class RequestQueue
@@ -67,6 +95,19 @@ class RequestQueue
 
     /** Blocking dequeue; false once closed *and* empty (worker exit). */
     bool pop(Job &out);
+
+    /**
+     * Blocking dequeue of up to `maxBatch` mutually batchCompatible
+     * jobs. The first job is taken as pop() would; with a positive
+     * `windowSec` the call then gathers compatible jobs from anywhere
+     * in the queue, waiting out the window for more arrivals (close()
+     * cuts the wait short, so a drain is never delayed). Incompatible
+     * jobs stay queued for other workers. windowSec <= 0 degenerates
+     * to exactly pop() — a size-1 batch with no wait and no scan.
+     * False once closed and empty.
+     */
+    bool popBatch(std::vector<Job> &out, size_t maxBatch,
+                  double windowSec);
 
     /** Stop admitting; wake every waiter. Pending jobs still drain. */
     void close();

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <deque>
 #include <mutex>
+#include <string_view>
 #include <unordered_map>
 
 #include <arpa/inet.h>
@@ -17,6 +18,7 @@
 #include <unistd.h>
 
 #include "common/log.hpp"
+#include "common/rng.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 
@@ -81,49 +83,72 @@ setNonBlocking(int fd)
 /** One client connection; owned exclusively by the reactor thread. */
 struct Session
 {
+    uint64_t id = 0; ///< key in the reactor's session map
     int fd = -1;
     FrameDecoder dec;
     std::string out;        ///< encoded frames awaiting send
+    std::string scratch;    ///< reply payloads are built here, reused
     bool wantClose = false; ///< close once `out` is flushed
     Clock::time_point lastActivity;
-    int inflight = 0; ///< admitted jobs whose reply this session awaits
+    int inflight = 0; ///< replies this session still awaits
+    uint64_t shedSeq = 0; ///< per-session shed counter (retry jitter)
 };
 
+/** A finished job on its way back from a worker. The reactor — not the
+ *  worker — serializes it, because singleflight fan-out patches
+ *  per-subscriber fields (id, deadline verdict) into copies. */
 struct Completion
 {
+    uint64_t tag = 0;
     uint64_t sessionId = 0;
-    std::string payload;
+    EstimateResponse resp;
 };
 
-/**
- * encodeFrame that can never kill the daemon: a reply that somehow
- * overflows the frame bound (responses embed derived strings) is
- * replaced by a minimal structured error instead of hitting
- * encodeFrame's fatal(). Every server-side send goes through this.
- */
-std::string
-safeFrame(const std::string &payload)
-{
-    if (payload.size() <= kMaxFrameBytes)
-        return encodeFrame(payload);
-    warn("awd: replacing a %zu-byte response that exceeds the %zu-byte "
-         "frame bound with a structured error",
-         payload.size(), kMaxFrameBytes);
-    EstimateResponse resp;
-    resp.status = "error";
-    resp.errorCause = "internal_error";
-    resp.errorMessage = "response exceeded the frame bound";
-    return encodeFrame(responseToJson(resp));
-}
-
-/** Watchdog view of one admitted-but-unfinished job. */
+/** Watchdog view of one admitted-but-unfinished job. The deadline is
+ *  the job's shared effective-deadline cell: coalescing extends it
+ *  when a follower with a later deadline attaches, so the watchdog
+ *  cancels only once every subscriber's deadline has passed. */
 struct InflightEntry
 {
-    uint64_t sessionId = 0;
-    Clock::time_point deadline;
+    std::shared_ptr<std::atomic<int64_t>> deadlineNs;
     std::shared_ptr<std::atomic<bool>> cancel;
     bool warned = false;
 };
+
+/** One subscriber of a singleflight computation. */
+struct FlightSub
+{
+    uint64_t sessionId = 0;
+    std::string requestId;
+    Clock::time_point deadline; ///< this subscriber's own deadline
+};
+
+/**
+ * One in-flight estimate computation. The first subscriber is the
+ * leader whose Job is queued/running; later identical requests attach
+ * as followers and are all answered from the leader's single result.
+ * Reactor-owned: no locking.
+ */
+struct Flight
+{
+    uint64_t tag = 0;    ///< the leader job's inflight tag
+    std::string key;     ///< content key (for the attach-index cleanup)
+    std::shared_ptr<std::atomic<int64_t>> deadlineNs;
+    std::shared_ptr<std::atomic<bool>> cancel;
+    bool degrade = false; ///< leader runs at reduced fidelity
+    /** The originating subscriber hung up (followers remain). The
+     *  completion's served accounting uses this: finishJob already
+     *  counted the computation itself, which stands in for the leader
+     *  only while the leader is still subscribed. */
+    bool leaderDetached = false;
+    std::vector<FlightSub> subs;
+};
+
+int64_t
+toNs(Clock::time_point tp)
+{
+    return tp.time_since_epoch().count();
+}
 
 } // namespace
 
@@ -141,6 +166,13 @@ ServerOptions::fromEnvironment()
         "AW_SERVICE_DEADLINE_MS", opts.defaultDeadlineMs, 1, 86400e3);
     opts.idleTimeoutMs =
         envDouble("AW_SERVICE_IDLE_MS", opts.idleTimeoutMs, 10, 86400e3);
+    opts.batchWindowUs = envDouble("AW_SERVICE_BATCH_WINDOW_US",
+                                   opts.batchWindowUs, 0, 1e6);
+    opts.memoBytes =
+        envLong("AW_SERVICE_MEMO_BYTES", opts.memoBytes, 0, 1L << 40);
+    if (const char *dir = std::getenv("AW_SERVICE_SHARED_MEMO_DIR");
+        dir && *dir)
+        opts.sharedMemoDir = dir;
     if (const char *cards = std::getenv("AW_SERVICE_CARDS");
         cards && *cards) {
         opts.cards.clear();
@@ -167,7 +199,13 @@ struct AwdServer::Impl
           queue(std::max<size_t>(
                     1, static_cast<size_t>(opts.maxQueue) * 3 / 4),
                 static_cast<size_t>(opts.maxQueue))
-    {}
+    {
+        if (opts.memoBytes > 0)
+            estimator.setMemoByteLimit(
+                static_cast<size_t>(opts.memoBytes));
+        if (!opts.sharedMemoDir.empty())
+            estimator.setSharedMemoDir(opts.sharedMemoDir);
+    }
 
     ServerOptions opts;
     Estimator estimator;
@@ -199,6 +237,18 @@ struct AwdServer::Impl
     std::unordered_map<std::string, EstimateResponse> idem;
     std::deque<std::string> idemOrder;
 
+    // --- singleflight state (reactor thread only; no locking) ----------
+    std::unordered_map<uint64_t, Session> sessions;
+    /** Every queued job owns a flight, keyed by its unique tag — NOT by
+     *  content key: identical keys legitimately coexist when coalescing
+     *  is off, or when the first admission was Degrade (not attachable)
+     *  and a full-fidelity duplicate was admitted behind it. */
+    std::unordered_map<uint64_t, Flight> flights;
+    /** Which flight new duplicates attach to, one slot per content key.
+     *  Last admission wins the slot (a full-fidelity job supersedes a
+     *  degrade leader); cleared at delivery only by the slot holder. */
+    std::unordered_map<std::string, uint64_t> flightTagByKey;
+
     std::atomic<long> statServed{0};
     std::atomic<long> statShed{0};
     std::atomic<long> statReplayed{0};
@@ -206,14 +256,21 @@ struct AwdServer::Impl
     std::atomic<long> statAdmitted{0};
     std::atomic<long> statProtocolErrors{0};
     std::atomic<long> statSessions{0};
+    std::atomic<long> statCoalesced{0};
+    std::atomic<long> statCoalesceCancelled{0};
+    std::atomic<long> statBatches{0};
+    std::atomic<long> statBatched{0};
+    std::atomic<long> statSharedHits{0};
+    std::atomic<long> statSharedNegHits{0};
 
     // --- worker / watchdog side ---------------------------------------
 
-    void postCompletion(uint64_t sessionId, std::string payload)
+    void postCompletion(uint64_t tag, uint64_t sessionId,
+                        EstimateResponse resp)
     {
         {
             std::lock_guard<std::mutex> lock(completionsMu);
-            completions.push_back({sessionId, std::move(payload)});
+            completions.push_back({tag, sessionId, std::move(resp)});
         }
         inflightCount.fetch_sub(1, std::memory_order_acq_rel);
         wake('C');
@@ -230,21 +287,13 @@ struct AwdServer::Impl
     {
         std::lock_guard<std::mutex> lock(inflightMu);
         inflight[job.tag] =
-            InflightEntry{job.sessionId, job.deadline, job.cancel, false};
+            InflightEntry{job.deadlineNs, job.cancel, false};
     }
 
     void unregisterInflight(uint64_t tag)
     {
         std::lock_guard<std::mutex> lock(inflightMu);
         inflight.erase(tag);
-    }
-
-    void cancelSessionJobs(uint64_t sessionId)
-    {
-        std::lock_guard<std::mutex> lock(inflightMu);
-        for (auto &[tag, e] : inflight)
-            if (e.sessionId == sessionId)
-                e.cancel->store(true, std::memory_order_relaxed);
     }
 
     void idemStore(const std::string &id, const EstimateResponse &resp)
@@ -270,24 +319,52 @@ struct AwdServer::Impl
         return true;
     }
 
+    void finishJob(const Job &job, EstimateResponse resp)
+    {
+        if (resp.status == "ok") {
+            // A Degrade-admitted job ran at detail 1, not the
+            // fidelity its content key encodes — memoizing it would
+            // serve reduced-fidelity answers to later full-fidelity
+            // requests for the same key.
+            if (!job.degrade)
+                estimator.memoStore(job.contentKey, resp);
+            if (!job.req.id.empty())
+                idemStore(job.req.id, resp);
+            statServed.fetch_add(1, std::memory_order_relaxed);
+        } else if (resp.status == "error") {
+            // Negative cache: a deterministic failure recorded in the
+            // shared tier stops the whole fleet from recomputing the
+            // key until the TTL lapses. (No-op without a shared dir.)
+            estimator.sharedStoreNegative(job.contentKey, resp);
+        }
+        unregisterInflight(job.tag);
+        postCompletion(job.tag, job.sessionId, std::move(resp));
+    }
+
     void workerLoop()
     {
-        Job job;
-        while (queue.pop(job)) {
-            EstimateResponse resp = estimator.run(job);
-            if (resp.status == "ok") {
-                // A Degrade-admitted job ran at detail 1, not the
-                // fidelity its content key encodes — memoizing it would
-                // serve reduced-fidelity answers to later full-fidelity
-                // requests for the same key.
-                if (!job.degrade)
-                    estimator.memoStore(job.contentKey, resp);
-                if (!job.req.id.empty())
-                    idemStore(job.req.id, resp);
-                statServed.fetch_add(1, std::memory_order_relaxed);
+        // A window of 0 (the default) makes popBatch behave exactly
+        // like pop(): size-1 batches, no wait, no queue scan — the
+        // single-job path below is then bit-identical to PR 8.
+        const double windowSec =
+            opts.batchWindowUs > 0 ? opts.batchWindowUs * 1e-6 : 0.0;
+        constexpr size_t kMaxBatchJobs = 16;
+        std::vector<Job> batch;
+        std::vector<EstimateResponse> resps;
+        while (queue.popBatch(batch, kMaxBatchJobs, windowSec)) {
+            if (batch.size() == 1) {
+                finishJob(batch.front(),
+                          estimator.run(batch.front()));
+                continue;
             }
-            unregisterInflight(job.tag);
-            postCompletion(job.sessionId, responseToJson(resp));
+            statBatches.fetch_add(1, std::memory_order_relaxed);
+            statBatched.fetch_add(static_cast<long>(batch.size()),
+                                  std::memory_order_relaxed);
+            obs::metrics().counter("service.batched").add(
+                static_cast<double>(batch.size()));
+            estimator.runBatch(batch, resps);
+            for (size_t i = 0; i < batch.size(); ++i)
+                finishJob(batch[i], std::move(resps[i]));
         }
     }
 
@@ -299,10 +376,15 @@ struct AwdServer::Impl
             {
                 std::lock_guard<std::mutex> lock(inflightMu);
                 for (auto &[tag, e] : inflight) {
-                    if (now >= e.deadline)
+                    // Re-read the shared cell every tick: singleflight
+                    // extends it when a later-deadline follower
+                    // attaches to this job.
+                    const Clock::time_point deadline(Clock::duration(
+                        e.deadlineNs->load(std::memory_order_acquire)));
+                    if (now >= deadline)
                         e.cancel->store(true, std::memory_order_relaxed);
                     if (!e.warned &&
-                        now > e.deadline + std::chrono::seconds(5)) {
+                        now > deadline + std::chrono::seconds(5)) {
                         e.warned = true;
                         warn("awd: request is %ld ms past its deadline "
                              "and still running (cancellation not yet "
@@ -310,7 +392,7 @@ struct AwdServer::Impl
                              static_cast<long>(
                                  std::chrono::duration_cast<
                                      std::chrono::milliseconds>(
-                                     now - e.deadline)
+                                     now - deadline)
                                      .count()));
                     }
                 }
@@ -355,24 +437,79 @@ struct AwdServer::Impl
                    statProtocolErrors.load(std::memory_order_relaxed));
         out += ",\"sessions\":" +
                std::to_string(statSessions.load(std::memory_order_relaxed));
+        out += ",\"coalesced\":" +
+               std::to_string(statCoalesced.load(std::memory_order_relaxed));
+        out += ",\"coalesce_cancelled\":" +
+               std::to_string(
+                   statCoalesceCancelled.load(std::memory_order_relaxed));
+        out += ",\"batches\":" +
+               std::to_string(statBatches.load(std::memory_order_relaxed));
+        out += ",\"batched\":" +
+               std::to_string(statBatched.load(std::memory_order_relaxed));
+        out += ",\"shared_memo_hits\":" +
+               std::to_string(
+                   statSharedHits.load(std::memory_order_relaxed));
+        out += ",\"shared_memo_negative_hits\":" +
+               std::to_string(
+                   statSharedNegHits.load(std::memory_order_relaxed));
         out += ",\"draining\":";
         out += stopping.load(std::memory_order_relaxed) ? "true" : "false";
         out += "}}";
         return out;
     }
 
-    double retryAfterMs() const
+    double retryAfterMs(Session &sess)
     {
         const double perJobMs = 50.0;
         const double est = perJobMs *
                            static_cast<double>(queue.depth() + 1) /
                            std::max(1, opts.threads);
-        return std::clamp(est, 50.0, 2000.0);
+        const double base = std::clamp(est, 50.0, 2000.0);
+        // Deterministic per-session jitter (±25%): a synchronized
+        // client fleet shed on the same tick must not come back on the
+        // same tick. Seeded from (session, shed ordinal), so replies
+        // are reproducible run-to-run yet decorrelated across both
+        // sessions and consecutive sheds of one session.
+        const uint64_t roll = splitmix64(
+            sess.id * 0x9e3779b97f4a7c15ULL + sess.shedSeq++);
+        const double unit =
+            static_cast<double>(roll >> 11) * 0x1.0p-53; // [0, 1)
+        return base * (0.75 + 0.5 * unit);
     }
 
-    void sendPayload(Session &sess, const std::string &payload)
+    /**
+     * Frame a payload into the session's out-buffer. Never kills the
+     * daemon: a reply that somehow overflows the frame bound
+     * (responses embed derived strings) is replaced by a minimal
+     * structured error instead of hitting appendFrame's fatal().
+     * Every server-side send goes through this.
+     */
+    void sendPayload(Session &sess, std::string_view payload)
     {
-        sess.out += safeFrame(payload);
+        if (payload.size() <= kMaxFrameBytes) {
+            appendFrame(sess.out, payload);
+            return;
+        }
+        warn("awd: replacing a %zu-byte response that exceeds the "
+             "%zu-byte frame bound with a structured error",
+             payload.size(), kMaxFrameBytes);
+        EstimateResponse resp;
+        resp.status = "error";
+        resp.errorCause = "internal_error";
+        resp.errorMessage = "response exceeded the frame bound";
+        sess.scratch.clear();
+        appendResponseJson(resp, sess.scratch);
+        appendFrame(sess.out, sess.scratch);
+    }
+
+    /** Serialize a response into the session's reusable scratch buffer
+     *  and frame it — the per-reply allocation the old string-returning
+     *  path paid is gone. */
+    void sendResponse(Session &sess, const EstimateResponse &resp)
+    {
+        sess.scratch.clear();
+        appendResponseJson(resp, sess.scratch);
+        sendPayload(sess, sess.scratch);
     }
 
     void sendShed(Session &sess, const std::string &id)
@@ -380,10 +517,10 @@ struct AwdServer::Impl
         EstimateResponse resp;
         resp.status = "shed";
         resp.id = id;
-        resp.retryAfterMs = retryAfterMs();
+        resp.retryAfterMs = retryAfterMs(sess);
         statShed.fetch_add(1, std::memory_order_relaxed);
         obs::metrics().counter("service.shed").add(1);
-        sendPayload(sess, responseToJson(resp));
+        sendResponse(sess, resp);
     }
 
     void sendError(Session &sess, const std::string &id,
@@ -402,11 +539,11 @@ struct AwdServer::Impl
                 : message;
         statProtocolErrors.fetch_add(1, std::memory_order_relaxed);
         obs::metrics().counter("service.protocol_errors").add(1);
-        sendPayload(sess, responseToJson(resp));
+        sendResponse(sess, resp);
     }
 
     void handleFrame(uint64_t sessionId, Session &sess,
-                     const std::string &payload)
+                     std::string_view payload)
     {
         obs::JsonValue v;
         if (!obs::tryParseJson(payload, v)) {
@@ -420,7 +557,8 @@ struct AwdServer::Impl
             return;
         }
         if (req.type == "ping") {
-            std::string pong = "{\"status\":\"ok\"";
+            std::string &pong = sess.scratch;
+            pong.assign("{\"status\":\"ok\"");
             if (!req.id.empty())
                 pong += ",\"id\":\"" + obs::jsonEscape(req.id) + "\"";
             pong += ",\"pong\":true}";
@@ -439,7 +577,7 @@ struct AwdServer::Impl
             if (idemLookup(req.id, replay)) {
                 replay.replayed = true;
                 statReplayed.fetch_add(1, std::memory_order_relaxed);
-                sendPayload(sess, responseToJson(replay));
+                sendResponse(sess, replay);
                 return;
             }
         }
@@ -454,8 +592,74 @@ struct AwdServer::Impl
             memo.degraded = "cached";
             memo.replayed = false;
             statMemoHits.fetch_add(1, std::memory_order_relaxed);
-            sendPayload(sess, responseToJson(memo));
+            sendResponse(sess, memo);
             return;
+        }
+
+        // L2: the cross-process shared memo. A hit is promoted into L1
+        // (canonical form, so later L1 serves look identical) and
+        // answered without touching the queue or the simulator; a
+        // fresh negative entry replays the recorded failure.
+        if (estimator.sharedEnabled()) {
+            EstimateResponse fromL2;
+            switch (estimator.sharedLookup(contentKey, fromL2)) {
+              case Estimator::SharedMemo::Hit:
+                estimator.memoStoreLocal(contentKey, fromL2);
+                fromL2.id = req.id;
+                fromL2.degraded = "cached";
+                statSharedHits.fetch_add(1, std::memory_order_relaxed);
+                obs::metrics().counter("service.shared_memo_hits").add(1);
+                sendResponse(sess, fromL2);
+                return;
+              case Estimator::SharedMemo::NegativeHit:
+                fromL2.id = req.id;
+                statSharedNegHits.fetch_add(1,
+                                            std::memory_order_relaxed);
+                obs::metrics()
+                    .counter("service.shared_memo_negative_hits")
+                    .add(1);
+                sendResponse(sess, fromL2);
+                return;
+              case Estimator::SharedMemo::Miss:
+                break;
+            }
+        }
+
+        const Clock::time_point arrival = Clock::now();
+        const double deadlineMs = req.deadlineMs > 0
+                                      ? req.deadlineMs
+                                      : opts.defaultDeadlineMs;
+        const Clock::time_point deadline =
+            arrival + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              deadlineMs));
+
+        // Singleflight: an identical request already computing (or
+        // queued) gets this one attached as a follower — no queue
+        // slot, no second simulation; the one result answers all
+        // subscribers. A Degrade-admitted leader is skipped: its
+        // answer is reduced-fidelity, which followers did not ask for.
+        if (opts.coalesce) {
+            auto kit = flightTagByKey.find(contentKey);
+            auto fit = kit != flightTagByKey.end()
+                           ? flights.find(kit->second)
+                           : flights.end();
+            if (fit != flights.end() && !fit->second.degrade) {
+                Flight &flight = fit->second;
+                flight.subs.push_back({sessionId, req.id, deadline});
+                // Extend the running job's effective deadline to the
+                // latest subscriber's — the watchdog must not cancel
+                // the leader while any subscriber could still be
+                // answered in time. Reactor is the only writer.
+                if (toNs(deadline) > flight.deadlineNs->load(
+                                         std::memory_order_relaxed))
+                    flight.deadlineNs->store(toNs(deadline),
+                                             std::memory_order_release);
+                sess.inflight += 1;
+                statCoalesced.fetch_add(1, std::memory_order_relaxed);
+                obs::metrics().counter("service.coalesced").add(1);
+                return;
+            }
         }
 
         if (stopping.load(std::memory_order_relaxed)) {
@@ -473,33 +677,136 @@ struct AwdServer::Impl
         job.sessionId = sessionId;
         job.req = std::move(req);
         job.contentKey = contentKey;
-        job.arrival = Clock::now();
-        const double deadlineMs = job.req.deadlineMs > 0
-                                      ? job.req.deadlineMs
-                                      : opts.defaultDeadlineMs;
-        job.deadline =
-            job.arrival + std::chrono::duration_cast<Clock::duration>(
-                              std::chrono::duration<double, std::milli>(
-                                  deadlineMs));
+        job.arrival = arrival;
+        job.deadlineNs =
+            std::make_shared<std::atomic<int64_t>>(toNs(deadline));
         job.cancel = std::make_shared<std::atomic<bool>>(false);
         job.degrade = admission == Admission::Degrade;
 
         registerInflight(job);
         const uint64_t tag = job.tag;
+        Flight flight;
+        flight.tag = tag;
+        flight.key = contentKey;
+        flight.deadlineNs = job.deadlineNs;
+        flight.cancel = job.cancel;
+        flight.degrade = job.degrade;
+        flight.subs.push_back({sessionId, job.req.id, deadline});
         if (!queue.push(std::move(job))) {
             unregisterInflight(tag);
             sendShed(sess, req.id);
             return;
         }
+        flights.emplace(tag, std::move(flight));
+        flightTagByKey[contentKey] = tag;
         inflightCount.fetch_add(1, std::memory_order_acq_rel);
         sess.inflight += 1;
         statAdmitted.fetch_add(1, std::memory_order_relaxed);
         obs::metrics().counter("service.admitted").add(1);
     }
 
+    /**
+     * Drop a closing session from every flight it subscribes to. The
+     * last subscriber leaving cancels the computation (nobody is left
+     * to answer — exactly the PR 8 disconnect-cancels-orphan story);
+     * otherwise the flight keeps running and the shared effective
+     * deadline contracts to the latest *remaining* subscriber's, so a
+     * short-deadline leader that hung up cannot keep a long-deadline
+     * follower's job alive past its need — nor cancel it early.
+     */
+    void detachSessionFromFlights(uint64_t sessionId)
+    {
+        for (auto &[tag, flight] : flights) {
+            const size_t before = flight.subs.size();
+            if (before == 0)
+                continue; // already orphaned; completion will clean up
+            if (flight.subs.front().sessionId == sessionId)
+                flight.leaderDetached = true;
+            std::erase_if(flight.subs, [&](const FlightSub &sub) {
+                return sub.sessionId == sessionId;
+            });
+            if (flight.subs.size() == before)
+                continue;
+            if (flight.subs.empty()) {
+                flight.cancel->store(true, std::memory_order_relaxed);
+                statCoalesceCancelled.fetch_add(
+                    1, std::memory_order_relaxed);
+            } else {
+                Clock::time_point latest = Clock::time_point::min();
+                for (const FlightSub &sub : flight.subs)
+                    latest = std::max(latest, sub.deadline);
+                flight.deadlineNs->store(toNs(latest),
+                                         std::memory_order_release);
+            }
+        }
+    }
+
+    /** Fan one finished computation out to every subscriber. */
+    void deliverCompletion(Completion &c)
+    {
+        auto fit = flights.find(c.tag);
+        if (fit == flights.end()) {
+            // No flight (cannot normally happen — every queued job has
+            // one): deliver to the originating session directly.
+            auto it = sessions.find(c.sessionId);
+            if (it == sessions.end())
+                return;
+            it->second.inflight -= 1;
+            sendResponse(it->second, c.resp);
+            return;
+        }
+        Flight flight = std::move(fit->second);
+        flights.erase(fit);
+        // Release the attach slot only if this flight still holds it —
+        // a later same-key admission may have taken it over.
+        auto kit = flightTagByKey.find(flight.key);
+        if (kit != flightTagByKey.end() && kit->second == c.tag)
+            flightTagByKey.erase(kit);
+
+        const Clock::time_point now = Clock::now();
+        for (size_t i = 0; i < flight.subs.size(); ++i) {
+            const FlightSub &sub = flight.subs[i];
+            auto it = sessions.find(sub.sessionId);
+            if (it == sessions.end())
+                continue; // client vanished mid-request
+            Session &sess = it->second;
+            sess.inflight -= 1;
+            // Every subscriber — the leader included — gets the reply
+            // under its own request id and its own deadline verdict.
+            // The leader cannot be special-cased by position: if it
+            // hung up, a follower now sits at index 0; and a follower
+            // with a later deadline may have extended the shared
+            // effective deadline past the leader's own, so the
+            // estimator's end-of-run check no longer vouches for it.
+            EstimateResponse resp = c.resp;
+            resp.id = sub.requestId;
+            if (resp.status == "ok" && now > sub.deadline) {
+                // The shared computation finished in time for some
+                // subscriber but not for this one's own deadline —
+                // per-subscriber semantics must match an uncoalesced
+                // run.
+                EstimateResponse late;
+                late.status = "deadline";
+                late.id = sub.requestId;
+                obs::metrics().counter("service.deadline").add(1);
+                sendResponse(sess, late);
+                continue;
+            }
+            if (resp.status == "ok") {
+                if (!resp.id.empty())
+                    idemStore(resp.id, resp);
+                // finishJob's served count stands in for the leader;
+                // followers (or everyone, once the leader hung up)
+                // count here.
+                if (i > 0 || flight.leaderDetached)
+                    statServed.fetch_add(1, std::memory_order_relaxed);
+            }
+            sendResponse(sess, resp);
+        }
+    }
+
     void reactorLoop()
     {
-        std::unordered_map<uint64_t, Session> sessions;
         uint64_t nextSession = 1;
         std::vector<pollfd> pfds;
         std::vector<uint64_t> pfdSession;
@@ -508,7 +815,7 @@ struct AwdServer::Impl
             auto it = sessions.find(id);
             if (it == sessions.end())
                 return;
-            cancelSessionJobs(id);
+            detachSessionFromFlights(id);
             ::close(it->second.fd);
             sessions.erase(it);
         };
@@ -565,20 +872,16 @@ struct AwdServer::Impl
                 }
             }
 
-            // Completions -> session out-buffers.
+            // Completions -> singleflight fan-out -> session
+            // out-buffers.
             {
                 std::vector<Completion> done;
                 {
                     std::lock_guard<std::mutex> lock(completionsMu);
                     done.swap(completions);
                 }
-                for (Completion &c : done) {
-                    auto it = sessions.find(c.sessionId);
-                    if (it == sessions.end())
-                        continue; // client vanished mid-request
-                    it->second.inflight -= 1;
-                    it->second.out += safeFrame(c.payload);
-                }
+                for (Completion &c : done)
+                    deliverCompletion(c);
             }
 
             // New connections.
@@ -595,6 +898,7 @@ struct AwdServer::Impl
                             continue;
                         }
                         Session sess;
+                        sess.id = nextSession;
                         sess.fd = fd;
                         sess.lastActivity = Clock::now();
                         sessions.emplace(nextSession++, std::move(sess));
@@ -629,7 +933,11 @@ struct AwdServer::Impl
                     }
                     if (n == 0)
                         peerClosed = true;
-                    std::string frame, derr;
+                    // Frames are handled as borrowed views into the
+                    // decoder's buffer — valid until the next poll,
+                    // which is after handleFrame returns.
+                    std::string_view frame;
+                    std::string derr;
                     FrameDecoder::Status st;
                     while ((st = sess.dec.poll(frame, derr)) ==
                            FrameDecoder::Status::Frame)
@@ -720,6 +1028,9 @@ struct AwdServer::Impl
 
         for (auto &[id, sess] : sessions)
             ::close(sess.fd);
+        sessions.clear();
+        flights.clear();
+        flightTagByKey.clear();
         if (listenFd >= 0) {
             ::close(listenFd);
             listenFd = -1;

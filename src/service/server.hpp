@@ -39,6 +39,12 @@
  *    its timeout cancels the stragglers, force-closes sessions that
  *    still hold unflushed output (a peer that never reads cannot hang
  *    the drain), and returns 1.
+ *  - Duplicate-work elimination (DESIGN.md §10.8–10.10): singleflight
+ *    coalescing folds concurrent identical requests onto one running
+ *    computation; an optional micro-batch window groups compatible
+ *    queued requests into one estimator pass; an optional shared memo
+ *    directory lets a fleet of daemons converge to one cross-process
+ *    result cache with torn-write detection and a negative-cache TTL.
  */
 #pragma once
 
@@ -65,9 +71,21 @@ struct ServerOptions
     double drainTimeoutMs = 10000;  ///< max graceful-drain time on stop
     std::vector<std::string> cards{"volta"}; ///< served card models
     bool warmup = true;             ///< pre-calibrate before serving
+    /** Micro-batch gather window in microseconds; 0 disables batching
+     *  (each worker pops one job at a time, exactly the PR 8 path). */
+    double batchWindowUs = 0;
+    /** Cross-process shared memo directory; empty disables the tier. */
+    std::string sharedMemoDir;
+    /** Byte bound on the in-process memo (0 = entry-count bound only). */
+    long memoBytes = 0;
+    /** Singleflight coalescing of concurrent identical requests. Not
+     *  an environment knob — it is semantically transparent and on by
+     *  default; benches flip it off to measure the win. */
+    bool coalesce = true;
 
     /** Defaults overridden by AW_SERVICE_PORT / _THREADS / _MAX_QUEUE /
-     *  _DEADLINE_MS / _CARDS / _IDLE_MS (invalid values warn + keep the
+     *  _DEADLINE_MS / _CARDS / _IDLE_MS / _BATCH_WINDOW_US /
+     *  _SHARED_MEMO_DIR / _MEMO_BYTES (invalid values warn + keep the
      *  default). */
     static ServerOptions fromEnvironment();
 };

@@ -22,10 +22,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <filesystem>
+
 #include "core/calibration.hpp"
 #include "core/result_cache.hpp"
 #include "obs/json.hpp"
 #include "service/client.hpp"
+#include "service/protocol.hpp"
 #include "service/server.hpp"
 #include "trace/workload.hpp"
 
@@ -85,6 +88,21 @@ struct RawConn
         ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
         return ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
                          sizeof addr) == 0;
+    }
+
+    /** Abortive close: RST instead of FIN. A clean close() is
+     *  indistinguishable from a half-close (the peer may still be
+     *  reading replies), so the server only treats the *error* path as
+     *  "this subscriber is gone" — tests that need the disconnect
+     *  noticed promptly must reset, as a crashing client would. */
+    void abortConn()
+    {
+        if (fd < 0)
+            return;
+        struct linger lg = {1, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+        ::close(fd);
+        fd = -1;
     }
 
     bool sendAll(const std::string &bytes)
@@ -545,4 +563,409 @@ TEST(ServiceQueue, AdmissionLadderIsDeterministic)
     ASSERT_TRUE(q.pop(out));
     EXPECT_EQ(out.tag, 2u);
     EXPECT_FALSE(q.pop(out));
+}
+
+// ---------------------------------------------------------------------------
+// Duplicate-work elimination: singleflight coalescing, the micro-batch
+// window, and the cross-process shared memo (DESIGN.md §10.8–10.10).
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** One numeric counter out of the daemon's stats payload. */
+long
+statOf(service::AwdServer &server, const std::string &key)
+{
+    obs::JsonValue v;
+    if (!obs::tryParseJson(server.statsJson(), v))
+        return -1;
+    return static_cast<long>(v.at("stats").at(key).asNumber());
+}
+
+std::string
+frameOf(const service::EstimateRequest &req)
+{
+    return service::encodeFrame(service::requestToJson(req));
+}
+
+service::EstimateResponse
+parsedResponse(const std::string &payload)
+{
+    obs::JsonValue v;
+    EXPECT_TRUE(obs::tryParseJson(payload, v)) << payload;
+    service::EstimateResponse resp;
+    std::string perr;
+    EXPECT_TRUE(service::parseResponse(v, resp, perr)) << perr;
+    return resp;
+}
+
+/** Kernel names unique to this process run: coalescing and shared-memo
+ *  tests must never be satisfied by a memo or on-disk cache entry left
+ *  over from an earlier run. */
+std::string
+runUnique(const std::string &stem)
+{
+    static const std::string tag = std::to_string(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    return stem + "_" + tag;
+}
+
+} // namespace
+
+TEST(ServiceCoalesce, FollowerCancelSemantics)
+{
+    service::ServerOptions sopts;
+    sopts.threads = 2;
+    sopts.maxQueue = 64;
+    sopts.defaultDeadlineMs = 120e3;
+    sopts.warmup = true;
+    service::AwdServer server(sopts);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    // Slow enough (~hundreds of ms) that a duplicate sent a few tens of
+    // ms later reliably attaches while the leader is still simulating,
+    // and that an aborted connection (noticed within one ~50 ms poll
+    // cycle) detaches well before the computation finishes.
+    constexpr int kSlow = 4096;
+    const auto pause = [] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    };
+    const auto settle = [] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    };
+
+    // Phase 1: the follower hangs up; the leader must keep its
+    // computation and still receive a full-fidelity answer.
+    {
+        const std::string frame =
+            frameOf(estimateOf(testKernel(runUnique("svc_coal_a"), kSlow)));
+        RawConn leader, follower;
+        ASSERT_TRUE(leader.connectTo(server.port()));
+        ASSERT_TRUE(leader.sendAll(frame));
+        pause();
+        ASSERT_TRUE(follower.connectTo(server.port()));
+        ASSERT_TRUE(follower.sendAll(frame));
+        pause();
+        ASSERT_EQ(statOf(server, "coalesced"), 1)
+            << "duplicate did not attach; leader finished too fast";
+        follower.abortConn();
+        settle();
+        EXPECT_EQ(statOf(server, "coalesce_cancelled"), 0)
+            << "follower hangup cancelled a flight with a live leader";
+
+        std::vector<std::string> frames;
+        ASSERT_TRUE(leader.readResponses(1, frames));
+        const service::EstimateResponse resp = parsedResponse(frames[0]);
+        EXPECT_EQ(resp.status, "ok") << resp.errorMessage;
+        EXPECT_EQ(resp.degraded, "none");
+    }
+
+    // Phase 2: the *leader* hangs up; the follower inherits the running
+    // computation and is answered under its own request id.
+    {
+        service::EstimateRequest req =
+            estimateOf(testKernel(runUnique("svc_coal_b"), kSlow));
+        req.id = "coal-leader";
+        const std::string leaderFrame = frameOf(req);
+        req.id = "coal-follower";
+        const std::string followerFrame = frameOf(req);
+
+        RawConn leader, follower;
+        ASSERT_TRUE(leader.connectTo(server.port()));
+        ASSERT_TRUE(leader.sendAll(leaderFrame));
+        pause();
+        ASSERT_TRUE(follower.connectTo(server.port()));
+        ASSERT_TRUE(follower.sendAll(followerFrame));
+        pause();
+        ASSERT_EQ(statOf(server, "coalesced"), 2);
+        leader.abortConn();
+        settle();
+        EXPECT_EQ(statOf(server, "coalesce_cancelled"), 0)
+            << "leader hangup cancelled a flight with a live follower";
+
+        std::vector<std::string> frames;
+        ASSERT_TRUE(follower.readResponses(1, frames));
+        const service::EstimateResponse resp = parsedResponse(frames[0]);
+        EXPECT_EQ(resp.status, "ok") << resp.errorMessage;
+        EXPECT_EQ(resp.id, "coal-follower")
+            << "follower was answered under the departed leader's id";
+    }
+
+    // Phase 3: every subscriber hangs up; only then is the computation
+    // cancelled (nobody is left to answer).
+    {
+        const std::string frame =
+            frameOf(estimateOf(testKernel(runUnique("svc_coal_c"), kSlow)));
+        RawConn leader, follower;
+        ASSERT_TRUE(leader.connectTo(server.port()));
+        ASSERT_TRUE(leader.sendAll(frame));
+        pause();
+        ASSERT_TRUE(follower.connectTo(server.port()));
+        ASSERT_TRUE(follower.sendAll(frame));
+        pause();
+        ASSERT_EQ(statOf(server, "coalesced"), 3);
+        leader.abortConn();
+        follower.abortConn();
+        settle();
+        EXPECT_EQ(statOf(server, "coalesce_cancelled"), 1)
+            << "orphaned flight was not cancelled";
+    }
+
+    // The daemon survives the whole choreography and drains cleanly.
+    Result<service::EstimateResponse> pong =
+        service::AwdClient(quickClientOptions(server.port())).ping();
+    ASSERT_TRUE(pong) << pong.error().message;
+    server.requestStop();
+    EXPECT_EQ(server.wait(), 0);
+}
+
+TEST(ServiceBatch, BatchedResultsAreBitIdenticalToUnbatched)
+{
+    std::vector<service::EstimateRequest> reqs;
+    for (int i = 0; i < 3; ++i)
+        reqs.push_back(estimateOf(
+            testKernel(runUnique("svc_batch_k" + std::to_string(i)))));
+    std::string pipelined;
+    for (const service::EstimateRequest &req : reqs)
+        pipelined += frameOf(req);
+
+    // Reference daemon: batch window off — each request is popped and
+    // simulated on its own, exactly the pre-batching path.
+    std::vector<std::string> unbatched;
+    {
+        service::ServerOptions sopts;
+        sopts.threads = 1;
+        sopts.maxQueue = 64;
+        sopts.defaultDeadlineMs = 120e3;
+        sopts.warmup = true;
+        service::AwdServer server(sopts);
+        std::string error;
+        ASSERT_TRUE(server.start(error)) << error;
+        RawConn conn;
+        ASSERT_TRUE(conn.connectTo(server.port()));
+        ASSERT_TRUE(conn.sendAll(pipelined));
+        ASSERT_TRUE(conn.readResponses(reqs.size(), unbatched));
+        EXPECT_EQ(statOf(server, "batches"), 0);
+        server.requestStop();
+        EXPECT_EQ(server.wait(), 0);
+    }
+
+    // Batching daemon: one slow job occupies the single worker while
+    // the three compatible requests queue up behind it, so one popBatch
+    // gathers all three into a single estimator pass.
+    std::vector<std::string> batched;
+    {
+        service::ServerOptions sopts;
+        sopts.threads = 1;
+        sopts.maxQueue = 64;
+        sopts.defaultDeadlineMs = 120e3;
+        sopts.warmup = true;
+        sopts.batchWindowUs = 20e3;
+        service::AwdServer server(sopts);
+        std::string error;
+        ASSERT_TRUE(server.start(error)) << error;
+
+        RawConn busy;
+        ASSERT_TRUE(busy.connectTo(server.port()));
+        ASSERT_TRUE(busy.sendAll(
+            frameOf(estimateOf(testKernel(runUnique("svc_batch_busy"),
+                                          /*iterations=*/1024)))));
+        // Let the worker pop the busy job alone (and its empty gather
+        // window lapse) before the batchable requests arrive.
+        std::this_thread::sleep_for(std::chrono::milliseconds(80));
+
+        RawConn conn;
+        ASSERT_TRUE(conn.connectTo(server.port()));
+        ASSERT_TRUE(conn.sendAll(pipelined));
+        ASSERT_TRUE(conn.readResponses(reqs.size(), batched));
+        EXPECT_EQ(statOf(server, "batches"), 1)
+            << "the queued trio was not gathered into one batch";
+        EXPECT_EQ(statOf(server, "batched"), 3);
+        server.requestStop();
+        EXPECT_EQ(server.wait(), 0);
+    }
+
+    // Split results must be byte-identical to the unbatched replies —
+    // batching is a scheduling optimisation, never a semantic one.
+    ASSERT_EQ(unbatched.size(), batched.size());
+    for (size_t i = 0; i < unbatched.size(); ++i)
+        EXPECT_EQ(unbatched[i], batched[i]) << "request " << i;
+}
+
+TEST(ServiceSharedMemo, SecondDaemonAnswersByteIdenticalWithoutSimulating)
+{
+    const std::string dir = "awd_shared_memo_test_dir";
+    fs::remove_all(dir);
+    const service::EstimateRequest req =
+        estimateOf(testKernel(runUnique("svc_shared_hit")));
+    const std::string frame = frameOf(req);
+
+    service::ServerOptions sopts;
+    sopts.threads = 1;
+    sopts.maxQueue = 64;
+    sopts.defaultDeadlineMs = 120e3;
+    sopts.warmup = true;
+    sopts.sharedMemoDir = dir;
+
+    // Daemon A computes the answer (publishing it to the shared tier)
+    // and then serves the repeat from its in-process memo.
+    std::string memoServed;
+    {
+        service::AwdServer a(sopts);
+        std::string error;
+        ASSERT_TRUE(a.start(error)) << error;
+        RawConn conn;
+        ASSERT_TRUE(conn.connectTo(a.port()));
+        ASSERT_TRUE(conn.sendAll(frame));
+        std::vector<std::string> frames;
+        ASSERT_TRUE(conn.readResponses(1, frames));
+        EXPECT_EQ(parsedResponse(frames[0]).degraded, "none");
+        ASSERT_TRUE(conn.sendAll(frame));
+        frames.clear();
+        ASSERT_TRUE(conn.readResponses(1, frames));
+        memoServed = frames[0];
+        EXPECT_EQ(parsedResponse(memoServed).degraded, "cached");
+        EXPECT_EQ(statOf(a, "admitted"), 1);
+        a.requestStop();
+        EXPECT_EQ(a.wait(), 0);
+    }
+
+    // Daemon B — a different process in spirit, sharing only the memo
+    // directory — answers the same request from the shared tier without
+    // admitting a single job, byte-identical to A's memo-served reply.
+    {
+        service::ServerOptions bopts = sopts;
+        bopts.warmup = false; // nothing should ever reach the simulator
+        service::AwdServer b(bopts);
+        std::string error;
+        ASSERT_TRUE(b.start(error)) << error;
+        RawConn conn;
+        ASSERT_TRUE(conn.connectTo(b.port()));
+        ASSERT_TRUE(conn.sendAll(frame));
+        std::vector<std::string> frames;
+        ASSERT_TRUE(conn.readResponses(1, frames));
+        EXPECT_EQ(frames[0], memoServed);
+        EXPECT_EQ(statOf(b, "shared_memo_hits"), 1);
+        EXPECT_EQ(statOf(b, "admitted"), 0)
+            << "second daemon simulated instead of using the shared memo";
+        b.requestStop();
+        EXPECT_EQ(b.wait(), 0);
+    }
+    fs::remove_all(dir);
+}
+
+TEST(ServiceSharedMemo, NegativeEntryReplaysTheFailureWithinTtl)
+{
+    const std::string dir = "awd_shared_memo_negative_dir";
+    fs::remove_all(dir);
+    service::EstimateRequest req =
+        estimateOf(testKernel(runUnique("svc_shared_neg")));
+    req.card = "fermi"; // deterministic estimator-side failure
+    const std::string frame = frameOf(req);
+
+    service::ServerOptions sopts;
+    sopts.threads = 1;
+    sopts.defaultDeadlineMs = 120e3;
+    sopts.warmup = false;
+    sopts.sharedMemoDir = dir;
+
+    std::string firstError;
+    {
+        service::AwdServer a(sopts);
+        std::string error;
+        ASSERT_TRUE(a.start(error)) << error;
+        RawConn conn;
+        ASSERT_TRUE(conn.connectTo(a.port()));
+        ASSERT_TRUE(conn.sendAll(frame));
+        std::vector<std::string> frames;
+        ASSERT_TRUE(conn.readResponses(1, frames));
+        firstError = frames[0];
+        EXPECT_EQ(parsedResponse(firstError).status, "error");
+        a.requestStop();
+        EXPECT_EQ(a.wait(), 0);
+    }
+    {
+        service::AwdServer b(sopts);
+        std::string error;
+        ASSERT_TRUE(b.start(error)) << error;
+        RawConn conn;
+        ASSERT_TRUE(conn.connectTo(b.port()));
+        ASSERT_TRUE(conn.sendAll(frame));
+        std::vector<std::string> frames;
+        ASSERT_TRUE(conn.readResponses(1, frames));
+        EXPECT_EQ(frames[0], firstError);
+        EXPECT_EQ(statOf(b, "shared_memo_negative_hits"), 1);
+        EXPECT_EQ(statOf(b, "admitted"), 0);
+        b.requestStop();
+        EXPECT_EQ(b.wait(), 0);
+    }
+    fs::remove_all(dir);
+}
+
+TEST(ServiceSharedMemo, TornEntryIsDetectedAndRecomputed)
+{
+    const std::string dir = "awd_shared_memo_torn_dir";
+    fs::remove_all(dir);
+    const service::EstimateRequest req =
+        estimateOf(testKernel(runUnique("svc_shared_torn")));
+    const std::string frame = frameOf(req);
+
+    service::ServerOptions sopts;
+    sopts.threads = 1;
+    sopts.maxQueue = 64;
+    sopts.defaultDeadlineMs = 120e3;
+    sopts.warmup = true;
+    sopts.sharedMemoDir = dir;
+
+    {
+        service::AwdServer a(sopts);
+        std::string error;
+        ASSERT_TRUE(a.start(error)) << error;
+        RawConn conn;
+        ASSERT_TRUE(conn.connectTo(a.port()));
+        ASSERT_TRUE(conn.sendAll(frame));
+        std::vector<std::string> frames;
+        ASSERT_TRUE(conn.readResponses(1, frames));
+        EXPECT_EQ(parsedResponse(frames[0]).status, "ok");
+        a.requestStop();
+        EXPECT_EQ(a.wait(), 0);
+    }
+
+    // Simulate a daemon dying mid-write: chop the published entry in
+    // half. The checksum must reject it — a torn entry is a miss, never
+    // a wrong answer.
+    FileEntryStore store(dir);
+    const std::string key = service::requestContentKey(req);
+    const std::string path = store.pathFor(key);
+    ASSERT_TRUE(fs::exists(path)) << path;
+    fs::resize_file(path, fs::file_size(path) / 2);
+    std::string raw;
+    EXPECT_FALSE(store.fetchText(key, "awd_memo", raw))
+        << "torn entry passed validation";
+
+    // A fresh daemon treats the torn entry as a miss, recomputes, and
+    // republishes a valid entry over it.
+    {
+        service::AwdServer b(sopts);
+        std::string error;
+        ASSERT_TRUE(b.start(error)) << error;
+        RawConn conn;
+        ASSERT_TRUE(conn.connectTo(b.port()));
+        ASSERT_TRUE(conn.sendAll(frame));
+        std::vector<std::string> frames;
+        ASSERT_TRUE(conn.readResponses(1, frames));
+        const service::EstimateResponse resp = parsedResponse(frames[0]);
+        EXPECT_EQ(resp.status, "ok") << resp.errorMessage;
+        EXPECT_EQ(resp.degraded, "none")
+            << "corrupt entry was served instead of recomputed";
+        EXPECT_EQ(statOf(b, "shared_memo_hits"), 0);
+        EXPECT_EQ(statOf(b, "admitted"), 1);
+        b.requestStop();
+        EXPECT_EQ(b.wait(), 0);
+    }
+    EXPECT_TRUE(store.fetchText(key, "awd_memo", raw))
+        << "recompute did not republish a valid shared entry";
+    fs::remove_all(dir);
 }
