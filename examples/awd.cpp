@@ -35,6 +35,15 @@ onSignal(int)
         g_server->requestStop();
 }
 
+void
+onDumpSignal(int)
+{
+    // Same pipe trick: SIGUSR1 asks the reactor for a flight-recorder
+    // dump (AW_SERVICE_FLIGHT_DUMP) without pausing the daemon.
+    if (g_server)
+        g_server->requestFlightDump();
+}
+
 [[noreturn]] void
 usage()
 {
@@ -105,6 +114,7 @@ main(int argc, char **argv)
     g_server = &server;
     std::signal(SIGTERM, onSignal);
     std::signal(SIGINT, onSignal);
+    std::signal(SIGUSR1, onDumpSignal);
 
     std::string error;
     if (!server.start(error))

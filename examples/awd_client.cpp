@@ -19,6 +19,7 @@
 
 #include "common/log.hpp"
 #include "hw/fault_injector.hpp"
+#include "obs/json.hpp"
 #include "service/client.hpp"
 
 using namespace aw;
@@ -40,6 +41,10 @@ usage()
         "  --ids             tag requests with idempotency keys\n"
         "  --ping            single liveness probe and exit\n"
         "  --stats           print daemon stats and exit\n"
+        "  --scope S         stats scope: counters|full|flight "
+        "(default full)\n"
+        "  --watch N         print N one-line stats snapshots, 1/s, "
+        "and exit\n"
         "  --chaos           inject AW_FAULTS into the client traffic\n");
     std::exit(2);
 }
@@ -93,7 +98,8 @@ main(int argc, char **argv)
     int count = 8;
     double deadlineMs = 0;
     int detail = 0;
-    std::string card = "volta", variant = "sass", portFile;
+    std::string card = "volta", variant = "sass", portFile, scope;
+    int watch = 0;
     bool ids = false, doPing = false, doStats = false, chaos = false;
 
     auto nextArg = [&](int &i) -> const char * {
@@ -123,6 +129,10 @@ main(int argc, char **argv)
             doPing = true;
         else if (arg == "--stats")
             doStats = true;
+        else if (arg == "--scope")
+            scope = nextArg(i);
+        else if (arg == "--watch")
+            watch = std::atoi(nextArg(i));
         else if (arg == "--chaos")
             chaos = true;
         else
@@ -143,10 +153,39 @@ main(int argc, char **argv)
         return 0;
     }
     if (doStats) {
-        Result<std::string> r = client.stats();
+        Result<std::string> r = client.stats(scope);
         if (!r)
             fatal("stats failed: %s", r.error().message.c_str());
         std::printf("%s\n", r->c_str());
+        return 0;
+    }
+    if (watch > 0) {
+        // One compact line per snapshot — a poor man's `top` for the
+        // daemon, and grep-friendly in CI logs.
+        for (int i = 0; i < watch; ++i) {
+            if (i > 0)
+                std::this_thread::sleep_for(std::chrono::seconds(1));
+            Result<std::string> r = client.stats();
+            if (!r)
+                fatal("watch failed: %s", r.error().message.c_str());
+            obs::JsonValue v;
+            if (!obs::tryParseJson(*r, v))
+                fatal("watch: unparseable stats payload");
+            const obs::JsonValue &s = v.at("stats");
+            auto n = [&](const char *key) {
+                return static_cast<long>(s.at(key).asNumber());
+            };
+            const obs::JsonValue &e2e = v.at("timers").at("e2e");
+            std::printf("[%d] q=%ld inflight=%ld admitted=%ld "
+                        "served=%ld shed=%ld memo=%ld coalesced=%ld "
+                        "e2e_p50=%.2fms e2e_p99=%.2fms\n",
+                        i, n("queue_depth"), n("inflight"),
+                        n("admitted"), n("served"), n("shed"),
+                        n("memo_hits"), n("coalesced"),
+                        e2e.at("p50_ms").asNumber(),
+                        e2e.at("p99_ms").asNumber());
+            std::fflush(stdout);
+        }
         return 0;
     }
 

@@ -28,7 +28,7 @@
 #   scripts/check.sh [--configure-only] [--build-dir DIR]
 #                    [--sanitizer address|thread]
 #                    [--perf-gate] [--update-baselines] [--simpar]
-#                    [--service]
+#                    [--service] [--service-obs]
 #
 #   --configure-only        stop after the CMake configure step (this is
 #                           what the `lint` CTest label runs, so plain
@@ -45,6 +45,11 @@
 #   --service               run only the awd daemon leg (smoke client,
 #                           chaos client under AW_FAULTS, clean SIGTERM
 #                           drain)
+#   --service-obs           run only the awd observability leg (daemon
+#                           under load with spans + flight recorder on,
+#                           SIGUSR1 dump + drain-time trace validated,
+#                           TSan pass of the service suite, and the
+#                           service_obs overhead gate)
 #
 # The test step excludes the lint label itself (-LE lint) so the check
 # does not recurse into another configure of the same tree.
@@ -59,6 +64,7 @@ perf_gate_only=0
 update_baselines=0
 simpar_only=0
 service_only=0
+service_obs_only=0
 
 while [[ $# -gt 0 ]]; do
     case "$1" in
@@ -81,6 +87,10 @@ while [[ $# -gt 0 ]]; do
         ;;
       --service)
         service_only=1
+        shift
+        ;;
+      --service-obs)
+        service_obs_only=1
         shift
         ;;
       --build-dir)
@@ -289,6 +299,89 @@ service_leg() {
     echo "== service leg passed (daemons survived chaos, drained cleanly)"
 }
 
+# awd observability leg: the daemon runs under load with every ISSUE 10
+# knob on (span trace, flight recorder, slow-request log), the live
+# introspection surfaces (--watch, --stats scopes) must answer, a
+# SIGUSR1 must land a valid aw.awd_flight.v1 dump without pausing
+# service, and the drain must export a parseable span trace. Then the
+# service suite re-runs under TSan (spans cross reactor/worker threads)
+# and the service_obs bench gates obs-on throughput within 3% of off
+# against the committed baseline.
+service_obs_leg() {
+    local dir=build-perf
+    echo "== service-obs: configure + build (plain) -> ${dir}"
+    cmake -B "${dir}" -S . >/dev/null
+    cmake --build "${dir}" -j \
+        --target awd awd_client accelwattch_cli aw_bench >/dev/null
+
+    local portfile="${dir}/awd-obs.port"
+    local tracefile="${dir}/awd-obs-trace.json"
+    local dumpfile="${dir}/awd-obs-flight.json"
+    rm -f "${portfile}" "${tracefile}" "${dumpfile}"
+    echo "== service-obs: start awd (trace + flight recorder + slow log)"
+    AW_SERVICE_TRACE="${tracefile}" AW_SERVICE_FLIGHT_N=256 \
+        AW_SERVICE_SLOW_MS=30000 AW_SERVICE_FLIGHT_DUMP="${dumpfile}" \
+        "${dir}/examples/awd" --port-file "${portfile}" --threads 2 &
+    local awd_pid=$!
+    trap 'kill "${awd_pid}" 2>/dev/null || true' RETURN
+
+    echo "== service-obs: load (16 mixed requests) + live introspection"
+    "${dir}/examples/awd_client" --port-file "${portfile}" --count 16 --ids
+    "${dir}/examples/awd_client" --port-file "${portfile}" --watch 2
+    "${dir}/examples/awd_client" --port-file "${portfile}" --stats \
+        --scope counters | grep -q '"served"'
+    "${dir}/examples/awd_client" --port-file "${portfile}" --stats \
+        --scope flight | grep -q '"aw.awd_flight.v1"'
+
+    echo "== service-obs: SIGUSR1 -> flight-recorder dump"
+    kill -USR1 "${awd_pid}"
+    local tries=0
+    while [[ ! -s "${dumpfile}" && ${tries} -lt 100 ]]; do
+        sleep 0.05
+        tries=$((tries + 1))
+    done
+    if [[ ! -s "${dumpfile}" ]]; then
+        echo "error: SIGUSR1 produced no flight dump at ${dumpfile}" >&2
+        return 1
+    fi
+    "${dir}/examples/accelwattch_cli" --validate-json "${dumpfile}"
+    grep -q '"aw.awd_flight.v1"' "${dumpfile}"
+    # The dump must not have paused the daemon.
+    "${dir}/examples/awd_client" --port-file "${portfile}" --ping
+
+    echo "== service-obs: SIGTERM -> clean drain + span-trace export"
+    kill -TERM "${awd_pid}"
+    local rc=0
+    wait "${awd_pid}" || rc=$?
+    if [[ ${rc} -ne 0 ]]; then
+        echo "error: awd drain exited ${rc} (expected clean 0)" >&2
+        return 1
+    fi
+    if [[ ! -s "${tracefile}" ]]; then
+        echo "error: drain exported no span trace at ${tracefile}" >&2
+        return 1
+    fi
+    "${dir}/examples/accelwattch_cli" --validate-json "${tracefile}"
+    grep -q 'awd/request' "${tracefile}"
+
+    # Spans cross the reactor, a worker, and the reactor again; the
+    # observability suites under TSan race those handoffs for real.
+    # (Only those suites: the wider service suite carries wall-clock
+    # bounds that TSan's slowdown trips on a 1-CPU box.)
+    echo "== service-obs: observability suites under TSan"
+    local tsan_dir=build-tsan
+    cmake -B "${tsan_dir}" -S . -DAW_SANITIZE=thread >/dev/null
+    cmake --build "${tsan_dir}" -j --target test_service >/dev/null
+    "${tsan_dir}/tests/test_service" \
+        --gtest_filter='ServiceObservability.*:ServiceStats.*'
+
+    echo "== service-obs: overhead gate (obs-on within 3% of obs-off)"
+    "${dir}/bench/aw_bench" --filter service_obs \
+        --baseline-dir results/baselines \
+        --out-dir "${dir}/service-obs-results"
+    echo "== service-obs leg passed"
+}
+
 # Sharded-simulator determinism leg.
 #   $1 = TSan build dir holding test_sim_parallel (built here if absent)
 # Part 1 re-runs the determinism suite under TSan with AW_SIM_THREADS=4
@@ -338,6 +431,11 @@ if [[ ${service_only} -eq 1 ]]; then
     exit 0
 fi
 
+if [[ ${service_obs_only} -eq 1 ]]; then
+    service_obs_leg
+    exit 0
+fi
+
 if [[ ${perf_gate_only} -eq 1 ]]; then
     perfgate
     exit 0
@@ -370,6 +468,7 @@ case "${sanitizer}" in
         simpar "${tsan_dir:-build-tsan}"
         perfgate
         service_leg
+        service_obs_leg
     fi
     ;;
 esac

@@ -153,6 +153,26 @@ class FileEntryStore
     void storeText(const std::string &key, const char *kind,
                    const std::string &valueJson);
 
+    /** What a sweep() found and removed. */
+    struct SweepStats
+    {
+        size_t scanned = 0;          ///< entries examined
+        size_t removedStale = 0;     ///< evicted past the TTL
+        size_t removedOverBytes = 0; ///< evicted for the byte bound
+        std::uintmax_t bytesAfter = 0; ///< entry bytes remaining
+    };
+
+    /**
+     * Bound the store: remove entries whose mtime is older than
+     * `ttlSec` (0 disables the age criterion), then — oldest first —
+     * entries past the `maxTotalBytes` byte bound (0 disables it).
+     * In-progress writes are untouched (only `*.json` entries are
+     * considered; `.lock` / `.tmp*` files are skipped), every removal
+     * is best-effort (a concurrent reader simply misses), and nothing
+     * here ever throws — a disappearing file mid-sweep is fine.
+     */
+    SweepStats sweep(std::uintmax_t maxTotalBytes, double ttlSec);
+
   private:
     std::string dir_;
 };

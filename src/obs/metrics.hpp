@@ -76,9 +76,20 @@ struct HistogramStats
 
 /**
  * Distribution over geometric buckets spanning [1e-9, 1e12) with 8
- * buckets per decade (~33% bucket width; percentile error is bounded by
- * half a bucket thanks to in-bucket interpolation). Values outside the
- * span clamp into the edge buckets; min/max/sum/count stay exact.
+ * buckets per decade. Values outside the span clamp into the edge
+ * buckets; min/max/sum/count stay exact.
+ *
+ * Quantile error bound: percentile(p) locates the bucket holding the
+ * p-th sample and interpolates linearly inside it, so the reported
+ * value and the true sample quantile always lie in the same geometric
+ * bucket. Adjacent bucket edges are a factor of 10^(1/8) apart, which
+ * bounds the RELATIVE error strictly below 10^(1/8) - 1 ~= 33.4% for
+ * any in-span positive sample set; the result is additionally clamped
+ * to the exact observed [min, max], so the extreme quantiles (p -> 0
+ * or 100) tighten toward zero error. Rank error is zero — only the
+ * value within the correct bucket is approximate. test_metrics
+ * (HistogramQuantileErrorBound) checks this bound against exact
+ * quantiles on uniform and lognormal samples.
  */
 class Histogram
 {

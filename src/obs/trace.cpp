@@ -40,6 +40,16 @@ bufList()
     return list;
 }
 
+// Externally-timed events (emit()): stamped by their owners across
+// threads, so they never belong to any thread-local buffer.
+std::mutex g_externalMutex;
+std::vector<TraceEvent> &
+externalList()
+{
+    static std::vector<TraceEvent> list;
+    return list;
+}
+
 } // namespace
 
 Profiler::ThreadBuf &
@@ -98,10 +108,22 @@ Profiler::end()
     buf.done.push_back(std::move(e));
 }
 
+void
+Profiler::emit(TraceEvent event)
+{
+    std::lock_guard<std::mutex> lock(g_externalMutex);
+    externalList().push_back(std::move(event));
+}
+
 std::vector<TraceEvent>
 Profiler::events() const
 {
     std::vector<TraceEvent> out;
+    {
+        std::lock_guard<std::mutex> lock(g_externalMutex);
+        const std::vector<TraceEvent> &ext = externalList();
+        out.insert(out.end(), ext.begin(), ext.end());
+    }
     std::lock_guard<std::mutex> listLock(g_bufListMutex);
     for (const auto &buf : bufList()) {
         std::lock_guard<std::mutex> lock(buf->mu);
@@ -154,6 +176,10 @@ Profiler::chromeTraceJson() const
 void
 Profiler::clear()
 {
+    {
+        std::lock_guard<std::mutex> lock(g_externalMutex);
+        externalList().clear();
+    }
     std::lock_guard<std::mutex> listLock(g_bufListMutex);
     for (const auto &buf : bufList()) {
         std::lock_guard<std::mutex> lock(buf->mu);

@@ -73,6 +73,23 @@ class Profiler
     /** Close the calling thread's innermost zone. */
     void end();
 
+    /**
+     * Inject an externally-timed event. Zones (begin/end) only fit
+     * work that stays on one thread; a request span that crosses the
+     * reactor, a worker, and the reactor again is stamped by its
+     * owners and emitted whole once it completes. The event's tsUs
+     * must be relative to epoch() (see below). Emission ignores the
+     * enabled flag — callers that emit gate themselves.
+     */
+    void emit(TraceEvent event);
+
+    /** The instant tsUs == 0 refers to; externally-timed emitters
+     *  rebase their own steady_clock stamps against this. */
+    std::chrono::steady_clock::time_point epoch() const
+    {
+        return epoch_;
+    }
+
     /** All completed events, merged across threads, start-time order. */
     std::vector<TraceEvent> events() const;
 

@@ -207,10 +207,11 @@ AwdClient::ping()
 }
 
 Result<std::string>
-AwdClient::stats()
+AwdClient::stats(const std::string &scope)
 {
     EstimateRequest req;
     req.type = "stats";
+    req.statsScope = scope;
     return roundTrip(requestToJson(req));
 }
 

@@ -60,8 +60,9 @@ class AwdClient
     /** Liveness probe (single round trip, retried like estimate). */
     Result<EstimateResponse> ping();
 
-    /** Raw stats payload from the daemon. */
-    Result<std::string> stats();
+    /** Raw stats payload from the daemon. `scope` is "" (= full),
+     *  "counters", "full", or "flight" (protocol.hpp). */
+    Result<std::string> stats(const std::string &scope = "");
 
   private:
     Result<std::string> roundTrip(const std::string &payload);

@@ -323,6 +323,57 @@ Estimator::setSharedMemoDir(const std::string &dir)
 {
     shared_ = dir.empty() ? nullptr
                           : std::make_unique<FileEntryStore>(dir);
+    // Startup sweep: a daemon pointed at a long-lived fleet directory
+    // trims it to the configured bounds before serving traffic.
+    sweepShared();
+}
+
+void
+Estimator::setSharedMemoBytes(long bytes)
+{
+    sharedMemoBytes_ = bytes < 0 ? 0 : bytes;
+}
+
+void
+Estimator::setSharedMemoTtlSec(double sec)
+{
+    sharedMemoTtlSec_ = sec < 0 ? 0 : sec;
+}
+
+size_t
+Estimator::memoEntries() const
+{
+    std::lock_guard<std::mutex> lock(memoMu_);
+    return memo_.size();
+}
+
+size_t
+Estimator::memoBytesUsed() const
+{
+    std::lock_guard<std::mutex> lock(memoMu_);
+    return memoBytes_;
+}
+
+void
+Estimator::sweepShared()
+{
+    if (!shared_ || (sharedMemoBytes_ <= 0 && sharedMemoTtlSec_ <= 0))
+        return;
+    const FileEntryStore::SweepStats s = shared_->sweep(
+        static_cast<std::uintmax_t>(sharedMemoBytes_), sharedMemoTtlSec_);
+    sharedSweeps_.fetch_add(1, std::memory_order_relaxed);
+    sharedEvictedStale_.fetch_add(static_cast<long>(s.removedStale),
+                                  std::memory_order_relaxed);
+    sharedEvictedBytes_.fetch_add(static_cast<long>(s.removedOverBytes),
+                                  std::memory_order_relaxed);
+    if (s.removedStale + s.removedOverBytes > 0) {
+        obs::metrics().counter("service.shared_memo_evicted").add(
+            static_cast<double>(s.removedStale + s.removedOverBytes));
+        AW_DEBUGF("service", "shared memo sweep: %zu scanned, %zu stale "
+                  "+ %zu over-bytes removed, %ju bytes remain",
+                  s.scanned, s.removedStale, s.removedOverBytes,
+                  static_cast<uintmax_t>(s.bytesAfter));
+    }
 }
 
 std::string
@@ -352,6 +403,10 @@ Estimator::sharedStore(const std::string &key, const EstimateResponse &resp)
     value += "}";
     shared_->storeText(key, kSharedMemoKind, value);
     obs::metrics().counter("service.shared_memo_writes").add(1);
+    // Opportunistic bound enforcement: a full directory scan per store
+    // would be quadratic, so only every 32nd store pays for one.
+    if (sharedStores_.fetch_add(1, std::memory_order_relaxed) % 32 == 31)
+        sweepShared();
 }
 
 void

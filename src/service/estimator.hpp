@@ -37,6 +37,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -116,9 +117,38 @@ class Estimator
     void setMemoByteLimit(size_t bytes);
 
     /** Attach the cross-process L2 store rooted at `dir` (empty
-     *  detaches). Call before serving traffic. */
+     *  detaches). Call before serving traffic — after the byte/TTL
+     *  bounds below, so the attach-time sweep sees them. */
     void setSharedMemoDir(const std::string &dir);
     bool sharedEnabled() const { return shared_ != nullptr; }
+
+    /** Bound the shared L2 directory by total entry bytes; 0 (the
+     *  default) keeps it unbounded. Enforced by a sweep at attach time
+     *  and opportunistically on store, oldest entries first. */
+    void setSharedMemoBytes(long bytes);
+
+    /** Age out shared L2 entries older than `sec` seconds at each
+     *  sweep; 0 (the default) disables the age criterion. */
+    void setSharedMemoTtlSec(double sec);
+
+    /** L1 introspection (the stats endpoint's estimator section). */
+    size_t memoEntries() const;
+    size_t memoBytesUsed() const;
+
+    /** Entries this daemon's sweeps evicted from the shared L2, by
+     *  cause (stale = past the TTL, bytes = over the byte bound). */
+    long sharedEvictedStale() const
+    {
+        return sharedEvictedStale_.load(std::memory_order_relaxed);
+    }
+    long sharedEvictedBytes() const
+    {
+        return sharedEvictedBytes_.load(std::memory_order_relaxed);
+    }
+    long sharedSweeps() const
+    {
+        return sharedSweeps_.load(std::memory_order_relaxed);
+    }
 
     /** Probe L2 for `key`. On Hit, `out` is the canonical recorded
      *  ok-response; on NegativeHit, the recorded error. */
@@ -143,6 +173,9 @@ class Estimator
 
     Card *findCard(const std::string &name);
     void sharedStore(const std::string &key, const EstimateResponse &resp);
+    /** Run one bounded sweep of the shared directory (no-op unless a
+     *  store is attached and a byte or TTL bound is set). */
+    void sweepShared();
     /** Activity sourcing + model evaluation for one job whose card /
      *  variant / model are already resolved (run and runBatch share
      *  this, so batched answers are bit-identical to unbatched). */
@@ -153,7 +186,7 @@ class Estimator
     std::vector<std::string> cardNames_;
     std::vector<std::unique_ptr<Card>> cards_;
 
-    std::mutex memoMu_;
+    mutable std::mutex memoMu_; ///< const introspection accessors lock it
     std::unordered_map<std::string, EstimateResponse> memo_;
     /** Insertion order with each entry's approximate footprint (the
      *  byte bound must know what an eviction frees). */
@@ -162,6 +195,12 @@ class Estimator
     size_t memoByteLimit_ = 0;
 
     std::unique_ptr<FileEntryStore> shared_;
+    long sharedMemoBytes_ = 0;     ///< L2 byte bound (0 = unbounded)
+    double sharedMemoTtlSec_ = 0;  ///< L2 entry TTL (0 = no age bound)
+    std::atomic<long> sharedStores_{0}; ///< paces opportunistic sweeps
+    std::atomic<long> sharedEvictedStale_{0};
+    std::atomic<long> sharedEvictedBytes_{0};
+    std::atomic<long> sharedSweeps_{0};
 };
 
 } // namespace aw::service

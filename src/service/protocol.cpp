@@ -336,6 +336,8 @@ requestToJson(const EstimateRequest &req)
         out += ",\"detail\":" + std::to_string(req.detail);
     if (req.deadlineMs > 0)
         out += ",\"deadline_ms\":" + obs::jsonNumber(req.deadlineMs);
+    if (!req.statsScope.empty())
+        out += ",\"scope\":\"" + obs::jsonEscape(req.statsScope) + "\"";
     if (req.hasKernel)
         out += ",\"kernel\":" + kernelToJson(req.kernel);
     if (req.hasActivity)
@@ -376,6 +378,13 @@ parseRequest(const obs::JsonValue &v, EstimateRequest &out,
     }
     if (out.deadlineMs < 0 || out.deadlineMs > 86400e3) {
         error = "deadline_ms must be in [0, 86400000]";
+        return false;
+    }
+    if (!readString(v, "scope", out.statsScope, error))
+        return false;
+    if (out.statsScope != "" && out.statsScope != "counters" &&
+        out.statsScope != "full" && out.statsScope != "flight") {
+        error = "scope must be one of counters, full, flight";
         return false;
     }
     if (out.type != "estimate")

@@ -17,7 +17,13 @@
  *              against a calibrated card model; the response carries
  *              average power, energy, and the Figure-8 breakdown.
  *   ping     — liveness probe.
- *   stats    — server counters (queue depth, shed/degraded/served).
+ *   stats    — live introspection. An optional `scope` selects the
+ *              payload shape: "counters" (the flat counter table
+ *              only), "full" / absent (counters plus timer
+ *              histograms, estimator/memo state, and flight-recorder
+ *              status), or "flight" (full plus the embedded
+ *              aw.awd_flight.v1 flight-recorder dump). Any other
+ *              scope is a range-checked protocol error.
  *
  * Responses (`status`): ok | shed | deadline | error. A shed response
  * carries `retry_after_ms` (structured backpressure); a degraded one
@@ -112,6 +118,8 @@ struct EstimateRequest
     double freqGhz = 0;            ///< 0 = card default clock
     int detail = 0;                ///< sim detail groups; 0 = default
     double deadlineMs = 0;         ///< 0 = server default deadline
+    /** stats only: "" (= full) | counters | full | flight. */
+    std::string statsScope;
 
     bool hasKernel = false;
     KernelDescriptor kernel;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "service/protocol.hpp"
+#include "service/service_obs.hpp"
 
 namespace aw::service {
 
@@ -59,6 +60,15 @@ struct Job
      *  propagated into SimOptions::cancel. */
     std::shared_ptr<std::atomic<bool>> cancel;
     bool degrade = false;    ///< admitted under the soft limit: detail 1
+    /**
+     * Lifecycle span, allocated by the reactor only when one of the
+     * server's observability knobs is on (null otherwise — the
+     * bit-identical default). Ownership of the stamps follows the job:
+     * the reactor writes accept/admit, the worker writes the
+     * pop/sim/finish stamps, and the reactor writes encode after the
+     * completion handoff — each transfer is through a mutex.
+     */
+    std::shared_ptr<RequestSpan> span;
 
     /** Current effective deadline; max() when none was attached (only
      *  hand-built jobs in tests lack one). */

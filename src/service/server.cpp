@@ -19,8 +19,11 @@
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "common/table.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "service/service_obs.hpp"
 
 namespace aw::service {
 
@@ -102,6 +105,9 @@ struct Completion
     uint64_t tag = 0;
     uint64_t sessionId = 0;
     EstimateResponse resp;
+    /** The job's lifecycle span (null when observability is off); the
+     *  reactor stamps encode and records it at delivery. */
+    std::shared_ptr<RequestSpan> span;
 };
 
 /** Watchdog view of one admitted-but-unfinished job. The deadline is
@@ -121,6 +127,9 @@ struct FlightSub
     uint64_t sessionId = 0;
     std::string requestId;
     Clock::time_point deadline; ///< this subscriber's own deadline
+    /** A coalesced follower's own span (null when observability is
+     *  off, and for the leader — the leader's span rides the Job). */
+    std::shared_ptr<RequestSpan> span;
 };
 
 /**
@@ -173,6 +182,19 @@ ServerOptions::fromEnvironment()
     if (const char *dir = std::getenv("AW_SERVICE_SHARED_MEMO_DIR");
         dir && *dir)
         opts.sharedMemoDir = dir;
+    opts.sharedMemoBytes = envLong("AW_SERVICE_SHARED_MEMO_BYTES",
+                                   opts.sharedMemoBytes, 0, 1L << 40);
+    opts.sharedMemoTtlSec = envDouble("AW_SERVICE_SHARED_MEMO_TTL_SEC",
+                                      opts.sharedMemoTtlSec, 0, 1e9);
+    if (const char *trace = std::getenv("AW_SERVICE_TRACE");
+        trace && *trace)
+        opts.tracePath = trace;
+    opts.slowMs = envDouble("AW_SERVICE_SLOW_MS", opts.slowMs, 0, 86400e3);
+    opts.flightN = static_cast<int>(
+        envLong("AW_SERVICE_FLIGHT_N", opts.flightN, 0, 1 << 20));
+    if (const char *dump = std::getenv("AW_SERVICE_FLIGHT_DUMP");
+        dump && *dump)
+        opts.flightDumpPath = dump;
     if (const char *cards = std::getenv("AW_SERVICE_CARDS");
         cards && *cards) {
         opts.cards.clear();
@@ -203,8 +225,19 @@ struct AwdServer::Impl
         if (opts.memoBytes > 0)
             estimator.setMemoByteLimit(
                 static_cast<size_t>(opts.memoBytes));
+        // Bounds before the directory: attaching runs the startup
+        // sweep, which must already see them.
+        estimator.setSharedMemoBytes(opts.sharedMemoBytes);
+        estimator.setSharedMemoTtlSec(opts.sharedMemoTtlSec);
         if (!opts.sharedMemoDir.empty())
             estimator.setSharedMemoDir(opts.sharedMemoDir);
+        if (opts.flightN > 0)
+            recorder = std::make_unique<FlightRecorder>(
+                static_cast<size_t>(opts.flightN));
+        obsOn = recorder != nullptr || !opts.tracePath.empty() ||
+                opts.slowMs > 0;
+        traceEpochNs =
+            toNs(obs::Profiler::instance().epoch());
     }
 
     ServerOptions opts;
@@ -249,28 +282,75 @@ struct AwdServer::Impl
      *  degrade leader); cleared at delivery only by the slot holder. */
     std::unordered_map<std::string, uint64_t> flightTagByKey;
 
-    std::atomic<long> statServed{0};
-    std::atomic<long> statShed{0};
-    std::atomic<long> statReplayed{0};
-    std::atomic<long> statMemoHits{0};
-    std::atomic<long> statAdmitted{0};
-    std::atomic<long> statProtocolErrors{0};
-    std::atomic<long> statSessions{0};
-    std::atomic<long> statCoalesced{0};
-    std::atomic<long> statCoalesceCancelled{0};
-    std::atomic<long> statBatches{0};
-    std::atomic<long> statBatched{0};
-    std::atomic<long> statSharedHits{0};
-    std::atomic<long> statSharedNegHits{0};
+    // --- observability (DESIGN.md §10.11) ------------------------------
+
+    /** Per-server metrics registry: this daemon's stats are a typed
+     *  snapshot of it, and instances (tests, paired benches) do not
+     *  bleed counters into each other. The process-global
+     *  obs::metrics() counters sprinkled through the hot paths remain
+     *  untouched for the telemetry sink. */
+    obs::Registry reg;
+
+    /** Registry handles resolved once — the hot paths then pay exactly
+     *  what the old raw atomics paid: one relaxed atomic update. */
+    struct Stats
+    {
+        explicit Stats(obs::Registry &r)
+            : admitted(r.counter("admitted")),
+              served(r.counter("served")), shed(r.counter("shed")),
+              degraded(r.counter("degraded")),
+              replayed(r.counter("replayed")),
+              memoHits(r.counter("memo_hits")),
+              protocolErrors(r.counter("protocol_errors")),
+              sessions(r.counter("sessions")),
+              coalesced(r.counter("coalesced")),
+              coalesceCancelled(r.counter("coalesce_cancelled")),
+              batches(r.counter("batches")),
+              batched(r.counter("batched")),
+              sharedHits(r.counter("shared_memo_hits")),
+              sharedNegHits(r.counter("shared_memo_negative_hits")),
+              deadline(r.counter("deadline")), slow(r.counter("slow")),
+              queueDepth(r.gauge("queue_depth")),
+              inflightGauge(r.gauge("inflight")),
+              sessionsOpen(r.gauge("sessions_open")),
+              flightsOpen(r.gauge("flights_open")),
+              outBufferBytes(r.gauge("out_buffer_bytes")),
+              e2e(r.timer("e2e")), queueWait(r.timer("queue_wait")),
+              sim(r.timer("sim"))
+        {}
+
+        obs::Counter &admitted, &served, &shed, &degraded, &replayed,
+            &memoHits, &protocolErrors, &sessions, &coalesced,
+            &coalesceCancelled, &batches, &batched, &sharedHits,
+            &sharedNegHits, &deadline, &slow;
+        obs::Gauge &queueDepth, &inflightGauge, &sessionsOpen,
+            &flightsOpen, &outBufferBytes;
+        obs::Timer &e2e, &queueWait, &sim;
+    };
+    Stats st{reg};
+
+    /** Last-N completed request records; null when flightN is 0. */
+    std::unique_ptr<FlightRecorder> recorder;
+    /** Any span-producing knob set? When false (every knob at its
+     *  default) no RequestSpan is ever allocated and the request path
+     *  is bit-identical to the pre-observability daemon. The latency
+     *  timers above are exempt: they are plain histogram records with
+     *  no allocation, always on. */
+    bool obsOn = false;
+    /** Profiler epoch in steady-clock ns — span stamps are rebased
+     *  onto it so exported trace events share the profiler timeline. */
+    int64_t traceEpochNs = 0;
 
     // --- worker / watchdog side ---------------------------------------
 
     void postCompletion(uint64_t tag, uint64_t sessionId,
-                        EstimateResponse resp)
+                        EstimateResponse resp,
+                        std::shared_ptr<RequestSpan> span)
     {
         {
             std::lock_guard<std::mutex> lock(completionsMu);
-            completions.push_back({tag, sessionId, std::move(resp)});
+            completions.push_back(
+                {tag, sessionId, std::move(resp), std::move(span)});
         }
         inflightCount.fetch_sub(1, std::memory_order_acq_rel);
         wake('C');
@@ -330,15 +410,22 @@ struct AwdServer::Impl
                 estimator.memoStore(job.contentKey, resp);
             if (!job.req.id.empty())
                 idemStore(job.req.id, resp);
-            statServed.fetch_add(1, std::memory_order_relaxed);
+            st.served.add(1);
         } else if (resp.status == "error") {
             // Negative cache: a deterministic failure recorded in the
             // shared tier stops the whole fleet from recomputing the
             // key until the TTL lapses. (No-op without a shared dir.)
             estimator.sharedStoreNegative(job.contentKey, resp);
         }
+        if (resp.status == "deadline")
+            st.deadline.add(1);
+        const Clock::time_point now = Clock::now();
+        st.e2e.record(
+            std::chrono::duration<double>(now - job.arrival).count());
+        if (job.span)
+            job.span->tFinishNs = toNs(now);
         unregisterInflight(job.tag);
-        postCompletion(job.tag, job.sessionId, std::move(resp));
+        postCompletion(job.tag, job.sessionId, std::move(resp), job.span);
     }
 
     void workerLoop()
@@ -352,19 +439,48 @@ struct AwdServer::Impl
         std::vector<Job> batch;
         std::vector<EstimateResponse> resps;
         while (queue.popBatch(batch, kMaxBatchJobs, windowSec)) {
+            const Clock::time_point popped = Clock::now();
+            for (const Job &job : batch) {
+                st.queueWait.record(
+                    std::chrono::duration<double>(popped - job.arrival)
+                        .count());
+                if (job.span)
+                    job.span->tPopNs = toNs(popped);
+            }
             if (batch.size() == 1) {
-                finishJob(batch.front(),
-                          estimator.run(batch.front()));
+                Job &job = batch.front();
+                const Clock::time_point simStart = Clock::now();
+                EstimateResponse resp = estimator.run(job);
+                const Clock::time_point simEnd = Clock::now();
+                st.sim.record(
+                    std::chrono::duration<double>(simEnd - simStart)
+                        .count());
+                if (job.span) {
+                    job.span->tSimStartNs = toNs(simStart);
+                    job.span->tSimEndNs = toNs(simEnd);
+                }
+                finishJob(job, std::move(resp));
                 continue;
             }
-            statBatches.fetch_add(1, std::memory_order_relaxed);
-            statBatched.fetch_add(static_cast<long>(batch.size()),
-                                  std::memory_order_relaxed);
+            st.batches.add(1);
+            st.batched.add(static_cast<double>(batch.size()));
             obs::metrics().counter("service.batched").add(
                 static_cast<double>(batch.size()));
+            // The whole-batch duration is recorded once in the timer
+            // and stamped onto every member's span: the members share
+            // one estimator pass, so a per-job split would be fiction.
+            const Clock::time_point simStart = Clock::now();
             estimator.runBatch(batch, resps);
-            for (size_t i = 0; i < batch.size(); ++i)
+            const Clock::time_point simEnd = Clock::now();
+            st.sim.record(
+                std::chrono::duration<double>(simEnd - simStart).count());
+            for (size_t i = 0; i < batch.size(); ++i) {
+                if (batch[i].span) {
+                    batch[i].span->tSimStartNs = toNs(simStart);
+                    batch[i].span->tSimEndNs = toNs(simEnd);
+                }
                 finishJob(batch[i], std::move(resps[i]));
+            }
         }
     }
 
@@ -416,45 +532,112 @@ struct AwdServer::Impl
 
     // --- reactor side --------------------------------------------------
 
-    std::string statsPayload() const
+    /** Counters are integral by construction — emit them without a
+     *  decimal point so existing stats consumers keep parsing them as
+     *  the plain integers the raw atomics used to be. */
+    static void appendCount(std::string &out, const char *name,
+                            const obs::Counter &c)
     {
+        out += ",\"";
+        out += name;
+        out += "\":";
+        out += std::to_string(static_cast<long long>(c.value()));
+    }
+
+    static void appendTimer(std::string &out, const char *name,
+                            const obs::Timer &t)
+    {
+        const obs::HistogramStats s = t.stats();
+        out += "\"";
+        out += name;
+        out += "\":{\"count\":" + std::to_string(s.count);
+        out += ",\"mean_ms\":" + obs::jsonNumber(s.mean * 1e3);
+        out += ",\"p50_ms\":" + obs::jsonNumber(s.p50 * 1e3);
+        out += ",\"p90_ms\":" + obs::jsonNumber(s.p90 * 1e3);
+        out += ",\"p99_ms\":" + obs::jsonNumber(s.p99 * 1e3);
+        out += ",\"max_ms\":" + obs::jsonNumber(s.max * 1e3);
+        out += "}";
+    }
+
+    /**
+     * The stats response: a typed snapshot of the per-server registry.
+     * scope "counters" stops after the flat stats object (the PR 8
+     * shape plus the degraded/deadline/slow counters); "" and "full"
+     * add gauges, latency timers, estimator and flight-recorder state;
+     * "flight" additionally inlines the flight-recorder dump.
+     */
+    std::string statsPayload(const std::string &scope) const
+    {
+        st.queueDepth.set(static_cast<double>(queue.depth()));
+        st.inflightGauge.set(static_cast<double>(
+            inflightCount.load(std::memory_order_relaxed)));
         std::string out = "{\"status\":\"ok\",\"stats\":{";
         out += "\"queue_depth\":" + std::to_string(queue.depth());
         out += ",\"inflight\":" +
                std::to_string(inflightCount.load(std::memory_order_relaxed));
-        out += ",\"admitted\":" +
-               std::to_string(statAdmitted.load(std::memory_order_relaxed));
-        out += ",\"served\":" +
-               std::to_string(statServed.load(std::memory_order_relaxed));
-        out += ",\"shed\":" +
-               std::to_string(statShed.load(std::memory_order_relaxed));
-        out += ",\"replayed\":" +
-               std::to_string(statReplayed.load(std::memory_order_relaxed));
-        out += ",\"memo_hits\":" +
-               std::to_string(statMemoHits.load(std::memory_order_relaxed));
-        out += ",\"protocol_errors\":" +
-               std::to_string(
-                   statProtocolErrors.load(std::memory_order_relaxed));
-        out += ",\"sessions\":" +
-               std::to_string(statSessions.load(std::memory_order_relaxed));
-        out += ",\"coalesced\":" +
-               std::to_string(statCoalesced.load(std::memory_order_relaxed));
-        out += ",\"coalesce_cancelled\":" +
-               std::to_string(
-                   statCoalesceCancelled.load(std::memory_order_relaxed));
-        out += ",\"batches\":" +
-               std::to_string(statBatches.load(std::memory_order_relaxed));
-        out += ",\"batched\":" +
-               std::to_string(statBatched.load(std::memory_order_relaxed));
-        out += ",\"shared_memo_hits\":" +
-               std::to_string(
-                   statSharedHits.load(std::memory_order_relaxed));
-        out += ",\"shared_memo_negative_hits\":" +
-               std::to_string(
-                   statSharedNegHits.load(std::memory_order_relaxed));
+        appendCount(out, "admitted", st.admitted);
+        appendCount(out, "served", st.served);
+        appendCount(out, "shed", st.shed);
+        appendCount(out, "replayed", st.replayed);
+        appendCount(out, "memo_hits", st.memoHits);
+        appendCount(out, "protocol_errors", st.protocolErrors);
+        appendCount(out, "sessions", st.sessions);
+        appendCount(out, "coalesced", st.coalesced);
+        appendCount(out, "coalesce_cancelled", st.coalesceCancelled);
+        appendCount(out, "batches", st.batches);
+        appendCount(out, "batched", st.batched);
+        appendCount(out, "shared_memo_hits", st.sharedHits);
+        appendCount(out, "shared_memo_negative_hits", st.sharedNegHits);
+        appendCount(out, "degraded", st.degraded);
+        appendCount(out, "deadline", st.deadline);
+        appendCount(out, "slow", st.slow);
         out += ",\"draining\":";
         out += stopping.load(std::memory_order_relaxed) ? "true" : "false";
-        out += "}}";
+        out += "}";
+        if (scope != "counters") {
+            out += ",\"gauges\":{\"sessions_open\":";
+            out += std::to_string(
+                static_cast<long long>(st.sessionsOpen.value()));
+            out += ",\"flights_open\":";
+            out += std::to_string(
+                static_cast<long long>(st.flightsOpen.value()));
+            out += ",\"out_buffer_bytes\":";
+            out += std::to_string(
+                static_cast<long long>(st.outBufferBytes.value()));
+            out += "},\"timers\":{";
+            appendTimer(out, "e2e", st.e2e);
+            out += ",";
+            appendTimer(out, "queue_wait", st.queueWait);
+            out += ",";
+            appendTimer(out, "sim", st.sim);
+            out += "},\"estimator\":{";
+            out += "\"cards\":" + std::to_string(estimator.cards().size());
+            out += ",\"memo_entries\":" +
+                   std::to_string(estimator.memoEntries());
+            out += ",\"memo_bytes\":" +
+                   std::to_string(estimator.memoBytesUsed());
+            out += ",\"shared_memo\":";
+            out += estimator.sharedEnabled() ? "true" : "false";
+            out += ",\"shared_evicted_stale\":" +
+                   std::to_string(estimator.sharedEvictedStale());
+            out += ",\"shared_evicted_bytes\":" +
+                   std::to_string(estimator.sharedEvictedBytes());
+            out += ",\"shared_sweeps\":" +
+                   std::to_string(estimator.sharedSweeps());
+            out += "},\"flight_recorder\":{\"enabled\":";
+            out += recorder ? "true" : "false";
+            out += ",\"capacity\":" +
+                   std::to_string(recorder ? recorder->capacity() : 0);
+            out += ",\"recorded\":" +
+                   std::to_string(recorder ? recorder->recorded() : 0);
+            out += ",\"slow_ms\":" + obs::jsonNumber(opts.slowMs);
+            out += "}";
+        }
+        if (scope == "flight") {
+            out += ",\"flight\":";
+            out += recorder ? recorder->dumpJson() : "null";
+        }
+        out += "}";
         return out;
     }
 
@@ -482,13 +665,14 @@ struct AwdServer::Impl
      * daemon: a reply that somehow overflows the frame bound
      * (responses embed derived strings) is replaced by a minimal
      * structured error instead of hitting appendFrame's fatal().
-     * Every server-side send goes through this.
+     * Every server-side send goes through this. Returns the payload
+     * bytes actually framed (the spans' `bytes` field).
      */
-    void sendPayload(Session &sess, std::string_view payload)
+    size_t sendPayload(Session &sess, std::string_view payload)
     {
         if (payload.size() <= kMaxFrameBytes) {
             appendFrame(sess.out, payload);
-            return;
+            return payload.size();
         }
         warn("awd: replacing a %zu-byte response that exceeds the "
              "%zu-byte frame bound with a structured error",
@@ -500,31 +684,32 @@ struct AwdServer::Impl
         sess.scratch.clear();
         appendResponseJson(resp, sess.scratch);
         appendFrame(sess.out, sess.scratch);
+        return sess.scratch.size();
     }
 
     /** Serialize a response into the session's reusable scratch buffer
      *  and frame it — the per-reply allocation the old string-returning
      *  path paid is gone. */
-    void sendResponse(Session &sess, const EstimateResponse &resp)
+    size_t sendResponse(Session &sess, const EstimateResponse &resp)
     {
         sess.scratch.clear();
         appendResponseJson(resp, sess.scratch);
-        sendPayload(sess, sess.scratch);
+        return sendPayload(sess, sess.scratch);
     }
 
-    void sendShed(Session &sess, const std::string &id)
+    size_t sendShed(Session &sess, const std::string &id)
     {
         EstimateResponse resp;
         resp.status = "shed";
         resp.id = id;
         resp.retryAfterMs = retryAfterMs(sess);
-        statShed.fetch_add(1, std::memory_order_relaxed);
+        st.shed.add(1);
         obs::metrics().counter("service.shed").add(1);
-        sendResponse(sess, resp);
+        return sendResponse(sess, resp);
     }
 
-    void sendError(Session &sess, const std::string &id,
-                   const std::string &message)
+    size_t sendError(Session &sess, const std::string &id,
+                     const std::string &message)
     {
         EstimateResponse resp;
         resp.status = "error";
@@ -537,23 +722,111 @@ struct AwdServer::Impl
             message.size() > 2 * kMaxEchoBytes
                 ? message.substr(0, 2 * kMaxEchoBytes) + "... (truncated)"
                 : message;
-        statProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+        st.protocolErrors.add(1);
         obs::metrics().counter("service.protocol_errors").add(1);
-        sendResponse(sess, resp);
+        return sendResponse(sess, resp);
+    }
+
+    // --- span plumbing (all dead when obsOn is false) -------------------
+
+    int64_t nowNs() const { return toNs(Clock::now()); }
+
+    /**
+     * Finish a lifecycle span: stamp encode, feed the flight recorder,
+     * export trace events, and apply the slow-request log. Reactor
+     * thread only — every span reaches here through a mutex handoff
+     * (or never left the reactor), so plain int64 stamps suffice.
+     */
+    void completeSpan(RequestSpan &span, const std::string &outcome,
+                      size_t bytes)
+    {
+        span.outcome = outcome;
+        span.bytes = bytes;
+        span.tEncodeNs = nowNs();
+        if (recorder)
+            recorder->push(span);
+        if (!opts.tracePath.empty())
+            emitSpanTrace(span);
+        if (opts.slowMs > 0 && span.tAcceptNs > 0) {
+            const double totalMs =
+                static_cast<double>(span.tEncodeNs - span.tAcceptNs) *
+                1e-6;
+            if (totalMs > opts.slowMs) {
+                st.slow.add(1);
+                warn("awd: slow request (%.1f ms > %.1f ms): verdict=%s "
+                     "outcome=%s key=%s id=%s",
+                     totalMs, opts.slowMs, spanVerdictName(span.verdict),
+                     outcome.c_str(), span.keyPrefix.c_str(),
+                     span.requestId.c_str());
+            }
+        }
+    }
+
+    /**
+     * Export one finished span as Chrome-trace events on the shared
+     * profiler timeline. The whole request is an "awd/request" slice;
+     * queue wait and simulation nest under it when the span reached
+     * those phases. Spans are laid out on a small set of virtual lanes
+     * keyed by job tag so concurrent requests do not render stacked.
+     */
+    void emitSpanTrace(const RequestSpan &span)
+    {
+        obs::Profiler &prof = obs::Profiler::instance();
+        const uint64_t lane =
+            span.tag != 0 ? span.tag : span.leaderTag;
+        const uint32_t tid = 900 + static_cast<uint32_t>(lane % 8);
+        auto us = [&](int64_t ns) {
+            return static_cast<double>(ns - traceEpochNs) * 1e-3;
+        };
+        std::string name = std::string("awd/request ") +
+                           spanVerdictName(span.verdict);
+        prof.emit({std::move(name), us(span.tAcceptNs),
+                   us(span.tEncodeNs) - us(span.tAcceptNs), tid, 0});
+        if (span.tAdmitNs > 0 && span.tPopNs > span.tAdmitNs)
+            prof.emit({"awd/queue_wait", us(span.tAdmitNs),
+                       us(span.tPopNs) - us(span.tAdmitNs), tid, 1});
+        if (span.tSimStartNs > 0 && span.tSimEndNs > span.tSimStartNs)
+            prof.emit({"awd/simulate", us(span.tSimStartNs),
+                       us(span.tSimEndNs) - us(span.tSimStartNs), tid,
+                       1});
+    }
+
+    /** Record a request that was answered inline from the reactor
+     *  (replay, memo hit, shed, protocol error): its whole life is
+     *  accept -> encode, so the span never rides a Job. */
+    void recordInline(SpanVerdict verdict, const std::string &id,
+                      const std::string &key, const std::string &outcome,
+                      size_t bytes, int64_t acceptNs)
+    {
+        if (!obsOn)
+            return;
+        RequestSpan span;
+        span.requestId = id.substr(0, kSpanKeyPrefixBytes);
+        span.keyPrefix = key.substr(0, kSpanKeyPrefixBytes);
+        span.verdict = verdict;
+        span.tAcceptNs = acceptNs;
+        span.tAdmitNs = acceptNs;
+        completeSpan(span, outcome, bytes);
     }
 
     void handleFrame(uint64_t sessionId, Session &sess,
                      std::string_view payload)
     {
+        const int64_t acceptNs = obsOn ? nowNs() : 0;
         obs::JsonValue v;
         if (!obs::tryParseJson(payload, v)) {
-            sendError(sess, "", "malformed JSON payload");
+            const size_t n =
+                sendError(sess, "", "malformed JSON payload");
+            recordInline(SpanVerdict::ProtocolError, "", "", "error", n,
+                         acceptNs);
             return;
         }
         EstimateRequest req;
         std::string perr;
         if (!parseRequest(v, req, perr)) {
-            sendError(sess, req.id, perr);
+            const size_t n = sendError(sess, req.id, perr);
+            recordInline(SpanVerdict::ProtocolError, req.id, "", "error",
+                         n, acceptNs);
             return;
         }
         if (req.type == "ping") {
@@ -566,7 +839,7 @@ struct AwdServer::Impl
             return;
         }
         if (req.type == "stats") {
-            sendPayload(sess, statsPayload());
+            sendPayload(sess, statsPayload(req.statsScope));
             return;
         }
 
@@ -576,8 +849,10 @@ struct AwdServer::Impl
             EstimateResponse replay;
             if (idemLookup(req.id, replay)) {
                 replay.replayed = true;
-                statReplayed.fetch_add(1, std::memory_order_relaxed);
-                sendResponse(sess, replay);
+                st.replayed.add(1);
+                const size_t n = sendResponse(sess, replay);
+                recordInline(SpanVerdict::Replayed, req.id, "",
+                             replay.status, n, acceptNs);
                 return;
             }
         }
@@ -591,8 +866,10 @@ struct AwdServer::Impl
             memo.id = req.id;
             memo.degraded = "cached";
             memo.replayed = false;
-            statMemoHits.fetch_add(1, std::memory_order_relaxed);
-            sendResponse(sess, memo);
+            st.memoHits.add(1);
+            const size_t n = sendResponse(sess, memo);
+            recordInline(SpanVerdict::MemoHit, req.id, contentKey,
+                         memo.status, n, acceptNs);
             return;
         }
 
@@ -603,23 +880,28 @@ struct AwdServer::Impl
         if (estimator.sharedEnabled()) {
             EstimateResponse fromL2;
             switch (estimator.sharedLookup(contentKey, fromL2)) {
-              case Estimator::SharedMemo::Hit:
+              case Estimator::SharedMemo::Hit: {
                 estimator.memoStoreLocal(contentKey, fromL2);
                 fromL2.id = req.id;
                 fromL2.degraded = "cached";
-                statSharedHits.fetch_add(1, std::memory_order_relaxed);
+                st.sharedHits.add(1);
                 obs::metrics().counter("service.shared_memo_hits").add(1);
-                sendResponse(sess, fromL2);
+                const size_t n = sendResponse(sess, fromL2);
+                recordInline(SpanVerdict::SharedHit, req.id, contentKey,
+                             fromL2.status, n, acceptNs);
                 return;
-              case Estimator::SharedMemo::NegativeHit:
+              }
+              case Estimator::SharedMemo::NegativeHit: {
                 fromL2.id = req.id;
-                statSharedNegHits.fetch_add(1,
-                                            std::memory_order_relaxed);
+                st.sharedNegHits.add(1);
                 obs::metrics()
                     .counter("service.shared_memo_negative_hits")
                     .add(1);
-                sendResponse(sess, fromL2);
+                const size_t n = sendResponse(sess, fromL2);
+                recordInline(SpanVerdict::SharedNegativeHit, req.id,
+                             contentKey, fromL2.status, n, acceptNs);
                 return;
+              }
               case Estimator::SharedMemo::Miss:
                 break;
             }
@@ -646,7 +928,23 @@ struct AwdServer::Impl
                            : flights.end();
             if (fit != flights.end() && !fit->second.degrade) {
                 Flight &flight = fit->second;
-                flight.subs.push_back({sessionId, req.id, deadline});
+                std::shared_ptr<RequestSpan> fspan;
+                if (obsOn) {
+                    // The follower's own span: accept -> attach; pop /
+                    // sim stamps stay 0 (the leader's span owns the
+                    // computation), encode is stamped at fan-out.
+                    fspan = std::make_shared<RequestSpan>();
+                    fspan->leaderTag = flight.tag;
+                    fspan->requestId =
+                        req.id.substr(0, kSpanKeyPrefixBytes);
+                    fspan->keyPrefix =
+                        contentKey.substr(0, kSpanKeyPrefixBytes);
+                    fspan->verdict = SpanVerdict::Coalesced;
+                    fspan->tAcceptNs = acceptNs;
+                    fspan->tAdmitNs = nowNs();
+                }
+                flight.subs.push_back(
+                    {sessionId, req.id, deadline, std::move(fspan)});
                 // Extend the running job's effective deadline to the
                 // latest subscriber's — the watchdog must not cancel
                 // the leader while any subscriber could still be
@@ -656,19 +954,23 @@ struct AwdServer::Impl
                     flight.deadlineNs->store(toNs(deadline),
                                              std::memory_order_release);
                 sess.inflight += 1;
-                statCoalesced.fetch_add(1, std::memory_order_relaxed);
+                st.coalesced.add(1);
                 obs::metrics().counter("service.coalesced").add(1);
                 return;
             }
         }
 
         if (stopping.load(std::memory_order_relaxed)) {
-            sendShed(sess, req.id);
+            const size_t n = sendShed(sess, req.id);
+            recordInline(SpanVerdict::Shed, req.id, contentKey, "shed",
+                         n, acceptNs);
             return;
         }
         Admission admission = queue.classify();
         if (admission == Admission::Shed) {
-            sendShed(sess, req.id);
+            const size_t n = sendShed(sess, req.id);
+            recordInline(SpanVerdict::Shed, req.id, contentKey, "shed",
+                         n, acceptNs);
             return;
         }
 
@@ -682,6 +984,18 @@ struct AwdServer::Impl
             std::make_shared<std::atomic<int64_t>>(toNs(deadline));
         job.cancel = std::make_shared<std::atomic<bool>>(false);
         job.degrade = admission == Admission::Degrade;
+        if (obsOn) {
+            job.span = std::make_shared<RequestSpan>();
+            job.span->tag = job.tag;
+            job.span->requestId =
+                job.req.id.substr(0, kSpanKeyPrefixBytes);
+            job.span->keyPrefix =
+                contentKey.substr(0, kSpanKeyPrefixBytes);
+            job.span->verdict = job.degrade ? SpanVerdict::Degrade
+                                            : SpanVerdict::Accept;
+            job.span->tAcceptNs = acceptNs;
+            job.span->tAdmitNs = nowNs();
+        }
 
         registerInflight(job);
         const uint64_t tag = job.tag;
@@ -691,17 +1005,21 @@ struct AwdServer::Impl
         flight.deadlineNs = job.deadlineNs;
         flight.cancel = job.cancel;
         flight.degrade = job.degrade;
-        flight.subs.push_back({sessionId, job.req.id, deadline});
+        flight.subs.push_back({sessionId, job.req.id, deadline, nullptr});
         if (!queue.push(std::move(job))) {
             unregisterInflight(tag);
-            sendShed(sess, req.id);
+            const size_t n = sendShed(sess, req.id);
+            recordInline(SpanVerdict::Shed, req.id, contentKey, "shed",
+                         n, acceptNs);
             return;
         }
         flights.emplace(tag, std::move(flight));
         flightTagByKey[contentKey] = tag;
         inflightCount.fetch_add(1, std::memory_order_acq_rel);
         sess.inflight += 1;
-        statAdmitted.fetch_add(1, std::memory_order_relaxed);
+        st.admitted.add(1);
+        if (admission == Admission::Degrade)
+            st.degraded.add(1);
         obs::metrics().counter("service.admitted").add(1);
     }
 
@@ -729,8 +1047,7 @@ struct AwdServer::Impl
                 continue;
             if (flight.subs.empty()) {
                 flight.cancel->store(true, std::memory_order_relaxed);
-                statCoalesceCancelled.fetch_add(
-                    1, std::memory_order_relaxed);
+                st.coalesceCancelled.add(1);
             } else {
                 Clock::time_point latest = Clock::time_point::min();
                 for (const FlightSub &sub : flight.subs)
@@ -749,10 +1066,15 @@ struct AwdServer::Impl
             // No flight (cannot normally happen — every queued job has
             // one): deliver to the originating session directly.
             auto it = sessions.find(c.sessionId);
-            if (it == sessions.end())
+            if (it == sessions.end()) {
+                if (c.span)
+                    completeSpan(*c.span, c.resp.status, 0);
                 return;
+            }
             it->second.inflight -= 1;
-            sendResponse(it->second, c.resp);
+            const size_t n = sendResponse(it->second, c.resp);
+            if (c.span)
+                completeSpan(*c.span, c.resp.status, n);
             return;
         }
         Flight flight = std::move(fit->second);
@@ -764,11 +1086,26 @@ struct AwdServer::Impl
             flightTagByKey.erase(kit);
 
         const Clock::time_point now = Clock::now();
+        // The computation's span (c.span) stands in for the leader at
+        // index 0; followers carry their own. If the leader hung up,
+        // the computation span still completes — after the loop, with
+        // zero reply bytes — so the recorder never silently drops a
+        // request that consumed a queue slot.
+        bool leaderRecorded = false;
         for (size_t i = 0; i < flight.subs.size(); ++i) {
             const FlightSub &sub = flight.subs[i];
+            RequestSpan *span = sub.span.get();
+            if (i == 0 && !flight.leaderDetached) {
+                span = c.span.get();
+                leaderRecorded = c.span != nullptr;
+            }
             auto it = sessions.find(sub.sessionId);
-            if (it == sessions.end())
-                continue; // client vanished mid-request
+            if (it == sessions.end()) {
+                // Client vanished mid-request.
+                if (span)
+                    completeSpan(*span, c.resp.status, 0);
+                continue;
+            }
             Session &sess = it->second;
             sess.inflight -= 1;
             // Every subscriber — the leader included — gets the reply
@@ -788,8 +1125,11 @@ struct AwdServer::Impl
                 EstimateResponse late;
                 late.status = "deadline";
                 late.id = sub.requestId;
+                st.deadline.add(1);
                 obs::metrics().counter("service.deadline").add(1);
-                sendResponse(sess, late);
+                const size_t n = sendResponse(sess, late);
+                if (span)
+                    completeSpan(*span, late.status, n);
                 continue;
             }
             if (resp.status == "ok") {
@@ -799,10 +1139,14 @@ struct AwdServer::Impl
                 // followers (or everyone, once the leader hung up)
                 // count here.
                 if (i > 0 || flight.leaderDetached)
-                    statServed.fetch_add(1, std::memory_order_relaxed);
+                    st.served.add(1);
             }
-            sendResponse(sess, resp);
+            const size_t n = sendResponse(sess, resp);
+            if (span)
+                completeSpan(*span, resp.status, n);
         }
+        if (c.span && !leaderRecorded)
+            completeSpan(*c.span, c.resp.status, 0);
     }
 
     void reactorLoop()
@@ -844,15 +1188,21 @@ struct AwdServer::Impl
 
             ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 50);
 
-            // Wake pipe: 'S' begins the drain, 'C' just wakes us for
-            // the completion sweep below.
+            // Wake pipe: 'S' begins the drain, 'U' asks for a flight-
+            // recorder dump (SIGUSR1), 'C' just wakes us for the
+            // completion sweep below.
             if (pfds[0].revents & POLLIN) {
                 char buf[256];
                 ssize_t n;
                 bool sawStop = false;
+                bool sawDump = false;
                 while ((n = ::read(wakeRead, buf, sizeof buf)) > 0)
-                    for (ssize_t i = 0; i < n; ++i)
+                    for (ssize_t i = 0; i < n; ++i) {
                         sawStop |= buf[i] == 'S';
+                        sawDump |= buf[i] == 'U';
+                    }
+                if (sawDump)
+                    writeFlightDump();
                 if (sawStop &&
                     !stopping.exchange(true, std::memory_order_acq_rel)) {
                     AW_DEBUGF("service", "drain started (%zu sessions, "
@@ -902,8 +1252,7 @@ struct AwdServer::Impl
                         sess.fd = fd;
                         sess.lastActivity = Clock::now();
                         sessions.emplace(nextSession++, std::move(sess));
-                        statSessions.fetch_add(1,
-                                               std::memory_order_relaxed);
+                        st.sessions.add(1);
                     }
                     break;
                 }
@@ -1008,6 +1357,18 @@ struct AwdServer::Impl
                 }
             }
 
+            // Reactor-owned state exported as gauges once per loop
+            // iteration (<= 50 ms stale for an off-thread statsJson()
+            // reader; the stats request itself is served on-thread).
+            {
+                size_t outBytes = 0;
+                for (auto &[id, sess] : sessions)
+                    outBytes += sess.out.size();
+                st.sessionsOpen.set(static_cast<double>(sessions.size()));
+                st.flightsOpen.set(static_cast<double>(flights.size()));
+                st.outBufferBytes.set(static_cast<double>(outBytes));
+            }
+
             if (stopping.load(std::memory_order_relaxed)) {
                 const bool drained =
                     inflightCount.load(std::memory_order_acquire) == 0 &&
@@ -1035,6 +1396,30 @@ struct AwdServer::Impl
             ::close(listenFd);
             listenFd = -1;
         }
+        // Span trace export happens at drain, once, when every span
+        // has completed — emitting is cheap per-request, serializing
+        // the whole timeline is not.
+        if (!opts.tracePath.empty()) {
+            writeFileAtomic(opts.tracePath,
+                            obs::Profiler::instance().chromeTraceJson());
+            inform("awd: wrote request-span trace to %s",
+                   opts.tracePath.c_str());
+        }
+    }
+
+    /** Reactor-side half of requestFlightDump() (the 'U' wake byte). */
+    void writeFlightDump()
+    {
+        if (!recorder) {
+            warn("awd: flight dump requested but the recorder is off "
+                 "(set AW_SERVICE_FLIGHT_N)");
+            return;
+        }
+        writeFileAtomic(opts.flightDumpPath, recorder->dumpJson() + "\n");
+        inform("awd: wrote flight recorder (%llu recorded, capacity "
+               "%zu) to %s",
+               static_cast<unsigned long long>(recorder->recorded()),
+               recorder->capacity(), opts.flightDumpPath.c_str());
     }
 };
 
@@ -1123,6 +1508,14 @@ AwdServer::requestStop()
     impl_->wake('S');
 }
 
+void
+AwdServer::requestFlightDump()
+{
+    if (!impl_->running.load(std::memory_order_acquire))
+        return;
+    impl_->wake('U');
+}
+
 int
 AwdServer::wait()
 {
@@ -1147,7 +1540,7 @@ AwdServer::wait()
 std::string
 AwdServer::statsJson() const
 {
-    return impl_->statsPayload();
+    return impl_->statsPayload("");
 }
 
 } // namespace aw::service

@@ -83,10 +83,33 @@ struct ServerOptions
      *  default; benches flip it off to measure the win. */
     bool coalesce = true;
 
+    // --- observability knobs (DESIGN.md §10.11); all default off, and
+    // --- with every one unset the daemon's behavior is bit-identical.
+    /** Chrome-trace path request-lifecycle spans are exported to at
+     *  drain; empty disables span trace export. */
+    std::string tracePath;
+    /** Slow-request log threshold in milliseconds; requests whose
+     *  accept->encode time exceeds it are warn()-logged and counted.
+     *  0 disables. */
+    double slowMs = 0;
+    /** Flight-recorder capacity (last-N completed request records);
+     *  0 disables the recorder. */
+    int flightN = 0;
+    /** File the flight recorder dumps to on SIGUSR1 /
+     *  requestFlightDump(). */
+    std::string flightDumpPath = "awd_flight.json";
+    /** Shared-memo directory byte bound, swept at startup and
+     *  opportunistically on store (0 = unbounded). */
+    long sharedMemoBytes = 0;
+    /** Shared-memo entry TTL in seconds for the same sweep (0 = no
+     *  age bound). */
+    double sharedMemoTtlSec = 0;
+
     /** Defaults overridden by AW_SERVICE_PORT / _THREADS / _MAX_QUEUE /
      *  _DEADLINE_MS / _CARDS / _IDLE_MS / _BATCH_WINDOW_US /
-     *  _SHARED_MEMO_DIR / _MEMO_BYTES (invalid values warn + keep the
-     *  default). */
+     *  _SHARED_MEMO_DIR / _MEMO_BYTES / _TRACE / _SLOW_MS / _FLIGHT_N /
+     *  _FLIGHT_DUMP / _SHARED_MEMO_BYTES / _SHARED_MEMO_TTL_SEC
+     *  (invalid values warn + keep the default). */
     static ServerOptions fromEnvironment();
 };
 
@@ -115,7 +138,18 @@ class AwdServer
     /** Join everything. 0 = clean drain; 1 = drain timeout forced. */
     int wait();
 
-    /** Counter snapshot, already shaped as a stats response payload. */
+    /**
+     * Ask the reactor to write the flight-recorder dump (the
+     * aw.awd_flight.v1 artifact) to options.flightDumpPath. Async-
+     * signal-safe like requestStop() — install it in a SIGUSR1
+     * handler. A no-op (with a warning from the reactor) when the
+     * recorder is off.
+     */
+    void requestFlightDump();
+
+    /** Metrics-registry snapshot, already shaped as a full-scope stats
+     *  response payload (counters, gauges, timers, estimator and
+     *  flight-recorder state). */
     std::string statsJson() const;
 
   private:

@@ -12,7 +12,9 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +32,7 @@
 #include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
+#include "service/service_obs.hpp"
 #include "trace/workload.hpp"
 
 using namespace aw;
@@ -968,4 +971,338 @@ TEST(ServiceSharedMemo, TornEntryIsDetectedAndRecomputed)
     EXPECT_TRUE(store.fetchText(key, "awd_memo", raw))
         << "recompute did not republish a valid shared entry";
     fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Request-lifecycle observability: spans, the flight recorder, stats
+// scopes, and counter exactness (DESIGN.md §10.11).
+
+TEST(ServiceObservability, FlightRecorderRingWrapsOldestFirst)
+{
+    service::FlightRecorder rec(4);
+    for (uint64_t i = 1; i <= 6; ++i) {
+        service::RequestSpan s;
+        s.tag = i;
+        s.verdict = service::SpanVerdict::Accept;
+        s.outcome = "ok";
+        s.bytes = 10 * i;
+        s.tAcceptNs = static_cast<int64_t>(1000 * i);
+        s.tEncodeNs = static_cast<int64_t>(1000 * i + 500);
+        rec.push(s);
+    }
+    EXPECT_EQ(rec.recorded(), 6u);
+    EXPECT_EQ(rec.capacity(), 4u);
+
+    obs::JsonValue v;
+    ASSERT_TRUE(obs::tryParseJson(rec.dumpJson(), v));
+    EXPECT_EQ(v.at("schema").asString(), "aw.awd_flight.v1");
+    EXPECT_DOUBLE_EQ(v.at("capacity").asNumber(), 4.0);
+    EXPECT_DOUBLE_EQ(v.at("recorded").asNumber(), 6.0);
+    // Capacity 4, six pushed: tags 3..6 survive, oldest first.
+    ASSERT_EQ(v.at("records").array.size(), 4u);
+    for (size_t i = 0; i < 4; ++i) {
+        const obs::JsonValue &r = v.at("records").array[i];
+        EXPECT_DOUBLE_EQ(r.at("tag").asNumber(),
+                         static_cast<double>(3 + i));
+        EXPECT_EQ(r.at("verdict").asString(), "accept");
+        EXPECT_EQ(r.at("outcome").asString(), "ok");
+        // Unreached phases are omitted, not emitted as zeros.
+        EXPECT_EQ(r.find("sim_start_us"), nullptr);
+        EXPECT_DOUBLE_EQ(r.at("encode_us").asNumber(), 0.5);
+    }
+}
+
+TEST(ServiceObservability, SpansDumpAndSlowLogWithKnobsOn)
+{
+    const std::string traceFile = "awd_obs_trace_test.json";
+    const std::string dumpFile = "awd_obs_flight_test.json";
+    fs::remove(traceFile);
+    fs::remove(dumpFile);
+
+    service::ServerOptions sopts;
+    sopts.threads = 1;
+    sopts.maxQueue = 16;
+    sopts.defaultDeadlineMs = 120e3;
+    sopts.warmup = true;
+    sopts.tracePath = traceFile;
+    sopts.flightN = 8;
+    sopts.slowMs = 1e-6; // everything counts as slow
+    sopts.flightDumpPath = dumpFile;
+    service::AwdServer server(sopts);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    service::ClientOptions copts = quickClientOptions(server.port());
+    copts.ioTimeoutSec = 120;
+    service::AwdClient c(copts);
+    const service::EstimateRequest req =
+        estimateOf(testKernel(runUnique("svc_obs_on")));
+    Result<service::EstimateResponse> first = c.estimate(req);
+    ASSERT_TRUE(first) << first.error().message;
+    Result<service::EstimateResponse> second = c.estimate(req);
+    ASSERT_TRUE(second) << second.error().message;
+    EXPECT_EQ(second->degraded, "cached");
+    ASSERT_TRUE(c.ping()); // pings are never recorded
+
+    // scope=counters stops at the flat stats object.
+    Result<std::string> counters = c.stats("counters");
+    ASSERT_TRUE(counters) << counters.error().message;
+    obs::JsonValue vc;
+    ASSERT_TRUE(obs::tryParseJson(*counters, vc));
+    EXPECT_NE(vc.find("stats"), nullptr);
+    EXPECT_EQ(vc.find("timers"), nullptr);
+    EXPECT_EQ(vc.find("flight"), nullptr);
+
+    // scope=flight inlines the ring: accept span then memo-hit span.
+    Result<std::string> flight = c.stats("flight");
+    ASSERT_TRUE(flight) << flight.error().message;
+    obs::JsonValue vf;
+    ASSERT_TRUE(obs::tryParseJson(*flight, vf));
+    EXPECT_DOUBLE_EQ(vf.at("stats").at("slow").asNumber(), 2.0);
+    EXPECT_TRUE(vf.at("flight_recorder").at("enabled").boolean);
+    const obs::JsonValue &ring = vf.at("flight");
+    EXPECT_EQ(ring.at("schema").asString(), "aw.awd_flight.v1");
+    ASSERT_EQ(ring.at("records").array.size(), 2u);
+    const obs::JsonValue &accepted = ring.at("records").array[0];
+    const obs::JsonValue &memoHit = ring.at("records").array[1];
+    EXPECT_EQ(accepted.at("verdict").asString(), "accept");
+    EXPECT_EQ(accepted.at("outcome").asString(), "ok");
+    // The queued span reached every phase, in order.
+    EXPECT_GT(accepted.at("t_accept_ns").asNumber(), 0.0);
+    EXPECT_LE(accepted.at("admit_us").asNumber(),
+              accepted.at("pop_us").asNumber());
+    EXPECT_LE(accepted.at("sim_start_us").asNumber(),
+              accepted.at("sim_end_us").asNumber());
+    EXPECT_LE(accepted.at("sim_end_us").asNumber(),
+              accepted.at("encode_us").asNumber());
+    EXPECT_GT(accepted.at("bytes").asNumber(), 0.0);
+    EXPECT_EQ(memoHit.at("verdict").asString(), "memo_hit");
+    EXPECT_EQ(memoHit.find("sim_start_us"), nullptr)
+        << "an inline memo serve must not claim simulator time";
+
+    // The full (default) scope carries the always-on latency timers.
+    obs::JsonValue vd;
+    ASSERT_TRUE(obs::tryParseJson(server.statsJson(), vd));
+    EXPECT_DOUBLE_EQ(vd.at("timers").at("e2e").at("count").asNumber(),
+                     1.0);
+    EXPECT_DOUBLE_EQ(
+        vd.at("timers").at("queue_wait").at("count").asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(vd.at("timers").at("sim").at("count").asNumber(),
+                     1.0);
+    EXPECT_GT(vd.at("timers").at("e2e").at("p99_ms").asNumber(), 0.0);
+
+    // requestFlightDump() lands the aw.awd_flight.v1 artifact on disk
+    // within a couple of reactor poll cycles.
+    server.requestFlightDump();
+    bool dumped = false;
+    for (int i = 0; i < 250 && !dumped; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        dumped = fs::exists(dumpFile);
+    }
+    ASSERT_TRUE(dumped) << "flight dump never appeared";
+    {
+        std::ifstream in(dumpFile);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        obs::JsonValue dump;
+        ASSERT_TRUE(obs::tryParseJson(ss.str(), dump));
+        EXPECT_EQ(dump.at("schema").asString(), "aw.awd_flight.v1");
+        EXPECT_DOUBLE_EQ(dump.at("recorded").asNumber(), 2.0);
+    }
+
+    server.requestStop();
+    EXPECT_EQ(server.wait(), 0);
+
+    // Span trace exported at drain: parseable Chrome trace JSON with
+    // the request slice plus its queue/simulate children.
+    {
+        std::ifstream in(traceFile);
+        ASSERT_TRUE(in.good()) << "trace file missing";
+        std::stringstream ss;
+        ss << in.rdbuf();
+        obs::JsonValue trace;
+        ASSERT_TRUE(obs::tryParseJson(ss.str(), trace));
+        bool sawRequest = false, sawSim = false;
+        for (const obs::JsonValue &e : trace.at("traceEvents").array) {
+            const std::string &name = e.at("name").asString();
+            sawRequest |= name.rfind("awd/request", 0) == 0;
+            sawSim |= name == "awd/simulate";
+        }
+        EXPECT_TRUE(sawRequest);
+        EXPECT_TRUE(sawSim);
+    }
+    fs::remove(traceFile);
+    fs::remove(dumpFile);
+}
+
+TEST(ServiceObservability, KnobsOffIsInertAndAnswersByteIdentical)
+{
+    const std::string traceFile = "awd_obs_inert_trace.json";
+    fs::remove(traceFile);
+    const std::string frame =
+        frameOf(estimateOf(testKernel(runUnique("svc_obs_inert"))));
+
+    auto oneResponse = [&](service::AwdServer &server) {
+        RawConn conn;
+        EXPECT_TRUE(conn.connectTo(server.port()));
+        EXPECT_TRUE(conn.sendAll(frame));
+        std::vector<std::string> frames;
+        EXPECT_TRUE(conn.readResponses(1, frames));
+        return frames.empty() ? std::string() : frames[0];
+    };
+
+    std::string offResp, onResp;
+    {
+        service::ServerOptions sopts; // every obs knob at its default
+        sopts.threads = 1;
+        sopts.maxQueue = 16;
+        sopts.defaultDeadlineMs = 120e3;
+        service::AwdServer off(sopts);
+        std::string error;
+        ASSERT_TRUE(off.start(error)) << error;
+        offResp = oneResponse(off);
+        // The stats endpoint reports the recorder off and an absent
+        // ring instead of failing the scope.
+        service::AwdClient c(quickClientOptions(off.port()));
+        Result<std::string> flight = c.stats("flight");
+        ASSERT_TRUE(flight) << flight.error().message;
+        obs::JsonValue v;
+        ASSERT_TRUE(obs::tryParseJson(*flight, v));
+        EXPECT_FALSE(v.at("flight_recorder").at("enabled").boolean);
+        EXPECT_TRUE(v.at("flight").isNull());
+        off.requestStop();
+        EXPECT_EQ(off.wait(), 0);
+    }
+    {
+        service::ServerOptions sopts;
+        sopts.threads = 1;
+        sopts.maxQueue = 16;
+        sopts.defaultDeadlineMs = 120e3;
+        sopts.flightN = 4;
+        sopts.slowMs = 1e-6;
+        sopts.tracePath = traceFile;
+        service::AwdServer on(sopts);
+        std::string error;
+        ASSERT_TRUE(on.start(error)) << error;
+        onResp = oneResponse(on);
+        on.requestStop();
+        EXPECT_EQ(on.wait(), 0);
+    }
+    // Observability must never change an answer, byte for byte.
+    ASSERT_FALSE(offResp.empty());
+    EXPECT_EQ(offResp, onResp);
+    fs::remove(traceFile);
+}
+
+TEST(ServiceStats, CountersExactlyMatchScriptedOutcomes)
+{
+    service::ServerOptions sopts;
+    sopts.threads = 1;
+    sopts.maxQueue = 2; // soft limit 1: bursts reliably shed
+    sopts.defaultDeadlineMs = 120e3;
+    sopts.warmup = true;
+    service::AwdServer server(sopts);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    // Phase 1: a pipelined burst of unique slow kernels. Which of them
+    // shed depends on worker timing, so the ledger is built from the
+    // *observed* responses — the counters must agree with it exactly.
+    long okFull = 0, okDegraded = 0, shedObserved = 0;
+    {
+        constexpr int kBurst = 6;
+        std::string burst;
+        for (int i = 0; i < kBurst; ++i)
+            burst += frameOf(estimateOf(testKernel(
+                runUnique("svc_ledger_" + std::to_string(i)),
+                /*iterations=*/64)));
+        RawConn conn;
+        ASSERT_TRUE(conn.connectTo(server.port()));
+        ASSERT_TRUE(conn.sendAll(burst));
+        std::vector<std::string> frames;
+        ASSERT_TRUE(conn.readResponses(kBurst, frames));
+        for (const std::string &f : frames) {
+            const service::EstimateResponse resp = parsedResponse(f);
+            if (resp.status == "shed") {
+                ++shedObserved;
+            } else {
+                ASSERT_EQ(resp.status, "ok") << resp.errorMessage;
+                resp.degraded == "reduced_fidelity" ? ++okDegraded
+                                                    : ++okFull;
+            }
+        }
+    }
+
+    service::ClientOptions copts = quickClientOptions(server.port());
+    copts.ioTimeoutSec = 120;
+    service::AwdClient c(copts);
+
+    // Phase 2: one memo hit (same kernel twice, serially).
+    const service::EstimateRequest repeat =
+        estimateOf(testKernel(runUnique("svc_ledger_memo")));
+    ASSERT_TRUE(c.estimate(repeat));
+    Result<service::EstimateResponse> cached = c.estimate(repeat);
+    ASSERT_TRUE(cached);
+    ASSERT_EQ(cached->degraded, "cached");
+
+    // Phase 3: one idempotent replay (same id twice, serially).
+    service::EstimateRequest tagged =
+        estimateOf(testKernel(runUnique("svc_ledger_idem")));
+    tagged.id = "svc-ledger-replay";
+    ASSERT_TRUE(c.estimate(tagged));
+    Result<service::EstimateResponse> replayed = c.estimate(tagged);
+    ASSERT_TRUE(replayed);
+    ASSERT_TRUE(replayed->replayed);
+
+    // Phase 4: one protocol error (a frame that is not JSON).
+    {
+        RawConn conn;
+        ASSERT_TRUE(conn.connectTo(server.port()));
+        ASSERT_TRUE(conn.sendAll(service::encodeFrame("{not json")));
+        std::vector<std::string> frames;
+        ASSERT_TRUE(conn.readResponses(1, frames));
+        EXPECT_EQ(parsedResponse(frames[0]).status, "error");
+    }
+
+    // Phase 5: one coalesced pair (duplicate attaches to the running
+    // leader; both answered from one computation).
+    {
+        const std::string frame = frameOf(estimateOf(
+            testKernel(runUnique("svc_ledger_coal"), /*iterations=*/4096)));
+        RawConn leader, follower;
+        ASSERT_TRUE(leader.connectTo(server.port()));
+        ASSERT_TRUE(leader.sendAll(frame));
+        std::this_thread::sleep_for(std::chrono::milliseconds(40));
+        ASSERT_TRUE(follower.connectTo(server.port()));
+        ASSERT_TRUE(follower.sendAll(frame));
+        std::vector<std::string> one, two;
+        ASSERT_TRUE(leader.readResponses(1, one));
+        ASSERT_TRUE(follower.readResponses(1, two));
+        EXPECT_EQ(parsedResponse(one[0]).status, "ok");
+        EXPECT_EQ(parsedResponse(two[0]).status, "ok");
+    }
+    ASSERT_EQ(statOf(server, "coalesced"), 1)
+        << "duplicate did not attach; leader finished too fast";
+
+    // The registry snapshot must reproduce the ledger exactly: every
+    // scripted outcome appears in its counter, nothing more.
+    // Admitted: burst survivors + memo first + idem first + leader.
+    EXPECT_EQ(statOf(server, "admitted"),
+              (6 - shedObserved) + 3);
+    // Served: computed answers (burst survivors, memo first, idem
+    // first, coalesce leader) plus the follower fan-out.
+    EXPECT_EQ(statOf(server, "served"), (6 - shedObserved) + 4);
+    EXPECT_EQ(statOf(server, "shed"), shedObserved);
+    EXPECT_EQ(statOf(server, "degraded"), okDegraded);
+    EXPECT_EQ(statOf(server, "memo_hits"), 1);
+    EXPECT_EQ(statOf(server, "replayed"), 1);
+    EXPECT_EQ(statOf(server, "protocol_errors"), 1);
+    EXPECT_EQ(statOf(server, "coalesce_cancelled"), 0);
+    EXPECT_EQ(statOf(server, "batches"), 0);
+    EXPECT_EQ(statOf(server, "batched"), 0);
+    EXPECT_EQ(statOf(server, "deadline"), 0);
+    EXPECT_EQ(statOf(server, "shared_memo_hits"), 0);
+
+    server.requestStop();
+    EXPECT_EQ(server.wait(), 0);
 }

@@ -267,6 +267,100 @@ TEST(ServiceCodec, AdversarialRequestsRejectedWithStructuredErrors)
     }
 }
 
+TEST(ServiceCodec, StatsScopeRoundTripAndValidation)
+{
+    // Every legal scope survives the writer -> strict parser loop.
+    for (const char *scope : {"", "counters", "full", "flight"}) {
+        EstimateRequest req;
+        req.type = "stats";
+        req.statsScope = scope;
+        obs::JsonValue v;
+        ASSERT_TRUE(obs::tryParseJson(requestToJson(req), v)) << scope;
+        EstimateRequest back;
+        std::string err;
+        ASSERT_TRUE(parseRequest(v, back, err)) << err;
+        EXPECT_EQ(back.type, "stats");
+        EXPECT_EQ(back.statsScope, scope);
+    }
+    // The default scope is not emitted at all — a stats request from a
+    // new client stays byte-identical to a PR 8 one.
+    EstimateRequest bare;
+    bare.type = "stats";
+    EXPECT_EQ(requestToJson(bare).find("scope"), std::string::npos);
+
+    // Unknown or mistyped scopes are structured errors (and the field
+    // is range-checked on every request type, not just stats).
+    const char *bad[] = {
+        "{\"type\":\"stats\",\"scope\":\"everything\"}",
+        "{\"type\":\"stats\",\"scope\":\"FULL\"}",
+        "{\"type\":\"stats\",\"scope\":42}",
+        "{\"type\":\"stats\",\"scope\":[\"full\"]}",
+        "{\"type\":\"ping\",\"scope\":\"bogus\"}",
+    };
+    for (const char *payload : bad) {
+        obs::JsonValue v;
+        ASSERT_TRUE(obs::tryParseJson(payload, v)) << payload;
+        EstimateRequest req;
+        std::string err;
+        EXPECT_FALSE(parseRequest(v, req, err)) << payload;
+        EXPECT_FALSE(err.empty()) << payload;
+    }
+}
+
+TEST(ServiceCodec, StatsScopeFuzzParsesOrRejectsCleanly)
+{
+    // Deterministic fuzz over the scope field: random legal tokens,
+    // near-miss strings, wrong kinds, garbage bytes. The parser must
+    // either accept a legal scope verbatim or reject with a non-empty
+    // error — never crash, never let an illegal scope through.
+    Rng rng(0xF0553);
+    const char *tokens[] = {"counters", "full",  "flight",
+                            "flightt",  "count", ""};
+    for (int iter = 0; iter < 2000; ++iter) {
+        std::string payload = "{\"type\":\"stats\"";
+        if (rng.next() & 1) {
+            payload += ",\"scope\":";
+            switch (rng.next() % 4) {
+              case 0:
+                payload += std::string("\"") + tokens[rng.next() % 6] +
+                           "\"";
+                break;
+              case 1:
+                payload += std::to_string(rng.next() % 1000);
+                break;
+              case 2:
+                payload += "null";
+                break;
+              default: {
+                payload += '"';
+                const int len = static_cast<int>(rng.next() % 24);
+                for (int i = 0; i < len; ++i)
+                    payload += static_cast<char>(
+                        'a' + static_cast<char>(rng.next() % 26));
+                payload += '"';
+                break;
+              }
+            }
+        }
+        if (rng.next() & 1)
+            payload += ",\"id\":\"fz\"";
+        payload += "}";
+        obs::JsonValue v;
+        ASSERT_TRUE(obs::tryParseJson(payload, v)) << payload;
+        EstimateRequest req;
+        std::string err;
+        if (parseRequest(v, req, err)) {
+            EXPECT_TRUE(req.statsScope.empty() ||
+                        req.statsScope == "counters" ||
+                        req.statsScope == "full" ||
+                        req.statsScope == "flight")
+                << payload;
+        } else {
+            EXPECT_FALSE(err.empty()) << payload;
+        }
+    }
+}
+
 TEST(ServiceCodec, ResponseRoundTripAllStatuses)
 {
     EstimateResponse ok;
